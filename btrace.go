@@ -1,0 +1,258 @@
+// Package btrace is the public API of BTrace, the block-based mobile
+// tracer of "Enabling Efficient Mobile Tracing with BTrace" (ASPLOS 2025).
+//
+// BTrace partitions one contiguous buffer into equally sized blocks that
+// are dynamically assigned to the most demanding cores: it keeps the
+// memory efficiency of a global buffer and the low recording latency of
+// per-core buffers, retains roughly twice the continuous trace of a
+// per-core tracer under skewed mobile workloads, never drops the newest
+// events, and supports runtime buffer resizing without synchronizing
+// producers.
+//
+// # Quick start
+//
+//	tr, err := btrace.Open(btrace.Config{Cores: 8, BufferBytes: 8 << 20})
+//	if err != nil { ... }
+//	w := tr.Writer(coreID, threadID)
+//	w.Write(btrace.Event{TS: now, Category: 3, Level: 1, Payload: data})
+//	r := tr.NewReader()
+//	events, _ := r.Snapshot()
+//
+// Each producing thread obtains a Writer naming the (virtual or physical)
+// core it runs on; the core id routes the write to the core's current
+// block. On platforms with real thread pinning, use the pinned CPU id; in
+// portable Go programs any stable shard id in [0, Cores) preserves the
+// algorithm's benefits.
+package btrace
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"btrace/internal/core"
+	"btrace/internal/tracer"
+)
+
+// Proc is the execution-context abstraction producers write under: it
+// names the current core and exposes the preemption points simulated
+// schedulers hook. Library users normally use Tracer.Writer, which
+// supplies a fixed Proc; integrations with custom schedulers (see
+// internal/sim) may implement Proc themselves.
+type Proc = tracer.Proc
+
+// Event is a trace event. Stamp is assigned by the tracer on write and
+// reported on read; the remaining fields are caller-provided.
+type Event struct {
+	// Stamp is the unique, monotonically increasing logic stamp the
+	// tracer assigned at write time (read side only).
+	Stamp uint64
+	// TS is the caller's timestamp in nanoseconds.
+	TS uint64
+	// Core is the core the event was written from (read side only).
+	Core uint8
+	// TID identifies the producing thread (24 bits).
+	TID uint32
+	// Category and Level classify the event (see internal/workload for
+	// the atrace-style scheme the evaluation uses).
+	Category uint8
+	Level    uint8
+	// Payload is the event body; at most MaxPayload bytes.
+	Payload []byte
+}
+
+// MaxPayload is the largest payload a single event may carry.
+const MaxPayload = tracer.MaxPayload
+
+// Config configures Open.
+type Config struct {
+	// Cores is the number of cores (or stable shard ids) that will
+	// produce traces. Required.
+	Cores int
+	// BufferBytes is the tracing buffer capacity. Required.
+	BufferBytes int
+	// MaxBufferBytes reserves address space for growth via Resize; it
+	// defaults to BufferBytes (no growth headroom). The paper reserves
+	// the maximum size up front and maps/unmaps physical memory (§4.4).
+	MaxBufferBytes int
+	// BlockSize is the data block size (default 4 KiB, the paper's
+	// choice).
+	BlockSize int
+	// ActivePerCore sets the number of active blocks per core (A =
+	// ActivePerCore x Cores); default 16, the §5.1 sweet spot.
+	ActivePerCore int
+	// PoisonOnReclaim overwrites memory reclaimed by a shrink with a
+	// poison pattern, turning use-after-reclaim bugs into loud decode
+	// failures. Intended for tests.
+	PoisonOnReclaim bool
+}
+
+// Tracer is an open BTrace instance.
+type Tracer struct {
+	buf   *core.Buffer
+	stamp atomic.Uint64
+	epoch time.Time
+	filterState
+}
+
+// Open creates a tracer.
+func Open(cfg Config) (*Tracer, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("btrace: Cores must be positive")
+	}
+	if cfg.BufferBytes <= 0 {
+		return nil, fmt.Errorf("btrace: BufferBytes must be positive")
+	}
+	if cfg.MaxBufferBytes == 0 {
+		cfg.MaxBufferBytes = cfg.BufferBytes
+	}
+	if cfg.MaxBufferBytes < cfg.BufferBytes {
+		return nil, fmt.Errorf("btrace: MaxBufferBytes (%d) < BufferBytes (%d)",
+			cfg.MaxBufferBytes, cfg.BufferBytes)
+	}
+	opt, err := core.OptionsForBudget(cfg.BufferBytes, cfg.Cores, cfg.BlockSize, cfg.ActivePerCore)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxBufferBytes > cfg.BufferBytes {
+		maxRatio := cfg.MaxBufferBytes / (opt.ActiveBlocks * opt.BlockSize)
+		if maxRatio > opt.Ratio {
+			opt.MaxRatio = maxRatio
+		}
+	}
+	opt.PoisonOnReclaim = cfg.PoisonOnReclaim
+	buf, err := core.New(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracer{buf: buf, epoch: time.Now()}, nil
+}
+
+// Capacity returns the current live buffer capacity in bytes.
+func (t *Tracer) Capacity() int { return t.buf.Capacity() }
+
+// MaxEntryPayload returns the largest payload Write accepts under the
+// configured block size.
+func (t *Tracer) MaxEntryPayload() int { return t.buf.MaxEntryPayload() }
+
+// Resize changes the buffer capacity to approximately bytes (rounded down
+// to a whole number of block rounds, minimum one). Growing is immediate;
+// shrinking blocks until the reclaimed memory is provably unreachable by
+// producers (implicit reclaiming, §3.3) and consumers (epoch-based
+// reclamation, §4.4), without adding any synchronization to the producer
+// fast path.
+func (t *Tracer) Resize(bytes int) error {
+	opt := t.buf.Options()
+	perRound := opt.ActiveBlocks * opt.BlockSize
+	ratio := bytes / perRound
+	if ratio < 1 {
+		ratio = 1
+	}
+	if ratio > opt.MaxRatio {
+		return fmt.Errorf("btrace: %d B exceeds reserved maximum %d B", bytes, opt.MaxRatio*perRound)
+	}
+	return t.buf.Resize(ratio)
+}
+
+// Stats returns a snapshot of internal counters.
+func (t *Tracer) Stats() tracer.Stats { return t.buf.Stats() }
+
+// BlocksAcquired returns, per core, how many data blocks each core has
+// drawn from the shared pool — the observable form of the dynamic block
+// assignment in the paper's title: demanding cores acquire proportionally
+// more blocks.
+func (t *Tracer) BlocksAcquired() []uint64 { return t.buf.BlocksAcquired() }
+
+// Reset discards all recorded events. It must not run concurrently with
+// writers.
+func (t *Tracer) Reset() { t.buf.Reset() }
+
+// Writer returns a write handle for a thread running on the given core.
+// The Writer is not safe for concurrent use; create one per thread (they
+// are small and allocation-free to use).
+func (t *Tracer) Writer(core, tid int) (*Writer, error) {
+	if core < 0 || core >= t.buf.Options().Cores {
+		return nil, fmt.Errorf("btrace: core %d out of range [0,%d)", core, t.buf.Options().Cores)
+	}
+	return &Writer{t: t, proc: tracer.FixedProc{CoreID: core, TID: tid}}, nil
+}
+
+// Writer is a per-thread write handle.
+type Writer struct {
+	t    *Tracer
+	proc tracer.FixedProc
+}
+
+// Write records e. The event receives the next global logic stamp; the
+// write is wait-free with respect to other threads except for the bounded
+// block-advancement slow path.
+func (w *Writer) Write(e Event) error {
+	return w.t.WriteProc(&w.proc, e)
+}
+
+// WriteProc records e under an explicit execution context; simulated
+// schedulers use this to inject preemption at the algorithm's preemption
+// points.
+func (t *Tracer) WriteProc(p Proc, e Event) error {
+	if f := unpackFilter(t.filter.Load()); !f.Allows(e.Category, e.Level) {
+		t.filtered.Add(1)
+		return nil
+	}
+	ent := tracer.Entry{
+		Stamp:   t.stamp.Add(1),
+		TS:      e.TS,
+		Core:    uint8(p.Core()),
+		TID:     uint32(p.Thread()) & 0xFFFFFF,
+		Cat:     e.Category,
+		Level:   e.Level,
+		Payload: e.Payload,
+	}
+	return t.buf.Write(p, &ent)
+}
+
+// Reader is a registered consumer. Snapshots never block producers; a
+// block being overwritten during a read is detected and dropped (§4.3).
+type Reader struct {
+	r *core.Reader
+}
+
+// NewReader registers a consumer.
+func (t *Tracer) NewReader() *Reader { return &Reader{r: t.buf.NewReader()} }
+
+// Close unregisters the reader.
+func (r *Reader) Close() { r.r.Close() }
+
+// Snapshot returns every currently recoverable event, oldest first by
+// logic stamp.
+func (r *Reader) Snapshot() []Event {
+	es, _ := r.r.Snapshot()
+	return convertEntries(es)
+}
+
+// Poll returns the events recorded since the previous Poll (oldest
+// first) and how many were lost to overwrite in between — the incremental
+// mode a collector daemon uses to follow a live trace without ever
+// blocking producers.
+func (r *Reader) Poll() (events []Event, missed uint64) {
+	es, missed := r.r.Poll()
+	return convertEntries(es), missed
+}
+
+func convertEntries(es []tracer.Entry) []Event {
+	out := make([]Event, len(es))
+	for i, e := range es {
+		out[i] = Event{
+			Stamp: e.Stamp, TS: e.TS, Core: e.Core, TID: e.TID,
+			Category: e.Cat, Level: e.Level, Payload: e.Payload,
+		}
+	}
+	return out
+}
+
+// WriteNow records e with TS set to the tracer's monotonic clock (nanoseconds
+// since Open), the convenient form for live instrumentation; use Write when
+// the caller supplies its own timebase.
+func (w *Writer) WriteNow(e Event) error {
+	e.TS = uint64(time.Since(w.t.epoch).Nanoseconds())
+	return w.t.WriteProc(&w.proc, e)
+}

@@ -1,0 +1,108 @@
+// Command btrace-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	btrace-bench [flags] <experiment>...
+//
+// Experiments: fig1 fig2 fig3 fig4 fig5 fig6 fig10 fig11 table1 table2 all.
+//
+// The default configuration replays at 5% of the paper's full trace
+// volume into 12 MiB buffers; -scale 1.0 reproduces the full volume (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"btrace/internal/experiments"
+)
+
+func main() {
+	var (
+		budget    = flag.Int("budget", 12<<20, "per-tracer buffer budget in bytes")
+		scale     = flag.Float64("scale", 0.05, "fraction of the paper's full trace volume to replay")
+		preempt   = flag.Float64("preempt", 0.005, "mid-write preemption probability (thread-level)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 20)")
+		tracers   = flag.String("tracers", "", "comma-separated tracer subset (default: all 5)")
+		quick     = flag.Bool("quick", false, "use the reduced quick configuration")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: btrace-bench [flags] <fig1|fig2|fig3|fig4|fig5|fig6|fig10|fig11|table1|table2|all>...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opt := experiments.Defaults()
+	if *quick {
+		opt = experiments.Quick()
+	}
+	opt.Budget = *budget
+	opt.RateScale = *scale
+	opt.PreemptProb = *preempt
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	if *tracers != "" {
+		opt.Tracers = strings.Split(*tracers, ",")
+	}
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "fig10", "table2", "fig11", "memreq"}
+	}
+	for _, name := range names {
+		if err := run(os.Stdout, name, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "btrace-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// renderer is any experiment result.
+type renderer interface{ Render(io.Writer) }
+
+func run(w io.Writer, name string, opt experiments.Options) error {
+	started := time.Now()
+	var (
+		res renderer
+		err error
+	)
+	switch name {
+	case "fig1":
+		res, err = experiments.Fig1(opt)
+	case "fig2":
+		res, err = experiments.Fig2(opt)
+	case "fig3":
+		res, err = experiments.Fig3(opt)
+	case "fig4":
+		res, err = experiments.Fig4(opt)
+	case "fig5":
+		res, err = experiments.Fig5(opt)
+	case "fig6":
+		res, err = experiments.Fig6(opt)
+	case "fig10":
+		res, err = experiments.Fig10(opt)
+	case "fig11":
+		res, err = experiments.Fig11(opt)
+	case "table1":
+		res, err = experiments.Table1(opt)
+	case "table2":
+		res, err = experiments.Table2(opt)
+	case "memreq":
+		res, err = experiments.MemoryRequirement(opt)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "==== %s ====\n", name)
+	res.Render(w)
+	fmt.Fprintf(w, "(%s computed in %v)\n\n", name, time.Since(started).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"btrace/internal/experiments"
+)
+
+func testOpts() experiments.Options {
+	return experiments.Options{
+		Budget:      2 << 20,
+		RateScale:   0.01,
+		PreemptProb: 0.005,
+		Workloads:   []string{"LockScr.", "eShop-2"},
+		Tracers:     []string{"btrace", "ftrace"},
+	}
+}
+
+func TestRunEachExperiment(t *testing.T) {
+	for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig10", "fig11", "table1", "table2"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(&sb, name, testOpts()); err != nil {
+				t.Fatalf("run(%s): %v", name, err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, "==== "+name+" ====") {
+				t.Errorf("missing banner:\n%s", out)
+			}
+			if len(out) < 100 {
+				t.Errorf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "fig99", testOpts()); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}

@@ -1,0 +1,132 @@
+// Command btrace-inspect analyzes a serialized readout produced by
+// btrace-replay -dump: it lists per-core and per-category composition,
+// stamp continuity (fragments and gaps), and the time span covered —
+// the offline workflow a developer uses when a trace is pulled from a
+// device.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"btrace/internal/export"
+	"btrace/internal/report"
+	"btrace/internal/tracer"
+	"btrace/internal/workload"
+)
+
+func main() {
+	var (
+		maxGaps = flag.Int("gaps", 10, "maximum number of gaps to list")
+		format  = flag.String("format", "summary", "output: summary|text|chrome|csv")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: btrace-inspect [flags] <readout-file>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *maxGaps, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "btrace-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, maxGaps int, format string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	recs, truncated := tracer.DecodeAll(data)
+	var es []tracer.Entry
+	for _, r := range recs {
+		if r.Kind == tracer.KindEvent {
+			es = append(es, r.Event)
+		}
+	}
+	if truncated {
+		fmt.Fprintln(os.Stderr, "warning: trailing bytes were not decodable (truncated dump?)")
+	}
+	if len(es) == 0 {
+		return fmt.Errorf("no events in %s", path)
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Stamp < es[j].Stamp })
+
+	switch format {
+	case "summary":
+		// fallthrough to the summary report below
+	case "text":
+		return export.Text(os.Stdout, es)
+	case "chrome":
+		return export.ChromeTrace(os.Stdout, es)
+	case "csv":
+		return export.CSV(os.Stdout, es)
+	default:
+		return fmt.Errorf("unknown format %q (summary|text|chrome|csv)", format)
+	}
+
+	var (
+		bytesTotal uint64
+		perCore    = map[uint8]int{}
+		perCat     = map[uint8]int{}
+		tids       = map[uint32]bool{}
+		fragments  = 1
+		minTS      = es[0].TS
+		maxTS      = es[0].TS
+	)
+	for i, e := range es {
+		bytesTotal += uint64(e.WireSize())
+		perCore[e.Core]++
+		perCat[e.Cat]++
+		tids[e.TID] = true
+		if e.TS < minTS {
+			minTS = e.TS
+		}
+		if e.TS > maxTS {
+			maxTS = e.TS
+		}
+		if i > 0 && e.Stamp != es[i-1].Stamp+1 {
+			fragments++
+		}
+	}
+
+	fmt.Printf("%s: %d events, %s, stamps %d..%d, %d fragments, %d threads, %.3fs span\n",
+		path, len(es), report.HumanBytes(bytesTotal), es[0].Stamp, es[len(es)-1].Stamp,
+		fragments, len(tids), float64(maxTS-minTS)/1e9)
+
+	tb := report.NewTable("per core", "core", "events", "share")
+	cores := make([]int, 0, len(perCore))
+	for c := range perCore {
+		cores = append(cores, int(c))
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		n := perCore[uint8(c)]
+		tb.AddRow(c, n, fmt.Sprintf("%.1f%%", 100*float64(n)/float64(len(es))))
+	}
+	tb.Render(os.Stdout)
+
+	tb = report.NewTable("per category", "category", "events", "share")
+	cats := make([]int, 0, len(perCat))
+	for c := range perCat {
+		cats = append(cats, int(c))
+	}
+	sort.Slice(cats, func(i, j int) bool { return perCat[uint8(cats[i])] > perCat[uint8(cats[j])] })
+	for _, c := range cats {
+		n := perCat[uint8(c)]
+		tb.AddRow(workload.Category(c).Name(), n, fmt.Sprintf("%.1f%%", 100*float64(n)/float64(len(es))))
+	}
+	tb.Render(os.Stdout)
+
+	// Gap listing from stamp discontinuities.
+	shown := 0
+	for i := 1; i < len(es) && shown < maxGaps; i++ {
+		if es[i].Stamp != es[i-1].Stamp+1 {
+			fmt.Printf("gap: stamps %d..%d missing (%d events)\n",
+				es[i-1].Stamp+1, es[i].Stamp-1, es[i].Stamp-es[i-1].Stamp-1)
+			shown++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+func writeDump(t *testing.T, es []tracer.Entry) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dump.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	for i := range es {
+		n, err := tracer.EncodeEvent(buf, &es[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(buf[:n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestInspect(t *testing.T) {
+	es := []tracer.Entry{
+		{Stamp: 1, TS: 0, Core: 0, TID: 10, Cat: 11, Payload: []byte("a")},
+		{Stamp: 2, TS: 1e9, Core: 1, TID: 11, Cat: 11, Payload: []byte("b")},
+		{Stamp: 5, TS: 2e9, Core: 1, TID: 12, Cat: 16, Payload: []byte("c")},
+	}
+	path := writeDump(t, es)
+	for _, format := range []string{"summary", "text", "chrome", "csv"} {
+		if err := run(path, 10, format); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+	}
+	if err := run(path, 10, "bogus"); err == nil {
+		t.Fatal("unknown format: expected error")
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	if err := run("/no/such/file", 10, "summary"); err == nil {
+		t.Error("missing file: expected error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.bin")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, 10, "summary"); err == nil {
+		t.Error("empty file: expected error")
+	}
+}

@@ -1,0 +1,144 @@
+// Command btrace-replay replays one workload into one tracer and reports
+// the §5 metrics: latest continuous fragment, loss rate, fragment count,
+// effectivity ratio and recording latency. With -dump it serializes the
+// readout for offline inspection by btrace-inspect.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"btrace/internal/analysis"
+	"btrace/internal/replay"
+	"btrace/internal/report"
+	"btrace/internal/tracer"
+	"btrace/internal/workload"
+
+	_ "btrace/internal/bbq"
+	_ "btrace/internal/core"
+	_ "btrace/internal/ftrace"
+	_ "btrace/internal/lttng"
+	_ "btrace/internal/vtrace"
+)
+
+func main() {
+	var (
+		tracerName = flag.String("tracer", "btrace", "tracer to drive (btrace|bbq|ftrace|lttng|vtrace)")
+		wlName     = flag.String("workload", "eShop-1", "workload name (see -list)")
+		list       = flag.Bool("list", false, "list workloads and tracers, then exit")
+		budget     = flag.Int("budget", 12<<20, "buffer budget in bytes")
+		scale      = flag.Float64("scale", 0.05, "fraction of full trace volume")
+		level      = flag.Int("level", 3, "trace level 1-3")
+		threadMode = flag.Bool("threads", true, "thread-level replay (false: core-level)")
+		preempt    = flag.Float64("preempt", 0.005, "mid-write preemption probability")
+		dump       = flag.String("dump", "", "write the readout to this file for btrace-inspect")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("tracers:  ", tracer.Names())
+		fmt.Println("workloads:", workload.Names())
+		return
+	}
+
+	if err := run(*tracerName, *wlName, *budget, *scale, *level, *threadMode, *preempt, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "btrace-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracerName, wlName string, budget int, scale float64, level int, threads bool, preempt float64, dump string) error {
+	w, err := workload.ByName(wlName)
+	if err != nil {
+		return err
+	}
+	tr, err := tracer.New(tracerName, budget, 12, w.ThreadsTotal*12)
+	if err != nil {
+		return err
+	}
+	mode := replay.CoreLevel
+	if threads {
+		mode = replay.ThreadLevel
+	}
+	res, err := replay.Run(replay.Config{
+		Tracer: tr, Workload: w, Mode: mode, Level: uint8(level),
+		RateScale: scale, PreemptProb: preempt, MeasureLatency: true,
+	})
+	if err != nil {
+		return err
+	}
+	es, err := tr.ReadAll()
+	if err != nil {
+		return err
+	}
+	retained := make([]uint64, len(es))
+	for i := range es {
+		retained[i] = es[i].Stamp
+	}
+	ret, err := analysis.Analyze(res.Truth, retained, budget)
+	if err != nil {
+		return err
+	}
+	lat := analysis.Latency(res.LatenciesNs)
+
+	fmt.Printf("replayed %s into %s (%s, level %d, scale %.3f) in %v\n",
+		wlName, tracerName, mode, level, scale, res.Elapsed.Round(1e6))
+	tb := report.NewTable("", "metric", "value")
+	tb.AddRow("events written", res.Written)
+	tb.AddRow("events dropped by policy", res.Dropped)
+	tb.AddRow("bytes written", report.HumanBytes(ret.TotalBytes))
+	tb.AddRow("events retained", ret.Retained)
+	tb.AddRow("bytes retained", report.HumanBytes(ret.RetainedBytes))
+	tb.AddRow("latest fragment", report.HumanBytes(ret.LatestFragmentBytes))
+	tb.AddRow("fragments", ret.Fragments)
+	tb.AddRow("loss rate", fmt.Sprintf("%.2f%%", ret.LossRate*100))
+	tb.AddRow("effectivity ratio", fmt.Sprintf("%.2f%%", ret.EffectivityRatio*100))
+	tb.AddRow("latency geo-mean", fmt.Sprintf("%.0f ns", lat.GeoMean))
+	tb.AddRow("latency p99", fmt.Sprintf("%d ns", lat.P99))
+	tb.Render(os.Stdout)
+
+	gc := analysis.ClassifyGaps(res.Truth, retained)
+	fmt.Printf("gap classes: %d small (<=%d events, %s), %d large (%s), largest %d events\n",
+		gc.Small, analysis.SmallGapEvents, report.HumanBytes(gc.SmallBytes),
+		gc.Large, report.HumanBytes(gc.LargeBytes), gc.LargestEvents)
+	gaps := analysis.Gaps(res.Truth, retained)
+	if n := len(gaps); n > 0 {
+		fmt.Printf("gaps: %d (largest shown last)\n", n)
+		show := gaps
+		if len(show) > 5 {
+			show = show[len(show)-5:]
+		}
+		for _, g := range show {
+			fmt.Printf("  stamps %d..%d (%s)\n", g.FromStamp, g.ToStamp, report.HumanBytes(g.Bytes))
+		}
+	}
+
+	if dump != "" {
+		if err := dumpReadout(dump, es); err != nil {
+			return err
+		}
+		fmt.Printf("readout written to %s (%d events)\n", dump, len(es))
+	}
+	return nil
+}
+
+// dumpReadout serializes the readout as consecutive wire records.
+func dumpReadout(path string, es []tracer.Entry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, tracer.EventWireSize(tracer.MaxPayload))
+	for i := range es {
+		n, err := tracer.EncodeEvent(buf, &es[i])
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+// Command btrace-serve runs a local dashboard for the benchmark harness:
+// it regenerates the paper's tables and figures on demand and renders
+// them in the browser, runs ad-hoc replays, and exports readouts as
+// Chrome trace JSON for chrome://tracing / Perfetto.
+//
+//	btrace-serve -addr localhost:8321
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8321", "listen address")
+	scale := flag.Float64("scale", 0.02, "default volume fraction for experiments")
+	flag.Parse()
+
+	srv, err := newServer(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btrace-serve:", err)
+		os.Exit(1)
+	}
+	log.Printf("btrace-serve listening on http://%s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

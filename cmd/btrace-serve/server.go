@@ -1,0 +1,273 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"btrace/internal/analysis"
+	"btrace/internal/experiments"
+	"btrace/internal/export"
+	"btrace/internal/replay"
+	"btrace/internal/tracer"
+	"btrace/internal/workload"
+
+	_ "btrace/internal/bbq"
+	_ "btrace/internal/core"
+	_ "btrace/internal/ftrace"
+	_ "btrace/internal/lttng"
+	_ "btrace/internal/vtrace"
+)
+
+// experimentNames lists the dashboard's experiments in display order.
+var experimentNames = []string{
+	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+	"table1", "fig10", "table2", "fig11", "memreq",
+}
+
+// server is the dashboard handler.
+type server struct {
+	mux          *http.ServeMux
+	defaultScale float64
+	tmpl         *template.Template
+}
+
+func newServer(defaultScale float64) (*server, error) {
+	if defaultScale <= 0 || defaultScale > 1 {
+		return nil, fmt.Errorf("scale %v out of (0,1]", defaultScale)
+	}
+	s := &server{
+		mux:          http.NewServeMux(),
+		defaultScale: defaultScale,
+		tmpl:         template.Must(template.New("page").Parse(pageTemplate)),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/experiment/", s.handleExperiment)
+	s.mux.HandleFunc("/replay", s.handleReplay)
+	s.mux.HandleFunc("/replay.json", s.handleReplayJSON)
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// page is the template payload.
+type page struct {
+	Title       string
+	Experiments []string
+	Tracers     []string
+	Workloads   []string
+	Body        string // preformatted ASCII output
+	Elapsed     string
+	Links       []link
+}
+
+type link struct{ Href, Label string }
+
+func (s *server) render(w http.ResponseWriter, p page) {
+	p.Experiments = experimentNames
+	p.Tracers = tracer.Names()
+	p.Workloads = workload.Names()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := s.tmpl.Execute(w, p); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.render(w, page{
+		Title: "BTrace benchmark dashboard",
+		Body: "Pick an experiment above to regenerate the paper's table/figure,\n" +
+			"or run an ad-hoc replay: /replay?tracer=btrace&workload=Video-1\n\n" +
+			"Defaults: scale=" + strconv.FormatFloat(s.defaultScale, 'f', -1, 64) +
+			" (override with ?scale=), budget=12MiB scaled with volume.",
+	})
+}
+
+// options extracts experiment options from the query string.
+func (s *server) options(r *http.Request) (experiments.Options, error) {
+	o := experiments.Defaults()
+	o.RateScale = s.defaultScale
+	q := r.URL.Query()
+	if v := q.Get("scale"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 1 {
+			return o, fmt.Errorf("bad scale %q", v)
+		}
+		o.RateScale = f
+	}
+	if v := q.Get("workloads"); v != "" {
+		o.Workloads = strings.Split(v, ",")
+	}
+	if v := q.Get("tracers"); v != "" {
+		o.Tracers = strings.Split(v, ",")
+	}
+	return o, nil
+}
+
+func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/experiment/")
+	opt, err := s.options(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var res interface{ Render(io.Writer) }
+	started := time.Now()
+	switch name {
+	case "fig1":
+		res, err = experiments.Fig1(opt)
+	case "fig2":
+		res, err = experiments.Fig2(opt)
+	case "fig3":
+		res, err = experiments.Fig3(opt)
+	case "fig4":
+		res, err = experiments.Fig4(opt)
+	case "fig5":
+		res, err = experiments.Fig5(opt)
+	case "fig6":
+		res, err = experiments.Fig6(opt)
+	case "fig10":
+		res, err = experiments.Fig10(opt)
+	case "fig11":
+		res, err = experiments.Fig11(opt)
+	case "table1":
+		res, err = experiments.Table1(opt)
+	case "table2":
+		res, err = experiments.Table2(opt)
+	case "memreq":
+		res, err = experiments.MemoryRequirement(opt)
+	default:
+		http.NotFound(w, r)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	s.render(w, page{
+		Title:   name,
+		Body:    buf.String(),
+		Elapsed: time.Since(started).Round(time.Millisecond).String(),
+	})
+}
+
+// runReplay executes the query's replay and returns the tracer (for
+// readout), result and analysis.
+func (s *server) runReplay(r *http.Request) (tracer.Tracer, *replay.Result, analysis.Retention, error) {
+	var zero analysis.Retention
+	q := r.URL.Query()
+	tn := q.Get("tracer")
+	if tn == "" {
+		tn = "btrace"
+	}
+	wn := q.Get("workload")
+	if wn == "" {
+		wn = "eShop-1"
+	}
+	scale := s.defaultScale
+	if v := q.Get("scale"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 1 {
+			return nil, nil, zero, fmt.Errorf("bad scale %q", v)
+		}
+		scale = f
+	}
+	w, err := workload.ByName(wn)
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	budget := int(12 << 20 * scale)
+	if budget < 12*4*4096 {
+		budget = 12 * 4 * 4096
+	}
+	tr, err := tracer.New(tn, budget, 12, w.ThreadsTotal*12)
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	res, err := replay.Run(replay.Config{
+		Tracer: tr, Workload: w, Mode: replay.ThreadLevel,
+		RateScale: scale, PreemptProb: 0.002, MeasureLatency: true,
+	})
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	retained, err := replay.RetainedStamps(tr)
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	ret, err := analysis.Analyze(res.Truth, retained, budget)
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	return tr, res, ret, nil
+}
+
+func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	_, res, ret, err := s.runReplay(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	lat := analysis.Latency(res.LatenciesNs)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "written:          %d events (%d dropped by policy)\n", res.Written, res.Dropped)
+	fmt.Fprintf(&buf, "retained:         %d events\n", ret.Retained)
+	fmt.Fprintf(&buf, "latest fragment:  %.2f MB (%d entries)\n", float64(ret.LatestFragmentBytes)/1e6, ret.LatestFragmentEntries)
+	fmt.Fprintf(&buf, "fragments:        %d\n", ret.Fragments)
+	fmt.Fprintf(&buf, "loss rate:        %.2f%%\n", ret.LossRate*100)
+	fmt.Fprintf(&buf, "effectivity:      %.2f%%\n", ret.EffectivityRatio*100)
+	fmt.Fprintf(&buf, "latency geo-mean: %.0f ns (p99 %d ns)\n", lat.GeoMean, lat.P99)
+	s.render(w, page{
+		Title:   "replay " + r.URL.RawQuery,
+		Body:    buf.String(),
+		Elapsed: time.Since(started).Round(time.Millisecond).String(),
+		Links:   []link{{Href: "/replay.json?" + r.URL.RawQuery, Label: "download Chrome trace JSON"}},
+	})
+}
+
+func (s *server) handleReplayJSON(w http.ResponseWriter, r *http.Request) {
+	tr, _, _, err := s.runReplay(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	es, err := tr.ReadAll()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="btrace-replay.json"`)
+	if err := export.ChromeTrace(w, es); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+const pageTemplate = `<!DOCTYPE html>
+<html><head><title>{{.Title}} — btrace</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; max-width: 110ch; }
+nav a { margin-right: .8rem; }
+pre { background: #f6f6f6; padding: 1rem; overflow-x: auto; font-size: 12px; line-height: 1.35; }
+.meta { color: #666; font-size: .9rem; }
+</style></head>
+<body>
+<h1>{{.Title}}</h1>
+<nav>{{range .Experiments}}<a href="/experiment/{{.}}">{{.}}</a>{{end}}</nav>
+{{if .Elapsed}}<p class="meta">computed in {{.Elapsed}}</p>{{end}}
+<pre>{{.Body}}</pre>
+{{range .Links}}<p><a href="{{.Href}}">{{.Label}}</a></p>{{end}}
+<p class="meta">tracers: {{range .Tracers}}{{.}} {{end}}| workloads: {{range .Workloads}}{{.}} {{end}}</p>
+</body></html>`

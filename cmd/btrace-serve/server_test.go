@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := newServer(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := newServer(0); err == nil {
+		t.Error("zero scale")
+	}
+	if _, err := newServer(2); err == nil {
+		t.Error("scale > 1")
+	}
+}
+
+func TestIndex(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, frag := range []string{"BTrace benchmark dashboard", "/experiment/table1", "/experiment/memreq"} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("index missing %q", frag)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: %d", code)
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	ts := testServer(t)
+	// Cheap, deterministic experiments run in full; the replay-based ones
+	// are exercised with a small workload subset.
+	for _, name := range []string{"fig2", "fig4", "fig5", "table1"} {
+		code, body := get(t, ts.URL+"/experiment/"+name)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", name, code)
+		}
+		if !strings.Contains(body, "<pre>") {
+			t.Errorf("%s: no preformatted body", name)
+		}
+	}
+	code, body := get(t, ts.URL+"/experiment/fig1?workloads=LockScr.,eShop-1&tracers=btrace,ftrace")
+	if code != http.StatusOK || !strings.Contains(body, "latest=") {
+		t.Fatalf("fig1: %d\n%s", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/experiment/fig99"); code != http.StatusNotFound {
+		t.Errorf("unknown experiment: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/experiment/fig1?scale=9"); code != http.StatusBadRequest {
+		t.Errorf("bad scale: %d", code)
+	}
+}
+
+func TestReplayEndpoint(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/replay?tracer=btrace&workload=IM")
+	if code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", code, body)
+	}
+	for _, frag := range []string{"latest fragment", "effectivity", "replay.json"} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("replay page missing %q", frag)
+		}
+	}
+	if code, _ := get(t, ts.URL+"/replay?tracer=nope"); code != http.StatusBadRequest {
+		t.Errorf("unknown tracer: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/replay?workload=nope"); code != http.StatusBadRequest {
+		t.Errorf("unknown workload: %d", code)
+	}
+}
+
+func TestReplayJSONEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/replay.json?tracer=btrace&workload=Music")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+}

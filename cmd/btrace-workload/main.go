@@ -1,0 +1,169 @@
+// Command btrace-workload inspects and exports the evaluation workloads:
+// it materializes a workload's deterministic event schedule to a file (the
+// repository's equivalent of the paper's recorded device traces), prints
+// schedule statistics, and replays a saved schedule into a tracer.
+//
+// Usage:
+//
+//	btrace-workload list
+//	btrace-workload export -workload Video-1 -out video1.btwl [-scale 0.05]
+//	btrace-workload info video1.btwl
+//	btrace-workload replay -tracer btrace video1.btwl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"btrace/internal/analysis"
+	"btrace/internal/replay"
+	"btrace/internal/report"
+	"btrace/internal/tracer"
+	"btrace/internal/workload"
+
+	_ "btrace/internal/bbq"
+	_ "btrace/internal/core"
+	_ "btrace/internal/ftrace"
+	_ "btrace/internal/lttng"
+	_ "btrace/internal/vtrace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		for _, w := range workload.All() {
+			fmt.Printf("%-10s %-9s little=%.1fk mid=%.1fk big=%.1fk threads=%d/core\n",
+				w.Name, w.Class, w.LittleK, w.MiddleK, w.BigK, w.ThreadsTotal)
+		}
+	case "export":
+		err = exportCmd(os.Args[2:])
+	case "info":
+		err = infoCmd(os.Args[2:])
+	case "replay":
+		err = replayCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btrace-workload:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: btrace-workload <list|export|info|replay> [flags]")
+	os.Exit(2)
+}
+
+func exportCmd(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	name := fs.String("workload", "eShop-1", "workload to export")
+	out := fs.String("out", "", "output file (required)")
+	scale := fs.Float64("scale", 0.05, "fraction of full trace volume")
+	level := fs.Int("level", 3, "trace level 1-3")
+	_ = fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("export: -out is required")
+	}
+	w, err := workload.ByName(*name)
+	if err != nil {
+		return err
+	}
+	s, err := w.BuildSchedule(workload.GenOptions{Level: uint8(*level), RateScale: *scale})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := s.WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exported %s: %d events, %s of trace, %s on disk\n",
+		s.Name, s.Events(), report.HumanBytes(s.Bytes()), report.HumanBytes(uint64(n)))
+	return nil
+}
+
+func loadSchedule(path string) (*workload.Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadSchedule(f)
+}
+
+func infoCmd(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: expected one schedule file")
+	}
+	s, err := loadSchedule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: level %d, %.3fx volume, %.1fs window, %d cores, %d events, %s\n",
+		s.Name, s.Level, s.RateScale, float64(s.WindowNs)/1e9,
+		len(s.PerCore), s.Events(), report.HumanBytes(s.Bytes()))
+	tb := report.NewTable("per core", "core", "events", "kE/s", "threads")
+	for c, es := range s.PerCore {
+		tids := map[uint32]bool{}
+		for _, e := range es {
+			tids[e.TID] = true
+		}
+		rate := float64(len(es)) / (float64(s.WindowNs) / 1e9) / 1000
+		tb.AddRow(c, len(es), fmt.Sprintf("%.2f", rate), len(tids))
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+func replayCmd(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	tracerName := fs.String("tracer", "btrace", "tracer to drive")
+	budget := fs.Int("budget", 0, "buffer budget in bytes (default: schedule volume / 2)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay: expected one schedule file")
+	}
+	s, err := loadSchedule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *budget == 0 {
+		*budget = int(s.Bytes() / 2)
+	}
+	tr, err := tracer.New(*tracerName, *budget, len(s.PerCore), s.Events())
+	if err != nil {
+		return err
+	}
+	res, err := replay.Run(replay.Config{
+		Tracer: tr, Schedule: s, Mode: replay.ThreadLevel, PreemptProb: 0.002,
+	})
+	if err != nil {
+		return err
+	}
+	retained, err := replay.RetainedStamps(tr)
+	if err != nil {
+		return err
+	}
+	ret, err := analysis.Analyze(res.Truth, retained, *budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %s (%d events) into %s with %s budget:\n",
+		s.Name, res.Written, *tracerName, report.HumanBytes(uint64(*budget)))
+	fmt.Printf("  latest fragment %s, %d fragments, loss %.1f%%, effectivity %.1f%%\n",
+		report.HumanBytes(ret.LatestFragmentBytes), ret.Fragments,
+		ret.LossRate*100, ret.EffectivityRatio*100)
+	return nil
+}

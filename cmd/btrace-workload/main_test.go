@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestExportInfoReplayRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "im.btwl")
+	if err := exportCmd([]string{"-workload", "IM", "-out", out, "-scale", "0.003"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := infoCmd([]string{out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := replayCmd([]string{"-tracer", "btrace", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportErrors(t *testing.T) {
+	if err := exportCmd([]string{"-workload", "IM"}); err == nil {
+		t.Error("missing -out: expected error")
+	}
+	if err := exportCmd([]string{"-workload", "nope", "-out", "/tmp/x"}); err == nil {
+		t.Error("unknown workload: expected error")
+	}
+	if err := infoCmd([]string{"/no/such/file"}); err == nil {
+		t.Error("missing file: expected error")
+	}
+	if err := infoCmd([]string{}); err == nil {
+		t.Error("no args: expected error")
+	}
+	if err := replayCmd([]string{}); err == nil {
+		t.Error("no args: expected error")
+	}
+	if err := replayCmd([]string{"-tracer", "nope", "/no/such"}); err == nil {
+		t.Error("bad input: expected error")
+	}
+}

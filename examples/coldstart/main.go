@@ -1,0 +1,128 @@
+// Coldstart reproduces the paper's §2.2 Observation 3 workflow: a phone
+// keeps only a small always-on tracing buffer, grows it when an anomaly
+// detector flags an app cold start, captures the launch in full detail,
+// dumps the window of interest, and shrinks the buffer back — all while
+// producers keep writing, with no synchronization added to their fast
+// path (implicit reclaiming, §3.3/§4.4).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+
+	"btrace"
+)
+
+func main() {
+	// Reserve 16 MiB of address space but start with a small 2 MiB
+	// always-on buffer (the paper reserves the maximum via mmap).
+	tr, err := btrace.Open(btrace.Config{
+		Cores:          8,
+		BufferBytes:    2 << 20,
+		MaxBufferBytes: 16 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("always-on capacity: %s\n", mb(tr.Capacity()))
+
+	// The always-on posture: only level-1 events are recorded (the
+	// filter is the runtime equivalent of atrace's category switches).
+	tr.SetFilter(btrace.Filter{MaxLevel: 1})
+
+	// Background producers run for the whole session, always emitting the
+	// full level-3 instrumentation; the filter decides what is recorded.
+	var (
+		phase  atomic.Uint32 // 0 idle, 1 cold start, 2 done
+		wg     sync.WaitGroup
+		writes [3]atomic.Uint64
+	)
+	stop := make(chan struct{})
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			w, err := tr.Writer(c, 10+c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var ts uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := phase.Load()
+				ts += 1000
+				// Instrumentation emits every level; what sticks is up to
+				// the filter.
+				for level := uint8(1); level <= 3; level++ {
+					payload := 24 * int(level)
+					if err := w.Write(btrace.Event{
+						TS: ts, Category: uint8(c), Level: level,
+						Payload: make([]byte, payload),
+					}); err != nil {
+						log.Fatal(err)
+					}
+				}
+				writes[p].Add(1)
+			}
+		}(c)
+	}
+
+	waitWrites := func(p uint32, n uint64) {
+		for writes[p].Load() < n {
+		}
+	}
+
+	// Phase 0: idle baseline.
+	waitWrites(0, 50_000)
+
+	// The anomaly detector fires: grow to 16 MiB and open the filter to
+	// full level-3 detail for the cold start.
+	if err := tr.Resize(16 << 20); err != nil {
+		log.Fatal(err)
+	}
+	tr.SetFilter(btrace.Filter{}) // record everything
+	fmt.Printf("cold start detected -> grew to %s, filter opened to level 3 (producers never paused)\n", mb(tr.Capacity()))
+	phase.Store(1)
+	waitWrites(1, 100_000)
+
+	// Launch finished: dump the detailed window...
+	phase.Store(2)
+	r := tr.NewReader()
+	events := r.Snapshot()
+	detail := 0
+	for _, e := range events {
+		if e.Level == 3 {
+			detail++
+		}
+	}
+	fmt.Printf("dumped %d events, %d of them level-3 cold-start detail\n", len(events), detail)
+	r.Close()
+
+	// ...and shrink back to the always-on footprint, closing the filter
+	// again. Shrinking waits for producers implicitly (a filled block is
+	// an exited epoch) and for readers via epoch-based reclamation; it
+	// adds nothing to the producers' fast path.
+	tr.SetFilter(btrace.Filter{MaxLevel: 1})
+	if err := tr.Resize(2 << 20); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shrunk back to %s, filter back to level 1 (%d events filtered so far)\n",
+		mb(tr.Capacity()), tr.Filtered())
+
+	waitWrites(2, 20_000)
+	close(stop)
+	wg.Wait()
+
+	st := tr.Stats()
+	fmt.Printf("session total: %d writes, %d block advancements, %d skipped blocks\n",
+		st.Writes, st.Advancements, st.SkippedBlocks)
+	fmt.Println("the buffer served three phases without ever blocking a producer")
+}
+
+func mb(b int) string { return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20)) }

@@ -1,0 +1,134 @@
+// Framedrop reproduces the paper's §6 "Frame drops" case study: a
+// misbehaving thread busy-loops for a while, silently terminates, the
+// accumulated heat later triggers the thermal daemon to downclock the CPU,
+// and frames start dropping — seconds after the culprit is gone.
+//
+// The root cause can only be found if the tracer still holds the events
+// from long before the symptom. This example runs the incident timeline
+// through BTrace and then performs the analysis a developer would: walk
+// back from the frame-drop events to the frequency change, the thermal
+// trigger, and finally the terminated busy-loop thread.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"btrace"
+)
+
+// Event categories for this scenario.
+const (
+	catSched   = 1 // scheduler activity (high volume background noise)
+	catBusy    = 2 // the misbehaving thread's activity bursts
+	catThermal = 3 // temperature sensor readings
+	catFreq    = 4 // CPU frequency changes
+	catFrame   = 5 // frame presentation (missed = dropped)
+)
+
+func main() {
+	tr, err := btrace.Open(btrace.Config{Cores: 8, BufferBytes: 8 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		nsPerMs   = 1_000_000
+		totalMs   = 20_000 // a 20-second window
+		busyEndMs = 6_000  // the culprit dies at t=6 s
+		dropAtMs  = 14_000 // frames start dropping at t=14 s
+	)
+
+	writers := make([]*btrace.Writer, 8)
+	for c := range writers {
+		if writers[c], err = tr.Writer(c, 100+c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	write := func(core int, ms int, cat uint8, payload string) {
+		if err := writers[core].Write(btrace.Event{
+			TS: uint64(ms) * nsPerMs, Category: cat, Level: 3, Payload: []byte(payload),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	temp := 35.0
+	freqMHz := 2800
+	for ms := 0; ms < totalMs; ms++ {
+		// Background scheduling noise on every core, every millisecond —
+		// the volume that would push old events out of a smaller or
+		// fragmented buffer.
+		for c := 0; c < 8; c++ {
+			write(c, ms, catSched, "sched_switch")
+		}
+		// The culprit busy-loops on core 7 until it silently terminates.
+		if ms < busyEndMs {
+			write(7, ms, catBusy, "busyloop tid=4242 util=100%")
+			temp += 0.004
+		} else {
+			temp -= 0.0005 // slow cool-down: heat lingers
+		}
+		// Thermal samples every 100 ms.
+		if ms%100 == 0 {
+			write(0, ms, catThermal, fmt.Sprintf("temp=%.1fC", temp))
+		}
+		// The thermal daemon downclocks when the (delayed) average
+		// crosses its threshold.
+		if freqMHz == 2800 && ms > busyEndMs && temp > 50 && ms >= dropAtMs-400 {
+			freqMHz = 1400
+			write(0, ms, catFreq, "cpufreq 2800MHz->1400MHz reason=thermal")
+		}
+		// Frames every ~16 ms; at the reduced frequency some miss.
+		if ms%16 == 0 {
+			if freqMHz < 2000 && ms%48 == 0 {
+				write(1, ms, catFrame, "frame DROPPED")
+			} else {
+				write(1, ms, catFrame, "frame ok")
+			}
+		}
+	}
+
+	// --- the developer's root-cause walk ---
+	r := tr.NewReader()
+	defer r.Close()
+	events := r.Snapshot()
+	fmt.Printf("retained %d events spanning %.1fs of the %.0fs incident\n",
+		len(events), spanSec(events), float64(totalMs)/1000)
+
+	var firstDrop, freqChange, lastBusy *btrace.Event
+	for i := range events {
+		e := &events[i]
+		switch {
+		case e.Category == catFrame && string(e.Payload) == "frame DROPPED" && firstDrop == nil:
+			firstDrop = e
+		case e.Category == catFreq:
+			freqChange = e
+		case e.Category == catBusy:
+			lastBusy = e
+		}
+	}
+	if firstDrop == nil {
+		log.Fatal("no dropped frame in the trace")
+	}
+	fmt.Printf("symptom:    first dropped frame at t=%.1fs\n", sec(firstDrop))
+	if freqChange != nil {
+		fmt.Printf("mechanism:  %s at t=%.1fs\n", freqChange.Payload, sec(freqChange))
+	}
+	if lastBusy != nil {
+		fmt.Printf("root cause: busy-loop thread last seen at t=%.1fs (%.1fs BEFORE the symptom)\n",
+			sec(lastBusy), sec(firstDrop)-sec(lastBusy))
+		fmt.Println("verdict:    root cause retained — the long-duration causal chain is intact")
+	} else {
+		fmt.Println("verdict:    root cause already overwritten — a shorter latest fragment would miss it")
+	}
+}
+
+func sec(e *btrace.Event) float64 { return float64(e.TS) / 1e9 }
+
+func spanSec(es []btrace.Event) float64 {
+	if len(es) == 0 {
+		return 0
+	}
+	return (float64(es[len(es)-1].TS) - float64(es[0].TS)) / 1e9
+}

@@ -1,0 +1,122 @@
+package btrace
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Filter selects which events are recorded, the way Android's atrace
+// enables categories and the evaluation's trace levels gate detail
+// (§2.2, Fig. 2/3): recording a level-3 energy investigation and flipping
+// back to a cheap level-1 baseline is a runtime operation, not a rebuild.
+// The zero Filter records everything.
+type Filter struct {
+	// MaxLevel drops events with Level above it; 0 means no level limit.
+	MaxLevel uint8
+	// Categories is a bitmask of enabled categories (bit i enables
+	// category i, for categories 0-63); 0 means all categories.
+	Categories uint64
+}
+
+// pack encodes the filter into one atomic word: Categories' low 56 bits
+// (plenty for the 19 atrace categories) and MaxLevel in the top byte.
+func (f Filter) pack() uint64 {
+	return uint64(f.MaxLevel)<<56 | f.Categories&(1<<56-1)
+}
+
+func unpackFilter(w uint64) Filter {
+	return Filter{MaxLevel: uint8(w >> 56), Categories: w & (1<<56 - 1)}
+}
+
+// Allows reports whether an event with the given category and level
+// passes the filter.
+func (f Filter) Allows(category, level uint8) bool {
+	if f.MaxLevel != 0 && level > f.MaxLevel {
+		return false
+	}
+	if f.Categories != 0 && (category >= 64 || f.Categories&(1<<category) == 0) {
+		return false
+	}
+	return true
+}
+
+// CategoryMask builds a Categories bitmask from category ids.
+func CategoryMask(categories ...uint8) (uint64, error) {
+	var m uint64
+	for _, c := range categories {
+		if c >= 56 {
+			return 0, fmt.Errorf("btrace: category %d out of filterable range [0,56)", c)
+		}
+		m |= 1 << c
+	}
+	return m, nil
+}
+
+// SetFilter installs f atomically; concurrent writers observe it on their
+// next write. Filtering happens before any buffer work, so a filtered-out
+// event costs one atomic load.
+func (t *Tracer) SetFilter(f Filter) {
+	t.filter.Store(f.pack())
+}
+
+// GetFilter returns the current filter.
+func (t *Tracer) GetFilter() Filter {
+	return unpackFilter(t.filter.Load())
+}
+
+// Filtered returns how many events the filter discarded.
+func (t *Tracer) Filtered() uint64 { return t.filtered.Load() }
+
+// filterState is embedded in Tracer (declared here to keep the filter
+// logic in one file).
+type filterState struct {
+	filter   atomic.Uint64
+	filtered atomic.Uint64
+}
+
+// Query selects events on the read side, the way trace viewers narrow a
+// dump: by virtual time range, category set, core set and level.
+// Zero-valued fields impose no constraint.
+type Query struct {
+	// MinTS/MaxTS bound the virtual timestamp (inclusive; MaxTS 0 means
+	// no upper bound).
+	MinTS, MaxTS uint64
+	// Categories is a bitmask as in Filter (0 = all).
+	Categories uint64
+	// Cores is a bitmask of core ids (bit i = core i; 0 = all).
+	Cores uint64
+	// MaxLevel drops events above it (0 = all).
+	MaxLevel uint8
+}
+
+// Match reports whether e satisfies the query.
+func (q Query) Match(e *Event) bool {
+	if e.TS < q.MinTS {
+		return false
+	}
+	if q.MaxTS != 0 && e.TS > q.MaxTS {
+		return false
+	}
+	if q.MaxLevel != 0 && e.Level > q.MaxLevel {
+		return false
+	}
+	if q.Categories != 0 && (e.Category >= 64 || q.Categories&(1<<e.Category) == 0) {
+		return false
+	}
+	if q.Cores != 0 && (e.Core >= 64 || q.Cores&(1<<e.Core) == 0) {
+		return false
+	}
+	return true
+}
+
+// Select returns the snapshot events matching q, oldest first.
+func (r *Reader) Select(q Query) []Event {
+	all := r.Snapshot()
+	out := all[:0:0]
+	for i := range all {
+		if q.Match(&all[i]) {
+			out = append(out, all[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package btrace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFilterAllows(t *testing.T) {
+	all := Filter{}
+	if !all.Allows(0, 1) || !all.Allows(63, 3) || !all.Allows(200, 9) {
+		t.Fatal("zero filter must allow everything")
+	}
+	lvl := Filter{MaxLevel: 2}
+	if !lvl.Allows(5, 2) || lvl.Allows(5, 3) {
+		t.Fatal("level gating")
+	}
+	mask, err := CategoryMask(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := Filter{Categories: mask}
+	if !cat.Allows(3, 3) || !cat.Allows(7, 1) || cat.Allows(4, 1) || cat.Allows(64, 1) {
+		t.Fatal("category gating")
+	}
+	if _, err := CategoryMask(56); err == nil {
+		t.Fatal("category 56 should be out of range")
+	}
+}
+
+func TestFilterPackRoundTrip(t *testing.T) {
+	f := func(level uint8, cats uint64) bool {
+		in := Filter{MaxLevel: level, Categories: cats & (1<<56 - 1)}
+		return unpackFilter(in.pack()) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetFilterGatesWrites(t *testing.T) {
+	tr := open(t, Config{Cores: 2, BufferBytes: 1 << 20})
+	w, _ := tr.Writer(0, 1)
+
+	// Baseline: only level-1 binder events (the always-on §2.2 posture).
+	mask, _ := CategoryMask(2)
+	tr.SetFilter(Filter{MaxLevel: 1, Categories: mask})
+	if got := tr.GetFilter(); got.MaxLevel != 1 || got.Categories != mask {
+		t.Fatalf("GetFilter: %+v", got)
+	}
+
+	writes := []struct {
+		cat, level uint8
+		kept       bool
+	}{
+		{2, 1, true},
+		{2, 3, false}, // level too high
+		{5, 1, false}, // category off
+		{2, 1, true},
+	}
+	for i, wr := range writes {
+		if err := w.Write(Event{TS: uint64(i), Category: wr.cat, Level: wr.level}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Filtered() != 2 {
+		t.Fatalf("Filtered = %d, want 2", tr.Filtered())
+	}
+	r := tr.NewReader()
+	defer r.Close()
+	if es := r.Snapshot(); len(es) != 2 {
+		t.Fatalf("retained %d events, want 2", len(es))
+	}
+
+	// The critical phase begins: open the filter fully; everything lands.
+	tr.SetFilter(Filter{})
+	if err := w.Write(Event{TS: 99, Category: 9, Level: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if es := r.Snapshot(); len(es) != 3 {
+		t.Fatalf("after opening filter: %d events", len(es))
+	}
+	// Filtered events consume no stamps: the retained sequence stays
+	// contiguous.
+	es := r.Snapshot()
+	for i := 1; i < len(es); i++ {
+		if es[i].Stamp != es[i-1].Stamp+1 {
+			t.Fatal("filtered events left stamp holes")
+		}
+	}
+}
+
+func TestQueryMatchAndSelect(t *testing.T) {
+	tr := open(t, Config{Cores: 4, BufferBytes: 1 << 20})
+	for c := 0; c < 4; c++ {
+		w, _ := tr.Writer(c, c)
+		for i := 0; i < 10; i++ {
+			if err := w.Write(Event{
+				TS: uint64(i * 1000), Category: uint8(i % 3), Level: uint8(i%3 + 1),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r := tr.NewReader()
+	defer r.Close()
+
+	if got := len(r.Select(Query{})); got != 40 {
+		t.Fatalf("empty query: %d, want 40", got)
+	}
+	coreMask := uint64(1<<1 | 1<<2)
+	if got := len(r.Select(Query{Cores: coreMask})); got != 20 {
+		t.Fatalf("core query: %d, want 20", got)
+	}
+	catMask, _ := CategoryMask(0)
+	sel := r.Select(Query{Categories: catMask})
+	if len(sel) != 16 { // i in {0,3,6,9} per core
+		t.Fatalf("category query: %d, want 16", len(sel))
+	}
+	for _, e := range sel {
+		if e.Category != 0 {
+			t.Fatal("category filter leaked")
+		}
+	}
+	if got := len(r.Select(Query{MinTS: 5000, MaxTS: 7000})); got != 12 {
+		t.Fatalf("time query: %d, want 12", got)
+	}
+	if got := len(r.Select(Query{MaxLevel: 1})); got != 16 {
+		t.Fatalf("level query: %d, want 16", got)
+	}
+	// Composite.
+	got := r.Select(Query{Cores: 1 << 3, MaxLevel: 1, MinTS: 1})
+	if len(got) != 3 {
+		t.Fatalf("composite query: %d, want 3", len(got))
+	}
+}

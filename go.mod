@@ -1,0 +1,3 @@
+module btrace
+
+go 1.22

@@ -1,0 +1,294 @@
+// Package analysis computes the paper's evaluation metrics from a replay
+// ground truth and a tracer readout: latest fragment size, loss rate,
+// fragment count (Table 2), effectivity ratio (§2.2), retention maps
+// (Fig. 1) and recording-latency statistics (geometric mean and CDF,
+// Fig. 11).
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Retention summarizes how much of the written event sequence a tracer
+// kept, per the §5 methodology: each written event carries a unique,
+// monotonically increasing logic stamp; stamps absent from the readout
+// were lost.
+type Retention struct {
+	// TotalWritten / TotalBytes describe the ground truth.
+	TotalWritten int
+	TotalBytes   uint64
+	// Retained / RetainedBytes describe the readout.
+	Retained      int
+	RetainedBytes uint64
+	// Fragments is the number of maximal runs of consecutive stamps in
+	// the readout (Table 2 "# Frag.").
+	Fragments int
+	// LatestFragmentEntries / LatestFragmentBytes describe the fragment
+	// containing the newest retained stamp — the paper's "latest
+	// fragment", the usable continuous trace (Table 2 "Latest (MB)").
+	LatestFragmentEntries int
+	LatestFragmentBytes   uint64
+	// LossRate is the fraction of bytes lost within the collected range,
+	// oldest retained to newest retained (Table 2 "Loss Rate").
+	LossRate float64
+	// EffectivityRatio is LatestFragmentBytes over the buffer capacity
+	// (§2.2: the proportion of the buffer holding the latest fragment).
+	EffectivityRatio float64
+}
+
+// Analyze computes Retention. truth[i] is the wire size of stamp i+1;
+// retained lists the stamps found in the readout (any order); bufferBytes
+// is the tracer's capacity for the effectivity ratio (0 skips it).
+func Analyze(truth []uint32, retained []uint64, bufferBytes int) (Retention, error) {
+	var r Retention
+	r.TotalWritten = len(truth)
+	for _, s := range truth {
+		r.TotalBytes += uint64(s)
+	}
+	if len(retained) == 0 {
+		return r, nil
+	}
+	sorted := append([]uint64(nil), retained...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, s := range sorted {
+		if s == 0 || s > uint64(len(truth)) {
+			return r, fmt.Errorf("analysis: retained stamp %d outside ground truth [1,%d]", s, len(truth))
+		}
+		if i > 0 && s == sorted[i-1] {
+			return r, fmt.Errorf("analysis: duplicate retained stamp %d", s)
+		}
+	}
+
+	r.Retained = len(sorted)
+	for _, s := range sorted {
+		r.RetainedBytes += uint64(truth[s-1])
+	}
+
+	// Fragments: maximal runs of consecutive stamps.
+	r.Fragments = 1
+	runStart := 0
+	var lastFragEntries int
+	var lastFragBytes uint64
+	flush := func(endIdx int) {
+		lastFragEntries = endIdx - runStart + 1
+		lastFragBytes = 0
+		for i := runStart; i <= endIdx; i++ {
+			lastFragBytes += uint64(truth[sorted[i]-1])
+		}
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1]+1 {
+			r.Fragments++
+			runStart = i
+		}
+	}
+	flush(len(sorted) - 1)
+	r.LatestFragmentEntries = lastFragEntries
+	r.LatestFragmentBytes = lastFragBytes
+
+	// Loss rate within the collected range [oldest retained, newest
+	// retained], measured in bytes.
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	var rangeBytes uint64
+	for s := lo; s <= hi; s++ {
+		rangeBytes += uint64(truth[s-1])
+	}
+	if rangeBytes > 0 {
+		r.LossRate = 1 - float64(r.RetainedBytes)/float64(rangeBytes)
+	}
+	if bufferBytes > 0 {
+		r.EffectivityRatio = float64(r.LatestFragmentBytes) / float64(bufferBytes)
+	}
+	return r, nil
+}
+
+// RetentionMap renders the Fig. 1 view: for the last n written stamps
+// (oldest first), whether each is retained.
+func RetentionMap(truthLen int, retained []uint64, n int) []bool {
+	if n > truthLen {
+		n = truthLen
+	}
+	out := make([]bool, n)
+	lo := uint64(truthLen - n + 1)
+	for _, s := range retained {
+		if s >= lo && s <= uint64(truthLen) {
+			out[s-lo] = true
+		}
+	}
+	return out
+}
+
+// LatencyStats summarizes per-write recording latencies the way §5.2
+// does: geometric mean (robust to preemption outliers) plus percentiles.
+type LatencyStats struct {
+	Count   int
+	GeoMean float64
+	P50     int64
+	P90     int64
+	P99     int64
+	Max     int64
+}
+
+// Latency computes LatencyStats over nanosecond samples.
+func Latency(ns []int64) LatencyStats {
+	var st LatencyStats
+	st.Count = len(ns)
+	if len(ns) == 0 {
+		return st
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var logSum float64
+	for _, v := range sorted {
+		if v < 1 {
+			v = 1
+		}
+		logSum += math.Log(float64(v))
+	}
+	st.GeoMean = math.Exp(logSum / float64(len(sorted)))
+	st.P50 = sorted[len(sorted)/2]
+	st.P90 = sorted[len(sorted)*9/10]
+	st.P99 = sorted[len(sorted)*99/100]
+	st.Max = sorted[len(sorted)-1]
+	return st
+}
+
+// CDF returns (latencyNs, cumulative fraction) pairs at the given number
+// of evenly spaced quantiles, for the Fig. 11 curves.
+func CDF(ns []int64, points int) [][2]float64 {
+	if len(ns) == 0 || points < 2 {
+		return nil
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([][2]float64, points)
+	for i := 0; i < points; i++ {
+		q := float64(i) / float64(points-1)
+		idx := int(q * float64(len(sorted)-1))
+		out[i] = [2]float64{float64(sorted[idx]), q * 100}
+	}
+	return out
+}
+
+// Gap describes one missing run in the collected range, for inspection
+// tooling.
+type Gap struct {
+	FromStamp, ToStamp uint64 // inclusive range of missing stamps
+	Bytes              uint64
+}
+
+// GapClasses summarizes the structure of the losses the way Fig. 1
+// distinguishes them: numerous indistinguishable small gaps (a handful of
+// events each — easily mistaken for code that simply didn't run) versus
+// noticeable large gaps (whole buffer regions overwritten).
+type GapClasses struct {
+	// Small counts gaps of at most SmallGapEvents missing events; Large
+	// counts the rest.
+	Small, Large int
+	// SmallBytes / LargeBytes are the missing volumes per class.
+	SmallBytes, LargeBytes uint64
+	// LargestEvents is the biggest single gap in events.
+	LargestEvents uint64
+}
+
+// SmallGapEvents is the classification threshold: a gap this size or
+// smaller is "indistinguishable" from a non-taken branch to a developer
+// reading the trace (§1).
+const SmallGapEvents = 16
+
+// ClassifyGaps buckets the missing runs.
+func ClassifyGaps(truth []uint32, retained []uint64) GapClasses {
+	var gc GapClasses
+	for _, g := range Gaps(truth, retained) {
+		n := g.ToStamp - g.FromStamp + 1
+		if n > gc.LargestEvents {
+			gc.LargestEvents = n
+		}
+		if n <= SmallGapEvents {
+			gc.Small++
+			gc.SmallBytes += g.Bytes
+		} else {
+			gc.Large++
+			gc.LargeBytes += g.Bytes
+		}
+	}
+	return gc
+}
+
+// Gaps lists the missing runs between the oldest and newest retained
+// stamps, newest last.
+func Gaps(truth []uint32, retained []uint64) []Gap {
+	if len(retained) == 0 {
+		return nil
+	}
+	sorted := append([]uint64(nil), retained...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var gaps []Gap
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1]+1 {
+			continue
+		}
+		g := Gap{FromStamp: sorted[i-1] + 1, ToStamp: sorted[i] - 1}
+		for s := g.FromStamp; s <= g.ToStamp; s++ {
+			g.Bytes += uint64(truth[s-1])
+		}
+		gaps = append(gaps, g)
+	}
+	return gaps
+}
+
+// CoreRetention summarizes one core's share of the ground truth and of
+// the readout, plus the age of its oldest retained event relative to the
+// core's newest. The Fig. 5 pathology shows up as idle cores retaining
+// deep history (large AgeSpan) while busy cores keep only their most
+// recent slice.
+type CoreRetention struct {
+	Core          uint8
+	Written       int
+	Retained      int
+	RetainedBytes uint64
+	// OldestStamp/NewestStamp bound the core's retained stamps (0 if none).
+	OldestStamp, NewestStamp uint64
+}
+
+// PerCore breaks retention down by producing core. cores[i] is the core
+// that wrote stamp i+1.
+func PerCore(truth []uint32, cores []uint8, retained []uint64) ([]CoreRetention, error) {
+	if len(cores) != len(truth) {
+		return nil, fmt.Errorf("analysis: cores len %d != truth len %d", len(cores), len(truth))
+	}
+	byCore := map[uint8]*CoreRetention{}
+	get := func(c uint8) *CoreRetention {
+		cr := byCore[c]
+		if cr == nil {
+			cr = &CoreRetention{Core: c}
+			byCore[c] = cr
+		}
+		return cr
+	}
+	for i := range truth {
+		get(cores[i]).Written++
+	}
+	for _, s := range retained {
+		if s == 0 || s > uint64(len(truth)) {
+			return nil, fmt.Errorf("analysis: retained stamp %d out of range", s)
+		}
+		cr := get(cores[s-1])
+		cr.Retained++
+		cr.RetainedBytes += uint64(truth[s-1])
+		if cr.OldestStamp == 0 || s < cr.OldestStamp {
+			cr.OldestStamp = s
+		}
+		if s > cr.NewestStamp {
+			cr.NewestStamp = s
+		}
+	}
+	out := make([]CoreRetention, 0, len(byCore))
+	for _, cr := range byCore {
+		out = append(out, *cr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Core < out[j].Core })
+	return out, nil
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func uniform(n int, size uint32) []uint32 {
+	t := make([]uint32, n)
+	for i := range t {
+		t[i] = size
+	}
+	return t
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r, err := Analyze(uniform(10, 8), nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retained != 0 || r.Fragments != 0 || r.LatestFragmentBytes != 0 {
+		t.Fatalf("empty readout: %+v", r)
+	}
+	if r.TotalWritten != 10 || r.TotalBytes != 80 {
+		t.Fatalf("truth accounting: %+v", r)
+	}
+}
+
+func TestAnalyzePerfectSuffix(t *testing.T) {
+	truth := uniform(100, 10)
+	retained := []uint64{}
+	for s := uint64(41); s <= 100; s++ {
+		retained = append(retained, s)
+	}
+	r, err := Analyze(truth, retained, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fragments != 1 {
+		t.Errorf("Fragments = %d, want 1", r.Fragments)
+	}
+	if r.LatestFragmentEntries != 60 || r.LatestFragmentBytes != 600 {
+		t.Errorf("latest fragment: %d entries %d bytes", r.LatestFragmentEntries, r.LatestFragmentBytes)
+	}
+	if r.LossRate != 0 {
+		t.Errorf("LossRate = %v, want 0", r.LossRate)
+	}
+	if r.EffectivityRatio != 1 {
+		t.Errorf("EffectivityRatio = %v, want 1", r.EffectivityRatio)
+	}
+}
+
+func TestAnalyzeFig5Example(t *testing.T) {
+	// The paper's Fig. 5 worked example: 16 one-unit entries written
+	// (ts 5..20 in the figure; stamps 5..20 here), entries 12 and 14
+	// overwritten along with 2..9 older ones, retained: 10,11,13,15..20.
+	// The figure computes effectivity 6/16 = 37.5% with the latest
+	// fragment being ts-15..ts-20.
+	truth := uniform(20, 1)
+	retained := []uint64{10, 11, 13, 15, 16, 17, 18, 19, 20}
+	r, err := Analyze(truth, retained, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LatestFragmentEntries != 6 {
+		t.Errorf("latest fragment = %d entries, want 6 (ts-15..ts-20)", r.LatestFragmentEntries)
+	}
+	if got := r.EffectivityRatio; math.Abs(got-0.375) > 1e-9 {
+		t.Errorf("effectivity = %v, want 0.375", got)
+	}
+	if r.Fragments != 3 {
+		t.Errorf("fragments = %d, want 3 (10-11, 13, 15-20)", r.Fragments)
+	}
+	// Collected range 10..20 spans 11 entries, 9 retained.
+	if want := 1 - 9.0/11.0; math.Abs(r.LossRate-want) > 1e-9 {
+		t.Errorf("loss rate = %v, want %v", r.LossRate, want)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	truth := uniform(5, 1)
+	if _, err := Analyze(truth, []uint64{0}, 0); err == nil {
+		t.Error("stamp 0: expected error")
+	}
+	if _, err := Analyze(truth, []uint64{6}, 0); err == nil {
+		t.Error("stamp beyond truth: expected error")
+	}
+	if _, err := Analyze(truth, []uint64{2, 2}, 0); err == nil {
+		t.Error("duplicate stamp: expected error")
+	}
+}
+
+func TestAnalyzeWeightedBytes(t *testing.T) {
+	// Sizes differ: loss rate is byte-weighted, not entry-weighted.
+	truth := []uint32{100, 1, 1, 1, 100}
+	r, err := Analyze(truth, []uint64{1, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range 1..5 = 203 bytes, retained 200 -> loss 3/203.
+	if want := 3.0 / 203.0; math.Abs(r.LossRate-want) > 1e-9 {
+		t.Errorf("loss = %v want %v", r.LossRate, want)
+	}
+	if r.LatestFragmentBytes != 100 {
+		t.Errorf("latest fragment bytes = %d", r.LatestFragmentBytes)
+	}
+}
+
+func TestRetentionMap(t *testing.T) {
+	m := RetentionMap(10, []uint64{7, 9, 10}, 4)
+	want := []bool{true, false, true, true} // stamps 7,8,9,10
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("map = %v, want %v", m, want)
+		}
+	}
+	if len(RetentionMap(3, nil, 10)) != 3 {
+		t.Error("n capped at truth length")
+	}
+}
+
+func TestGaps(t *testing.T) {
+	truth := uniform(10, 2)
+	gaps := Gaps(truth, []uint64{2, 3, 6, 9})
+	if len(gaps) != 2 {
+		t.Fatalf("gaps = %+v", gaps)
+	}
+	if gaps[0].FromStamp != 4 || gaps[0].ToStamp != 5 || gaps[0].Bytes != 4 {
+		t.Errorf("gap 0: %+v", gaps[0])
+	}
+	if gaps[1].FromStamp != 7 || gaps[1].ToStamp != 8 {
+		t.Errorf("gap 1: %+v", gaps[1])
+	}
+	if Gaps(truth, nil) != nil {
+		t.Error("no retained -> no gaps")
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	st := Latency(nil)
+	if st.Count != 0 {
+		t.Fatal("empty")
+	}
+	ns := []int64{10, 10, 10, 10, 1000}
+	st = Latency(ns)
+	if st.Count != 5 || st.Max != 1000 || st.P50 != 10 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Geomean of (10,10,10,10,1000) = 10^(4/5) * 1000^(1/5) ~ 25.1:
+	// robust to the outlier, unlike the arithmetic mean (208).
+	if st.GeoMean < 20 || st.GeoMean > 32 {
+		t.Errorf("geomean = %v", st.GeoMean)
+	}
+}
+
+func TestLatencyGeoMeanQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ns := make([]int64, len(raw))
+		var minV, maxV int64 = math.MaxInt64, 0
+		for i, v := range raw {
+			ns[i] = int64(v) + 1
+			if ns[i] < minV {
+				minV = ns[i]
+			}
+			if ns[i] > maxV {
+				maxV = ns[i]
+			}
+		}
+		st := Latency(ns)
+		return st.GeoMean >= float64(minV)-1e-6 && st.GeoMean <= float64(maxV)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	ns := make([]int64, 100)
+	for i := range ns {
+		ns[i] = int64(i + 1)
+	}
+	cdf := CDF(ns, 11)
+	if len(cdf) != 11 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	if cdf[0][1] != 0 || cdf[10][1] != 100 {
+		t.Errorf("endpoints: %v %v", cdf[0], cdf[10])
+	}
+	if cdf[10][0] != 100 {
+		t.Errorf("max latency = %v", cdf[10][0])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i][0] < cdf[i-1][0] {
+			t.Fatal("CDF not monotonic")
+		}
+	}
+	if CDF(nil, 5) != nil || CDF(ns, 1) != nil {
+		t.Error("degenerate inputs")
+	}
+}
+
+// TestAnalyzeSuffixProperty: if the retained set is exactly a suffix, the
+// latest fragment equals the whole readout (property over random splits).
+func TestAnalyzeSuffixProperty(t *testing.T) {
+	f := func(n uint8, cut uint8) bool {
+		total := int(n)%500 + 10
+		start := int(cut)%total + 1
+		truth := uniform(total, 8)
+		var retained []uint64
+		for s := start; s <= total; s++ {
+			retained = append(retained, uint64(s))
+		}
+		r, err := Analyze(truth, retained, 0)
+		if err != nil {
+			return false
+		}
+		return r.Fragments == 1 &&
+			r.LatestFragmentEntries == len(retained) &&
+			r.LossRate == 0 &&
+			r.RetainedBytes == uint64(8*len(retained))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyGaps(t *testing.T) {
+	truth := uniform(1000, 4)
+	// One small gap (3 events), one large gap (100 events).
+	var retained []uint64
+	for s := uint64(1); s <= 1000; s++ {
+		if (s >= 10 && s <= 12) || (s >= 500 && s <= 599) {
+			continue
+		}
+		retained = append(retained, s)
+	}
+	gc := ClassifyGaps(truth, retained)
+	if gc.Small != 1 || gc.Large != 1 {
+		t.Fatalf("classes: %+v", gc)
+	}
+	if gc.SmallBytes != 3*4 || gc.LargeBytes != 100*4 {
+		t.Fatalf("bytes: %+v", gc)
+	}
+	if gc.LargestEvents != 100 {
+		t.Fatalf("largest: %d", gc.LargestEvents)
+	}
+	if gc := ClassifyGaps(truth, nil); gc.Small != 0 || gc.Large != 0 {
+		t.Fatalf("empty: %+v", gc)
+	}
+	// A gap of exactly the threshold is small.
+	retained = nil
+	for s := uint64(1); s <= 100; s++ {
+		if s >= 50 && s < 50+SmallGapEvents {
+			continue
+		}
+		retained = append(retained, s)
+	}
+	if gc := ClassifyGaps(truth[:100], retained); gc.Small != 1 || gc.Large != 0 {
+		t.Fatalf("threshold: %+v", gc)
+	}
+}
+
+func TestPerCore(t *testing.T) {
+	truth := uniform(8, 4)
+	cores := []uint8{0, 0, 1, 1, 0, 1, 0, 1}
+	retained := []uint64{3, 5, 6, 7, 8}
+	rows, err := PerCore(truth, cores, retained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	c0, c1 := rows[0], rows[1]
+	if c0.Core != 0 || c0.Written != 4 || c0.Retained != 2 || c0.RetainedBytes != 8 {
+		t.Fatalf("core 0: %+v", c0)
+	}
+	if c0.OldestStamp != 5 || c0.NewestStamp != 7 {
+		t.Fatalf("core 0 stamps: %+v", c0)
+	}
+	if c1.Written != 4 || c1.Retained != 3 || c1.OldestStamp != 3 || c1.NewestStamp != 8 {
+		t.Fatalf("core 1: %+v", c1)
+	}
+	if _, err := PerCore(truth, cores[:3], retained); err == nil {
+		t.Error("length mismatch")
+	}
+	if _, err := PerCore(truth, cores, []uint64{99}); err == nil {
+		t.Error("bad stamp")
+	}
+}

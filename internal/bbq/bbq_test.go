@@ -1,0 +1,153 @@
+package bbq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"btrace/internal/tracer"
+	"btrace/internal/tracer/tracertest"
+)
+
+func TestConformance(t *testing.T) {
+	tracertest.Run(t, tracertest.Config{
+		New: func(total, cores, threads int) (tracer.Tracer, error) {
+			return New(total, 512)
+		},
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1024, 63); err == nil {
+		t.Error("unaligned block size: expected error")
+	}
+	if _, err := New(512, 512); err == nil {
+		t.Error("single-block budget: expected error")
+	}
+	q, err := New(1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TotalBytes() != 1<<20 {
+		t.Errorf("TotalBytes = %d", q.TotalBytes())
+	}
+}
+
+// TestGlobalBufferFullUtilization: unlike per-core tracers, a single
+// producer can use (nearly) the whole buffer — the property that makes BBQ
+// the paper's retention yardstick (Table 1: utilization 1).
+func TestGlobalBufferFullUtilization(t *testing.T) {
+	q, err := New(64<<10, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &tracer.FixedProc{CoreID: 0}
+	wire := tracer.EventWireSize(16)
+	n := 64 << 10 / wire * 3
+	for i := 1; i <= n; i++ {
+		if err := q.Write(p, &tracer.Entry{Stamp: uint64(i), Payload: make([]byte, 16)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es, _ := q.ReadAll()
+	retained := 0
+	for _, e := range es {
+		retained += e.WireSize()
+	}
+	// At least ~90% of the budget should hold live entries (headers and
+	// tail dummies account for the rest).
+	if retained < 64<<10*9/10 {
+		t.Errorf("retained %d bytes of %d budget", retained, 64<<10)
+	}
+}
+
+// TestBlockingOnStraggler: BBQ's availability policy is blocking — a
+// producer wrapping onto a block held by a preempted writer waits for it
+// (Table 1). The wait must end as soon as the straggler confirms.
+func TestBlockingOnStraggler(t *testing.T) {
+	q, err := New(2*512, 512) // two blocks: wrap pressure is immediate
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	held := make(chan struct{})
+	var once sync.Once
+	p0 := &hookProc{core: 0, hook: func(pt tracer.PreemptPoint) {
+		if pt == tracer.PreemptBeforeConfirm {
+			once.Do(func() {
+				close(held)
+				<-release
+			})
+		}
+	}}
+	go func() {
+		if err := q.Write(p0, &tracer.Entry{Stamp: 1, Payload: make([]byte, 8)}); err != nil {
+			t.Errorf("straggler: %v", err)
+		}
+	}()
+	<-held
+
+	// A second producer that wraps must block until the straggler is
+	// released — never drop, never corrupt.
+	var wrote atomic.Uint64
+	doneWriter := make(chan struct{})
+	go func() {
+		defer close(doneWriter)
+		p1 := &tracer.FixedProc{CoreID: 1, TID: 1}
+		for i := 2; i <= 60; i++ {
+			if err := q.Write(p1, &tracer.Entry{Stamp: uint64(i), Payload: make([]byte, 8)}); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+			wrote.Store(uint64(i))
+		}
+	}()
+
+	// Wait until the writer visibly stalls (blocked counter rises).
+	for q.Blocked() == 0 {
+		select {
+		case <-doneWriter:
+			t.Fatal("writer finished without ever blocking")
+		default:
+		}
+	}
+	stalledAt := wrote.Load()
+	close(release)
+	<-doneWriter
+	if wrote.Load() != 60 {
+		t.Fatalf("writer stopped at %d", wrote.Load())
+	}
+	if stalledAt == 60 {
+		t.Fatal("no observable stall")
+	}
+	es, _ := q.ReadAll()
+	if len(es) == 0 || es[len(es)-1].Stamp != 60 {
+		t.Fatalf("newest entry missing: %v", es)
+	}
+}
+
+// hookProc delivers preemption points to a callback.
+type hookProc struct {
+	core int
+	tid  int
+	hook func(tracer.PreemptPoint)
+}
+
+func (p *hookProc) Core() int   { return p.core }
+func (p *hookProc) Thread() int { return p.tid }
+func (p *hookProc) MaybePreempt(pt tracer.PreemptPoint) {
+	if p.hook != nil {
+		p.hook(pt)
+	}
+}
+func (p *hookProc) DisablePreemption() func() { return func() {} }
+
+func TestRegistered(t *testing.T) {
+	tr, err := tracer.New(TracerName, 1<<20, 12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "bbq" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+}

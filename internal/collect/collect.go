@@ -1,0 +1,246 @@
+// Package collect implements the daemon-collector deployment model the
+// paper's production system uses: tracing runs continuously into the
+// in-memory buffer, a collector daemon follows it incrementally, and when
+// a suspicious symptom is detected the recent window is dumped for offline
+// analysis (§2.1 "a daemon collector dumps the buffer"; §6 deploys
+// watchdog daemons with 10-20 s timeouts to catch silent defects).
+//
+// Triggers operate on the events' virtual timestamps, so the package
+// works identically under replayed and live time.
+package collect
+
+import (
+	"fmt"
+	"io"
+
+	"btrace/internal/tracer"
+)
+
+// Poller is the incremental trace source (satisfied by core.Reader).
+type Poller interface {
+	// Poll returns events newer than the previous call, oldest first,
+	// and the count of events lost to overwrite between calls.
+	Poll() ([]tracer.Entry, uint64)
+}
+
+// Trigger inspects newly collected events and decides whether to fire.
+// Implementations are driven by a single collector goroutine.
+type Trigger interface {
+	// Observe consumes new events in stamp order and returns a non-empty
+	// reason when the trigger fires.
+	Observe(es []tracer.Entry) (reason string)
+	// Name identifies the trigger in dump reasons.
+	Name() string
+}
+
+// Watchdog fires when a category goes silent for longer than TimeoutNs of
+// virtual time — the §6 silent-defect pattern (freeze/wake-up daemons use
+// timeouts exceeding 20 s; driver daemons about 10 s).
+type Watchdog struct {
+	// Category is the category whose absence indicates the defect.
+	Category uint8
+	// TimeoutNs is the maximum tolerated silence in virtual nanoseconds.
+	TimeoutNs uint64
+
+	lastSeen uint64
+	latest   uint64
+	seenAny  bool
+	fired    bool
+}
+
+// Name implements Trigger.
+func (w *Watchdog) Name() string { return fmt.Sprintf("watchdog(cat=%d)", w.Category) }
+
+// Observe implements Trigger.
+func (w *Watchdog) Observe(es []tracer.Entry) string {
+	for i := range es {
+		e := &es[i]
+		if e.TS > w.latest {
+			w.latest = e.TS
+		}
+		if e.Cat == w.Category {
+			w.lastSeen = e.TS
+			w.seenAny = true
+			w.fired = false
+		}
+	}
+	if !w.seenAny || w.fired {
+		return ""
+	}
+	if w.latest > w.lastSeen && w.latest-w.lastSeen > w.TimeoutNs {
+		w.fired = true // fire once per silence episode
+		return fmt.Sprintf("category %d silent for %.1fs (timeout %.1fs)",
+			w.Category, float64(w.latest-w.lastSeen)/1e9, float64(w.TimeoutNs)/1e9)
+	}
+	return ""
+}
+
+// RateSpike fires when a category's event rate within a sliding virtual
+// window exceeds a threshold — the anomaly-detector pattern (§2.2 Obs. 3)
+// that decides when to grow the buffer or dump.
+type RateSpike struct {
+	// Category to monitor.
+	Category uint8
+	// WindowNs is the sliding window length in virtual nanoseconds.
+	WindowNs uint64
+	// MaxEvents is the tolerated event count per window.
+	MaxEvents int
+
+	times []uint64
+	fired bool
+}
+
+// Name implements Trigger.
+func (r *RateSpike) Name() string { return fmt.Sprintf("ratespike(cat=%d)", r.Category) }
+
+// Observe implements Trigger.
+func (r *RateSpike) Observe(es []tracer.Entry) string {
+	for i := range es {
+		e := &es[i]
+		if e.Cat != r.Category {
+			continue
+		}
+		r.times = append(r.times, e.TS)
+		// Drop entries outside the window.
+		cut := 0
+		for cut < len(r.times) && e.TS-r.times[cut] > r.WindowNs {
+			cut++
+		}
+		r.times = r.times[cut:]
+		if len(r.times) > r.MaxEvents {
+			if r.fired {
+				continue
+			}
+			r.fired = true
+			return fmt.Sprintf("category %d rate %d/window exceeds %d", r.Category, len(r.times), r.MaxEvents)
+		}
+		r.fired = false
+	}
+	return ""
+}
+
+// LossDetector fires when the collector itself misses events between
+// polls (the buffer wrapped faster than the daemon drained), signalling
+// that the buffer should be grown.
+type LossDetector struct {
+	// Tolerance is the number of missed events tolerated per poll.
+	Tolerance uint64
+}
+
+// Name implements Trigger.
+func (l *LossDetector) Name() string { return "lossdetector" }
+
+// Observe implements Trigger; the Collector feeds it the missed count via
+// ObserveMissed, so Observe never fires.
+func (l *LossDetector) Observe([]tracer.Entry) string { return "" }
+
+// ObserveMissed reports missed events from a poll.
+func (l *LossDetector) ObserveMissed(missed uint64) string {
+	if missed > l.Tolerance {
+		return fmt.Sprintf("collector missed %d events (tolerance %d)", missed, l.Tolerance)
+	}
+	return ""
+}
+
+// Dump is one triggered collection.
+type Dump struct {
+	// Reason describes the trigger that fired, prefixed with its name.
+	Reason string
+	// Events is the retained window at the time of the dump.
+	Events []tracer.Entry
+}
+
+// Collector follows a trace source and dumps on triggers.
+type Collector struct {
+	src      Poller
+	triggers []Trigger
+	loss     *LossDetector
+	// window is the rolling context kept for dumps.
+	window []tracer.Entry
+	// MaxWindow bounds the rolling context (default 1<<16 events).
+	maxWindow int
+
+	polls  uint64
+	missed uint64
+}
+
+// Config configures a Collector.
+type Config struct {
+	// Source is the incremental trace source.
+	Source Poller
+	// Triggers fire dumps. A LossDetector among them additionally
+	// receives the per-poll missed counts.
+	Triggers []Trigger
+	// MaxWindowEvents bounds the rolling context window (default 65536).
+	MaxWindowEvents int
+}
+
+// New creates a Collector.
+func New(cfg Config) (*Collector, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("collect: nil source")
+	}
+	if cfg.MaxWindowEvents == 0 {
+		cfg.MaxWindowEvents = 1 << 16
+	}
+	c := &Collector{src: cfg.Source, triggers: cfg.Triggers, maxWindow: cfg.MaxWindowEvents}
+	for _, t := range cfg.Triggers {
+		if l, ok := t.(*LossDetector); ok {
+			c.loss = l
+		}
+	}
+	return c, nil
+}
+
+// Step polls once, feeds the triggers, and returns a Dump if any fired
+// (nil otherwise).
+func (c *Collector) Step() *Dump {
+	es, missed := c.src.Poll()
+	c.polls++
+	c.missed += missed
+
+	c.window = append(c.window, es...)
+	if over := len(c.window) - c.maxWindow; over > 0 {
+		c.window = append(c.window[:0], c.window[over:]...)
+	}
+
+	var reason string
+	if c.loss != nil && missed > 0 {
+		if r := c.loss.ObserveMissed(missed); r != "" {
+			reason = c.loss.Name() + ": " + r
+		}
+	}
+	for _, t := range c.triggers {
+		if r := t.Observe(es); r != "" && reason == "" {
+			reason = t.Name() + ": " + r
+		}
+	}
+	if reason == "" {
+		return nil
+	}
+	dump := &Dump{Reason: reason, Events: append([]tracer.Entry(nil), c.window...)}
+	c.window = c.window[:0] // a dumped window is consumed
+	return dump
+}
+
+// Stats returns (polls performed, events missed across all polls).
+func (c *Collector) Stats() (polls, missed uint64) { return c.polls, c.missed }
+
+// WriteTo serializes a dump's events as consecutive wire records (the
+// format btrace-inspect consumes).
+func (d *Dump) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	buf := make([]byte, tracer.EventWireSize(tracer.MaxPayload))
+	for i := range d.Events {
+		n, err := tracer.EncodeEvent(buf, &d.Events[i])
+		if err != nil {
+			return total, err
+		}
+		m, err := w.Write(buf[:n])
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

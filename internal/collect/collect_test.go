@@ -1,0 +1,259 @@
+package collect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"btrace/internal/core"
+	"btrace/internal/tracer"
+)
+
+// fakePoller replays scripted polls.
+type fakePoller struct {
+	polls  [][]tracer.Entry
+	missed []uint64
+	i      int
+}
+
+func (f *fakePoller) Poll() ([]tracer.Entry, uint64) {
+	if f.i >= len(f.polls) {
+		return nil, 0
+	}
+	es, m := f.polls[f.i], uint64(0)
+	if f.i < len(f.missed) {
+		m = f.missed[f.i]
+	}
+	f.i++
+	return es, m
+}
+
+func ev(stamp, ts uint64, cat uint8) tracer.Entry {
+	return tracer.Entry{Stamp: stamp, TS: ts, Cat: cat}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil source: expected error")
+	}
+	c, err := New(Config{Source: &fakePoller{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.maxWindow != 1<<16 {
+		t.Fatalf("default window = %d", c.maxWindow)
+	}
+}
+
+func TestWatchdogFiresOnSilence(t *testing.T) {
+	w := &Watchdog{Category: 7, TimeoutNs: 10e9} // 10 s, the §6 driver daemon
+	// Heartbeats every 5 s: no fire.
+	if r := w.Observe([]tracer.Entry{ev(1, 0, 7), ev(2, 5e9, 7), ev(3, 9e9, 1)}); r != "" {
+		t.Fatalf("fired early: %s", r)
+	}
+	// Other traffic continues, category 7 silent for 12 s: fire once.
+	if r := w.Observe([]tracer.Entry{ev(4, 17.5e9, 1)}); r == "" {
+		t.Fatal("did not fire after timeout")
+	}
+	if r := w.Observe([]tracer.Entry{ev(5, 18e9, 1)}); r != "" {
+		t.Fatalf("re-fired in same silence episode: %s", r)
+	}
+	// The category resumes, then goes silent again: fires again.
+	if r := w.Observe([]tracer.Entry{ev(6, 19e9, 7)}); r != "" {
+		t.Fatalf("fired on resume: %s", r)
+	}
+	if r := w.Observe([]tracer.Entry{ev(7, 40e9, 1)}); r == "" {
+		t.Fatal("did not fire on second silence")
+	}
+}
+
+func TestWatchdogNeverFiresWithoutBaseline(t *testing.T) {
+	w := &Watchdog{Category: 7, TimeoutNs: 1}
+	if r := w.Observe([]tracer.Entry{ev(1, 100e9, 1)}); r != "" {
+		t.Fatalf("fired with no baseline: %s", r)
+	}
+}
+
+func TestRateSpike(t *testing.T) {
+	r := &RateSpike{Category: 2, WindowNs: 1e9, MaxEvents: 3}
+	// 3 events in a second: at the limit, no fire.
+	if s := r.Observe([]tracer.Entry{ev(1, 0, 2), ev(2, 0.3e9, 2), ev(3, 0.6e9, 2)}); s != "" {
+		t.Fatalf("fired at limit: %s", s)
+	}
+	// A 4th within the window: fire.
+	if s := r.Observe([]tracer.Entry{ev(4, 0.9e9, 2)}); s == "" {
+		t.Fatal("did not fire over limit")
+	}
+	// Quiet period drains the window; normal rate does not re-fire.
+	if s := r.Observe([]tracer.Entry{ev(5, 10e9, 2), ev(6, 11.5e9, 2)}); s != "" {
+		t.Fatalf("re-fired after drain: %s", s)
+	}
+	// Other categories never count.
+	rs := &RateSpike{Category: 2, WindowNs: 1e9, MaxEvents: 0}
+	if s := rs.Observe([]tracer.Entry{ev(1, 0, 3), ev(2, 0, 3)}); s != "" {
+		t.Fatalf("counted foreign category: %s", s)
+	}
+}
+
+func TestLossDetector(t *testing.T) {
+	l := &LossDetector{Tolerance: 5}
+	if l.Observe(nil) != "" {
+		t.Fatal("Observe must not fire")
+	}
+	if l.ObserveMissed(5) != "" {
+		t.Fatal("within tolerance")
+	}
+	if l.ObserveMissed(6) == "" {
+		t.Fatal("over tolerance")
+	}
+}
+
+func TestCollectorStepAndDump(t *testing.T) {
+	src := &fakePoller{
+		polls: [][]tracer.Entry{
+			{ev(1, 0, 7), ev(2, 1e9, 1)},
+			{ev(3, 2e9, 1)},
+			{ev(4, 30e9, 1)}, // category 7 now silent for 30 s
+		},
+	}
+	c, err := New(Config{
+		Source:   src,
+		Triggers: []Trigger{&Watchdog{Category: 7, TimeoutNs: 20e9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Step(); d != nil {
+		t.Fatalf("early dump: %+v", d)
+	}
+	if d := c.Step(); d != nil {
+		t.Fatalf("early dump: %+v", d)
+	}
+	d := c.Step()
+	if d == nil {
+		t.Fatal("no dump on watchdog fire")
+	}
+	if !strings.Contains(d.Reason, "watchdog(cat=7)") {
+		t.Fatalf("reason: %s", d.Reason)
+	}
+	// The dump contains the full rolling context (all 4 events).
+	if len(d.Events) != 4 {
+		t.Fatalf("dump has %d events, want 4", len(d.Events))
+	}
+	// The window resets after a dump.
+	if d2 := c.Step(); d2 != nil {
+		t.Fatalf("dump after exhaustion: %+v", d2)
+	}
+	polls, missed := c.Stats()
+	if polls != 4 || missed != 0 {
+		t.Fatalf("stats: %d/%d", polls, missed)
+	}
+}
+
+func TestCollectorLossDump(t *testing.T) {
+	src := &fakePoller{
+		polls:  [][]tracer.Entry{{ev(10, 0, 1)}},
+		missed: []uint64{100},
+	}
+	loss := &LossDetector{Tolerance: 10}
+	c, err := New(Config{Source: src, Triggers: []Trigger{loss}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Step()
+	if d == nil || !strings.Contains(d.Reason, "missed 100") {
+		t.Fatalf("dump: %+v", d)
+	}
+}
+
+func TestCollectorWindowBound(t *testing.T) {
+	var es []tracer.Entry
+	for i := 1; i <= 100; i++ {
+		es = append(es, ev(uint64(i), uint64(i), 1))
+	}
+	src := &fakePoller{polls: [][]tracer.Entry{es, {ev(101, 200e9, 1), ev(102, 201e9, 7)}, {ev(103, 230e9, 1)}}}
+	c, err := New(Config{
+		Source:          src,
+		Triggers:        []Trigger{&Watchdog{Category: 7, TimeoutNs: 20e9}},
+		MaxWindowEvents: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	c.Step()
+	d := c.Step()
+	if d == nil {
+		t.Fatal("no dump")
+	}
+	if len(d.Events) > 50 {
+		t.Fatalf("window exceeded bound: %d", len(d.Events))
+	}
+	// The newest events are the ones kept.
+	if d.Events[len(d.Events)-1].Stamp != 103 {
+		t.Fatalf("newest in window: %d", d.Events[len(d.Events)-1].Stamp)
+	}
+}
+
+func TestDumpWriteTo(t *testing.T) {
+	d := &Dump{Events: []tracer.Entry{
+		{Stamp: 1, Payload: []byte("x")},
+		{Stamp: 2, Payload: []byte("y")},
+	}}
+	var buf bytes.Buffer
+	n, err := d.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("n=%d len=%d", n, buf.Len())
+	}
+	recs, truncated := tracer.DecodeAll(buf.Bytes())
+	if truncated || len(recs) != 2 {
+		t.Fatalf("decode: %d records truncated=%v", len(recs), truncated)
+	}
+}
+
+// TestCollectorAgainstLiveBuffer wires the collector to a real BTrace
+// reader: end-to-end silent-defect detection over a live buffer.
+func TestCollectorAgainstLiveBuffer(t *testing.T) {
+	b, err := core.New(core.Options{Cores: 2, BlockSize: 256, ActiveBlocks: 4, Ratio: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.NewReader()
+	defer r.Close()
+	c, err := New(Config{
+		Source:   r,
+		Triggers: []Trigger{&Watchdog{Category: 9, TimeoutNs: 10e9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &tracer.FixedProc{CoreID: 0}
+	// Heartbeat plus noise, then the heartbeat stops.
+	stamp := uint64(0)
+	write := func(ts uint64, cat uint8) {
+		stamp++
+		if err := b.Write(p, &tracer.Entry{Stamp: stamp, TS: ts, Cat: cat, Payload: make([]byte, 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(0, 9)
+	for ts := uint64(1e9); ts < 8e9; ts += 1e9 {
+		write(ts, 1)
+	}
+	if d := c.Step(); d != nil {
+		t.Fatalf("early dump: %s", d.Reason)
+	}
+	for ts := uint64(8e9); ts < 25e9; ts += 1e9 {
+		write(ts, 1)
+	}
+	d := c.Step()
+	if d == nil {
+		t.Fatal("watchdog did not fire over live buffer")
+	}
+	if len(d.Events) == 0 {
+		t.Fatal("empty dump")
+	}
+}

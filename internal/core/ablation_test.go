@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+// TestBlockOnStragglersWaitsInsteadOfSkipping runs the §3.4 ablation: with
+// BlockOnStragglers, a candidate held by a preempted writer is waited for,
+// never skipped, and progress resumes when the writer confirms.
+func TestBlockOnStragglersWaitsInsteadOfSkipping(t *testing.T) {
+	b := mustNew(t, Options{
+		Cores: 1, BlockSize: 256, ActiveBlocks: 2, Ratio: 1,
+		BlockOnStragglers: true,
+	})
+
+	release := make(chan struct{})
+	held := make(chan struct{})
+	p0 := &stepProc{core: 0, tid: 0}
+	var once bool
+	p0.hook = func(pt tracer.PreemptPoint) {
+		if pt == tracer.PreemptBeforeCopy && !once {
+			once = true
+			close(held)
+			<-release
+		}
+	}
+	go func() {
+		if err := b.Write(p0, &tracer.Entry{Stamp: 1, Payload: make([]byte, 8)}); err != nil {
+			t.Errorf("straggler: %v", err)
+		}
+	}()
+	<-held
+
+	// A second thread wraps around; in ablation mode it must block on the
+	// straggler's round rather than skip it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p1 := &tracer.FixedProc{CoreID: 0, TID: 1}
+		for i := 0; i < 50; i++ {
+			if err := b.Write(p1, &tracer.Entry{Stamp: uint64(10 + i), Payload: make([]byte, 8)}); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Wait until the writer observably blocks.
+	for b.BlockedWaits() == 0 {
+	}
+	if b.Stats().SkippedBlocks != 0 {
+		t.Fatalf("skipped %d blocks in blocking mode", b.Stats().SkippedBlocks)
+	}
+	close(release)
+	wg.Wait()
+	checkQuiescentInvariants(t, b)
+	es, _ := b.ReadAll()
+	var newest uint64
+	for _, e := range es {
+		if e.Stamp > newest {
+			newest = e.Stamp
+		}
+	}
+	if newest != 59 {
+		t.Fatalf("newest stamp %d, want 59", newest)
+	}
+}
+
+// TestBlockOnStragglersConcurrentStress: the blocking mode must stay
+// correct (no duplicates, newest retained) under oversubscription.
+func TestBlockOnStragglersConcurrentStress(t *testing.T) {
+	opt := Options{
+		Cores: 4, BlockSize: 256, ActiveBlocks: 8, Ratio: 4,
+		BlockOnStragglers: true,
+	}
+	b, total := runConcurrent(t, opt, 24, 400, 8, 0.1)
+	checkQuiescentInvariants(t, b)
+	es, err := b.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	var newest uint64
+	for _, e := range es {
+		if seen[e.Stamp] {
+			t.Fatalf("duplicate stamp %d", e.Stamp)
+		}
+		seen[e.Stamp] = true
+		if e.Stamp > newest {
+			newest = e.Stamp
+		}
+	}
+	if newest != total {
+		t.Fatalf("newest %d, want %d", newest, total)
+	}
+	if b.Stats().SkippedBlocks != 0 {
+		t.Fatalf("blocking mode skipped %d blocks", b.Stats().SkippedBlocks)
+	}
+}

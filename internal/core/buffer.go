@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"btrace/internal/tracer"
+)
+
+// Buffer is a BTrace ring: one contiguous memory region partitioned into
+// data blocks that are dynamically assigned to cores. A Buffer is safe for
+// concurrent use by any number of producing threads (each identifying its
+// virtual core through a tracer.Proc) and any number of registered
+// Readers.
+type Buffer struct {
+	opt Options
+
+	// buf is the reserved backing store, ActiveBlocks*MaxRatio blocks.
+	buf []byte
+	// metas are the A metadata blocks.
+	metas []meta
+	// global is the packed (ratio, pos) word producers FAA to advance.
+	global atomic.Uint64
+	// locals[c] is core c's packed (ratio, pos) assignment.
+	locals []paddedWord
+	// acquired[c] counts the blocks core c has acquired — the dynamic
+	// assignment the paper's title promises: demanding cores draw more
+	// blocks from the shared pool.
+	acquired []paddedWord
+
+	// stats counters (atomic).
+	writes       atomic.Uint64
+	bytesWritten atomic.Uint64
+	dummyBytes   atomic.Uint64
+	skipped      atomic.Uint64
+	closed       atomic.Uint64
+	advancements atomic.Uint64
+	casRetries   atomic.Uint64
+	repairs      atomic.Uint64
+	blockedWaits atomic.Uint64
+
+	// resizeMu serializes Resize and Reset.
+	resizeMu sync.Mutex
+
+	// readers tracks registered consumers for epoch-based reclamation of
+	// shrunk memory (§4.4); producers need no such tracking thanks to
+	// implicit reclaiming (§3.3).
+	readersMu sync.Mutex
+	readers   []*Reader
+}
+
+// New creates a Buffer from opt. The zero-value Options is invalid; use
+// OptionsForBudget for budget-driven configuration.
+func New(opt Options) (*Buffer, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	b := &Buffer{
+		opt:      opt,
+		buf:      make([]byte, opt.MaxCapacity()),
+		metas:    make([]meta, opt.ActiveBlocks),
+		locals:   make([]paddedWord, opt.Cores),
+		acquired: make([]paddedWord, opt.Cores),
+	}
+	b.initState()
+	return b, nil
+}
+
+// initState resets all metadata to the initial configuration: every
+// metadata block sits at pseudo-round 0, fully confirmed, so the first
+// producer on each core immediately takes the slow path and acquires a
+// fresh block at rnd >= 1.
+func (b *Buffer) initState() {
+	a := uint64(b.opt.ActiveBlocks)
+	bs := uint32(b.opt.BlockSize)
+	for i := range b.metas {
+		m := &b.metas[i]
+		m.allocated.Store(packMeta(0, bs))
+		m.confirmed.Store(packMeta(0, bs))
+		m.blockOff.Store(packMeta(0, uint32(i)))
+	}
+	// Global position starts at A (rnd 1); positions 0..A-1 are the
+	// pseudo-round placeholders.
+	b.global.Store(packGlobal(b.opt.Ratio, a))
+	for c := range b.locals {
+		b.locals[c].v.Store(packGlobal(b.opt.Ratio, uint64(c)))
+		b.acquired[c].v.Store(0)
+	}
+}
+
+// Options returns the normalized options the buffer was created with
+// (Ratio reflects the initial ratio; see Ratio() for the current one).
+func (b *Buffer) Options() Options { return b.opt }
+
+// Ratio returns the current ratio (data blocks per metadata block).
+func (b *Buffer) Ratio() int {
+	r, _ := unpackGlobal(b.global.Load())
+	return r
+}
+
+// Capacity returns the current live capacity in bytes.
+func (b *Buffer) Capacity() int {
+	return b.Ratio() * b.opt.ActiveBlocks * b.opt.BlockSize
+}
+
+// MaxEntryPayload returns the largest payload a single event may carry.
+func (b *Buffer) MaxEntryPayload() int {
+	max := b.opt.BlockSize - headerSize - tracer.EventHeaderSize
+	if max > tracer.MaxPayload {
+		max = tracer.MaxPayload
+	}
+	return max
+}
+
+// block returns the byte slice of data block idx.
+func (b *Buffer) block(idx uint32) []byte {
+	off := int(idx) * b.opt.BlockSize
+	return b.buf[off : off+b.opt.BlockSize : off+b.opt.BlockSize]
+}
+
+// dataIdx maps a global position to its data block index under ratio.
+func (b *Buffer) dataIdx(pos uint64, ratio int) uint32 {
+	a := uint64(b.opt.ActiveBlocks)
+	rnd := pos / a
+	return uint32((rnd%uint64(ratio))*a + pos%a)
+}
+
+// metaOf returns the metadata block and round for a global position.
+func (b *Buffer) metaOf(pos uint64) (*meta, uint32) {
+	a := uint64(b.opt.ActiveBlocks)
+	return &b.metas[pos%a], uint32(pos / a)
+}
+
+// Stats returns a snapshot of the buffer's counters.
+func (b *Buffer) Stats() tracer.Stats {
+	return tracer.Stats{
+		Writes:        b.writes.Load(),
+		BytesWritten:  b.bytesWritten.Load(),
+		DummyBytes:    b.dummyBytes.Load(),
+		SkippedBlocks: b.skipped.Load(),
+		ClosedBlocks:  b.closed.Load(),
+		Advancements:  b.advancements.Load(),
+		CASRetries:    b.casRetries.Load(),
+	}
+}
+
+// Repairs returns the number of stale-round allocation repairs performed
+// (space claimed in a newer round by a thread holding an outdated core
+// assignment, immediately filled with dummy data; see writer.go).
+func (b *Buffer) Repairs() uint64 { return b.repairs.Load() }
+
+// BlockedWaits returns how many times a producer waited for a preempted
+// writer instead of skipping; always zero unless Options.BlockOnStragglers
+// enables the §3.4 ablation mode.
+func (b *Buffer) BlockedWaits() uint64 { return b.blockedWaits.Load() }
+
+// BlocksAcquired returns, per core, how many data blocks the core has
+// acquired from the shared pool — the observable form of the paper's
+// dynamic block assignment: cores producing more traces draw
+// proportionally more blocks.
+func (b *Buffer) BlocksAcquired() []uint64 {
+	out := make([]uint64, len(b.acquired))
+	for c := range b.acquired {
+		out[c] = b.acquired[c].v.Load()
+	}
+	return out
+}
+
+// Reset discards all data and restores the initial state. It must not run
+// concurrently with writers.
+func (b *Buffer) Reset() {
+	b.resizeMu.Lock()
+	defer b.resizeMu.Unlock()
+	for i := range b.buf {
+		b.buf[i] = 0
+	}
+	b.initState()
+	b.writes.Store(0)
+	b.bytesWritten.Store(0)
+	b.dummyBytes.Store(0)
+	b.skipped.Store(0)
+	b.closed.Store(0)
+	b.advancements.Store(0)
+	b.casRetries.Store(0)
+	b.repairs.Store(0)
+	b.blockedWaits.Store(0)
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"btrace/internal/tracer"
+)
+
+func mustNew(t testing.TB, opt Options) *Buffer {
+	t.Helper()
+	b, err := New(opt)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", opt, err)
+	}
+	return b
+}
+
+// smallOpt is a tiny configuration convenient for tests: 4 cores, 8
+// metadata blocks, 256-byte blocks, 4 rounds of blocks (8 KiB capacity).
+func smallOpt() Options {
+	return Options{Cores: 4, BlockSize: 256, ActiveBlocks: 8, Ratio: 4}
+}
+
+func writeN(t testing.TB, b *Buffer, p tracer.Proc, startStamp uint64, n, payload int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		e := &tracer.Entry{
+			Stamp:   startStamp + uint64(i),
+			TS:      uint64(i),
+			Core:    uint8(p.Core()),
+			TID:     uint32(p.Thread()),
+			Payload: make([]byte, payload),
+		}
+		if err := b.Write(p, e); err != nil {
+			t.Fatalf("Write stamp %d: %v", e.Stamp, err)
+		}
+	}
+}
+
+func stamps(es []tracer.Entry) []uint64 {
+	out := make([]uint64, len(es))
+	for i := range es {
+		out[i] = es[i].Stamp
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Options{
+		{},                     // no cores
+		{Cores: -1, Ratio: 1},  // negative cores
+		{Cores: 300, Ratio: 1}, // too many cores
+		{Cores: 4, BlockSize: 100, Ratio: 1, ActiveBlocks: 4},     // unaligned block
+		{Cores: 4, BlockSize: 64, Ratio: 1, ActiveBlocks: 4},      // block too small
+		{Cores: 4, BlockSize: 1 << 30, Ratio: 1, ActiveBlocks: 4}, // block too large
+		{Cores: 4, ActiveBlocks: 2, Ratio: 1},                     // A < cores
+		{Cores: 4, ActiveBlocks: 8, Ratio: 0},                     // no ratio
+		{Cores: 4, ActiveBlocks: 8, Ratio: 4, MaxRatio: 2},        // max < ratio
+		{Cores: 4, ActiveBlocks: 8, Ratio: 1, MaxRatio: 1 << 20},  // max too large
+	}
+	for i, opt := range bad {
+		if _, err := New(opt); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, opt)
+		}
+	}
+	b := mustNew(t, smallOpt())
+	if b.Capacity() != 8*4*256 {
+		t.Errorf("Capacity = %d, want %d", b.Capacity(), 8*4*256)
+	}
+	if b.Ratio() != 4 {
+		t.Errorf("Ratio = %d, want 4", b.Ratio())
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	opt, err := Options{Cores: 12, Ratio: 16}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.BlockSize != DefaultBlockSize {
+		t.Errorf("BlockSize default = %d", opt.BlockSize)
+	}
+	if opt.ActiveBlocks != 12*DefaultActivePerCore {
+		t.Errorf("ActiveBlocks default = %d", opt.ActiveBlocks)
+	}
+	if opt.MaxRatio != 16 {
+		t.Errorf("MaxRatio default = %d", opt.MaxRatio)
+	}
+}
+
+func TestOptionsForBudget(t *testing.T) {
+	// The paper's evaluation setup: 12 MB, 12 cores, 4 KiB blocks.
+	opt, err := OptionsForBudget(12<<20, 12, 4096, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.ActiveBlocks != 192 {
+		t.Errorf("A = %d, want 192", opt.ActiveBlocks)
+	}
+	if opt.Ratio != 16 {
+		t.Errorf("Ratio = %d, want 16", opt.Ratio)
+	}
+	if opt.Capacity() != 12<<20 {
+		t.Errorf("Capacity = %d, want %d", opt.Capacity(), 12<<20)
+	}
+	// A small budget shrinks A to preserve a usable ratio (at least 4
+	// rounds of blocks), keeping the 1-A/N effectivity ceiling sane.
+	opt, err = OptionsForBudget(16*4096, 4, 4096, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.ActiveBlocks != 4 || opt.Ratio != 4 {
+		t.Errorf("degraded: A=%d ratio=%d, want 4/4", opt.ActiveBlocks, opt.Ratio)
+	}
+	// Budget below one block per core fails.
+	if _, err := OptionsForBudget(2*4096, 4, 4096, 16); err == nil {
+		t.Error("tiny budget: expected error")
+	}
+}
+
+func TestPackUnpackQuick(t *testing.T) {
+	f := func(ratio uint16, pos uint64) bool {
+		r, p := unpackGlobal(packGlobal(int(ratio), pos&posMask))
+		return r == int(ratio) && p == pos&posMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(rnd, val uint32) bool {
+		r, v := unpackMeta(packMeta(rnd, val))
+		return r == rnd && v == val
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataIdxMapping(t *testing.T) {
+	b := mustNew(t, smallOpt()) // A=8, ratio=4, N=32
+	seen := map[uint32]uint64{}
+	for pos := uint64(8); pos < 8+32; pos++ {
+		idx := b.dataIdx(pos, 4)
+		if idx >= 32 {
+			t.Fatalf("dataIdx(%d) = %d out of range", pos, idx)
+		}
+		if prev, dup := seen[idx]; dup {
+			t.Fatalf("dataIdx collision: pos %d and %d -> %d", prev, pos, idx)
+		}
+		seen[idx] = pos
+		// The data block must share the position's metadata index mod A.
+		if idx%8 != uint32(pos%8) {
+			t.Fatalf("dataIdx(%d) = %d not congruent to metaIdx", pos, idx)
+		}
+	}
+	// Wrap: pos+N maps to the same data block.
+	for pos := uint64(8); pos < 16; pos++ {
+		if b.dataIdx(pos, 4) != b.dataIdx(pos+32, 4) {
+			t.Fatalf("pos %d and %d should share a block", pos, pos+32)
+		}
+	}
+}
+
+func TestWriteReadSingleEntry(t *testing.T) {
+	b := mustNew(t, smallOpt())
+	p := &tracer.FixedProc{CoreID: 1, TID: 7}
+	e := &tracer.Entry{Stamp: 42, TS: 1000, Core: 1, TID: 7, Cat: 3, Level: 2, Payload: []byte("payload!")}
+	if err := b.Write(p, e); err != nil {
+		t.Fatal(err)
+	}
+	es, err := b.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 {
+		t.Fatalf("got %d entries, want 1", len(es))
+	}
+	g := es[0]
+	if g.Stamp != 42 || g.TS != 1000 || g.Core != 1 || g.TID != 7 || g.Cat != 3 || g.Level != 2 {
+		t.Fatalf("entry mismatch: %+v", g)
+	}
+	if string(g.Payload) != "payload!" {
+		t.Fatalf("payload = %q", g.Payload)
+	}
+	st := b.Stats()
+	if st.Writes != 1 || st.BytesWritten != uint64(e.WireSize()) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestWriteTooLarge(t *testing.T) {
+	b := mustNew(t, smallOpt())
+	p := &tracer.FixedProc{}
+	e := &tracer.Entry{Payload: make([]byte, 256)}
+	if err := b.Write(p, e); err == nil {
+		t.Fatal("expected ErrTooLarge")
+	}
+	if b.MaxEntryPayload() != 256-headerSize-tracer.EventHeaderSize {
+		t.Fatalf("MaxEntryPayload = %d", b.MaxEntryPayload())
+	}
+}
+
+func TestSequentialFillAndWrap(t *testing.T) {
+	b := mustNew(t, smallOpt()) // capacity 8 KiB
+	p := &tracer.FixedProc{CoreID: 0}
+	const n = 1000 // ~40 KiB of 40-byte entries: wraps several times
+	writeN(t, b, p, 0, n, 8)
+	es, err := b.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) == 0 {
+		t.Fatal("no entries retained")
+	}
+	ss := stamps(es)
+	// Retained stamps must be strictly increasing and contiguous: a
+	// single producer never leaves interior gaps (only the oldest data is
+	// overwritten).
+	for i := 1; i < len(ss); i++ {
+		if ss[i] != ss[i-1]+1 {
+			t.Fatalf("gap between retained stamps %d and %d", ss[i-1], ss[i])
+		}
+	}
+	if ss[len(ss)-1] != n-1 {
+		t.Fatalf("newest stamp = %d, want %d", ss[len(ss)-1], n-1)
+	}
+	// With A=8 active blocks out of 32, at least (N-A)/N of the capacity
+	// must hold the latest contiguous entries.
+	minEntries := (32 - 8) * (256 - headerSize) / 40 / 2
+	if len(es) < minEntries {
+		t.Fatalf("retained %d entries, expected at least %d", len(es), minEntries)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	b := mustNew(t, smallOpt())
+	p := &tracer.FixedProc{CoreID: 2}
+	writeN(t, b, p, 0, 100, 8)
+	b.Reset()
+	es, err := b.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 0 {
+		t.Fatalf("after Reset: %d entries", len(es))
+	}
+	if st := b.Stats(); st.Writes != 0 || st.BytesWritten != 0 {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+	// The buffer must be reusable.
+	writeN(t, b, p, 500, 10, 8)
+	es, _ = b.ReadAll()
+	if len(es) != 10 || es[0].Stamp != 500 {
+		t.Fatalf("after reuse: %d entries, first %v", len(es), es)
+	}
+}
+
+func TestBlockStateString(t *testing.T) {
+	for s, want := range map[BlockState]string{
+		BlockRead: "read", BlockActive: "active", BlockBusy: "busy",
+		BlockSkipped: "skipped", BlockOverwritten: "overwritten", BlockInvalid: "invalid",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestAdapterRegistration(t *testing.T) {
+	tr, err := tracer.New(TracerName, 1<<20, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "btrace" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+	if tr.TotalBytes() != 1<<20 {
+		t.Errorf("TotalBytes = %d, want %d", tr.TotalBytes(), 1<<20)
+	}
+	p := &tracer.FixedProc{}
+	if err := tr.Write(p, &tracer.Entry{Stamp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	es, err := tr.ReadAll()
+	if err != nil || len(es) != 1 {
+		t.Fatalf("ReadAll: %d entries, err %v", len(es), err)
+	}
+}
+
+// TestBlocksFollowDemand verifies the paper's headline mechanism: cores
+// producing more traces dynamically acquire proportionally more blocks
+// from the shared pool.
+func TestBlocksFollowDemand(t *testing.T) {
+	b := mustNew(t, Options{Cores: 4, BlockSize: 256, ActiveBlocks: 8, Ratio: 8})
+	// Core 0 writes 10x more than core 3.
+	p0 := &tracer.FixedProc{CoreID: 0, TID: 1}
+	p3 := &tracer.FixedProc{CoreID: 3, TID: 2}
+	writeN(t, b, p0, 0, 2000, 8)
+	writeN(t, b, p3, 10000, 200, 8)
+	acq := b.BlocksAcquired()
+	if acq[0] < 5*acq[3] {
+		t.Errorf("block assignment does not follow demand: %v", acq)
+	}
+	if acq[1] != 0 || acq[2] != 0 {
+		t.Errorf("idle cores acquired blocks: %v", acq)
+	}
+	total := acq[0] + acq[3]
+	if st := b.Stats(); st.Advancements < total {
+		t.Errorf("advancements %d < acquisitions %d", st.Advancements, total)
+	}
+}

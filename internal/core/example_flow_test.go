@@ -1,0 +1,236 @@
+package core
+
+import (
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+// The tests in this file mirror the worked examples of the paper's
+// implementation section (§4.1 Fig. 8 and §4.2 Fig. 9) step by step,
+// observing the metadata words after each operation.
+
+// stepProc is a Proc whose preemption points hand control to the test via
+// callbacks, making interleavings deterministic.
+type stepProc struct {
+	core int
+	tid  int
+	hook func(p tracer.PreemptPoint)
+}
+
+func (p *stepProc) Core() int   { return p.core }
+func (p *stepProc) Thread() int { return p.tid }
+func (p *stepProc) MaybePreempt(pt tracer.PreemptPoint) {
+	if p.hook != nil {
+		p.hook(pt)
+	}
+}
+func (p *stepProc) DisablePreemption() func() { return func() {} }
+
+// metaState reads the metadata words of the metadata block serving pos.
+func metaState(b *Buffer, pos uint64) (aRnd, aPos, cRnd, cCnt uint32) {
+	m, _ := b.metaOf(pos)
+	aRnd, aPos = unpackMeta(m.allocated.Load())
+	cRnd, cCnt = unpackMeta(m.confirmed.Load())
+	return
+}
+
+// TestFig8OutOfOrderConfirmation reproduces Fig. 8(a)-(b): T0 allocates,
+// T1 allocates and confirms before T0 confirms; the Confirmed counter
+// records two entries' bytes while T0's allocation is still outstanding.
+func TestFig8OutOfOrderConfirmation(t *testing.T) {
+	b := mustNew(t, smallOpt())
+	const entrySize = 40 // 8-byte payload
+
+	// Bootstrap: a first write acquires a block for core 0.
+	p0 := &stepProc{core: 0, tid: 0}
+	if err := b.Write(p0, &tracer.Entry{Stamp: 1, Payload: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	lw := b.locals[0].v.Load()
+	_, pos := unpackGlobal(lw)
+	_, aPos0, _, cCnt0 := metaState(b, pos)
+	if aPos0 != headerSize+entrySize || cCnt0 != headerSize+entrySize {
+		t.Fatalf("bootstrap: alloc=%d conf=%d", aPos0, cCnt0)
+	}
+
+	// T0 allocates and stalls before confirming; from inside the stall,
+	// T1 (same core) allocates and confirms — out of order.
+	stalled := false
+	p0.hook = func(pt tracer.PreemptPoint) {
+		if pt != tracer.PreemptBeforeConfirm || stalled {
+			return
+		}
+		stalled = true
+		_, aPos, _, cCnt := metaState(b, pos)
+		if aPos != aPos0+entrySize {
+			t.Fatalf("during stall: alloc=%d, want %d", aPos, aPos0+entrySize)
+		}
+		if cCnt != cCnt0 {
+			t.Fatalf("during stall: conf=%d, want %d", cCnt, cCnt0)
+		}
+		// T1 writes while T0 is preempted (Fig. 8b).
+		p1 := &stepProc{core: 0, tid: 1}
+		if err := b.Write(p1, &tracer.Entry{Stamp: 3, Payload: make([]byte, 8)}); err != nil {
+			t.Fatal(err)
+		}
+		_, aPos, _, cCnt = metaState(b, pos)
+		if aPos != aPos0+2*entrySize {
+			t.Fatalf("after T1: alloc=%d", aPos)
+		}
+		// T1's confirmation landed even though T0's is outstanding: the
+		// confirmed counter is a count, not a boundary.
+		if cCnt != cCnt0+entrySize {
+			t.Fatalf("after T1: conf=%d, want %d", cCnt, cCnt0+entrySize)
+		}
+	}
+	if err := b.Write(p0, &tracer.Entry{Stamp: 2, Payload: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if !stalled {
+		t.Fatal("preemption hook never fired")
+	}
+	_, aPos, _, cCnt := metaState(b, pos)
+	if aPos != cCnt {
+		t.Fatalf("after both confirm: alloc=%d conf=%d", aPos, cCnt)
+	}
+	es, _ := b.ReadAll()
+	if len(es) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(es))
+	}
+}
+
+// TestFig8cDummyAtTail reproduces Fig. 8(c): an entry that does not fit
+// the remaining space forces a dummy fill and advancement.
+func TestFig8cDummyAtTail(t *testing.T) {
+	b := mustNew(t, smallOpt()) // 256-byte blocks, header 16
+	p := &tracer.FixedProc{CoreID: 2}
+	// Fill the block to leave 40 free bytes: 16 hdr + 5x40 = 216, 40 left.
+	writeN(t, b, p, 0, 5, 8)
+	lw := b.locals[2].v.Load()
+	_, pos := unpackGlobal(lw)
+	// Now write an entry of 72 wire bytes (> 40): the tail must be
+	// dummy-filled and the entry placed in a fresh block.
+	if err := b.Write(p, &tracer.Entry{Stamp: 100, Payload: make([]byte, 40)}); err != nil {
+		t.Fatal(err)
+	}
+	_, aPos, _, cCnt := metaState(b, pos)
+	if aPos < 256 || cCnt != 256 {
+		t.Fatalf("old block not closed: alloc=%d conf=%d", aPos, cCnt)
+	}
+	if got := b.Stats().DummyBytes; got != 40 {
+		t.Fatalf("DummyBytes = %d, want 40", got)
+	}
+	lw2 := b.locals[2].v.Load()
+	if lw2 == lw {
+		t.Fatal("core 2 did not advance")
+	}
+	es, _ := b.ReadAll()
+	if len(es) != 6 {
+		t.Fatalf("retained %d entries, want 6", len(es))
+	}
+	if es[len(es)-1].Stamp != 100 {
+		t.Fatalf("newest stamp %d, want 100", es[len(es)-1].Stamp)
+	}
+}
+
+// TestFig9SkipBlockedCandidate reproduces the §4.2/Fig. 9 skip: a producer
+// advancing onto a candidate whose previous round has a preempted,
+// unconfirmed writer closes what it can, then skips the candidate.
+func TestFig9SkipBlockedCandidate(t *testing.T) {
+	// One core, A=2, ratio=1: two metadata blocks, two data blocks. The
+	// wrap-around pressure arrives almost immediately.
+	b := mustNew(t, Options{Cores: 1, BlockSize: 256, ActiveBlocks: 2, Ratio: 1})
+
+	// T0 allocates in the current block and stalls before confirming.
+	release := make(chan struct{})
+	wrote := make(chan struct{})
+	p0 := &stepProc{core: 0, tid: 0}
+	var once bool
+	p0.hook = func(pt tracer.PreemptPoint) {
+		// Stall between allocation and copy (fast path only), leaving an
+		// unconfirmed allocation in the block.
+		if pt == tracer.PreemptBeforeCopy && !once {
+			once = true
+			close(wrote)
+			<-release
+		}
+	}
+	go func() {
+		if err := b.Write(p0, &tracer.Entry{Stamp: 1, Payload: make([]byte, 8)}); err != nil {
+			t.Errorf("T0: %v", err)
+		}
+	}()
+	<-wrote
+
+	// T1 on the same core now writes enough to wrap around both blocks.
+	// Candidates mapping onto T0's block must be skipped, never blocked.
+	p1 := &tracer.FixedProc{CoreID: 0, TID: 1}
+	for i := 0; i < 50; i++ {
+		if err := b.Write(p1, &tracer.Entry{Stamp: uint64(10 + i), Payload: make([]byte, 8)}); err != nil {
+			t.Fatalf("T1 write %d: %v", i, err)
+		}
+	}
+	if b.Stats().SkippedBlocks == 0 {
+		t.Fatal("expected skipped candidates while T0 is preempted")
+	}
+	close(release)
+	// Let T0 finish, then verify full confirmation resumes.
+	for {
+		st := b.Stats()
+		if st.Writes == 51 {
+			break
+		}
+	}
+	checkQuiescentInvariants(t, b)
+	es, _ := b.ReadAll()
+	if len(es) == 0 {
+		t.Fatal("no entries retained")
+	}
+	newest := es[len(es)-1].Stamp
+	if newest != 59 {
+		t.Fatalf("newest stamp %d, want 59", newest)
+	}
+}
+
+// TestFig9PublishRace reproduces the Fig. 9 footnote: when two threads of
+// one core advance concurrently, the loser sacrifices the block it won
+// (dummy-filled) and uses the winner's.
+func TestFig9PublishRace(t *testing.T) {
+	b := mustNew(t, Options{Cores: 1, BlockSize: 256, ActiveBlocks: 4, Ratio: 2})
+	p1 := &tracer.FixedProc{CoreID: 0, TID: 1}
+	// Fill the first block so the next write must advance.
+	writeN(t, b, p1, 0, 6, 8)
+
+	// T2 advances and, at the pre-publish preemption point, T3 sneaks in
+	// a full advancement cycle, winning the publish race.
+	var raced bool
+	p2 := &stepProc{core: 0, tid: 2}
+	p2.hook = func(pt tracer.PreemptPoint) {
+		if pt == tracer.PreemptBeforeConfirm && !raced {
+			raced = true
+			p3 := &tracer.FixedProc{CoreID: 0, TID: 3}
+			writeN(t, b, p3, 100, 7, 8) // forces its own advancement
+		}
+	}
+	if err := b.Write(p2, &tracer.Entry{Stamp: 50, Payload: make([]byte, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if !raced {
+		t.Fatal("pre-publish hook never fired")
+	}
+	checkQuiescentInvariants(t, b)
+	es, _ := b.ReadAll()
+	found := false
+	for _, e := range es {
+		if e.Stamp == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("entry written by the publish-race loser was lost")
+	}
+	if b.Stats().ClosedBlocks == 0 {
+		t.Fatal("expected at least one sacrificed/closed block")
+	}
+}

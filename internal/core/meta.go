@@ -1,0 +1,71 @@
+package core
+
+import "sync/atomic"
+
+// Packed word layouts.
+//
+// Global and core-local ratio_and_pos (§4.2, Fig. 9):
+//
+//	bits 48..63  ratio
+//	bits  0..47  pos (monotonic global block position)
+//
+// Metadata words (§4.1, Fig. 8):
+//
+//	allocated: bits 32..63 rnd, bits 0..31 byte position (FAA target)
+//	confirmed: bits 32..63 rnd, bits 0..31 confirmed byte count
+//	blockOff:  bits 32..63 rnd, bits 0..31 data block index owned in rnd
+//
+// pos maps to metadata and data blocks as
+//
+//	metaIdx = pos % A
+//	rnd     = pos / A
+//	dataIdx = (rnd % ratio)*A + metaIdx      (the N:A mapping of §3.3)
+const (
+	posBits = 48
+	posMask = (uint64(1) << posBits) - 1
+	valMask = (uint64(1) << 32) - 1
+)
+
+func packGlobal(ratio int, pos uint64) uint64 {
+	return uint64(ratio)<<posBits | (pos & posMask)
+}
+
+func unpackGlobal(w uint64) (ratio int, pos uint64) {
+	return int(w >> posBits), w & posMask
+}
+
+func packMeta(rnd uint32, val uint32) uint64 {
+	return uint64(rnd)<<32 | uint64(val)
+}
+
+func unpackMeta(w uint64) (rnd uint32, val uint32) {
+	return uint32(w >> 32), uint32(w)
+}
+
+// meta is one metadata block. The paper sizes metadata blocks at 128
+// bytes; padding below both mirrors that and prevents false sharing
+// between adjacent metadata blocks.
+type meta struct {
+	// allocated packs (rnd, allocated byte position). Producers FAA it to
+	// claim space; the position may overshoot BlockSize (overshoot is
+	// benign, see writer.go).
+	allocated atomic.Uint64
+	// confirmed packs (rnd, confirmed byte count). Confirmation is a
+	// counter, not a boundary, enabling out-of-order confirmation (§3.4).
+	// The block round is complete when the count reaches BlockSize.
+	// Locking a new round CASes (oldRnd, BlockSize) -> (newRnd, 0).
+	confirmed atomic.Uint64
+	// blockOff packs (rnd, data block index). Written by the round owner
+	// right after locking, before any data write of the round; readers
+	// and closers use it to locate the round's data block even across
+	// ratio changes.
+	blockOff atomic.Uint64
+
+	_ [13]uint64 // pad to 128 bytes
+}
+
+// paddedWord is a cache-line padded atomic word for per-core state.
+type paddedWord struct {
+	v atomic.Uint64
+	_ [7]uint64
+}

@@ -1,0 +1,38 @@
+package core
+
+import "btrace/internal/tracer"
+
+// Poll returns the events that became recoverable since the previous Poll
+// (or since the Reader was created), oldest first. It is the incremental
+// consumption mode a daemon collector uses to follow a live trace (§2.1:
+// "a daemon collector dumps the buffer"): each call snapshots the ring
+// speculatively and returns only events with stamps above the last
+// delivered one, so repeated polling streams the trace without blocking
+// producers.
+//
+// Events overwritten between polls are lost to the poller (the tracer is
+// an overwrite-mode ring, not a queue); the second return value reports
+// how many stamps were skipped that way.
+func (r *Reader) Poll() (events []tracer.Entry, missed uint64) {
+	es, _ := r.Snapshot()
+	// Snapshot returns stamp-sorted entries; binary search the resume
+	// point.
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if es[mid].Stamp <= r.lastPolled {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	es = es[lo:]
+	if len(es) == 0 {
+		return nil, 0
+	}
+	if r.lastPolled != 0 && es[0].Stamp > r.lastPolled+1 {
+		missed = es[0].Stamp - r.lastPolled - 1
+	}
+	r.lastPolled = es[len(es)-1].Stamp
+	return es, missed
+}

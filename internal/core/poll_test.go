@@ -1,0 +1,123 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+func TestPollIncremental(t *testing.T) {
+	b := mustNew(t, smallOpt())
+	p := &tracer.FixedProc{CoreID: 0}
+	r := b.NewReader()
+	defer r.Close()
+
+	if es, missed := r.Poll(); len(es) != 0 || missed != 0 {
+		t.Fatalf("empty poll: %d events, %d missed", len(es), missed)
+	}
+
+	writeN(t, b, p, 1, 10, 8)
+	es, missed := r.Poll()
+	if missed != 0 {
+		t.Fatalf("missed %d", missed)
+	}
+	if len(es) != 10 || es[0].Stamp != 1 || es[9].Stamp != 10 {
+		t.Fatalf("first poll: %d events [%v..]", len(es), es)
+	}
+
+	// Nothing new: empty poll.
+	if es, _ := r.Poll(); len(es) != 0 {
+		t.Fatalf("idle poll returned %d events", len(es))
+	}
+
+	writeN(t, b, p, 11, 5, 8)
+	es, missed = r.Poll()
+	if missed != 0 || len(es) != 5 || es[0].Stamp != 11 {
+		t.Fatalf("second poll: %d events missed=%d", len(es), missed)
+	}
+}
+
+func TestPollReportsMissed(t *testing.T) {
+	b := mustNew(t, smallOpt()) // 8 KiB capacity
+	p := &tracer.FixedProc{CoreID: 0}
+	r := b.NewReader()
+	defer r.Close()
+
+	writeN(t, b, p, 1, 5, 8)
+	if es, _ := r.Poll(); len(es) != 5 {
+		t.Fatal("seed poll")
+	}
+	// Overrun the whole buffer several times between polls.
+	writeN(t, b, p, 6, 2000, 8)
+	es, missed := r.Poll()
+	if missed == 0 {
+		t.Fatal("expected missed events after overrun")
+	}
+	if len(es) == 0 {
+		t.Fatal("no events after overrun")
+	}
+	// Continuity: missed + delivered accounts for every written stamp.
+	if es[0].Stamp != 5+missed+1 {
+		t.Fatalf("first delivered %d, missed %d", es[0].Stamp, missed)
+	}
+	if es[len(es)-1].Stamp != 2005 {
+		t.Fatalf("newest %d, want 2005", es[len(es)-1].Stamp)
+	}
+}
+
+// TestPollConcurrentStream: a poller following live writers sees every
+// stamp exactly once (delivered or counted missed), in order.
+func TestPollConcurrentStream(t *testing.T) {
+	b := mustNew(t, Options{Cores: 4, BlockSize: 256, ActiveBlocks: 16, Ratio: 8})
+	var stamp atomic.Uint64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := &tracer.FixedProc{CoreID: g, TID: g}
+			for i := 0; i < 5000; i++ {
+				if err := b.Write(p, &tracer.Entry{Stamp: stamp.Add(1), Payload: make([]byte, 8)}); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	r := b.NewReader()
+	defer r.Close()
+	var last uint64
+	var delivered, missed uint64
+	poll := func() {
+		es, m := r.Poll()
+		missed += m
+		for _, e := range es {
+			if e.Stamp <= last {
+				t.Fatalf("stamp %d after %d", e.Stamp, last)
+			}
+			last = e.Stamp
+			delivered++
+		}
+	}
+	for {
+		select {
+		case <-done:
+			poll()
+			total := stamp.Load()
+			if delivered+missed > total {
+				t.Fatalf("delivered %d + missed %d > written %d", delivered, missed, total)
+			}
+			if delivered == 0 {
+				t.Fatal("nothing delivered")
+			}
+			return
+		default:
+			poll()
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"btrace/internal/tracer"
+)
+
+// TestPropertyRetainedSuffixContiguous: for a single producer, the
+// retained stamps always form one contiguous suffix of the written
+// sequence — BTrace overwrites only the oldest data (§2.1: tracing is
+// non-droppable other than the oldest).
+func TestPropertyRetainedSuffixContiguous(t *testing.T) {
+	f := func(seed int64, nWrites uint16, payloadSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		opt := Options{
+			Cores:        1 + rng.Intn(4),
+			BlockSize:    256 << rng.Intn(3),
+			ActiveBlocks: 0, // default
+			Ratio:        1 + rng.Intn(8),
+		}
+		opt.ActiveBlocks = opt.Cores * (2 + rng.Intn(6))
+		b, err := New(opt)
+		if err != nil {
+			return false
+		}
+		p := &tracer.FixedProc{CoreID: rng.Intn(opt.Cores)}
+		n := 50 + int(nWrites)%2000
+		payload := int(payloadSel) % (opt.BlockSize / 4)
+		for i := 0; i < n; i++ {
+			e := &tracer.Entry{Stamp: uint64(i + 1), Payload: make([]byte, payload)}
+			if err := b.Write(p, e); err != nil {
+				return false
+			}
+		}
+		es, err := b.ReadAll()
+		if err != nil || len(es) == 0 {
+			return false
+		}
+		for i := 1; i < len(es); i++ {
+			if es[i].Stamp != es[i-1].Stamp+1 {
+				return false
+			}
+		}
+		return es[len(es)-1].Stamp == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNoDuplicatesUnderConcurrency: random configurations with
+// concurrent oversubscribed writers never yield duplicate stamps, and the
+// globally newest stamp survives.
+func TestPropertyNoDuplicatesUnderConcurrency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 1 + rng.Intn(6)
+		opt := Options{
+			Cores:        cores,
+			BlockSize:    256,
+			ActiveBlocks: cores * (2 + rng.Intn(4)),
+			Ratio:        1 + rng.Intn(6),
+		}
+		b, err := New(opt)
+		if err != nil {
+			return false
+		}
+		threads := cores * (1 + rng.Intn(6))
+		perThread := 100 + rng.Intn(300)
+		var stamp atomic.Uint64
+		var wg sync.WaitGroup
+		fail := atomic.Bool{}
+		for g := 0; g < threads; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				p := &yieldProc{
+					core: g % cores, tid: g,
+					rng:  rand.New(rand.NewSource(seed ^ int64(g))),
+					prob: 0.05,
+				}
+				for i := 0; i < perThread; i++ {
+					e := &tracer.Entry{Stamp: stamp.Add(1), Payload: make([]byte, 8)}
+					if err := b.Write(p, e); err != nil {
+						fail.Store(true)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if fail.Load() {
+			return false
+		}
+		es, err := b.ReadAll()
+		if err != nil {
+			return false
+		}
+		seen := make(map[uint64]bool, len(es))
+		var newest uint64
+		for _, e := range es {
+			if seen[e.Stamp] {
+				return false
+			}
+			seen[e.Stamp] = true
+			if e.Stamp > newest {
+				newest = e.Stamp
+			}
+		}
+		return newest == stamp.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyActiveBlocksBounded: at any snapshot during execution, the
+// number of rounds that are locked but not fully confirmed is at most A
+// (the §3.2 invariant that bounds the gap-prone region).
+func TestPropertyActiveBlocksBounded(t *testing.T) {
+	opt := Options{Cores: 4, BlockSize: 256, ActiveBlocks: 8, Ratio: 4}
+	b := mustNew(t, opt)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var stamp atomic.Uint64
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := &yieldProc{core: g % opt.Cores, tid: g,
+				rng: rand.New(rand.NewSource(int64(g))), prob: 0.1}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := &tracer.Entry{Stamp: stamp.Add(1), Payload: make([]byte, 8)}
+				if err := b.Write(p, e); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	bs := uint32(opt.BlockSize)
+	for i := 0; i < 2000; i++ {
+		open := 0
+		for j := range b.metas {
+			_, cCnt := unpackMeta(b.metas[j].confirmed.Load())
+			if cCnt < bs {
+				open++
+			}
+		}
+		if open > opt.ActiveBlocks {
+			t.Fatalf("%d open rounds > A=%d", open, opt.ActiveBlocks)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPropertyResizeNeverCorrupts: random sequences of resizes
+// interleaved with writes keep the buffer parseable and duplicate-free.
+func TestPropertyResizeNeverCorrupts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		opt := Options{
+			Cores: 2, BlockSize: 256, ActiveBlocks: 4,
+			Ratio: 1 + rng.Intn(8), MaxRatio: 8, PoisonOnReclaim: true,
+		}
+		b, err := New(opt)
+		if err != nil {
+			return false
+		}
+		p := &tracer.FixedProc{CoreID: 0}
+		var stamp uint64
+		for step := 0; step < 20; step++ {
+			if rng.Intn(3) == 0 {
+				if err := b.Resize(1 + rng.Intn(8)); err != nil {
+					return false
+				}
+				continue
+			}
+			n := 10 + rng.Intn(100)
+			for i := 0; i < n; i++ {
+				stamp++
+				e := &tracer.Entry{Stamp: stamp, Payload: make([]byte, rng.Intn(64))}
+				if err := b.Write(p, e); err != nil {
+					return false
+				}
+			}
+		}
+		es, err := b.ReadAll()
+		if err != nil {
+			return false
+		}
+		seen := make(map[uint64]bool, len(es))
+		for _, e := range es {
+			if e.Stamp == 0 || e.Stamp > stamp || seen[e.Stamp] {
+				return false
+			}
+			seen[e.Stamp] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

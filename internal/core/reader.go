@@ -1,0 +1,261 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"btrace/internal/tracer"
+)
+
+// Reader is a registered consumer of a Buffer. Readers never block
+// producers: a filled block is copied speculatively and the copy is
+// discarded if the metadata shows the block was reclaimed for a newer
+// round during the read (§4.3). Readers participate in epoch-based
+// reclamation so a concurrent shrink can tell when they have left the
+// reclaimed memory (§4.4); producers need no epochs thanks to implicit
+// reclaiming.
+//
+// A Reader is not safe for concurrent use by multiple goroutines.
+type Reader struct {
+	b *Buffer
+	// epoch is even when idle, odd while inside a snapshot.
+	epoch atomic.Uint64
+	// scratch is the reusable block copy buffer.
+	scratch []byte
+	// lastPolled is the highest stamp delivered by Poll.
+	lastPolled uint64
+}
+
+// NewReader registers and returns a consumer for b.
+func (b *Buffer) NewReader() *Reader {
+	r := &Reader{b: b, scratch: make([]byte, b.opt.BlockSize)}
+	b.readersMu.Lock()
+	b.readers = append(b.readers, r)
+	b.readersMu.Unlock()
+	return r
+}
+
+// Close unregisters the reader.
+func (r *Reader) Close() {
+	b := r.b
+	b.readersMu.Lock()
+	for i, rr := range b.readers {
+		if rr == r {
+			b.readers = append(b.readers[:i], b.readers[i+1:]...)
+			break
+		}
+	}
+	b.readersMu.Unlock()
+}
+
+// BlockInfo describes one position of the ring as seen by a snapshot; the
+// analysis pipeline and cmd/btrace-inspect use it to explain gaps.
+type BlockInfo struct {
+	// Pos is the global block position.
+	Pos uint64
+	// State classifies what the snapshot found at Pos.
+	State BlockState
+	// Entries is the number of events recovered from the block.
+	Entries int
+	// Bytes is the number of payload-carrying bytes recovered.
+	Bytes int
+}
+
+// BlockState classifies a block position during a snapshot.
+type BlockState uint8
+
+// Block states reported in BlockInfo.
+const (
+	// BlockRead means the block's events were recovered.
+	BlockRead BlockState = iota
+	// BlockActive means the block is the core's current block and was
+	// readable (all entries confirmed).
+	BlockActive
+	// BlockBusy means the block had unconfirmed entries and was not read.
+	BlockBusy
+	// BlockSkipped means the position was sacrificed by block skipping.
+	BlockSkipped
+	// BlockOverwritten means a newer round reclaimed the block during or
+	// before the read.
+	BlockOverwritten
+	// BlockInvalid means the block's content did not validate (stale or
+	// reclaimed data).
+	BlockInvalid
+)
+
+// String returns the state name.
+func (s BlockState) String() string {
+	switch s {
+	case BlockRead:
+		return "read"
+	case BlockActive:
+		return "active"
+	case BlockBusy:
+		return "busy"
+	case BlockSkipped:
+		return "skipped"
+	case BlockOverwritten:
+		return "overwritten"
+	default:
+		return "invalid"
+	}
+}
+
+// Snapshot reads every event currently recoverable from the buffer,
+// oldest position first, together with per-position block information.
+// It is safe to run concurrently with producers.
+func (r *Reader) Snapshot() ([]tracer.Entry, []BlockInfo) {
+	r.epoch.Add(1)
+	defer r.epoch.Add(1)
+
+	b := r.b
+	gw := b.global.Load()
+	ratio, g := unpackGlobal(gw)
+	a := uint64(b.opt.ActiveBlocks)
+	n := uint64(ratio) * a
+
+	start := a // positions 0..A-1 are pseudo-round placeholders
+	if g > n && g-n > start {
+		start = g - n
+	}
+
+	var (
+		entries []tracer.Entry
+		infos   []BlockInfo
+	)
+	for pos := start; pos < g; pos++ {
+		info := BlockInfo{Pos: pos}
+		es, state := r.readPos(pos, ratio, n)
+		info.State = state
+		info.Entries = len(es)
+		for i := range es {
+			info.Bytes += es[i].WireSize()
+		}
+		entries = append(entries, es...)
+		infos = append(infos, info)
+	}
+	sortByStamp(entries)
+	return entries, infos
+}
+
+// readPos recovers the events of global position pos, classifying the
+// outcome. ratio and n are the snapshot's ratio and live block count.
+func (r *Reader) readPos(pos uint64, ratio int, n uint64) ([]tracer.Entry, BlockState) {
+	b := r.b
+	bs := uint32(b.opt.BlockSize)
+	m, rr := b.metaOf(pos)
+	cRnd, cCnt := unpackMeta(m.confirmed.Load())
+
+	switch {
+	case cRnd == rr && cCnt == bs:
+		// Current, filled round: validate via blockOff after the copy.
+		boRnd, boIdx := unpackMeta(m.blockOff.Load())
+		if boRnd != rr {
+			return nil, BlockOverwritten
+		}
+		copy(r.scratch, b.block(boIdx))
+		if bo2 := m.blockOff.Load(); bo2 != packMeta(rr, boIdx) {
+			// A newer round claimed the metadata mid-copy; the data may
+			// be torn (§4.3: abandon and move on).
+			return nil, BlockOverwritten
+		}
+		es, ok := parseBlock(r.scratch[:bs], pos)
+		if !ok {
+			return nil, BlockInvalid
+		}
+		return es, BlockRead
+
+	case cRnd == rr:
+		// Current, still-open round: readable only if every allocated
+		// byte is confirmed (§4.3).
+		aw := m.allocated.Load()
+		aRnd, aPos := unpackMeta(aw)
+		if aRnd != rr || aPos != cCnt || aPos > bs {
+			return nil, BlockBusy
+		}
+		boRnd, boIdx := unpackMeta(m.blockOff.Load())
+		if boRnd != rr {
+			return nil, BlockOverwritten
+		}
+		copy(r.scratch[:aPos], b.block(boIdx)[:aPos])
+		if m.allocated.Load() != aw || m.confirmed.Load() != packMeta(rr, cCnt) {
+			return nil, BlockBusy // a writer appended mid-copy; skip
+		}
+		es, ok := parseBlock(r.scratch[:aPos], pos)
+		if !ok {
+			return nil, BlockInvalid
+		}
+		return es, BlockActive
+
+	case cRnd > rr:
+		// The metadata moved past rr. With ratio > 1 the round's data
+		// block may still be intact (it is only reused every ratio
+		// rounds); recover it if the global position proves no reuse
+		// could have been granted yet.
+		idx := b.dataIdx(pos, ratio)
+		copy(r.scratch, b.block(idx))
+		gw2 := b.global.Load()
+		ratio2, g2 := unpackGlobal(gw2)
+		if ratio2 != ratio || pos+n < g2 {
+			return nil, BlockOverwritten
+		}
+		es, ok := parseBlock(r.scratch[:bs], pos)
+		if !ok {
+			return nil, BlockInvalid
+		}
+		return es, BlockRead
+
+	default:
+		// cRnd < rr: the position was granted but never locked — the
+		// skipping mechanism sacrificed it (§3.4) — or it is simply
+		// beyond the writers' progress.
+		return nil, BlockSkipped
+	}
+}
+
+// parseBlock decodes the records of one block copy, validating that the
+// block header belongs to pos. It returns ok=false when the content does
+// not belong to pos (stale or reclaimed data).
+func parseBlock(blk []byte, pos uint64) ([]tracer.Entry, bool) {
+	recs, _ := tracer.DecodeAll(blk)
+	if len(recs) == 0 {
+		return nil, false
+	}
+	switch recs[0].Kind {
+	case tracer.KindBlockHeader:
+		if recs[0].Pos != pos {
+			return nil, false
+		}
+	case tracer.KindSkip:
+		return nil, true // sacrificed block, legitimately empty
+	default:
+		return nil, false
+	}
+	var es []tracer.Entry
+	for _, rec := range recs[1:] {
+		if rec.Kind == tracer.KindEvent {
+			e := rec.Event
+			if e.Payload != nil {
+				e.Payload = append([]byte(nil), e.Payload...)
+			}
+			es = append(es, e)
+		}
+	}
+	return es, true
+}
+
+// sortByStamp orders entries by logic stamp: block granting order already
+// gives a coarse oldest-to-newest order, but entries of concurrently
+// active blocks interleave.
+func sortByStamp(es []tracer.Entry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Stamp < es[j].Stamp })
+}
+
+// ReadAll implements the quiescent snapshot used by the tracer.Tracer
+// interface: it registers a temporary reader, snapshots, and unregisters.
+func (b *Buffer) ReadAll() ([]tracer.Entry, error) {
+	r := b.NewReader()
+	defer r.Close()
+	es, _ := r.Snapshot()
+	return es, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"btrace/internal/tracer"
+)
+
+// PoisonByte is the pattern written over reclaimed blocks when
+// Options.PoisonOnReclaim is set, standing in for the paper's munmap:
+// any later read of reclaimed memory decodes as corrupt instead of as
+// silently stale data, so tests catch use-after-reclaim.
+const PoisonByte = 0xDE
+
+// Resize changes the buffer's live capacity to newRatio data blocks per
+// metadata block (capacity = ActiveBlocks x newRatio x BlockSize). Growing
+// is immediate. Shrinking additionally waits until the reclaimed range is
+// provably unreachable: producers leave implicitly (a metadata block whose
+// confirmed round was granted after the ratio change can never touch an
+// old block again, §3.3), and consumers leave via epoch-based reclamation
+// (§4.4). Resize may be called concurrently with producers and readers;
+// concurrent Resize calls serialize.
+func (b *Buffer) Resize(newRatio int) error {
+	if newRatio < 1 || newRatio > b.opt.MaxRatio {
+		return fmt.Errorf("core: ratio %d out of range [1, %d]", newRatio, b.opt.MaxRatio)
+	}
+	b.resizeMu.Lock()
+	defer b.resizeMu.Unlock()
+
+	// Step 1: publish the new ratio atomically with the current position.
+	var oldRatio int
+	var posB uint64
+	for {
+		g := b.global.Load()
+		r, pos := unpackGlobal(g)
+		if r == newRatio {
+			return nil
+		}
+		if b.global.CompareAndSwap(g, packGlobal(newRatio, pos)) {
+			oldRatio, posB = r, pos
+			break
+		}
+	}
+
+	// Step 2: close all active blocks by executing the advancement
+	// procedure (§4.4), so subsequent traces are placed according to the
+	// new ratio and, on shrink, in-flight grants issued under the old
+	// ratio are invalidated before they can lock a reclaimed block.
+	b.drainPastBoundary(posB)
+
+	if newRatio > oldRatio {
+		return nil
+	}
+
+	// Step 3 (shrink): wait for consumers to leave the shrinking epoch,
+	// then reclaim.
+	b.waitConsumers()
+	if b.opt.PoisonOnReclaim {
+		lo := b.opt.ActiveBlocks * newRatio * b.opt.BlockSize
+		hi := b.opt.ActiveBlocks * oldRatio * b.opt.BlockSize
+		for i := lo; i < hi; i++ {
+			b.buf[i] = PoisonByte
+		}
+	}
+	return nil
+}
+
+// boundaryRnd returns the round of the first position >= posB that maps to
+// metadata block metaIdx.
+func (b *Buffer) boundaryRnd(metaIdx int, posB uint64) uint32 {
+	a := uint64(b.opt.ActiveBlocks)
+	first := posB
+	if rem := first % a; rem != uint64(metaIdx) {
+		first += (uint64(metaIdx) + a - rem) % a
+	}
+	return uint32(first / a)
+}
+
+// clean reports whether metadata block i has locked a round granted at or
+// after posB. Once that holds, no producer can ever again write a data
+// block placed under the old ratio through this metadata block: all older
+// grants fail their lock CAS, and stale fetch-and-adds repair into the
+// current (new-ratio) block.
+func (b *Buffer) clean(i int, posB uint64) bool {
+	cRnd, _ := unpackMeta(b.metas[i].confirmed.Load())
+	return cRnd >= b.boundaryRnd(i, posB)
+}
+
+// drainPastBoundary advances every metadata block past posB by consuming
+// candidates itself, sacrificing the blocks it wins. Metadata blocks held
+// by preempted writers cannot be forced (their candidates are skipped,
+// like any producer would); the drain spins until the writers confirm,
+// yielding the processor between attempts.
+func (b *Buffer) drainPastBoundary(posB uint64) {
+	var p tracer.FixedProc
+	for spins := 0; ; spins++ {
+		allClean := true
+		for i := range b.metas {
+			if !b.clean(i, posB) {
+				allClean = false
+				break
+			}
+		}
+		if allClean {
+			return
+		}
+		b.consumeCandidate(&p)
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// consumeCandidate grants one global position and runs the advancement
+// procedure on it without publishing to any core: a won block is
+// immediately sacrificed (dummy-filled), pushing the metadata round
+// forward. This is the §4.4 "executing the advancement procedure" step.
+func (b *Buffer) consumeCandidate(p tracer.Proc) {
+	bs := uint32(b.opt.BlockSize)
+	g := b.global.Add(1) - 1
+	ratio, pos := unpackGlobal(g)
+	m, r := b.metaOf(pos)
+
+	cRnd, cCnt := unpackMeta(m.confirmed.Load())
+	if cRnd >= r {
+		return
+	}
+	if cCnt < bs {
+		b.closeRound(m, cRnd)
+		cRnd, cCnt = unpackMeta(m.confirmed.Load())
+		if cRnd >= r || cCnt < bs {
+			b.skipped.Add(1)
+			return
+		}
+	}
+	if !m.confirmed.CompareAndSwap(packMeta(cRnd, bs), packMeta(r, 0)) {
+		b.casRetries.Add(1)
+		return
+	}
+	idx := b.dataIdx(pos, ratio)
+	m.blockOff.Store(packMeta(r, idx))
+	tracer.EncodeBlockHeader(b.block(idx), pos)
+	for {
+		a := m.allocated.Load()
+		if m.allocated.CompareAndSwap(a, packMeta(r, headerSize)) {
+			break
+		}
+		b.casRetries.Add(1)
+	}
+	b.confirm(m, r, headerSize, "resize-header")
+	b.closeRound(m, r) // sacrifice
+	_ = p
+}
+
+// waitConsumers blocks until every reader registered at call time has
+// left its current snapshot epoch (§4.4).
+func (b *Buffer) waitConsumers() {
+	b.readersMu.Lock()
+	readers := append([]*Reader(nil), b.readers...)
+	b.readersMu.Unlock()
+	for _, r := range readers {
+		e := r.epoch.Load()
+		if e%2 == 0 {
+			continue // idle
+		}
+		for r.epoch.Load() == e {
+			runtime.Gosched()
+		}
+	}
+}

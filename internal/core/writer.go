@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"btrace/internal/tracer"
+)
+
+// Write records e on behalf of the thread running in p. The common case is
+// a single fetch-and-add on the core's current metadata block (§4.1); when
+// the block is exhausted the thread advances through the slow path (§4.2).
+// Write never blocks on other threads: preempted writers holding
+// unconfirmed entries cause candidates to be skipped, not waited for
+// (§3.4).
+func (b *Buffer) Write(p tracer.Proc, e *tracer.Entry) error {
+	size := uint32(e.WireSize())
+	bs := uint32(b.opt.BlockSize)
+	if size > bs-headerSize {
+		return fmt.Errorf("%w: entry %d B, block payload capacity %d B",
+			tracer.ErrTooLarge, size, bs-headerSize)
+	}
+	core := p.Core()
+	for {
+		lw := b.locals[core].v.Load()
+		_, pos := unpackGlobal(lw)
+		m, r := b.metaOf(pos)
+
+		// Fast path: claim size bytes with one FAA (Fig. 8a). The FAA may
+		// land in a newer round if this thread's view of the core-local
+		// assignment went stale (it was scheduled out and other threads
+		// advanced the core); the stolen space is repaired with dummy
+		// data below, preserving the exactly-once confirmation of every
+		// byte in the block.
+		newA := m.allocated.Add(uint64(size))
+		aRnd, aEnd := unpackMeta(newA)
+		aPos := aEnd - size
+
+		switch {
+		case aRnd == r && aEnd <= bs:
+			// Claimed [aPos, aEnd) of the core's current block.
+			boRnd, boIdx := unpackMeta(m.blockOff.Load())
+			if boRnd != aRnd {
+				// Unreachable by protocol (blockOff is stored before the
+				// allocated word is reset to round r); confirm blindly so
+				// the round cannot wedge, and surface the anomaly.
+				m.confirmed.Add(uint64(size))
+				return fmt.Errorf("tracer: btrace internal: blockOff round %d != allocated round %d", boRnd, aRnd)
+			}
+			blk := b.block(boIdx)
+			p.MaybePreempt(tracer.PreemptBeforeCopy)
+			if _, err := tracer.EncodeEvent(blk[aPos:aEnd], e); err != nil {
+				return err
+			}
+			p.MaybePreempt(tracer.PreemptBeforeConfirm)
+			b.confirm(m, aRnd, size, "event")
+			b.writes.Add(1)
+			b.bytesWritten.Add(uint64(size))
+			return nil
+
+		case aRnd == r && aPos < bs:
+			// The claim straddles the block end (Fig. 8c): this thread
+			// owns the unusable tail [aPos, bs) exactly once. Fill it
+			// with a dummy record, confirm it, then advance and retry.
+			b.fillTail(m, aRnd, aPos, bs, "straddle")
+			b.advance(p, core, lw)
+
+		case aRnd == r:
+			// aPos >= bs: the block was already full. Advance and retry.
+			b.advance(p, core, lw)
+
+		default:
+			// Stale round. If the FAA claimed real space ([aPos, bs) of
+			// round aRnd's block), repair it with dummy data so the round
+			// still confirms exactly BlockSize bytes.
+			if aPos < bs {
+				n := aEnd
+				if n > bs {
+					n = bs
+				}
+				b.fillTail(m, aRnd, aPos, n, "repair")
+				b.repairs.Add(1)
+			}
+			b.advance(p, core, lw)
+		}
+	}
+}
+
+// confirm adds n confirmed bytes to round rnd of m, verifying the round
+// matches and the count cannot exceed BlockSize. Both violations indicate
+// a protocol bug (a byte range confirmed twice or a round completing while
+// bytes were outstanding); they are unreachable if the accounting is
+// correct, and panicking here keeps corruption from propagating silently.
+func (b *Buffer) confirm(m *meta, rnd, n uint32, site string) {
+	bs := uint32(b.opt.BlockSize)
+	for {
+		c := m.confirmed.Load()
+		cRnd, cCnt := unpackMeta(c)
+		if cRnd != rnd {
+			panic(fmt.Sprintf("core: confirm(%s): round moved %d -> %d with %d bytes outstanding", site, rnd, cRnd, n))
+		}
+		if cCnt+n > bs {
+			panic(fmt.Sprintf("core: confirm(%s): over-confirmation %d+%d > %d in round %d", site, cCnt, n, bs, rnd))
+		}
+		if m.confirmed.CompareAndSwap(c, packMeta(rnd, cCnt+n)) {
+			return
+		}
+		b.casRetries.Add(1)
+	}
+}
+
+// fillTail writes a dummy record over [from, to) of round rnd's data block
+// and confirms those bytes. The caller must own that range exclusively.
+func (b *Buffer) fillTail(m *meta, rnd, from, to uint32, site string) {
+	boRnd, boIdx := unpackMeta(m.blockOff.Load())
+	if boRnd == rnd {
+		blk := b.block(boIdx)
+		tracer.EncodeDummy(blk[from:to], int(to-from))
+	}
+	b.dummyBytes.Add(uint64(to - from))
+	b.confirm(m, rnd, to-from, site)
+}
+
+// advance moves core's assignment to a fresh data block (slow path, §4.2
+// and Fig. 9). prevLocal is the packed core-local word the caller started
+// from; if the core's assignment has already moved past it (another thread
+// advanced first), advance returns immediately and the caller retries the
+// fast path with the new assignment.
+func (b *Buffer) advance(p tracer.Proc, core int, prevLocal uint64) {
+	bs := uint32(b.opt.BlockSize)
+	b.advancements.Add(1)
+	for fails := 0; ; fails++ {
+		if b.locals[core].v.Load() != prevLocal {
+			return // someone else advanced this core
+		}
+		if fails > 0 && fails%b.opt.ActiveBlocks == 0 {
+			// A full lap of candidates failed: every metadata block is
+			// held up by preempted writers. Burning more candidates only
+			// destroys retained data; yield the processor so the
+			// preempted writers can confirm (on a real device the kernel
+			// timeslices the skipping producer the same way).
+			runtime.Gosched()
+		}
+
+		// Step 1: FAA the global ratio_and_pos to nominate a candidate.
+		g := b.global.Add(1) - 1
+		ratio, pos := unpackGlobal(g)
+		m, r := b.metaOf(pos)
+
+		// Step 2: the lagging block A positions behind the candidate
+		// shares this metadata block. If its round is still open, close
+		// it (§3.2) so newer traces cannot land in soon-overwritten
+		// space, then double-check for a preempted writer.
+		cRnd, cCnt := unpackMeta(m.confirmed.Load())
+		if cRnd >= r {
+			// A wrap-around producer already consumed this candidate.
+			b.casRetries.Add(1)
+			continue
+		}
+		if cCnt < bs {
+			b.closeRound(m, cRnd)
+			cRnd, cCnt = unpackMeta(m.confirmed.Load())
+			if cRnd >= r {
+				b.casRetries.Add(1)
+				continue
+			}
+			if cCnt < bs {
+				if b.opt.BlockOnStragglers {
+					// Ablation mode: wait for the preempted writer the
+					// way a blocking global-buffer tracer would.
+					b.blockedWaits.Add(1)
+					for {
+						cRnd2, cCnt2 := unpackMeta(m.confirmed.Load())
+						if cRnd2 != cRnd || cCnt2 >= bs {
+							break
+						}
+						runtime.Gosched()
+					}
+					cRnd, cCnt = unpackMeta(m.confirmed.Load())
+					if cRnd >= r || cCnt < bs {
+						b.casRetries.Add(1)
+						continue
+					}
+				} else {
+					// A preempted writer still holds unconfirmed space in
+					// the previous round: skip the candidate instead of
+					// blocking (§3.4), sacrificing one block for
+					// availability.
+					b.markSkip(pos, ratio, m, cRnd)
+					b.skipped.Add(1)
+					continue
+				}
+			}
+		}
+
+		// Step 3: lock the candidate by CASing confirmed from the fully
+		// confirmed old round to (r, 0). Failure means a wrap-around
+		// producer locked it first.
+		if !m.confirmed.CompareAndSwap(packMeta(cRnd, bs), packMeta(r, 0)) {
+			b.casRetries.Add(1)
+			continue
+		}
+
+		// Step 4: record the round's data block and write its header.
+		idx := b.dataIdx(pos, ratio)
+		m.blockOff.Store(packMeta(r, idx))
+		blk := b.block(idx)
+		tracer.EncodeBlockHeader(blk, pos)
+
+		// Step 5: reset allocated to (r, headerSize). Stale-round FAAs
+		// may race the reset; the read-CAS loop absorbs them.
+		for {
+			a := m.allocated.Load()
+			if m.allocated.CompareAndSwap(a, packMeta(r, headerSize)) {
+				break
+			}
+			b.casRetries.Add(1)
+		}
+
+		// Step 6: confirm the header, making the block consumable once
+		// the remaining bytes are confirmed.
+		b.confirm(m, r, headerSize, "header")
+
+		// The block is now assigned but not yet published to the core: a
+		// preemption here is exactly the "assigned but not prepared"
+		// hazard of §3.4 that other threads handle by skipping.
+		p.MaybePreempt(tracer.PreemptBeforeConfirm)
+
+		// Step 7: publish to the core-local ratio_and_pos.
+		if b.locals[core].v.CompareAndSwap(prevLocal, packGlobal(ratio, pos)) {
+			b.acquired[core].v.Add(1)
+			return
+		}
+		// Another thread of this core advanced first (Fig. 9 footnote):
+		// sacrifice the block we won by dummy-filling it, then use theirs.
+		b.closeRound(m, r)
+		return
+	}
+}
+
+// closeRound force-closes round rndOld of m: it CASes the allocated
+// position to BlockSize, fills the unallocated tail of the round's data
+// block with a dummy record, and confirms the filled bytes. It is a no-op
+// if the round already reached BlockSize or moved on. Exactly one closer
+// wins the CAS, so every byte of the block is confirmed exactly once.
+func (b *Buffer) closeRound(m *meta, rndOld uint32) {
+	bs := uint32(b.opt.BlockSize)
+	for {
+		a := m.allocated.Load()
+		aRnd, aPos := unpackMeta(a)
+		if aRnd != rndOld || aPos >= bs {
+			return
+		}
+		if m.allocated.CompareAndSwap(a, packMeta(rndOld, bs)) {
+			b.fillTail(m, rndOld, aPos, bs, "close")
+			b.closed.Add(1)
+			return
+		}
+		b.casRetries.Add(1)
+	}
+}
+
+// markSkip best-effort writes a skip marker into the sacrificed candidate
+// data block so offline inspection can tell a skipped block from stale
+// data. The marker is only written when the candidate block is provably
+// disjoint from the previous round's block (a preempted writer may still
+// be writing there); consumers never rely on the marker — they detect
+// skips from the metadata round.
+func (b *Buffer) markSkip(pos uint64, ratio int, m *meta, prevRnd uint32) {
+	idx := b.dataIdx(pos, ratio)
+	boRnd, boIdx := unpackMeta(m.blockOff.Load())
+	if boRnd == prevRnd && boIdx != idx {
+		tracer.EncodeSkip(b.block(idx), pos)
+	}
+}

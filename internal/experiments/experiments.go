@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) and motivation (§2.2). Each experiment is a function
+// returning a structured result with a Render method; bench_test.go and
+// cmd/btrace-bench are thin wrappers over this package.
+//
+// The experiments run on the virtual SoC at a configurable fraction of
+// the paper's full trace volume (Options.RateScale): the absolute numbers
+// scale with the volume, while the comparative shape — who wins, by what
+// factor, where the crossovers are — is preserved. EXPERIMENTS.md records
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"btrace/internal/sim"
+	"btrace/internal/tracer"
+	"btrace/internal/workload"
+
+	// Link every tracer into the registry.
+	_ "btrace/internal/bbq"
+	_ "btrace/internal/core"
+	_ "btrace/internal/ftrace"
+	_ "btrace/internal/lttng"
+	_ "btrace/internal/vtrace"
+)
+
+// AllTracers lists the evaluated tracers in the paper's presentation
+// order (Table 2 rows).
+var AllTracers = []string{"btrace", "bbq", "ftrace", "lttng", "vtrace"}
+
+// Options scales an experiment run.
+type Options struct {
+	// Budget is each tracer's buffer budget in bytes (paper: 12 MiB).
+	Budget int
+	// RateScale is the fraction of the paper's full trace volume to
+	// replay (1.0 = full; tests and benches use less).
+	RateScale float64
+	// PreemptProb is the thread-level mid-write preemption probability.
+	PreemptProb float64
+	// Workloads restricts the workload set (nil = all 20).
+	Workloads []string
+	// Tracers restricts the tracer set (nil = AllTracers).
+	Tracers []string
+	// Topology overrides the machine (zero = Phone12).
+	Topology sim.Topology
+}
+
+// Defaults returns the configuration used by the bench harness: the
+// paper's 12 MiB budget at 5% of the full volume. The preemption
+// probability is per preemption point; at two points per write, 0.002
+// preempts roughly one write in 250 — far above a real device's rate
+// (~1e-5, a 100 ns write against 10 ms timeslices) so the availability
+// machinery is exercised, yet low enough not to distort retention.
+func Defaults() Options {
+	return Options{
+		Budget:      12 << 20,
+		RateScale:   0.05,
+		PreemptProb: 0.002,
+	}
+}
+
+// Quick returns a reduced configuration for fast smoke runs: a handful of
+// representative workloads at 1.5% volume.
+func Quick() Options {
+	o := Defaults()
+	o.RateScale = 0.015
+	o.Workloads = []string{"LockScr.", "Desktop", "IM", "Video-1", "eShop-1", "eShop-2"}
+	return o
+}
+
+func (o Options) defaults() Options {
+	d := Defaults()
+	if o.Budget == 0 {
+		o.Budget = d.Budget
+	}
+	if o.RateScale == 0 {
+		o.RateScale = d.RateScale
+	}
+	if o.PreemptProb == 0 {
+		o.PreemptProb = d.PreemptProb
+	}
+	if o.Tracers == nil {
+		o.Tracers = AllTracers
+	}
+	if o.Workloads == nil {
+		o.Workloads = workload.Names()
+	}
+	if o.Topology.Cores() == 0 {
+		o.Topology = sim.Phone12()
+	}
+	return o
+}
+
+// effectiveBudget scales the paper's buffer budget by the replayed volume
+// fraction, preserving the paper's volume-to-budget ratio — the quantity
+// every retention result depends on (a 12 MiB buffer against hundreds of
+// MB of trace per 30 s). Without this, small-scale runs would never wrap
+// and all tracers would trivially tie.
+func (o Options) effectiveBudget() int {
+	b := int(float64(o.Budget) * o.RateScale)
+	// Floor at four blocks/pages per core so every tracer design (the
+	// per-core ones need at least two pages per core) stays constructible
+	// at extreme scales.
+	if min := o.Topology.Cores() * 4 * 4096; b < min {
+		b = min
+	}
+	return b
+}
+
+// workloads resolves the configured workload set.
+func (o Options) workloads() ([]workload.Workload, error) {
+	out := make([]workload.Workload, 0, len(o.Workloads))
+	for _, name := range o.Workloads {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no workloads selected")
+	}
+	return out, nil
+}
+
+// newTracer builds the named tracer for this option set. The threads hint
+// passed to per-thread tracers matches the workload's oversubscription.
+func (o Options) newTracer(name string, w workload.Workload) (tracer.Tracer, error) {
+	threads := w.ThreadsTotal * o.Topology.Cores()
+	return tracer.New(name, o.Budget, o.Topology.Cores(), threads)
+}

@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"btrace/internal/sim"
+)
+
+// tiny returns a very small option set for fast tests.
+func tiny() Options {
+	// The paper's 12 MiB budget; the effective budget scales with the
+	// volume fraction, preserving the paper's wrap-around pressure.
+	return Options{
+		Budget:      12 << 20,
+		RateScale:   0.05,
+		PreemptProb: 0.005,
+		Workloads:   []string{"LockScr.", "eShop-1", "eShop-2", "Video-1"},
+	}
+}
+
+func renderToString(t *testing.T, r interface{ Render(w *strings.Builder) }) string {
+	t.Helper()
+	var sb strings.Builder
+	r.Render(&sb)
+	return sb.String()
+}
+
+func TestDefaultsAndQuick(t *testing.T) {
+	d := Defaults()
+	if d.Budget != 12<<20 {
+		t.Errorf("default budget = %d", d.Budget)
+	}
+	q := Quick()
+	if len(q.Workloads) == 0 {
+		t.Error("quick workloads empty")
+	}
+	n := Options{}.defaults()
+	if n.Topology.Cores() != 12 || len(n.Tracers) != 5 || len(n.Workloads) != 20 {
+		t.Errorf("defaults: %+v", n)
+	}
+}
+
+func TestOptionsWorkloadsErrors(t *testing.T) {
+	o := Options{Workloads: []string{"bogus"}}.defaults()
+	if _, err := o.workloads(); err == nil {
+		t.Error("bogus workload: expected error")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	o := tiny()
+	o.Tracers = []string{"btrace", "ftrace"}
+	res, err := Fig1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scen := range res.Scenarios {
+		rows := res.Rows[scen]
+		if len(rows) != 2 {
+			t.Fatalf("%s: %d rows", scen, len(rows))
+		}
+		for _, row := range rows {
+			if len(row.Map) == 0 {
+				t.Errorf("%s/%s: empty map", scen, row.Tracer)
+			}
+		}
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "LockScr.") || !strings.Contains(out, "btrace") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	res, err := Fig2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 19 {
+		t.Fatalf("%d categories, want 19", len(res.Rows))
+	}
+	// Sorted descending.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].PeakMBPerCoreMin > res.Rows[i-1].PeakMBPerCoreMin {
+			t.Fatal("not sorted")
+		}
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "energy/thermal") {
+		t.Error("render missing category")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	o := tiny()
+	res, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 3 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	// Volumes increase with level; btrace retains at least as much
+	// continuous time as ftrace at level 3 (the figure's claim).
+	if !(res.Levels[0].VolumeMB30s < res.Levels[2].VolumeMB30s) {
+		t.Error("volumes not increasing")
+	}
+	l3 := res.Levels[2]
+	if l3.ContinuousSec["btrace"] < l3.ContinuousSec["ftrace"] {
+		t.Errorf("btrace %.1fs < ftrace %.1fs at level 3",
+			l3.ContinuousSec["btrace"], l3.ContinuousSec["ftrace"])
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "level-3") {
+		t.Error("render")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	res, err := Fig4(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 6 || len(res.RatesK) != 6 {
+		t.Fatalf("shape: %d/%d", len(res.Workloads), len(res.RatesK))
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "Video-1") {
+		t.Error("render")
+	}
+}
+
+func TestFig5(t *testing.T) {
+	res, err := Fig5(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retention.LatestFragmentEntries != 6 {
+		t.Errorf("latest fragment = %d, want 6", res.Retention.LatestFragmentEntries)
+	}
+	if res.Retention.EffectivityRatio != 0.375 {
+		t.Errorf("effectivity = %v, want 0.375", res.Retention.EffectivityRatio)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "37.5%") {
+		t.Errorf("render:\n%s", sb.String())
+	}
+}
+
+func TestFig6(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{"LockScr.", "eShop-2"}
+	res, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// eShop-2 is heavily oversubscribed; LockScr. is not (Fig. 6 shape).
+	var lock, eshop Fig6Row
+	for _, r := range res.Rows {
+		if r.Workload == "LockScr." {
+			lock = r
+		} else {
+			eshop = r
+		}
+	}
+	if eshop.TotalBox.Median < 5*lock.TotalBox.Median {
+		t.Errorf("oversubscription shape: eShop-2 %.0f vs LockScr. %.0f",
+			eshop.TotalBox.Median, lock.TotalBox.Median)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "eShop-2") {
+		t.Error("render")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res, err := Table1(Options{Budget: 12 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 3072 || res.A != 192 {
+		t.Fatalf("N=%d A=%d, want 3072/192 (12 MB, 4 KiB blocks, 16x12)", res.N, res.A)
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		byName[r.Tracer] = r
+	}
+	if byName["bbq"].Utilization != 1 {
+		t.Error("bbq utilization")
+	}
+	if u := byName["btrace"].Utilization; u < 0.99 {
+		t.Errorf("btrace utilization = %v (§3.1: 99.6%% for the example)", u)
+	}
+	if e := byName["btrace"].Effectivity; e < 0.93 || e > 0.94 {
+		t.Errorf("btrace effectivity = %v, want 1-192/3072 = 0.9375", e)
+	}
+	if byName["ftrace"].Utilization != 1.0/12 {
+		t.Error("ftrace utilization")
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "Implicit Reclaiming") {
+		t.Error("render")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	o := tiny()
+	o.Tracers = []string{"btrace", "bbq"}
+	o.Workloads = []string{"eShop-2"}
+	res, err := Fig11(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EShop2) != 2 || len(res.Overall) != 2 {
+		t.Fatalf("curves: %d/%d", len(res.EShop2), len(res.Overall))
+	}
+	for _, c := range res.Overall {
+		if c.Stats.Count == 0 || len(c.CDF) == 0 {
+			t.Errorf("%s: empty curve", c.Tracer)
+		}
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "geo-mean") {
+		t.Error("render")
+	}
+}
+
+func TestTable2Small(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{"Video-1", "LockScr."}
+	res, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 2 || len(res.Tracers) != 5 {
+		t.Fatalf("shape: %d workloads %d tracers", len(res.Workloads), len(res.Tracers))
+	}
+	// The paper's headline orderings on the skewed workload:
+	v1 := func(tr string) Table2Cell { return res.Cells[tr]["Video-1"] }
+	if v1("btrace").LatestMB <= v1("ftrace").LatestMB {
+		t.Errorf("latest: btrace %.2f <= ftrace %.2f", v1("btrace").LatestMB, v1("ftrace").LatestMB)
+	}
+	if v1("btrace").LatestMB <= v1("vtrace").LatestMB {
+		t.Errorf("latest: btrace %.2f <= vtrace %.2f", v1("btrace").LatestMB, v1("vtrace").LatestMB)
+	}
+	if v1("btrace").LossRate > 0.05 {
+		t.Errorf("btrace loss rate %.3f, want ~0", v1("btrace").LossRate)
+	}
+	if v1("ftrace").LossRate < v1("btrace").LossRate {
+		t.Errorf("ftrace loss %.3f < btrace %.3f", v1("ftrace").LossRate, v1("btrace").LossRate)
+	}
+	if v1("btrace").Fragments > v1("ftrace").Fragments {
+		t.Errorf("fragments: btrace %d > ftrace %d", v1("btrace").Fragments, v1("ftrace").Fragments)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	out := sb.String()
+	for _, frag := range []string{"Latest continuous", "Loss rate", "Fragment count", "Recording latency"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}
+
+func TestFig10Small(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{"Video-1", "eShop-1"}
+	res, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(Fig10Multipliers) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// The 64x extreme must not beat the mid-range sweet spot at thread
+	// level (the effectivity ceiling 1-A/N caps it).
+	var at16, at64 float64
+	for _, p := range res.Points {
+		if p.Multiplier == 16 {
+			at16 = p.ThreadLevel.Median
+		}
+		if p.Multiplier == 64 {
+			at64 = p.ThreadLevel.Median
+		}
+	}
+	if at64 > at16*1.15 {
+		t.Errorf("64x median %.2f should not exceed 16x %.2f", at64, at16)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "sweet spot") {
+		t.Error("render")
+	}
+}
+
+func TestServerTopologyOption(t *testing.T) {
+	o := tiny()
+	o.Topology = sim.Server(24)
+	o.Workloads = []string{"IM"}
+	o.Tracers = []string{"btrace"}
+	res, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells["btrace"]["IM"].LatestMB <= 0 {
+		t.Error("no retention on server topology")
+	}
+}
+
+func TestMemoryRequirement(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{"Video-1"}
+	res, err := MemoryRequirement(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Tracers) != 2 {
+		t.Fatalf("shape: %d rows %d tracers", len(res.Rows), len(res.Tracers))
+	}
+	row := res.Rows[0]
+	bt, ft := row.Required["btrace"], row.Required["ftrace"]
+	if bt <= 0 || ft <= 0 {
+		t.Fatalf("budgets: btrace %d ftrace %d", bt, ft)
+	}
+	// The §2.2 claim: the per-core tracer needs ~2-3x more memory than
+	// the written volume; btrace stays close to 1x.
+	btFactor := float64(bt) / float64(row.WrittenBytes)
+	ftFactor := float64(ft) / float64(row.WrittenBytes)
+	if btFactor > 1.6 {
+		t.Errorf("btrace factor %.2f, want near 1x", btFactor)
+	}
+	if ftFactor < 1.5 {
+		t.Errorf("ftrace factor %.2f, want >= 1.5x (paper: 2-3x)", ftFactor)
+	}
+	if ftFactor < btFactor {
+		t.Errorf("ftrace needs less than btrace: %.2f vs %.2f", ftFactor, btFactor)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "factor") {
+		t.Error("render")
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"btrace/internal/analysis"
+	"btrace/internal/replay"
+)
+
+// Fig1Row is one tracer's retention map for one scenario.
+type Fig1Row struct {
+	Tracer string
+	// Map marks, for the last N written events (oldest first), whether
+	// each was retained.
+	Map []bool
+	// Retention carries the numeric summary behind the map.
+	Retention analysis.Retention
+	// Gaps classifies the losses into the small/large classes Fig. 1
+	// annotates ("numerous indistinguishable small gaps" vs "noticeable
+	// large gaps").
+	Gaps analysis.GapClasses
+}
+
+// Fig1Result reproduces Fig. 1: retention maps of the last N written
+// events for every tracer on (a) the lock-screen scenario (idle big/middle
+// cores) and (b) the shopping-app scenario (imbalanced production and
+// heavy oversubscription).
+type Fig1Result struct {
+	Scenarios []string
+	Rows      map[string][]Fig1Row
+	Budget    int
+}
+
+// Fig1 runs the experiment.
+func Fig1(o Options) (*Fig1Result, error) {
+	o = o.defaults()
+	res := &Fig1Result{
+		Scenarios: []string{"LockScr.", "eShop-1"},
+		Rows:      map[string][]Fig1Row{},
+		Budget:    o.effectiveBudget(),
+	}
+	for _, scen := range res.Scenarios {
+		for _, tn := range o.Tracers {
+			row, err := fig1Row(o, scen, tn)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows[scen] = append(res.Rows[scen], row)
+		}
+	}
+	return res, nil
+}
+
+func fig1Row(o Options, scenario, tracerName string) (Fig1Row, error) {
+	w, err := wlByName(scenario)
+	if err != nil {
+		return Fig1Row{}, err
+	}
+	budget := o.effectiveBudget()
+	tr, err := o.withBudget(budget).newTracer(tracerName, w)
+	if err != nil {
+		return Fig1Row{}, err
+	}
+	rr, err := replay.Run(replay.Config{
+		Tracer: tr, Workload: w, Topology: o.Topology,
+		Mode: replay.ThreadLevel, RateScale: o.RateScale, PreemptProb: o.PreemptProb,
+	})
+	if err != nil {
+		return Fig1Row{}, err
+	}
+	retained, err := replay.RetainedStamps(tr)
+	if err != nil {
+		return Fig1Row{}, err
+	}
+	ret, err := analysis.Analyze(rr.Truth, retained, budget)
+	if err != nil {
+		return Fig1Row{}, err
+	}
+	// The X axis covers the last N written events, N sized so an ideal
+	// tracer (full utilization) exactly fills the buffer with them.
+	mean := float64(ret.TotalBytes) / float64(max(1, ret.TotalWritten))
+	n := int(float64(budget) / mean)
+	return Fig1Row{
+		Tracer:    tracerName,
+		Map:       analysis.RetentionMap(len(rr.Truth), retained, n),
+		Retention: ret,
+		Gaps:      analysis.ClassifyGaps(rr.Truth, retained),
+	}, nil
+}
+
+// Render writes the retention maps.
+func (r *Fig1Result) Render(w io.Writer) {
+	const width = 72
+	for _, scen := range r.Scenarios {
+		fmt.Fprintf(w, "Fig. 1 — retention of the last N written events (N sized to the %s buffer)\n", human(r.Budget))
+		fmt.Fprintf(w, "Scenario: %s  (oldest left, newest right; '#': retained, '.': partial, ' ': lost)\n", scen)
+		for _, row := range r.Rows[scen] {
+			fmt.Fprintf(w, "  %-7s |%s|  latest=%s frags=%d loss=%.0f%% gaps=%d small/%d large\n",
+				row.Tracer, renderMap(row.Map, width),
+				human(int(row.Retention.LatestFragmentBytes)),
+				row.Retention.Fragments, row.Retention.LossRate*100,
+				row.Gaps.Small, row.Gaps.Large)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"btrace/internal/analysis"
+	"btrace/internal/replay"
+	"btrace/internal/report"
+)
+
+// Fig11Curve is one tracer's latency CDF.
+type Fig11Curve struct {
+	Tracer string
+	Stats  analysis.LatencyStats
+	// CDF holds (latency ns, cumulative %) points.
+	CDF [][2]float64
+}
+
+// Fig11Result reproduces Fig. 11: recording-latency CDFs for the eShop-2
+// workload (heavy oversubscription, subfigure a) and overall across the
+// workload set (subfigure b).
+type Fig11Result struct {
+	// EShop2 and Overall hold one curve per tracer.
+	EShop2, Overall []Fig11Curve
+}
+
+// Fig11 runs the experiment.
+func Fig11(o Options) (*Fig11Result, error) {
+	o = o.defaults()
+	ws, err := o.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{}
+	const points = 41
+	for _, tn := range o.Tracers {
+		var all []int64
+		var eshop []int64
+		for _, w := range ws {
+			tr, err := o.withBudget(o.effectiveBudget()).newTracer(tn, w)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := replay.Run(replay.Config{
+				Tracer: tr, Workload: w, Topology: o.Topology,
+				Mode: replay.ThreadLevel, RateScale: o.RateScale,
+				PreemptProb: o.PreemptProb, MeasureLatency: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, rr.LatenciesNs...)
+			if w.Name == "eShop-2" {
+				eshop = rr.LatenciesNs
+			}
+		}
+		if eshop == nil {
+			// The quick workload subsets always include eShop-2, but a
+			// custom selection may not; fall back to the pooled samples.
+			eshop = all
+		}
+		res.EShop2 = append(res.EShop2, Fig11Curve{
+			Tracer: tn, Stats: analysis.Latency(eshop), CDF: analysis.CDF(eshop, points),
+		})
+		res.Overall = append(res.Overall, Fig11Curve{
+			Tracer: tn, Stats: analysis.Latency(all), CDF: analysis.CDF(all, points),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the latency summary and CDF series.
+func (r *Fig11Result) Render(w io.Writer) {
+	for name, curves := range map[string][]Fig11Curve{
+		"(a) eShop-2 workload": r.EShop2,
+		"(b) overall":          r.Overall,
+	} {
+		tb := report.NewTable("Fig. 11 "+name+" — recording latency",
+			"tracer", "geo-mean ns", "p50 ns", "p90 ns", "p99 ns")
+		for _, c := range curves {
+			tb.AddRow(c.Tracer, fmt.Sprintf("%.0f", c.Stats.GeoMean), c.Stats.P50, c.Stats.P90, c.Stats.P99)
+		}
+		tb.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, c := range r.Overall {
+		report.Series(w, fmt.Sprintf("Fig. 11b CDF — %s", c.Tracer), "latency_ns", "cdf_percent", c.CDF)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"btrace/internal/analysis"
+	"btrace/internal/replay"
+	"btrace/internal/workload"
+)
+
+// Fig3Level is one trace level's volume model and measured retention.
+type Fig3Level struct {
+	Level uint8
+	// VolumeMB30s is the level's modeled 30-second production volume
+	// across all cores at the experiment's rate scale.
+	VolumeMB30s float64
+	// ContinuousSec maps tracer name to the seconds of latest continuous
+	// trace it retains in the fixed buffer.
+	ContinuousSec map[string]float64
+}
+
+// Fig3Result reproduces Fig. 3: which trace level each tracer can record
+// continuously for the full 30 s window within a fixed buffer. The paper
+// fixes 450 MB at full volume; the experiment fixes the same
+// volume-proportional budget at the configured scale.
+type Fig3Result struct {
+	Workload  string
+	BudgetMB  float64
+	RateScale float64
+	Levels    []Fig3Level
+}
+
+// Fig3 runs the experiment with the btrace and ftrace tracers (the
+// figure's two subjects).
+func Fig3(o Options) (*Fig3Result, error) {
+	o = o.defaults()
+	const wlName = "Video-1" // the classic energy-diagnosis scenario, strongly skewed per-core rates
+	w, err := wlByName(wlName)
+	if err != nil {
+		return nil, err
+	}
+	// The paper's 450 MB buffer is sized to just hold the full-volume
+	// level-3 30 s trace (§6: "by reserving a 450 MB buffer ... traces
+	// for over 30 seconds"); size the budget the same way against this
+	// workload's modeled level-3 volume, so level 3 fits only a tracer
+	// with near-ideal effectivity.
+	budget := int(w.BytesPerSec(o.Topology, workload.Level3) * 30 * o.RateScale * 1.05)
+	res := &Fig3Result{Workload: wlName, BudgetMB: float64(budget) / 1e6, RateScale: o.RateScale}
+
+	for _, level := range []uint8{workload.Level1, workload.Level2, workload.Level3} {
+		lv := Fig3Level{
+			Level:         level,
+			VolumeMB30s:   w.BytesPerSec(o.Topology, level) * 30 * o.RateScale / 1e6,
+			ContinuousSec: map[string]float64{},
+		}
+		for _, tn := range []string{"btrace", "ftrace"} {
+			// The figure fixes its own budget rather than the Table 2 one.
+			tr, err := o.withBudget(budget).newTracer(tn, w)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := replay.Run(replay.Config{
+				Tracer: tr, Workload: w, Topology: o.Topology, Level: level,
+				Mode: replay.ThreadLevel, RateScale: o.RateScale, PreemptProb: o.PreemptProb,
+			})
+			if err != nil {
+				return nil, err
+			}
+			retained, err := replay.RetainedStamps(tr)
+			if err != nil {
+				return nil, err
+			}
+			ret, err := analysis.Analyze(rr.Truth, retained, budget)
+			if err != nil {
+				return nil, err
+			}
+			bytesPerSec := w.BytesPerSec(o.Topology, level) * o.RateScale
+			if bytesPerSec > 0 {
+				sec := float64(ret.LatestFragmentBytes) / bytesPerSec
+				if sec > 30 {
+					sec = 30
+				}
+				lv.ContinuousSec[tn] = sec
+			}
+		}
+		res.Levels = append(res.Levels, lv)
+	}
+	return res, nil
+}
+
+// withBudget returns a copy of o with a different buffer budget.
+func (o Options) withBudget(budget int) Options {
+	o.Budget = budget
+	return o
+}
+
+// Render writes the level capacity table.
+func (r *Fig3Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 3 — trace levels recordable in a %.0f MB buffer over 30 s (%s, volume scale %.3f)\n",
+		r.BudgetMB, r.Workload, r.RateScale)
+	for _, lv := range r.Levels {
+		fmt.Fprintf(w, "  level-%d: volume %.1f MB/30s; continuous trace: btrace %.1fs, ftrace %.1fs\n",
+			lv.Level, lv.VolumeMB30s, lv.ContinuousSec["btrace"], lv.ContinuousSec["ftrace"])
+	}
+	fmt.Fprintln(w, "  (paper: BTrace stores all level-3 traces of the 30 s window; ftrace only level-2)")
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"btrace/internal/analysis"
+	"btrace/internal/report"
+	"btrace/internal/workload"
+)
+
+// --- Fig. 2: trace production speed per atrace category ---
+
+// Fig2Result reproduces Fig. 2: the production speed of each atrace
+// category in MB per core per minute.
+type Fig2Result struct {
+	Rows []workload.CategoryInfo
+}
+
+// Fig2 returns the category rate model.
+func Fig2(Options) (*Fig2Result, error) {
+	rows := make([]workload.CategoryInfo, 0, int(workload.NumCategories))
+	for c := workload.Category(0); c < workload.NumCategories; c++ {
+		rows = append(rows, workload.Categories[c])
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].PeakMBPerCoreMin > rows[j].PeakMBPerCoreMin })
+	return &Fig2Result{Rows: rows}, nil
+}
+
+// Render writes the category bar chart.
+func (r *Fig2Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 2 — trace production speed per atrace category (MB per core per minute)")
+	maxV := r.Rows[0].PeakMBPerCoreMin
+	for _, ci := range r.Rows {
+		fmt.Fprintf(w, "  %-18s L%d %6.0f %s\n", ci.Name, ci.Level, ci.PeakMBPerCoreMin,
+			report.Bar(ci.PeakMBPerCoreMin, maxV, 40))
+	}
+	fmt.Fprintf(w, "  level-3 custom categories (idle/freq/sched/energy) average %.0f MB/core/min (§2.2: ~100)\n",
+		(workload.Categories[workload.CatIdle].PeakMBPerCoreMin+
+			workload.Categories[workload.CatFreq].PeakMBPerCoreMin+
+			workload.Categories[workload.CatSched].PeakMBPerCoreMin+
+			workload.Categories[workload.CatEnergy].PeakMBPerCoreMin)/4)
+}
+
+// --- Fig. 4: per-core production speed for selected workloads ---
+
+// Fig4Result reproduces Fig. 4: average per-core trace speed (kEntries/s)
+// for the six published workload profiles.
+type Fig4Result struct {
+	Workloads []string
+	// RatesK[w][c] is workload w's speed on core c in kEntries/s.
+	RatesK [][]float64
+	Cores  int
+}
+
+// Fig4 evaluates the per-core rate model (measured counts are validated
+// against it in the test suite).
+func Fig4(o Options) (*Fig4Result, error) {
+	o = o.defaults()
+	names := []string{"Desktop", "Video-1", "Video-2", "eShop-1", "LockScr.", "IM"}
+	res := &Fig4Result{Workloads: names, Cores: o.Topology.Cores()}
+	for _, n := range names {
+		w, err := wlByName(n)
+		if err != nil {
+			return nil, err
+		}
+		rates := make([]float64, o.Topology.Cores())
+		for c := range rates {
+			rates[c] = w.RateK(o.Topology, c)
+		}
+		res.RatesK = append(res.RatesK, rates)
+	}
+	return res, nil
+}
+
+// Render writes the per-core table.
+func (r *Fig4Result) Render(w io.Writer) {
+	headers := []string{"workload"}
+	for c := 0; c < r.Cores; c++ {
+		headers = append(headers, fmt.Sprintf("c%d", c))
+	}
+	tb := report.NewTable("Fig. 4 — per-core trace speed (kEntries/s); cores 0-3 little, 4-9 middle, 10-11 big", headers...)
+	for i, name := range r.Workloads {
+		row := make([]any, 0, r.Cores+1)
+		row = append(row, name)
+		for _, v := range r.RatesK[i] {
+			row = append(row, fmt.Sprintf("%.1f", v))
+		}
+		tb.AddRow(row...)
+	}
+	tb.Render(w)
+}
+
+// --- Fig. 5: the per-core fragmentation worked example ---
+
+// Fig5Result reproduces the Fig. 5 worked example: 16-entry buffer, four
+// per-core buffers, skewed production, effectivity 6/16.
+type Fig5Result struct {
+	Retention analysis.Retention
+	Map       []bool
+}
+
+// Fig5 computes the worked example exactly as drawn in the paper.
+func Fig5(Options) (*Fig5Result, error) {
+	// 20 one-unit entries ts-1..ts-20 distributed over four per-core
+	// buffers of 4 slots (16 total). The little core produced 8 entries
+	// (2,4,...,12,14 plus newer), wrapping and overwriting; the figure's
+	// retained set is ts-10,11,13,15..20 plus the old ts-1 in the big
+	// core's half-empty buffer.
+	truth := make([]uint32, 20)
+	for i := range truth {
+		truth[i] = 1
+	}
+	retained := []uint64{1, 10, 11, 13, 15, 16, 17, 18, 19, 20}
+	ret, err := analysis.Analyze(truth, retained, 16)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{
+		Retention: ret,
+		Map:       analysis.RetentionMap(20, retained, 20),
+	}, nil
+}
+
+// Render writes the worked example.
+func (r *Fig5Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 5 — per-core buffer fragmentation worked example (16-slot budget, 4 cores)")
+	fmt.Fprintf(w, "  retained map (ts-1..ts-20): |%s|\n", renderMap(r.Map, 20))
+	fmt.Fprintf(w, "  latest fragment: %d entries (ts-15..ts-20); effectivity ratio %d/16 = %.1f%% (paper: 37.5%%)\n",
+		r.Retention.LatestFragmentEntries, r.Retention.LatestFragmentEntries,
+		r.Retention.EffectivityRatio*100)
+	fmt.Fprintf(w, "  fragments: %d; indistinguishable small gaps at ts-12 and ts-14\n", r.Retention.Fragments)
+}
+
+// --- Fig. 6: thread oversubscription box plot ---
+
+// Fig6Row is one workload's distinct-thread statistics per core.
+type Fig6Row struct {
+	Workload string
+	// TotalBox summarizes the distinct thread count per core over the
+	// full window; PerSecBox within single seconds.
+	TotalBox  report.BoxStats
+	PerSecBox report.BoxStats
+}
+
+// Fig6Result reproduces Fig. 6.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Fig6 measures distinct producing threads per core from the generators.
+func Fig6(o Options) (*Fig6Result, error) {
+	o = o.defaults()
+	ws, err := o.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{}
+	for _, w := range ws {
+		var totals, persec []float64
+		for c := 0; c < o.Topology.Cores(); c++ {
+			g, err := w.Gen(workload.GenOptions{Topology: o.Topology, Core: c})
+			if err != nil {
+				return nil, err
+			}
+			seen := map[uint32]bool{}
+			secSeen := map[uint32]bool{}
+			var secCounts []float64
+			curSec := uint64(0)
+			for {
+				e, ok := g.Next()
+				if !ok {
+					break
+				}
+				seen[e.TID] = true
+				if s := e.TS / 1_000_000_000; s != curSec {
+					secCounts = append(secCounts, float64(len(secSeen)))
+					secSeen = map[uint32]bool{}
+					curSec = s
+				}
+				secSeen[e.TID] = true
+			}
+			if len(secSeen) > 0 {
+				secCounts = append(secCounts, float64(len(secSeen)))
+			}
+			totals = append(totals, float64(len(seen)))
+			var avg float64
+			for _, v := range secCounts {
+				avg += v
+			}
+			if len(secCounts) > 0 {
+				avg /= float64(len(secCounts))
+			}
+			persec = append(persec, avg)
+		}
+		res.Rows = append(res.Rows, Fig6Row{
+			Workload:  w.Name,
+			TotalBox:  report.Box(totals),
+			PerSecBox: report.Box(persec),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the box plot table.
+func (r *Fig6Result) Render(w io.Writer) {
+	tb := report.NewTable("Fig. 6 — distinct trace-producing threads per core (box over cores)",
+		"workload", "total30s med", "total30s box", "per-sec med", "per-sec box")
+	var maxT float64
+	for _, row := range r.Rows {
+		if row.TotalBox.Max > maxT {
+			maxT = row.TotalBox.Max
+		}
+	}
+	for _, row := range r.Rows {
+		tb.AddRow(row.Workload,
+			fmt.Sprintf("%.0f", row.TotalBox.Median), row.TotalBox.Render(maxT, 24),
+			fmt.Sprintf("%.0f", row.PerSecBox.Median), row.PerSecBox.Render(maxT/10, 24))
+	}
+	tb.Render(w)
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"btrace/internal/core"
+	"btrace/internal/report"
+)
+
+// Table1Row is one tracer's analytic characteristics.
+type Table1Row struct {
+	Tracer       string
+	Contention   string
+	Utilization  float64
+	Effectivity  float64
+	Resizing     string
+	Availability string
+}
+
+// Table1Result reproduces Table 1: the analytic comparison of BTrace with
+// the state-of-the-art tracers, instantiated with concrete parameters
+// (the §3.1 example uses C=12, T=500, 4 KiB blocks, a 12 MB buffer).
+type Table1Result struct {
+	C, T, N, A int
+	Rows       []Table1Row
+}
+
+// Table1 evaluates the formulas for the configured budget.
+func Table1(o Options) (*Table1Result, error) {
+	o = o.defaults()
+	c := o.Topology.Cores()
+	const t = 500
+	opt, err := core.OptionsForBudget(o.Budget, c, core.DefaultBlockSize, core.DefaultActivePerCore)
+	if err != nil {
+		return nil, err
+	}
+	n := opt.ActiveBlocks * opt.Ratio
+	a := opt.ActiveBlocks
+	res := &Table1Result{C: c, T: t, N: n, A: a}
+	res.Rows = []Table1Row{
+		{"bbq", "High (Global Buffer)", 1, 1, "Not support", "Blocking"},
+		{"ftrace", "Low (Core Local)", 1 / float64(c), 1 / float64(c), "Disable Preemption", "Disable Preemption"},
+		{"lttng", "Low (Core Local)", 1 / float64(c), 1 / float64(c), "Not support", "Dropping Newest"},
+		{"vtrace", "Low (Thread Local)", 1 / float64(t), 1 / float64(t), "Not support", "Separating to Threads"},
+		{"btrace", "Low (Core Local)",
+			1 - float64(c-1)/float64(n),
+			1 - float64(a)/float64(n),
+			"Implicit Reclaiming", "Skipping Blocked"},
+	}
+	return res, nil
+}
+
+// Render writes the comparison table.
+func (r *Table1Result) Render(w io.Writer) {
+	tb := report.NewTable(
+		fmt.Sprintf("Table 1 — analytic comparison (C=%d, T=%d, N=%d, A=%d)", r.C, r.T, r.N, r.A),
+		"tracer", "contention", "utilization", "effectivity", "resizing", "availability")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Tracer, row.Contention,
+			fmt.Sprintf("%.4f", row.Utilization),
+			fmt.Sprintf("%.4f", row.Effectivity),
+			row.Resizing, row.Availability)
+	}
+	tb.Render(w)
+	fmt.Fprintf(w, "(§3.1 example: per-core utilization %.1f%%, per-thread %.1f%%, btrace %.1f%%)\n",
+		100/float64(r.C), 100/float64(r.T), 100*(1-float64(r.C-1)/float64(r.N)))
+}

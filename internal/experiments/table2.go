@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"btrace/internal/analysis"
+	"btrace/internal/replay"
+	"btrace/internal/report"
+)
+
+// Table2Cell is one (tracer, workload) measurement.
+type Table2Cell struct {
+	LatestMB      float64
+	LossRate      float64
+	Fragments     int
+	LatencyGeoNs  float64
+	Effectivity   float64
+	WrittenMB     float64
+	DroppedEvents uint64
+}
+
+// Table2Result reproduces Table 2: latest continuous entries, loss rate,
+// fragment count and geometric-mean recording latency for every tracer
+// under every workload, thread-level replay, equal budgets.
+type Table2Result struct {
+	Tracers   []string
+	Workloads []string
+	// Cells[tracer][workload].
+	Cells map[string]map[string]Table2Cell
+	// GeoMean[tracer] aggregates each metric across workloads the way
+	// the paper's G.M. column does.
+	GeoMean  map[string]Table2Cell
+	BudgetMB float64
+}
+
+// Table2 runs the full grid.
+func Table2(o Options) (*Table2Result, error) {
+	o = o.defaults()
+	ws, err := o.workloads()
+	if err != nil {
+		return nil, err
+	}
+	budget := o.effectiveBudget()
+	res := &Table2Result{
+		Tracers:  o.Tracers,
+		Cells:    map[string]map[string]Table2Cell{},
+		GeoMean:  map[string]Table2Cell{},
+		BudgetMB: float64(budget) / 1e6,
+	}
+	for _, w := range ws {
+		res.Workloads = append(res.Workloads, w.Name)
+	}
+	for _, tn := range o.Tracers {
+		res.Cells[tn] = map[string]Table2Cell{}
+		for _, w := range ws {
+			tr, err := o.withBudget(budget).newTracer(tn, w)
+			if err != nil {
+				return nil, err
+			}
+			rr, err := replay.Run(replay.Config{
+				Tracer: tr, Workload: w, Topology: o.Topology,
+				Mode: replay.ThreadLevel, RateScale: o.RateScale,
+				PreemptProb: o.PreemptProb, MeasureLatency: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s/%s: %w", tn, w.Name, err)
+			}
+			retained, err := replay.RetainedStamps(tr)
+			if err != nil {
+				return nil, err
+			}
+			ret, err := analysis.Analyze(rr.Truth, retained, budget)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s/%s: %w", tn, w.Name, err)
+			}
+			lat := analysis.Latency(rr.LatenciesNs)
+			res.Cells[tn][w.Name] = Table2Cell{
+				LatestMB:      float64(ret.LatestFragmentBytes) / 1e6,
+				LossRate:      ret.LossRate,
+				Fragments:     ret.Fragments,
+				LatencyGeoNs:  lat.GeoMean,
+				Effectivity:   ret.EffectivityRatio,
+				WrittenMB:     float64(ret.TotalBytes) / 1e6,
+				DroppedEvents: rr.Dropped,
+			}
+		}
+		res.GeoMean[tn] = geoMeanCells(res.Cells[tn])
+	}
+	return res, nil
+}
+
+func geoMeanCells(cells map[string]Table2Cell) Table2Cell {
+	gm := func(get func(Table2Cell) float64) float64 {
+		var logSum float64
+		n := 0
+		for _, c := range cells {
+			v := get(c)
+			if v <= 0 {
+				v = 1e-6
+			}
+			logSum += math.Log(v)
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return math.Exp(logSum / float64(n))
+	}
+	var fragSum int
+	for _, c := range cells {
+		fragSum += c.Fragments
+	}
+	out := Table2Cell{
+		LatestMB:     gm(func(c Table2Cell) float64 { return c.LatestMB }),
+		LossRate:     gm(func(c Table2Cell) float64 { return c.LossRate + 1e-6 }),
+		LatencyGeoNs: gm(func(c Table2Cell) float64 { return c.LatencyGeoNs }),
+		Effectivity:  gm(func(c Table2Cell) float64 { return c.Effectivity }),
+	}
+	if len(cells) > 0 {
+		out.Fragments = fragSum / len(cells)
+	}
+	return out
+}
+
+// Render writes the four metric tables (the paper stacks them in one).
+func (r *Table2Result) Render(w io.Writer) {
+	metric := func(title string, get func(Table2Cell) string) {
+		headers := append([]string{"tracer"}, r.Workloads...)
+		headers = append(headers, "G.M.")
+		tb := report.NewTable(title, headers...)
+		for _, tn := range r.Tracers {
+			row := make([]any, 0, len(r.Workloads)+2)
+			row = append(row, tn)
+			for _, wn := range r.Workloads {
+				row = append(row, get(r.Cells[tn][wn]))
+			}
+			row = append(row, get(r.GeoMean[tn]))
+			tb.AddRow(row...)
+		}
+		tb.Render(w)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Table 2 — thread-level replay, %.1f MB budget per tracer\n\n", r.BudgetMB)
+	metric("Latest continuous entries (MB) — higher is better", func(c Table2Cell) string {
+		return fmt.Sprintf("%.2f", c.LatestMB)
+	})
+	metric("Loss rate — lower is better", func(c Table2Cell) string {
+		return fmt.Sprintf("%.2f", c.LossRate)
+	})
+	metric("Fragment count — lower is better", func(c Table2Cell) string {
+		return formatCount(c.Fragments)
+	})
+	metric("Recording latency, geometric mean (ns) — lower is better", func(c Table2Cell) string {
+		return fmt.Sprintf("%.0f", c.LatencyGeoNs)
+	})
+}
+
+func formatCount(n int) string {
+	switch {
+	case n >= 10000:
+		return fmt.Sprintf("%de%d", n/pow10(digits(n)-1), digits(n)-1)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+func digits(n int) int {
+	d := 0
+	for n > 0 {
+		d++
+		n /= 10
+	}
+	return d
+}
+
+func pow10(e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= 10
+	}
+	return p
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"btrace/internal/report"
+	"btrace/internal/workload"
+)
+
+func wlByName(name string) (workload.Workload, error) {
+	return workload.ByName(name)
+}
+
+func human(b int) string {
+	if b < 0 {
+		b = 0
+	}
+	return report.HumanBytes(uint64(b))
+}
+
+func renderMap(m []bool, width int) string {
+	return report.RetentionBar(m, width)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+// Package export converts trace readouts into interchange formats: the
+// Chrome trace-event JSON consumed by chrome://tracing and Perfetto (the
+// trace viewers the paper's ecosystem uses [17, 37, 39]), CSV for ad-hoc
+// analysis, and a human-readable text rendering modeled on the kernel's
+// trace output.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"btrace/internal/tracer"
+	"btrace/internal/workload"
+)
+
+// chromeEvent is one entry in the Chrome trace-event "traceEvents" array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	PID  int            `json:"pid"` // core, so the viewer groups by core
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level Chrome trace JSON object.
+type chromeFile struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// ChromeTrace writes es as Chrome trace-event JSON. Events render as
+// instant events ("ph":"i") named by their category, grouped by core
+// (pid) and thread (tid).
+func ChromeTrace(w io.Writer, es []tracer.Entry) error {
+	file := chromeFile{
+		TraceEvents: make([]chromeEvent, 0, len(es)),
+		Metadata: map[string]any{
+			"tracer":      "btrace",
+			"event-count": len(es),
+		},
+	}
+	for i := range es {
+		e := &es[i]
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: workload.Category(e.Cat).Name(),
+			Ph:   "i",
+			TS:   float64(e.TS) / 1e3,
+			PID:  int(e.Core),
+			TID:  int(e.TID),
+			Args: map[string]any{
+				"stamp": e.Stamp,
+				"level": e.Level,
+				"bytes": e.WireSize(),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// CSV writes es as comma-separated rows with a header.
+func CSV(w io.Writer, es []tracer.Entry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"stamp", "ts_ns", "core", "tid", "category", "level", "payload_bytes"}); err != nil {
+		return err
+	}
+	for i := range es {
+		e := &es[i]
+		rec := []string{
+			strconv.FormatUint(e.Stamp, 10),
+			strconv.FormatUint(e.TS, 10),
+			strconv.Itoa(int(e.Core)),
+			strconv.FormatUint(uint64(e.TID), 10),
+			workload.Category(e.Cat).Name(),
+			strconv.Itoa(int(e.Level)),
+			strconv.Itoa(len(e.Payload)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Text writes es in a human-readable, ftrace-output-like form:
+//
+//	[core] tid=NNN  12.345678s  category  level=N  stamp=NNN  payload...
+func Text(w io.Writer, es []tracer.Entry) error {
+	for i := range es {
+		e := &es[i]
+		payload := ""
+		if len(e.Payload) > 0 {
+			const maxShown = 32
+			p := e.Payload
+			trunc := ""
+			if len(p) > maxShown {
+				p, trunc = p[:maxShown], "..."
+			}
+			if printable(p) {
+				payload = fmt.Sprintf("  %q%s", p, trunc)
+			} else {
+				payload = fmt.Sprintf("  %x%s", p, trunc)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "[%03d] tid=%-7d %12.6fs  %-18s level=%d stamp=%d%s\n",
+			e.Core, e.TID, float64(e.TS)/1e9, workload.Category(e.Cat).Name(),
+			e.Level, e.Stamp, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printable(p []byte) bool {
+	for _, b := range p {
+		if b < 0x20 || b > 0x7e {
+			return false
+		}
+	}
+	return true
+}

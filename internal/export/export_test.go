@@ -1,0 +1,105 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+func sample() []tracer.Entry {
+	return []tracer.Entry{
+		{Stamp: 1, TS: 1_500_000, Core: 0, TID: 42, Cat: 11, Level: 2, Payload: []byte("hello")},
+		{Stamp: 2, TS: 2_500_000, Core: 11, TID: 43, Cat: 17, Level: 3, Payload: []byte{0x00, 0xFF}},
+		{Stamp: 3, TS: 3_500_000, Core: 5, TID: 44, Cat: 2, Level: 1},
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ChromeTrace(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(parsed.TraceEvents) != 3 {
+		t.Fatalf("%d events", len(parsed.TraceEvents))
+	}
+	ev := parsed.TraceEvents[0]
+	if ev.Name != "sched" || ev.Ph != "i" || ev.TS != 1500 || ev.PID != 0 || ev.TID != 42 {
+		t.Fatalf("event 0: %+v", ev)
+	}
+	if ev.Args["stamp"].(float64) != 1 {
+		t.Fatalf("args: %v", ev.Args)
+	}
+	if parsed.Metadata["tracer"] != "btrace" {
+		t.Fatalf("metadata: %v", parsed.Metadata)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON for empty input")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[0] != "stamp,ts_ns,core,tid,category,level,payload_bytes" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,1500000,0,42,sched,2,5") {
+		t.Fatalf("row 1: %q", lines[1])
+	}
+	// Category with a comma in its name must be quoted correctly.
+	if !strings.Contains(lines[2], `energy/thermal/...`) {
+		t.Fatalf("row 2: %q", lines[2])
+	}
+}
+
+func TestText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Text(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{`"hello"`, "00ff", "stamp=3", "[011]", "0.001500s"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("text output missing %q:\n%s", frag, out)
+		}
+	}
+	// Long payloads truncate.
+	long := []tracer.Entry{{Stamp: 9, Payload: bytes.Repeat([]byte("a"), 100)}}
+	buf.Reset()
+	if err := Text(&buf, long); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "...") {
+		t.Error("no truncation marker")
+	}
+}

@@ -1,0 +1,158 @@
+package ftrace
+
+import (
+	"testing"
+
+	"btrace/internal/tracer"
+	"btrace/internal/tracer/tracertest"
+)
+
+func TestConformance(t *testing.T) {
+	tracertest.Run(t, tracertest.Config{
+		New: func(total, cores, threads int) (tracer.Tracer, error) {
+			return New(total, cores, 512)
+		},
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1<<20, 0, 0); err == nil {
+		t.Error("zero cores: expected error")
+	}
+	if _, err := New(1<<20, 4, 100); err == nil {
+		t.Error("unaligned page: expected error")
+	}
+	if _, err := New(4096, 4, 4096); err == nil {
+		t.Error("one page per core: expected error")
+	}
+}
+
+// TestPerCoreIsolation: writes on one core never consume another core's
+// buffer share — the 1/C worst-case utilization of Table 1.
+func TestPerCoreIsolation(t *testing.T) {
+	tr, err := New(8<<10, 4, 512) // 2 KiB (4 pages) per core
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 writes a flood; cores 1..3 write one early entry each.
+	for c := 1; c < 4; c++ {
+		p := &tracer.FixedProc{CoreID: c, TID: c}
+		if err := tr.Write(p, &tracer.Entry{Stamp: uint64(c), TS: 1, Payload: make([]byte, 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p0 := &tracer.FixedProc{CoreID: 0, TID: 0}
+	for i := 100; i < 1100; i++ {
+		if err := tr.Write(p0, &tracer.Entry{Stamp: uint64(i), TS: uint64(i), Payload: make([]byte, 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es, _ := tr.ReadAll()
+	// The other cores' early entries must still be there: core 0's flood
+	// only overwrote core 0's pages. (This is precisely the Fig. 5
+	// fragmentation problem: old idle-core data survives while the busy
+	// core overwrites its own recent data.)
+	found := map[uint64]bool{}
+	for _, e := range es {
+		found[e.Stamp] = true
+	}
+	for c := uint64(1); c < 4; c++ {
+		if !found[c] {
+			t.Errorf("idle core %d's entry was overwritten", c)
+		}
+	}
+	if !found[1099] {
+		t.Error("newest entry missing")
+	}
+	// Core 0 must have lost its oldest entries (1/C share exhausted).
+	if found[100] {
+		t.Error("flooding core retained its oldest entry; per-core budget not enforced")
+	}
+}
+
+// TestTimestampExtendRecords: deltas beyond 27 bits produce extend
+// records, visible as dummy bytes.
+func TestTimestampExtendRecords(t *testing.T) {
+	tr, err := New(8<<10, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &tracer.FixedProc{}
+	if err := tr.Write(p, &tracer.Entry{Stamp: 1, TS: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Write(p, &tracer.Entry{Stamp: 2, TS: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats().DummyBytes < extendRecordSize {
+		t.Errorf("no extend record accounted: %+v", tr.Stats())
+	}
+	es, _ := tr.ReadAll()
+	if len(es) != 2 {
+		t.Fatalf("retained %d entries, want 2", len(es))
+	}
+}
+
+// TestPreemptionDisabledDuringWrite: the writer holds a preemption-disable
+// scope for the whole write, like kernel ftrace.
+func TestPreemptionDisabledDuringWrite(t *testing.T) {
+	tr, err := New(8<<10, 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &countingProc{}
+	if err := tr.Write(p, &tracer.Entry{Stamp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if p.disables != 1 || p.depth != 0 {
+		t.Errorf("disables=%d depth=%d, want 1/0", p.disables, p.depth)
+	}
+	if p.preemptsWhileDisabled != 0 {
+		t.Errorf("%d preemption points offered while disabled", p.preemptsWhileDisabled)
+	}
+}
+
+type countingProc struct {
+	depth                 int
+	disables              int
+	preemptsWhileDisabled int
+}
+
+func (p *countingProc) Core() int   { return 0 }
+func (p *countingProc) Thread() int { return 0 }
+func (p *countingProc) MaybePreempt(tracer.PreemptPoint) {
+	if p.depth > 0 {
+		p.preemptsWhileDisabled++
+	}
+}
+func (p *countingProc) DisablePreemption() func() {
+	p.depth++
+	p.disables++
+	return func() { p.depth-- }
+}
+
+func TestOverwrittenStat(t *testing.T) {
+	tr, err := New(2<<10, 1, 512) // 4 pages of 512 B
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &tracer.FixedProc{}
+	for i := 1; i <= 200; i++ {
+		if err := tr.Write(p, &tracer.Entry{Stamp: uint64(i), TS: uint64(i), Payload: make([]byte, 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Stats().Overwritten == 0 {
+		t.Error("expected overwritten entries after wrapping")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	tr, err := tracer.New(TracerName, 1<<20, 12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "ftrace" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+}

@@ -1,0 +1,159 @@
+package lttng
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"btrace/internal/tracer"
+	"btrace/internal/tracer/tracertest"
+)
+
+func TestConformance(t *testing.T) {
+	tracertest.Run(t, tracertest.Config{
+		New: func(total, cores, threads int) (tracer.Tracer, error) {
+			return New(total, cores, 512)
+		},
+		DropsNewest: true,
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1<<20, 0, 0); err == nil {
+		t.Error("zero cores: expected error")
+	}
+	if _, err := New(1<<20, 4, 60); err == nil {
+		t.Error("bad sub-buffer size: expected error")
+	}
+	if _, err := New(512, 4, 512); err == nil {
+		t.Error("tiny budget: expected error")
+	}
+}
+
+// hookProc delivers preemption points to a callback.
+type hookProc struct {
+	core int
+	tid  int
+	hook func(tracer.PreemptPoint)
+}
+
+func (p *hookProc) Core() int   { return p.core }
+func (p *hookProc) Thread() int { return p.tid }
+func (p *hookProc) MaybePreempt(pt tracer.PreemptPoint) {
+	if p.hook != nil {
+		p.hook(pt)
+	}
+}
+func (p *hookProc) DisablePreemption() func() { return func() {} }
+
+// TestDropsNewestOnStraggler: when a preempted writer holds a sub-buffer,
+// a wrapping producer discards the newest events instead of blocking —
+// the defining LTTng behavior the paper contrasts with BTrace (§2.2).
+func TestDropsNewestOnStraggler(t *testing.T) {
+	tr, err := New(2*512, 1, 512) // one core, two sub-buffers
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	held := make(chan struct{})
+	var once sync.Once
+	p0 := &hookProc{core: 0, hook: func(pt tracer.PreemptPoint) {
+		if pt == tracer.PreemptBeforeConfirm {
+			once.Do(func() {
+				close(held)
+				<-release
+			})
+		}
+	}}
+	go func() {
+		if err := tr.Write(p0, &tracer.Entry{Stamp: 1, Payload: make([]byte, 8)}); err != nil {
+			t.Errorf("straggler: %v", err)
+		}
+	}()
+	<-held
+
+	// Another thread fills the remaining space; once both sub-buffers
+	// are exhausted, writes must start failing with ErrDropped.
+	p1 := &tracer.FixedProc{CoreID: 0, TID: 1}
+	drops := 0
+	for i := 2; i <= 100; i++ {
+		err := tr.Write(p1, &tracer.Entry{Stamp: uint64(i), Payload: make([]byte, 8)})
+		if errors.Is(err, tracer.ErrDropped) {
+			drops++
+		} else if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if drops == 0 {
+		t.Fatal("no drops while a straggler held a sub-buffer")
+	}
+	if tr.Stats().Dropped != uint64(drops) {
+		t.Errorf("Dropped stat = %d, want %d", tr.Stats().Dropped, drops)
+	}
+	close(release)
+
+	// After the straggler commits, writing works again.
+	for {
+		err := tr.Write(p1, &tracer.Entry{Stamp: 999, Payload: make([]byte, 8)})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, tracer.ErrDropped) {
+			t.Fatal(err)
+		}
+	}
+	es, _ := tr.ReadAll()
+	var newest uint64
+	for _, e := range es {
+		if e.Stamp > newest {
+			newest = e.Stamp
+		}
+	}
+	if newest != 999 {
+		t.Fatalf("newest retained %d, want 999", newest)
+	}
+}
+
+// TestPerCoreIsolation mirrors the ftrace test: per-core buffers mean an
+// idle core's stale data survives while a busy core overwrites its own.
+func TestPerCoreIsolation(t *testing.T) {
+	tr, err := New(8<<10, 4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c < 4; c++ {
+		p := &tracer.FixedProc{CoreID: c, TID: c}
+		if err := tr.Write(p, &tracer.Entry{Stamp: uint64(c), Payload: make([]byte, 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p0 := &tracer.FixedProc{CoreID: 0}
+	for i := 100; i < 1100; i++ {
+		if err := tr.Write(p0, &tracer.Entry{Stamp: uint64(i), Payload: make([]byte, 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es, _ := tr.ReadAll()
+	found := map[uint64]bool{}
+	for _, e := range es {
+		found[e.Stamp] = true
+	}
+	for c := uint64(1); c < 4; c++ {
+		if !found[c] {
+			t.Errorf("idle core %d's entry overwritten", c)
+		}
+	}
+	if found[100] {
+		t.Error("busy core retained oldest entry")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	tr, err := tracer.New(TracerName, 1<<20, 12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "lttng" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+}

@@ -1,0 +1,276 @@
+package replay
+
+import (
+	"testing"
+
+	"btrace/internal/analysis"
+	"btrace/internal/sim"
+	"btrace/internal/tracer"
+	"btrace/internal/workload"
+
+	_ "btrace/internal/bbq"
+	_ "btrace/internal/core"
+	_ "btrace/internal/ftrace"
+	_ "btrace/internal/lttng"
+	_ "btrace/internal/vtrace"
+)
+
+const testBudget = 256 << 10 // 256 KiB buffers for fast tests
+
+func testConfig(t *testing.T, tracerName string, w string, mode Mode) Config {
+	t.Helper()
+	wl, err := workload.ByName(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tracer.New(tracerName, testBudget, 12, wl.ThreadsTotal*12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Tracer:      tr,
+		Workload:    wl,
+		Mode:        mode,
+		RateScale:   0.01,
+		PreemptProb: 0.02,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil tracer: expected error")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if CoreLevel.String() != "core-level" || ThreadLevel.String() != "thread-level" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestCoreLevelReplayBTrace(t *testing.T) {
+	cfg := testConfig(t, "btrace", "IM", CoreLevel)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Written == 0 {
+		t.Fatal("nothing written")
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("btrace dropped %d", res.Dropped)
+	}
+	if len(res.Truth) != int(res.Written) {
+		t.Fatalf("truth %d != written %d", len(res.Truth), res.Written)
+	}
+	for i, s := range res.Truth {
+		if s == 0 {
+			t.Fatalf("stamp %d missing from truth", i+1)
+		}
+	}
+	// All 12 cores must have produced (IM is a flat workload).
+	for c, n := range res.PerCoreWritten {
+		if n == 0 {
+			t.Errorf("core %d wrote nothing", c)
+		}
+	}
+	retained, err := RetainedStamps(cfg.Tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := analysis.Analyze(res.Truth, retained, cfg.Tracer.TotalBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retained == 0 {
+		t.Fatal("nothing retained")
+	}
+	// The newest stamp must be retained (BTrace never drops newest).
+	found := false
+	for _, s := range retained {
+		if s == uint64(len(res.Truth)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("newest stamp lost")
+	}
+}
+
+func TestThreadLevelReplayAllTracers(t *testing.T) {
+	for _, name := range []string{"btrace", "bbq", "ftrace", "lttng", "vtrace"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(t, name, "eShop-1", ThreadLevel)
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Written == 0 {
+				t.Fatal("nothing written")
+			}
+			if name != "lttng" && res.Dropped != 0 {
+				t.Fatalf("%s dropped %d entries", name, res.Dropped)
+			}
+			retained, err := RetainedStamps(cfg.Tracer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := analysis.Analyze(res.Truth, retained, testBudget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Retained == 0 {
+				t.Fatal("nothing retained")
+			}
+			t.Logf("%s: written=%d retained=%d latest=%dB frags=%d loss=%.2f",
+				name, res.Written, r.Retained, r.LatestFragmentBytes, r.Fragments, r.LossRate)
+		})
+	}
+}
+
+// TestRetentionOrdering: the paper's headline — with the same budget,
+// BTrace's latest fragment beats the per-core and per-thread baselines
+// under a skewed workload.
+func TestRetentionOrdering(t *testing.T) {
+	latest := map[string]uint64{}
+	for _, name := range []string{"btrace", "ftrace", "vtrace"} {
+		cfg := testConfig(t, name, "Video-1", ThreadLevel)
+		cfg.RateScale = 0.03
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		retained, err := RetainedStamps(cfg.Tracer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := analysis.Analyze(res.Truth, retained, testBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		latest[name] = r.LatestFragmentBytes
+	}
+	if latest["btrace"] <= latest["ftrace"] {
+		t.Errorf("btrace latest fragment %d <= ftrace %d", latest["btrace"], latest["ftrace"])
+	}
+	if latest["btrace"] <= latest["vtrace"] {
+		t.Errorf("btrace latest fragment %d <= vtrace %d", latest["btrace"], latest["vtrace"])
+	}
+}
+
+func TestLatencyMeasurement(t *testing.T) {
+	cfg := testConfig(t, "btrace", "Music", CoreLevel)
+	cfg.MeasureLatency = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LatenciesNs) != int(res.Written+res.Dropped) {
+		t.Fatalf("latencies %d != attempts %d", len(res.LatenciesNs), res.Written+res.Dropped)
+	}
+	st := analysis.Latency(res.LatenciesNs)
+	if st.GeoMean <= 0 {
+		t.Fatal("zero geomean")
+	}
+}
+
+func TestDistinctThreadCounts(t *testing.T) {
+	wl, _ := workload.ByName("SysTest")
+	tr, _ := tracer.New("btrace", testBudget, 12, 6000)
+	res, err := Run(Config{Tracer: tr, Workload: wl, Mode: ThreadLevel, RateScale: 0.05, PreemptProb: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, n := range res.DistinctThreads {
+		if n == 0 {
+			t.Errorf("core %d: no distinct threads", c)
+		}
+	}
+}
+
+func TestServerTopologyReplay(t *testing.T) {
+	wl, _ := workload.ByName("IM")
+	tr, _ := tracer.New("btrace", testBudget, 32, 1000)
+	res, err := Run(Config{
+		Tracer: tr, Workload: wl, Topology: sim.Server(32),
+		Mode: CoreLevel, RateScale: 0.005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Written == 0 {
+		t.Fatal("nothing written")
+	}
+	if len(res.PerCoreWritten) != 32 {
+		t.Fatalf("per-core slice = %d", len(res.PerCoreWritten))
+	}
+}
+
+func TestReplayFromSchedule(t *testing.T) {
+	wl, err := workload.ByName("IM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := wl.BuildSchedule(workload.GenOptions{RateScale: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tracer.New("btrace", testBudget, 12, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Tracer: tr, Schedule: s, Mode: ThreadLevel, PreemptProb: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Written) != s.Events() {
+		t.Fatalf("written %d, schedule has %d", res.Written, s.Events())
+	}
+	retained, err := RetainedStamps(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retained) == 0 {
+		t.Fatal("nothing retained")
+	}
+	// Topology mismatch is rejected.
+	if _, err := Run(Config{Tracer: tr, Schedule: s, Topology: sim.Server(3)}); err == nil {
+		t.Fatal("topology mismatch: expected error")
+	}
+}
+
+// TestPerCoreRetentionSkew quantifies the Fig. 5 pathology on the real
+// tracers: with per-core buffers under a skewed workload, the idle cores'
+// retained data reaches much deeper into the past than the busy cores'.
+func TestPerCoreRetentionSkew(t *testing.T) {
+	cfg := testConfig(t, "ftrace", "Video-1", ThreadLevel)
+	cfg.RateScale = 0.03
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained, err := RetainedStamps(cfg.Tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := analysis.PerCore(res.Truth, res.TruthCores, retained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCore := map[uint8]analysis.CoreRetention{}
+	for _, r := range rows {
+		byCore[r.Core] = r
+	}
+	// A little core (0) floods its private ring and keeps only recent
+	// stamps; a big core (11) writes little and keeps deep history. The
+	// per-core ring makes the big core's oldest retained stamp much older.
+	little, big := byCore[0], byCore[11]
+	if little.Retained == 0 || big.Retained == 0 {
+		t.Skip("a core retained nothing at this scale")
+	}
+	if big.OldestStamp >= little.OldestStamp {
+		t.Errorf("per-core skew missing: big oldest %d, little oldest %d",
+			big.OldestStamp, little.OldestStamp)
+	}
+}

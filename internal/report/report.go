@@ -1,0 +1,213 @@
+// Package report renders the benchmark harness's tables and figures as
+// ASCII: aligned tables (Table 1, Table 2), retention maps (Fig. 1), bar
+// charts (Fig. 2, Fig. 4), box plots (Fig. 6, Fig. 10) and line series
+// (Fig. 3, Fig. 11).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple aligned-column table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells render with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e6:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(t.Headers)
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// RetentionBar renders a Fig. 1 retention map: each cell aggregates a
+// span of the last-N-written events; '#' fully retained, '.' partially,
+// ' ' lost. Oldest left, newest right.
+func RetentionBar(retained []bool, width int) string {
+	if len(retained) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(retained) {
+		width = len(retained)
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		lo := i * len(retained) / width
+		hi := (i + 1) * len(retained) / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		kept := 0
+		for _, v := range retained[lo:hi] {
+			if v {
+				kept++
+			}
+		}
+		switch {
+		case kept == hi-lo:
+			b.WriteByte('#')
+		case kept == 0:
+			b.WriteByte(' ')
+		default:
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar scaled to width at value/max.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 || width <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// BoxStats are five-number summaries for box plots.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Box computes BoxStats over values.
+func Box(values []float64) BoxStats {
+	if len(values) == 0 {
+		return BoxStats{}
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	q := func(f float64) float64 {
+		idx := f * float64(len(s)-1)
+		lo := int(idx)
+		if lo >= len(s)-1 {
+			return s[len(s)-1]
+		}
+		frac := idx - float64(lo)
+		return s[lo]*(1-frac) + s[lo+1]*frac
+	}
+	return BoxStats{Min: s[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: s[len(s)-1]}
+}
+
+// Render draws the box on a [0,max] axis of the given width.
+func (b BoxStats) Render(max float64, width int) string {
+	if max <= 0 || width <= 0 {
+		return ""
+	}
+	pos := func(v float64) int {
+		p := int(v / max * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	out := []byte(strings.Repeat(" ", width))
+	for i := pos(b.Min); i <= pos(b.Max); i++ {
+		out[i] = '-'
+	}
+	for i := pos(b.Q1); i <= pos(b.Q3); i++ {
+		out[i] = '='
+	}
+	out[pos(b.Median)] = '|'
+	return string(out)
+}
+
+// Series renders (x, y) pairs as aligned "x y" rows with a header, the
+// plain form gnuplot and the paper's plotting scripts consume.
+func Series(w io.Writer, title, xLabel, yLabel string, points [][2]float64) {
+	fmt.Fprintf(w, "# %s\n# %s\t%s\n", title, xLabel, yLabel)
+	for _, p := range points {
+		fmt.Fprintf(w, "%.1f\t%.2f\n", p[0], p[1])
+	}
+}
+
+// HumanBytes formats a byte count compactly (KiB/MiB).
+func HumanBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

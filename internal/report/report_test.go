@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("b", 1000000.0)
+	tb.AddRow("c", 0.123456)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, frag := range []string{"Title", "name", "value", "alpha", "3.14", "1000000", "0.123"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	w := len(lines[1])
+	for i, l := range lines[1:] {
+		if len(l) != w {
+			t.Errorf("line %d width %d != %d", i, len(l), w)
+		}
+	}
+}
+
+func TestRetentionBar(t *testing.T) {
+	retained := []bool{true, true, false, false, true, false, true, true}
+	bar := RetentionBar(retained, 4)
+	if bar != "# .#" && bar != "#..#" {
+		t.Errorf("bar = %q", bar)
+	}
+	if RetentionBar(nil, 10) != "" {
+		t.Error("empty input")
+	}
+	if got := RetentionBar([]bool{true}, 10); got != "#" {
+		t.Errorf("width capped: %q", got)
+	}
+	full := RetentionBar([]bool{true, true, true, true}, 2)
+	if full != "##" {
+		t.Errorf("full = %q", full)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Errorf("Bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Error("clamp")
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Error("zero max")
+	}
+}
+
+func TestBox(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("box: %+v", b)
+	}
+	if Box(nil) != (BoxStats{}) {
+		t.Error("empty box")
+	}
+	r := b.Render(5, 20)
+	if len(r) != 20 || !strings.Contains(r, "|") || !strings.Contains(r, "=") {
+		t.Errorf("render: %q", r)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var sb strings.Builder
+	Series(&sb, "cdf", "ns", "%", [][2]float64{{10, 50}, {20, 100}})
+	out := sb.String()
+	if !strings.Contains(out, "# cdf") || !strings.Contains(out, "10.0\t50.00") {
+		t.Errorf("series:\n%s", out)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:     "512B",
+		2048:    "2.0KiB",
+		5 << 20: "5.00MiB",
+		3 << 30: "3.00GiB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Hotplug support: the §6 silent-defect case study involves a userspace
+// driver hot-unplugging a CPU; unbound threads must be migrated off by
+// the scheduler, while a thread bound to the core (cpuset/affinity) has
+// nowhere to run and starves — the corner case the paper's watchdog
+// daemons catch. Machine models exactly that: taking a core offline
+// makes unbound threads transparently migrate on their next scheduling,
+// and bound threads block until the core returns.
+
+// hotplugState tracks online/offline cores; embedded in Machine.
+type hotplugState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	offline map[int]bool
+}
+
+func (h *hotplugState) init() {
+	h.offline = map[int]bool{}
+	h.cond = sync.NewCond(&h.mu)
+}
+
+// SetOnline changes a core's hotplug state. Taking a core offline does
+// not evict the thread currently holding it (as in Linux, the unplug
+// completes once the core's current occupant leaves); it prevents new
+// admissions. Bringing a core online wakes threads waiting for it.
+func (m *Machine) SetOnline(core int, online bool) error {
+	if core < 0 || core >= len(m.cores) {
+		return fmt.Errorf("sim: core %d out of range", core)
+	}
+	m.hp.mu.Lock()
+	defer m.hp.mu.Unlock()
+	if online {
+		delete(m.hp.offline, core)
+		m.hp.cond.Broadcast()
+	} else {
+		m.hp.offline[core] = true
+	}
+	return nil
+}
+
+// Online reports a core's hotplug state.
+func (m *Machine) Online(core int) bool {
+	m.hp.mu.Lock()
+	defer m.hp.mu.Unlock()
+	return !m.hp.offline[core]
+}
+
+// nextOnline returns an online core to migrate to, preferring the lowest
+// id (the kernel's fallback policy is similar); ok=false if every core is
+// offline.
+func (m *Machine) nextOnline(from int) (int, bool) {
+	m.hp.mu.Lock()
+	defer m.hp.mu.Unlock()
+	for i := 0; i < len(m.cores); i++ {
+		c := (from + i) % len(m.cores)
+		if !m.hp.offline[c] {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// waitOnline blocks until the core is online (bound-thread behavior: the
+// §6 starvation).
+func (m *Machine) waitOnline(core int) {
+	m.hp.mu.Lock()
+	defer m.hp.mu.Unlock()
+	for m.hp.offline[core] {
+		m.hp.cond.Wait()
+	}
+}
+
+// waitAnyOnline blocks until at least one core is online.
+func (m *Machine) waitAnyOnline() {
+	m.hp.mu.Lock()
+	defer m.hp.mu.Unlock()
+	for len(m.hp.offline) == len(m.cores) {
+		m.hp.cond.Wait()
+	}
+}
+
+// SetBound marks the thread as bound to its core (cpuset/affinity): it
+// will never be migrated by hotplug and starves while its core is
+// offline.
+func (t *Thread) SetBound(bound bool) { t.bound = bound }
+
+// Bound reports whether the thread is core-bound.
+func (t *Thread) Bound() bool { return t.bound }
+
+// admit is called by Acquire before taking the core token: it handles
+// hotplug migration/starvation and returns the core to run on.
+func (t *Thread) admit() int {
+	for {
+		if t.m.Online(t.core) {
+			return t.core
+		}
+		if t.bound {
+			// Bound thread: starve until the core returns.
+			t.m.waitOnline(t.core)
+			continue
+		}
+		// Unbound: the scheduler migrates the thread off the dead core.
+		if next, ok := t.m.nextOnline(t.core); ok {
+			t.migrations++
+			t.core = next
+			return next
+		}
+		// Every core offline: wait for any to return.
+		t.m.waitAnyOnline()
+	}
+}

@@ -1,0 +1,62 @@
+package tracer
+
+// PreemptPoint identifies the location inside a tracer write at which the
+// executing thread offers itself for preemption. Real mobile systems
+// preempt trace writers at arbitrary program points (§2.2 Observation 2 of
+// the paper); the two points below are the ones that matter for tracer
+// correctness, because they leave an entry allocated but unconfirmed.
+type PreemptPoint uint8
+
+const (
+	// PreemptBeforeCopy is offered after space is allocated in the buffer
+	// but before the payload is copied in.
+	PreemptBeforeCopy PreemptPoint = iota
+	// PreemptBeforeConfirm is offered after the payload copy but before
+	// the write is confirmed/committed.
+	PreemptBeforeConfirm
+	// PreemptOutside is offered between writes (ordinary scheduling).
+	PreemptOutside
+)
+
+// Proc is the execution context a producer runs in. It tells the tracer
+// which virtual core the thread currently occupies and gives a simulated
+// scheduler the opportunity to preempt the thread at the points where real
+// preemption breaks tracers.
+//
+// Implementations must be safe for use by the single goroutine driving the
+// thread; they need not be safe for concurrent use.
+type Proc interface {
+	// Core returns the virtual core the thread is currently running on.
+	Core() int
+	// Thread returns the workload-unique thread id.
+	Thread() int
+	// MaybePreempt gives the scheduler a chance to preempt the thread at
+	// the given point. It may block (the thread is scheduled out) and the
+	// thread may resume on the same core (mobile schedulers keep trace
+	// producers core-affine during a write burst; see internal/sim).
+	MaybePreempt(p PreemptPoint)
+	// DisablePreemption enters a non-preemptible section, as the kernel
+	// ftrace writer does. It returns a restore function. Nesting is
+	// permitted.
+	DisablePreemption() (restore func())
+}
+
+// FixedProc is a trivial Proc for direct library use outside the simulator:
+// a thread pinned to one core with no preemption. Its zero value is a valid
+// Proc on core 0.
+type FixedProc struct {
+	CoreID int
+	TID    int
+}
+
+// Core returns the fixed core id.
+func (p *FixedProc) Core() int { return p.CoreID }
+
+// Thread returns the fixed thread id.
+func (p *FixedProc) Thread() int { return p.TID }
+
+// MaybePreempt is a no-op: a FixedProc is never preempted.
+func (p *FixedProc) MaybePreempt(PreemptPoint) {}
+
+// DisablePreemption is a no-op and returns a no-op restore function.
+func (p *FixedProc) DisablePreemption() func() { return func() {} }

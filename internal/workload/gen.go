@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"btrace/internal/sim"
+)
+
+// Event is one synthetic trace event scheduled by a generator.
+type Event struct {
+	// TS is the virtual timestamp in nanoseconds from window start.
+	TS uint64
+	// Cat is the atrace category.
+	Cat Category
+	// Level is the category's trace level.
+	Level uint8
+	// TID is the producing thread (unique across cores).
+	TID uint32
+	// PayloadLen is the event body length in bytes.
+	PayloadLen int
+}
+
+// DefaultWindowNs is the evaluation's 30-second capture window.
+const DefaultWindowNs = 30 * 1_000_000_000
+
+// GenOptions configures a per-core event generator.
+type GenOptions struct {
+	// Topology locates the core's kind; zero value selects Phone12.
+	Topology sim.Topology
+	// Core is the core whose stream to generate.
+	Core int
+	// Level caps the enabled categories (default Level3).
+	Level uint8
+	// WindowNs is the virtual capture window (default DefaultWindowNs).
+	WindowNs uint64
+	// RateScale scales the event rate, letting tests run the same
+	// schedule shape at a fraction of the volume (default 1.0).
+	RateScale float64
+}
+
+func (o GenOptions) defaults() GenOptions {
+	if o.Topology.Cores() == 0 {
+		o.Topology = sim.Phone12()
+	}
+	if o.Level == 0 {
+		o.Level = Level3
+	}
+	if o.WindowNs == 0 {
+		o.WindowNs = DefaultWindowNs
+	}
+	if o.RateScale == 0 {
+		o.RateScale = 1
+	}
+	return o
+}
+
+// Gen produces one core's deterministic event stream: exponential
+// inter-arrival times at the workload's Fig. 4 rate, categories sampled by
+// the Fig. 2 weights (restricted to the enabled level), payload sizes
+// jittered around the category mean, and producing threads churning
+// through a pool calibrated to the Fig. 6 oversubscription counts.
+type Gen struct {
+	rng      *rand.Rand
+	now      uint64
+	window   uint64
+	meanGap  float64 // ns between events
+	cats     []Category
+	cumW     []float64
+	totW     float64
+	active   []uint32
+	nextTID  uint32
+	replaceP float64
+	core     int
+}
+
+// Gen creates the generator for one core.
+func (w Workload) Gen(o GenOptions) (*Gen, error) {
+	o = o.defaults()
+	if o.Core < 0 || o.Core >= o.Topology.Cores() {
+		return nil, fmt.Errorf("workload: core %d out of range [0,%d)", o.Core, o.Topology.Cores())
+	}
+	if o.Level < Level1 || o.Level > Level3 {
+		return nil, fmt.Errorf("workload: level %d out of range [1,3]", o.Level)
+	}
+	if o.RateScale < 0 {
+		return nil, fmt.Errorf("workload: negative rate scale %v", o.RateScale)
+	}
+
+	levelFrac := LevelWeight(o.Level) / LevelWeight(Level3)
+	rate := w.RateK(o.Topology, o.Core) * 1000 * levelFrac * o.RateScale // entries/s
+	g := &Gen{
+		rng:    rand.New(rand.NewSource(w.Seed*1_000_003 + int64(o.Core)*7919 + int64(o.Level))),
+		window: o.WindowNs,
+		core:   o.Core,
+	}
+	if rate > 0 {
+		g.meanGap = 1e9 / rate
+	}
+
+	for c := Category(0); c < NumCategories; c++ {
+		if Categories[c].Level <= o.Level {
+			g.cats = append(g.cats, c)
+			g.totW += Categories[c].PeakMBPerCoreMin
+			g.cumW = append(g.cumW, g.totW)
+		}
+	}
+
+	// Thread pool: ThreadsPerSec concurrently active, churning so that
+	// ~ThreadsTotal distinct threads appear over the window.
+	perSec := w.ThreadsPerSec
+	if perSec < 1 {
+		perSec = 1
+	}
+	g.active = make([]uint32, perSec)
+	for i := range g.active {
+		g.active[i] = g.newTID()
+	}
+	expectedEvents := rate * float64(o.WindowNs) / 1e9
+	if extra := float64(w.ThreadsTotal - perSec); extra > 0 && expectedEvents > 0 {
+		g.replaceP = extra / expectedEvents
+		if g.replaceP > 1 {
+			g.replaceP = 1
+		}
+	}
+	return g, nil
+}
+
+func (g *Gen) newTID() uint32 {
+	g.nextTID++
+	return uint32(g.core)<<16 | g.nextTID
+}
+
+// Next returns the next event, or ok=false when the window is exhausted.
+func (g *Gen) Next() (Event, bool) {
+	if g.meanGap == 0 {
+		return Event{}, false
+	}
+	gap := g.rng.ExpFloat64() * g.meanGap
+	if gap < 1 {
+		gap = 1
+	}
+	g.now += uint64(gap)
+	if g.now >= g.window {
+		return Event{}, false
+	}
+	// Category by Fig. 2 weight.
+	x := g.rng.Float64() * g.totW
+	ci := 0
+	for ci < len(g.cumW)-1 && x > g.cumW[ci] {
+		ci++
+	}
+	cat := g.cats[ci]
+	info := Categories[cat]
+
+	// Payload: mean +/- 50%, 8-byte granularity.
+	jitter := 0.5 + g.rng.Float64()
+	plen := int(float64(info.MeanPayload) * jitter)
+	plen = plen / 8 * 8
+	if plen < 8 {
+		plen = 8
+	}
+
+	// Thread churn.
+	if g.replaceP > 0 && g.rng.Float64() < g.replaceP {
+		g.active[g.rng.Intn(len(g.active))] = g.newTID()
+	}
+	tid := g.active[g.rng.Intn(len(g.active))]
+
+	return Event{TS: g.now, Cat: cat, Level: info.Level, TID: tid, PayloadLen: plen}, true
+}
+
+// DistinctTIDs drains a fresh generator and returns how many distinct
+// threads it would produce; used to validate Fig. 6 calibration.
+func (w Workload) DistinctTIDs(o GenOptions) (int, error) {
+	g, err := w.Gen(o)
+	if err != nil {
+		return 0, err
+	}
+	seen := map[uint32]bool{}
+	for {
+		e, ok := g.Next()
+		if !ok {
+			break
+		}
+		seen[e.TID] = true
+	}
+	return len(seen), nil
+}

@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"btrace/internal/sim"
+)
+
+// Schedule is a fully materialized replay input: every core's event
+// stream for one workload window. The paper replays recorded device
+// traces; a saved Schedule is this repository's equivalent artifact —
+// it pins the exact event sequence so a regression can be replayed
+// bit-for-bit on another machine or after generator changes.
+type Schedule struct {
+	// Name is the source workload name.
+	Name string
+	// Level is the trace level the schedule was generated at.
+	Level uint8
+	// WindowNs is the virtual capture window.
+	WindowNs uint64
+	// RateScale records the generation scale for provenance.
+	RateScale float64
+	// PerCore holds each core's events in timestamp order.
+	PerCore [][]Event
+}
+
+// BuildSchedule materializes the workload's streams for every core of the
+// topology.
+func (w Workload) BuildSchedule(o GenOptions) (*Schedule, error) {
+	o = o.defaults()
+	s := &Schedule{
+		Name:      w.Name,
+		Level:     o.Level,
+		WindowNs:  o.WindowNs,
+		RateScale: o.RateScale,
+		PerCore:   make([][]Event, o.Topology.Cores()),
+	}
+	for c := 0; c < o.Topology.Cores(); c++ {
+		oc := o
+		oc.Core = c
+		g, err := w.Gen(oc)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			e, ok := g.Next()
+			if !ok {
+				break
+			}
+			s.PerCore[c] = append(s.PerCore[c], e)
+		}
+	}
+	return s, nil
+}
+
+// Events returns the total event count.
+func (s *Schedule) Events() int {
+	n := 0
+	for _, es := range s.PerCore {
+		n += len(es)
+	}
+	return n
+}
+
+// Bytes returns the total wire volume of the schedule's events (32-byte
+// event headers plus padded payloads).
+func (s *Schedule) Bytes() uint64 {
+	var b uint64
+	for _, es := range s.PerCore {
+		for _, e := range es {
+			b += uint64(32 + (e.PayloadLen+7)/8*8)
+		}
+	}
+	return b
+}
+
+// Schedule file format:
+//
+//	magic "BTWL" | version u8 | level u8 | cores u16
+//	windowNs u64 | rateScale float64-bits u64
+//	name: len u16 + bytes
+//	per core: count u32, then per event:
+//	  tsDelta uvarint | cat u8 | level u8 | tid u32 | payloadLen u16
+const (
+	scheduleMagic   = "BTWL"
+	scheduleVersion = 1
+)
+
+// WriteTo serializes the schedule.
+func (s *Schedule) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if _, err := cw.Write([]byte(scheduleMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint8(scheduleVersion)); err != nil {
+		return cw.n, err
+	}
+	if err := write(s.Level); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint16(len(s.PerCore))); err != nil {
+		return cw.n, err
+	}
+	if err := write(s.WindowNs); err != nil {
+		return cw.n, err
+	}
+	if err := write(float64bits(s.RateScale)); err != nil {
+		return cw.n, err
+	}
+	if len(s.Name) > 1<<16-1 {
+		return cw.n, fmt.Errorf("workload: name too long")
+	}
+	if err := write(uint16(len(s.Name))); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write([]byte(s.Name)); err != nil {
+		return cw.n, err
+	}
+
+	var varint [binary.MaxVarintLen64]byte
+	for _, es := range s.PerCore {
+		if err := write(uint32(len(es))); err != nil {
+			return cw.n, err
+		}
+		var lastTS uint64
+		for _, e := range es {
+			n := binary.PutUvarint(varint[:], e.TS-lastTS)
+			lastTS = e.TS
+			if _, err := cw.Write(varint[:n]); err != nil {
+				return cw.n, err
+			}
+			if err := write(uint8(e.Cat)); err != nil {
+				return cw.n, err
+			}
+			if err := write(e.Level); err != nil {
+				return cw.n, err
+			}
+			if err := write(e.TID); err != nil {
+				return cw.n, err
+			}
+			if err := write(uint16(e.PayloadLen)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadSchedule deserializes a schedule written by WriteTo.
+func ReadSchedule(r io.Reader) (*Schedule, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("workload: reading magic: %w", err)
+	}
+	if string(magic) != scheduleMagic {
+		return nil, fmt.Errorf("workload: bad magic %q", magic)
+	}
+	var version uint8
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != scheduleVersion {
+		return nil, fmt.Errorf("workload: unsupported schedule version %d", version)
+	}
+	s := &Schedule{}
+	var cores uint16
+	if err := read(&s.Level); err != nil {
+		return nil, err
+	}
+	if err := read(&cores); err != nil {
+		return nil, err
+	}
+	if err := read(&s.WindowNs); err != nil {
+		return nil, err
+	}
+	var scaleBits uint64
+	if err := read(&scaleBits); err != nil {
+		return nil, err
+	}
+	s.RateScale = float64frombits(scaleBits)
+	var nameLen uint16
+	if err := read(&nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	s.Name = string(name)
+
+	s.PerCore = make([][]Event, cores)
+	for c := range s.PerCore {
+		var count uint32
+		if err := read(&count); err != nil {
+			return nil, err
+		}
+		es := make([]Event, 0, count)
+		var lastTS uint64
+		for i := uint32(0); i < count; i++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("workload: core %d event %d: %w", c, i, err)
+			}
+			lastTS += delta
+			var (
+				cat, level uint8
+				tid        uint32
+				plen       uint16
+			)
+			if err := read(&cat); err != nil {
+				return nil, err
+			}
+			if err := read(&level); err != nil {
+				return nil, err
+			}
+			if err := read(&tid); err != nil {
+				return nil, err
+			}
+			if err := read(&plen); err != nil {
+				return nil, err
+			}
+			es = append(es, Event{
+				TS: lastTS, Cat: Category(cat), Level: level,
+				TID: tid, PayloadLen: int(plen),
+			})
+		}
+		s.PerCore[c] = es
+	}
+	return s, nil
+}
+
+// Topology returns a flat topology matching the schedule's core count,
+// for replaying schedules whose source topology is unknown.
+func (s *Schedule) Topology() sim.Topology {
+	t := sim.Phone12()
+	if t.Cores() != len(s.PerCore) {
+		return sim.Server(len(s.PerCore))
+	}
+	return t
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

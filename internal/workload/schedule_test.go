@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"btrace/internal/sim"
+)
+
+func buildTestSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	w, err := ByName("IM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := w.BuildSchedule(GenOptions{RateScale: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildSchedule(t *testing.T) {
+	s := buildTestSchedule(t)
+	if s.Name != "IM" || s.Level != Level3 || len(s.PerCore) != 12 {
+		t.Fatalf("header: %+v", s)
+	}
+	if s.Events() == 0 || s.Bytes() == 0 {
+		t.Fatal("empty schedule")
+	}
+	for c, es := range s.PerCore {
+		if len(es) == 0 {
+			t.Fatalf("core %d empty", c)
+		}
+		for i := 1; i < len(es); i++ {
+			if es[i].TS <= es[i-1].TS {
+				t.Fatalf("core %d: timestamps not increasing", c)
+			}
+		}
+	}
+	// Building twice is deterministic.
+	s2 := buildTestSchedule(t)
+	if s2.Events() != s.Events() {
+		t.Fatalf("nondeterministic build: %d vs %d", s2.Events(), s.Events())
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	s := buildTestSchedule(t)
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo count %d != %d", n, buf.Len())
+	}
+	// The delta+varint encoding should be compact: well under 16 bytes
+	// per event.
+	if perEvent := float64(buf.Len()) / float64(s.Events()); perEvent > 16 {
+		t.Errorf("encoding too large: %.1f bytes/event", perEvent)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.Level != s.Level || got.WindowNs != s.WindowNs ||
+		got.RateScale != s.RateScale || len(got.PerCore) != len(s.PerCore) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for c := range s.PerCore {
+		if len(got.PerCore[c]) != len(s.PerCore[c]) {
+			t.Fatalf("core %d: %d events, want %d", c, len(got.PerCore[c]), len(s.PerCore[c]))
+		}
+		for i := range s.PerCore[c] {
+			if got.PerCore[c][i] != s.PerCore[c][i] {
+				t.Fatalf("core %d event %d: %+v != %+v", c, i, got.PerCore[c][i], s.PerCore[c][i])
+			}
+		}
+	}
+}
+
+func TestReadScheduleErrors(t *testing.T) {
+	if _, err := ReadSchedule(strings.NewReader("")); err == nil {
+		t.Error("empty input")
+	}
+	if _, err := ReadSchedule(strings.NewReader("NOPE....")); err == nil {
+		t.Error("bad magic")
+	}
+	// Corrupt version.
+	var buf bytes.Buffer
+	s := buildTestSchedule(t)
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version byte
+	if _, err := ReadSchedule(bytes.NewReader(data)); err == nil {
+		t.Error("bad version")
+	}
+	// Truncated body.
+	data[4] = 1
+	if _, err := ReadSchedule(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated input")
+	}
+}
+
+func TestScheduleTopology(t *testing.T) {
+	s := &Schedule{PerCore: make([][]Event, 12)}
+	if s.Topology() != sim.Phone12() {
+		t.Error("12 cores should map to Phone12")
+	}
+	s = &Schedule{PerCore: make([][]Event, 32)}
+	if s.Topology().Cores() != 32 {
+		t.Error("arbitrary core count")
+	}
+}

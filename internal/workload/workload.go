@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+
+	"btrace/internal/sim"
+)
+
+// Workload is one of the 20 replay workloads. Rates are given per core
+// kind in thousands of entries per second, matching Fig. 4's axis; thread
+// counts match Fig. 6's per-core box plot.
+type Workload struct {
+	// Name as used in Table 2 / Fig. 4.
+	Name string
+	// Class groups the workload: "app", "game", "tool" (developer
+	// performance-testing software) or "scenario" (lock screen, desktop).
+	Class string
+	// LittleK, MiddleK, BigK are the average trace production speeds of
+	// little/middle/big cores in kEntries/s (Fig. 4).
+	LittleK, MiddleK, BigK float64
+	// ThreadsTotal is the distinct trace-producing thread count per core
+	// over the 30 s window (Fig. 6 "Total 30s").
+	ThreadsTotal int
+	// ThreadsPerSec is the distinct thread count per core within one
+	// second (Fig. 6 "Per Sec.").
+	ThreadsPerSec int
+	// Seed makes the workload's generators deterministic.
+	Seed int64
+}
+
+// All returns the 20 evaluation workloads (§5: top-10 applications and
+// games by downloads, developer testing tools, and typical usage
+// scenarios). The six profiles shown in Fig. 4 (Desktop, Video-1,
+// Video-2, eShop-1, LockScr., IM) are calibrated to the published curves;
+// the remainder interpolate their class.
+func All() []Workload {
+	return []Workload{
+		// Typical usage scenarios.
+		{Name: "Desktop", Class: "scenario", LittleK: 6, MiddleK: 3, BigK: 1.5, ThreadsTotal: 120, ThreadsPerSec: 12, Seed: 101},
+		{Name: "LockScr.", Class: "scenario", LittleK: 2, MiddleK: 0.3, BigK: 0.1, ThreadsTotal: 30, ThreadsPerSec: 4, Seed: 102},
+		// Top applications.
+		{Name: "IM", Class: "app", LittleK: 4, MiddleK: 4, BigK: 3.5, ThreadsTotal: 240, ThreadsPerSec: 22, Seed: 103},
+		{Name: "Browser", Class: "app", LittleK: 8, MiddleK: 6, BigK: 4, ThreadsTotal: 300, ThreadsPerSec: 26, Seed: 104},
+		{Name: "Video-1", Class: "app", LittleK: 15, MiddleK: 6, BigK: 1, ThreadsTotal: 280, ThreadsPerSec: 24, Seed: 105},
+		{Name: "Video-2", Class: "app", LittleK: 12, MiddleK: 8, BigK: 2, ThreadsTotal: 320, ThreadsPerSec: 28, Seed: 106},
+		{Name: "Video-3", Class: "app", LittleK: 16, MiddleK: 9, BigK: 3, ThreadsTotal: 400, ThreadsPerSec: 34, Seed: 107},
+		{Name: "eShop-1", Class: "app", LittleK: 9, MiddleK: 7, BigK: 5, ThreadsTotal: 360, ThreadsPerSec: 30, Seed: 108},
+		{Name: "eShop-2", Class: "app", LittleK: 11, MiddleK: 9, BigK: 6, ThreadsTotal: 430, ThreadsPerSec: 38, Seed: 109},
+		{Name: "Social-1", Class: "app", LittleK: 7, MiddleK: 5, BigK: 3, ThreadsTotal: 260, ThreadsPerSec: 24, Seed: 110},
+		{Name: "Social-2", Class: "app", LittleK: 9, MiddleK: 6, BigK: 2.5, ThreadsTotal: 290, ThreadsPerSec: 25, Seed: 111},
+		{Name: "Maps", Class: "app", LittleK: 8, MiddleK: 7, BigK: 4, ThreadsTotal: 310, ThreadsPerSec: 27, Seed: 112},
+		{Name: "Music", Class: "app", LittleK: 3, MiddleK: 1.5, BigK: 0.5, ThreadsTotal: 90, ThreadsPerSec: 9, Seed: 113},
+		// Games.
+		{Name: "Game-1", Class: "game", LittleK: 10, MiddleK: 9, BigK: 8, ThreadsTotal: 380, ThreadsPerSec: 32, Seed: 114},
+		{Name: "Game-2", Class: "game", LittleK: 12, MiddleK: 10, BigK: 9, ThreadsTotal: 420, ThreadsPerSec: 36, Seed: 115},
+		{Name: "Game-3", Class: "game", LittleK: 9, MiddleK: 8, BigK: 7, ThreadsTotal: 350, ThreadsPerSec: 30, Seed: 116},
+		// Developer performance-testing software.
+		{Name: "MemTest", Class: "tool", LittleK: 13, MiddleK: 11, BigK: 9, ThreadsTotal: 200, ThreadsPerSec: 18, Seed: 117},
+		{Name: "CPUTest", Class: "tool", LittleK: 14, MiddleK: 13, BigK: 12, ThreadsTotal: 160, ThreadsPerSec: 15, Seed: 118},
+		{Name: "SysTest", Class: "tool", LittleK: 12, MiddleK: 10, BigK: 8, ThreadsTotal: 440, ThreadsPerSec: 40, Seed: 119},
+		{Name: "Camera", Class: "app", LittleK: 10, MiddleK: 8, BigK: 6, ThreadsTotal: 270, ThreadsPerSec: 23, Seed: 120},
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Names returns the workload names in evaluation order.
+func Names() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// coreJitter deterministically perturbs a per-kind rate so same-kind
+// cores differ slightly, as the Fig. 4 curves do.
+func coreJitter(core int, seed int64) float64 {
+	x := uint64(seed)*2654435761 + uint64(core)*40503
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	// +/-12%
+	return 0.88 + 0.24*float64(x%1000)/1000
+}
+
+// RateK returns the workload's production speed on the given core of topo
+// in kEntries/s (the Fig. 4 per-core profile).
+func (w Workload) RateK(topo sim.Topology, core int) float64 {
+	var base float64
+	switch topo.Kind(core) {
+	case sim.Little:
+		base = w.LittleK
+	case sim.Middle:
+		base = w.MiddleK
+	default:
+		base = w.BigK
+	}
+	return base * coreJitter(core, w.Seed)
+}
+
+// MeanEntryBytes returns the mean wire size of the workload's events at
+// the given trace level, derived from the category mix.
+func MeanEntryBytes(level uint8) float64 {
+	var wsum, bsum float64
+	for _, ci := range Categories {
+		if ci.Level <= level {
+			wsum += ci.PeakMBPerCoreMin
+			bsum += ci.PeakMBPerCoreMin * float64(32+ci.MeanPayload) // event header is 32 B
+		}
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return bsum / wsum
+}
+
+// BytesPerSec returns the workload's approximate total production speed
+// across all cores of topo at the given level, in bytes per second. Fig. 3
+// uses this to plot level volumes over time.
+func (w Workload) BytesPerSec(topo sim.Topology, level uint8) float64 {
+	levelFrac := LevelWeight(level) / LevelWeight(Level3)
+	mean := MeanEntryBytes(level)
+	var total float64
+	for c := 0; c < topo.Cores(); c++ {
+		total += w.RateK(topo, c) * 1000 * levelFrac * mean
+	}
+	return total
+}

@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"btrace/internal/sim"
+)
+
+func TestAllTwentyWorkloads(t *testing.T) {
+	ws := All()
+	if len(ws) != 20 {
+		t.Fatalf("got %d workloads, want 20 (§5)", len(ws))
+	}
+	classes := map[string]int{}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if names[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+		classes[w.Class]++
+		if w.LittleK <= 0 || w.MiddleK <= 0 || w.BigK <= 0 {
+			t.Errorf("%s: non-positive rates", w.Name)
+		}
+		if w.ThreadsTotal < w.ThreadsPerSec {
+			t.Errorf("%s: total threads %d < per-second %d", w.Name, w.ThreadsTotal, w.ThreadsPerSec)
+		}
+	}
+	// §5: apps+games, tools, scenarios must all be represented.
+	for _, cl := range []string{"app", "game", "tool", "scenario"} {
+		if classes[cl] == 0 {
+			t.Errorf("no workloads of class %q", cl)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("Video-1")
+	if err != nil || w.Name != "Video-1" {
+		t.Fatalf("ByName(Video-1): %v %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name: expected error")
+	}
+	if len(Names()) != 20 {
+		t.Fatal("Names length")
+	}
+}
+
+func TestCategories(t *testing.T) {
+	if CatEnergy.Name() != "energy/thermal/..." {
+		t.Errorf("energy name = %q", CatEnergy.Name())
+	}
+	if Category(200).Name() != "unknown" {
+		t.Error("out-of-range category name")
+	}
+	// Level weights must be strictly increasing and level-3-dominated
+	// (Fig. 3: level 3 adds the high-frequency custom categories).
+	w1, w2, w3 := LevelWeight(Level1), LevelWeight(Level2), LevelWeight(Level3)
+	if !(w1 < w2 && w2 < w3) {
+		t.Fatalf("level weights not increasing: %v %v %v", w1, w2, w3)
+	}
+	if w3 < 2*w2 {
+		t.Errorf("level 3 should dominate: w2=%v w3=%v", w2, w3)
+	}
+	// The level-3 custom categories (idle/freq/sched/energy) average
+	// ~100 MB/core/min per the §2.2 calibration point.
+	avg := (Categories[CatIdle].PeakMBPerCoreMin + Categories[CatFreq].PeakMBPerCoreMin +
+		Categories[CatSched].PeakMBPerCoreMin + Categories[CatEnergy].PeakMBPerCoreMin) / 4
+	if avg < 80 || avg > 160 {
+		t.Errorf("custom category average %v MB/core/min, want ~100-140", avg)
+	}
+}
+
+// TestFig4Shape: the published per-core profiles — Video-1 strongly
+// little-skewed, IM flat, LockScr. near-idle big cores.
+func TestFig4Shape(t *testing.T) {
+	topo := sim.Phone12()
+	v1, _ := ByName("Video-1")
+	if v1.RateK(topo, 0) < 3*v1.RateK(topo, 11) {
+		t.Errorf("Video-1 little/big skew too small: %v vs %v", v1.RateK(topo, 0), v1.RateK(topo, 11))
+	}
+	im, _ := ByName("IM")
+	ratio := im.RateK(topo, 0) / im.RateK(topo, 11)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("IM should be near-flat, little/big = %v", ratio)
+	}
+	lock, _ := ByName("LockScr.")
+	if lock.RateK(topo, 10) > 0.3 {
+		t.Errorf("LockScr. big cores should be near idle: %v k/s", lock.RateK(topo, 10))
+	}
+}
+
+func TestGenDeterminism(t *testing.T) {
+	w, _ := ByName("Browser")
+	opt := GenOptions{Core: 2, RateScale: 0.01}
+	g1, err := w.Gen(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := w.Gen(opt)
+	for i := 0; i < 5000; i++ {
+		e1, ok1 := g1.Next()
+		e2, ok2 := g2.Next()
+		if ok1 != ok2 || e1 != e2 {
+			t.Fatalf("divergence at %d: %+v/%v vs %+v/%v", i, e1, ok1, e2, ok2)
+		}
+		if !ok1 {
+			break
+		}
+	}
+}
+
+func TestGenValidation(t *testing.T) {
+	w, _ := ByName("IM")
+	if _, err := w.Gen(GenOptions{Core: 99}); err == nil {
+		t.Error("bad core: expected error")
+	}
+	if _, err := w.Gen(GenOptions{Core: 0, Level: 9}); err == nil {
+		t.Error("bad level: expected error")
+	}
+	if _, err := w.Gen(GenOptions{Core: 0, RateScale: -1}); err == nil {
+		t.Error("negative scale: expected error")
+	}
+}
+
+func TestGenEventProperties(t *testing.T) {
+	w, _ := ByName("eShop-1")
+	g, err := w.Gen(GenOptions{Core: 1, RateScale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	n := 0
+	for {
+		e, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+		if e.TS <= last {
+			t.Fatalf("timestamps not strictly increasing: %d after %d", e.TS, last)
+		}
+		last = e.TS
+		if e.TS >= DefaultWindowNs {
+			t.Fatalf("event beyond window: %d", e.TS)
+		}
+		if e.Cat >= NumCategories {
+			t.Fatalf("bad category %d", e.Cat)
+		}
+		if e.Level < Level1 || e.Level > Level3 {
+			t.Fatalf("bad level %d", e.Level)
+		}
+		if e.PayloadLen < 8 || e.PayloadLen%8 != 0 {
+			t.Fatalf("bad payload %d", e.PayloadLen)
+		}
+		if e.TID>>16 != 1 {
+			t.Fatalf("TID %d not namespaced to core 1", e.TID)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no events generated")
+	}
+	// Rate check: ~2% of 7k/s-ish over 30 s.
+	expected := w.RateK(sim.Phone12(), 1) * 1000 * 0.02 * 30
+	if math.Abs(float64(n)-expected) > expected*0.25 {
+		t.Errorf("generated %d events, expected ~%.0f", n, expected)
+	}
+}
+
+// TestLevelFiltering: a level-1 generator only emits level-1 categories
+// and at a much lower rate (Fig. 3).
+func TestLevelFiltering(t *testing.T) {
+	w, _ := ByName("Game-1")
+	count := func(level uint8) (n int) {
+		g, err := w.Gen(GenOptions{Core: 0, Level: level, RateScale: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			e, ok := g.Next()
+			if !ok {
+				return
+			}
+			if e.Level > level {
+				t.Fatalf("level-%d stream contains level-%d event", level, e.Level)
+			}
+			n++
+		}
+	}
+	n1, n2, n3 := count(Level1), count(Level2), count(Level3)
+	if !(n1 < n2 && n2 < n3) {
+		t.Fatalf("level volumes not increasing: %d %d %d", n1, n2, n3)
+	}
+}
+
+// TestFig6Oversubscription: distinct thread counts approximate the
+// workload's calibration across all 20 workloads.
+func TestFig6Oversubscription(t *testing.T) {
+	for _, w := range All() {
+		got, err := w.DistinctTIDs(GenOptions{Core: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := w.ThreadsTotal*6/10, w.ThreadsTotal*14/10
+		if got < lo || got > hi {
+			t.Errorf("%s: %d distinct threads, want ~%d", w.Name, got, w.ThreadsTotal)
+		}
+	}
+}
+
+// TestBytesPerSecMonotonicInLevel holds for every workload (property).
+func TestBytesPerSecMonotonicInLevel(t *testing.T) {
+	topo := sim.Phone12()
+	f := func(sel uint8) bool {
+		w := All()[int(sel)%20]
+		b1 := w.BytesPerSec(topo, Level1)
+		b2 := w.BytesPerSec(topo, Level2)
+		b3 := w.BytesPerSec(topo, Level3)
+		return b1 > 0 && b1 < b2 && b2 < b3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig3LevelVolumes: a busy workload's level-3 30-second volume lands
+// in the hundreds-of-MB range the paper plots (450 MB buffer, Fig. 3).
+func TestFig3LevelVolumes(t *testing.T) {
+	topo := sim.Phone12()
+	w, _ := ByName("Video-3")
+	mb30 := w.BytesPerSec(topo, Level3) * 30 / 1e6
+	if mb30 < 150 || mb30 > 900 {
+		t.Errorf("level-3 30s volume = %.0f MB, want hundreds of MB", mb30)
+	}
+	mb30l1 := w.BytesPerSec(topo, Level1) * 30 / 1e6
+	if mb30l1 > mb30/5 {
+		t.Errorf("level-1 volume %.0f MB should be a small fraction of level-3 %.0f MB", mb30l1, mb30)
+	}
+}
+
+func TestMeanEntryBytes(t *testing.T) {
+	m := MeanEntryBytes(Level3)
+	if m < 40 || m > 200 {
+		t.Errorf("mean entry bytes = %v, implausible", m)
+	}
+	if MeanEntryBytes(0) != 0 {
+		t.Error("level 0 should have zero mean")
+	}
+}
