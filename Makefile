@@ -1,0 +1,32 @@
+# Build/test entry points for the BTrace repository. `make tier1` is the
+# gate every change must keep green (ROADMAP.md); `make chaos` runs the
+# deterministic fault-injection suite on its own.
+
+GO ?= go
+
+.PHONY: all build vet test race tier1 chaos
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent packages (the tracer core, simulator, fault
+# injector and collector pipeline all exercise real concurrency).
+race:
+	$(GO) test -race ./internal/...
+
+tier1: build vet test race
+
+# The chaos suite: every DESIGN.md invariant under injected preemption
+# storms, stalled writers, hotplug-during-resize, and poll/sink failures.
+# Honors -short (make chaos SHORT=-short) for a quick pass.
+SHORT ?=
+chaos:
+	$(GO) test $(SHORT) -v -run 'TestChaos' ./internal/faults/

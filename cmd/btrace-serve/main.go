@@ -7,12 +7,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 )
+
+// drainDeadline bounds graceful shutdown: in-flight requests get this
+// long to finish after SIGINT/SIGTERM before the server is torn down.
+const drainDeadline = 10 * time.Second
 
 func main() {
 	addr := flag.String("addr", "localhost:8321", "listen address")
@@ -24,6 +33,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "btrace-serve:", err)
 		os.Exit(1)
 	}
-	log.Printf("btrace-serve listening on http://%s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// A wedged or malicious client must not pin a serving goroutine
+		// forever; experiment regeneration is CPU-bound and can be slow,
+		// so the write timeout is generous but finite.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("btrace-serve listening on http://%s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		log.Printf("btrace-serve: shutting down (draining up to %v)", drainDeadline)
+		dctx, cancel := context.WithTimeout(context.Background(), drainDeadline)
+		defer cancel()
+		if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("btrace-serve: shutdown: %v", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -30,11 +30,22 @@ var experimentNames = []string{
 	"table1", "fig10", "table2", "fig11", "memreq",
 }
 
+// maxRequestScale caps the ?scale= a request may ask for: replays and
+// experiments are CPU-bound, and an unauthenticated query must not be able
+// to demand a full-volume run (the operator's -scale flag is not capped).
+const maxRequestScale = 0.25
+
+// maxConcurrentRuns bounds simultaneous experiment/replay executions;
+// excess requests are rejected with 503 instead of queuing without bound.
+const maxConcurrentRuns = 4
+
 // server is the dashboard handler.
 type server struct {
 	mux          *http.ServeMux
 	defaultScale float64
 	tmpl         *template.Template
+	// runs is the semaphore limiting concurrent heavy computations.
+	runs chan struct{}
 }
 
 func newServer(defaultScale float64) (*server, error) {
@@ -45,6 +56,7 @@ func newServer(defaultScale float64) (*server, error) {
 		mux:          http.NewServeMux(),
 		defaultScale: defaultScale,
 		tmpl:         template.Must(template.New("page").Parse(pageTemplate)),
+		runs:         make(chan struct{}, maxConcurrentRuns),
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/experiment/", s.handleExperiment)
@@ -54,6 +66,30 @@ func newServer(defaultScale float64) (*server, error) {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// acquireRun takes a slot in the computation semaphore, answering 503
+// (with Retry-After) and returning false when the server is saturated.
+// The caller must invoke the returned release func when done.
+func (s *server) acquireRun(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.runs <- struct{}{}:
+		return func() { <-s.runs }, true
+	default:
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, fmt.Sprintf("busy: %d runs already in flight", maxConcurrentRuns),
+			http.StatusServiceUnavailable)
+		return nil, false
+	}
+}
+
+// requestScale parses and validates a ?scale= value from a request.
+func requestScale(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f <= 0 || f > maxRequestScale {
+		return 0, fmt.Errorf("bad scale %q (allowed: (0, %v])", v, maxRequestScale)
+	}
+	return f, nil
+}
 
 // page is the template payload.
 type page struct {
@@ -98,9 +134,9 @@ func (s *server) options(r *http.Request) (experiments.Options, error) {
 	o.RateScale = s.defaultScale
 	q := r.URL.Query()
 	if v := q.Get("scale"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f <= 0 || f > 1 {
-			return o, fmt.Errorf("bad scale %q", v)
+		f, err := requestScale(v)
+		if err != nil {
+			return o, err
 		}
 		o.RateScale = f
 	}
@@ -120,6 +156,11 @@ func (s *server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	release, ok := s.acquireRun(w)
+	if !ok {
+		return
+	}
+	defer release()
 	var res interface{ Render(io.Writer) }
 	started := time.Now()
 	switch name {
@@ -177,9 +218,9 @@ func (s *server) runReplay(r *http.Request) (tracer.Tracer, *replay.Result, anal
 	}
 	scale := s.defaultScale
 	if v := q.Get("scale"); v != "" {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil || f <= 0 || f > 1 {
-			return nil, nil, zero, fmt.Errorf("bad scale %q", v)
+		f, err := requestScale(v)
+		if err != nil {
+			return nil, nil, zero, err
 		}
 		scale = f
 	}
@@ -214,6 +255,11 @@ func (s *server) runReplay(r *http.Request) (tracer.Tracer, *replay.Result, anal
 }
 
 func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.acquireRun(w)
+	if !ok {
+		return
+	}
+	defer release()
 	started := time.Now()
 	_, res, ret, err := s.runReplay(r)
 	if err != nil {
@@ -238,6 +284,11 @@ func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleReplayJSON(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.acquireRun(w)
+	if !ok {
+		return
+	}
+	defer release()
 	tr, _, _, err := s.runReplay(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)

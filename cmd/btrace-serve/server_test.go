@@ -82,6 +82,56 @@ func TestExperimentEndpoints(t *testing.T) {
 	if code, _ := get(t, ts.URL+"/experiment/fig1?scale=9"); code != http.StatusBadRequest {
 		t.Errorf("bad scale: %d", code)
 	}
+	// Request scale is capped below the operator's full-volume range.
+	if code, _ := get(t, ts.URL+"/experiment/fig1?scale=0.5"); code != http.StatusBadRequest {
+		t.Errorf("over-cap scale: %d", code)
+	}
+}
+
+func TestReplayScaleCapped(t *testing.T) {
+	ts := testServer(t)
+	if code, _ := get(t, ts.URL+"/replay?scale=0.5"); code != http.StatusBadRequest {
+		t.Errorf("over-cap replay scale: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/replay.json?scale=0.9"); code != http.StatusBadRequest {
+		t.Errorf("over-cap replay.json scale: %d", code)
+	}
+}
+
+func TestRunSemaphoreSheds(t *testing.T) {
+	srv, err := newServer(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	// Saturate the computation semaphore: further runs must be shed with
+	// 503 instead of queuing, while cheap pages still serve.
+	for i := 0; i < maxConcurrentRuns; i++ {
+		srv.runs <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < maxConcurrentRuns; i++ {
+			<-srv.runs
+		}
+	}()
+	resp, err := http.Get(ts.URL + "/replay?tracer=btrace&workload=IM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated replay: status %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("no Retry-After on 503")
+	}
+	if code, _ := get(t, ts.URL+"/experiment/table1"); code != http.StatusServiceUnavailable {
+		t.Errorf("saturated experiment: status %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/"); code != http.StatusOK {
+		t.Errorf("index while saturated: status %d", code)
+	}
 }
 
 func TestReplayEndpoint(t *testing.T) {

@@ -12,6 +12,7 @@ package collect
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"btrace/internal/tracer"
 )
@@ -59,7 +60,11 @@ func (w *Watchdog) Observe(es []tracer.Entry) string {
 			w.latest = e.TS
 		}
 		if e.Cat == w.Category {
-			w.lastSeen = e.TS
+			// A late (out-of-order) heartbeat must not move lastSeen
+			// backwards: that would fabricate a silence episode.
+			if e.TS > w.lastSeen {
+				w.lastSeen = e.TS
+			}
 			w.seenAny = true
 			w.fired = false
 		}
@@ -101,9 +106,12 @@ func (r *RateSpike) Observe(es []tracer.Entry) string {
 			continue
 		}
 		r.times = append(r.times, e.TS)
-		// Drop entries outside the window.
+		// Drop entries outside the window. A late event (e.TS older than
+		// a recorded time) must not be treated as "infinitely far ahead":
+		// the unsigned subtraction would underflow and wrongly empty the
+		// window, so only times strictly older than e.TS are candidates.
 		cut := 0
-		for cut < len(r.times) && e.TS-r.times[cut] > r.WindowNs {
+		for cut < len(r.times) && r.times[cut] < e.TS && e.TS-r.times[cut] > r.WindowNs {
 			cut++
 		}
 		r.times = r.times[cut:]
@@ -144,10 +152,19 @@ func (l *LossDetector) ObserveMissed(missed uint64) string {
 
 // Dump is one triggered collection.
 type Dump struct {
-	// Reason describes the trigger that fired, prefixed with its name.
+	// Reason describes the triggers that fired, each prefixed with its
+	// name; simultaneous triggers are joined with "; " (a watchdog and a
+	// rate spike firing on the same poll both appear).
 	Reason string
 	// Events is the retained window at the time of the dump.
 	Events []tracer.Entry
+	// Quarantined holds entries the readout Verifier rejected instead of
+	// letting them corrupt the window (empty unless a Supervisor with
+	// verification produced the dump).
+	Quarantined []tracer.Entry
+	// Violations describes, one per quarantined entry, which invariant
+	// each rejected entry broke.
+	Violations []string
 }
 
 // Collector follows a trace source and dumps on triggers.
@@ -196,6 +213,16 @@ func New(cfg Config) (*Collector, error) {
 // (nil otherwise).
 func (c *Collector) Step() *Dump {
 	es, missed := c.src.Poll()
+	return c.Ingest(es, missed)
+}
+
+// Ingest feeds one poll's worth of events (and its missed count) through
+// the window and triggers, returning a Dump if any trigger fired. It is
+// the poll-free half of Step, used by Supervisor, which obtains events
+// from a fallible source with its own retry policy. All triggers that
+// fire on the same batch contribute to the dump reason — a watchdog and
+// a rate spike firing together are both reported.
+func (c *Collector) Ingest(es []tracer.Entry, missed uint64) *Dump {
 	c.polls++
 	c.missed += missed
 
@@ -204,21 +231,21 @@ func (c *Collector) Step() *Dump {
 		c.window = append(c.window[:0], c.window[over:]...)
 	}
 
-	var reason string
+	var reasons []string
 	if c.loss != nil && missed > 0 {
 		if r := c.loss.ObserveMissed(missed); r != "" {
-			reason = c.loss.Name() + ": " + r
+			reasons = append(reasons, c.loss.Name()+": "+r)
 		}
 	}
 	for _, t := range c.triggers {
-		if r := t.Observe(es); r != "" && reason == "" {
-			reason = t.Name() + ": " + r
+		if r := t.Observe(es); r != "" {
+			reasons = append(reasons, t.Name()+": "+r)
 		}
 	}
-	if reason == "" {
+	if len(reasons) == 0 {
 		return nil
 	}
-	dump := &Dump{Reason: reason, Events: append([]tracer.Entry(nil), c.window...)}
+	dump := &Dump{Reason: strings.Join(reasons, "; "), Events: append([]tracer.Entry(nil), c.window...)}
 	c.window = c.window[:0] // a dumped window is consumed
 	return dump
 }

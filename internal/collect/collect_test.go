@@ -166,6 +166,77 @@ func TestCollectorLossDump(t *testing.T) {
 	}
 }
 
+// TestCollectorAllReasonsReported: a watchdog and a rate spike firing on
+// the same poll both appear in the dump reason (the first-trigger-wins
+// bug lost one of the signals).
+func TestCollectorAllReasonsReported(t *testing.T) {
+	src := &fakePoller{
+		polls: [][]tracer.Entry{
+			{ev(1, 0, 7)},
+			// Category 7 silent for 30 s AND category 2 bursting.
+			{ev(2, 30e9, 2), ev(3, 30.1e9, 2), ev(4, 30.2e9, 2)},
+		},
+		missed: []uint64{0, 50},
+	}
+	c, err := New(Config{
+		Source: src,
+		Triggers: []Trigger{
+			&Watchdog{Category: 7, TimeoutNs: 20e9},
+			&RateSpike{Category: 2, WindowNs: 1e9, MaxEvents: 2},
+			&LossDetector{Tolerance: 10},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Step(); d != nil {
+		t.Fatalf("early dump: %+v", d)
+	}
+	d := c.Step()
+	if d == nil {
+		t.Fatal("no dump")
+	}
+	for _, frag := range []string{"watchdog(cat=7)", "ratespike(cat=2)", "lossdetector", "; "} {
+		if !strings.Contains(d.Reason, frag) {
+			t.Errorf("reason %q missing %q", d.Reason, frag)
+		}
+	}
+}
+
+// TestWatchdogOutOfOrderTimestamps: a late heartbeat with an old TS must
+// not rewind lastSeen and fabricate a silence episode.
+func TestWatchdogOutOfOrderTimestamps(t *testing.T) {
+	w := &Watchdog{Category: 7, TimeoutNs: 10e9}
+	if r := w.Observe([]tracer.Entry{ev(1, 20e9, 7), ev(2, 21e9, 1)}); r != "" {
+		t.Fatalf("fired early: %s", r)
+	}
+	// A delayed heartbeat from TS 1 s arrives: lastSeen must stay at 20 s.
+	if r := w.Observe([]tracer.Entry{ev(3, 1e9, 7)}); r != "" {
+		t.Fatalf("fired on late heartbeat: %s", r)
+	}
+	if r := w.Observe([]tracer.Entry{ev(4, 25e9, 1)}); r != "" {
+		t.Fatalf("silence fabricated by rewound lastSeen: %s", r)
+	}
+	if r := w.Observe([]tracer.Entry{ev(5, 35e9, 1)}); r == "" {
+		t.Fatal("real silence after 20s not detected")
+	}
+}
+
+// TestRateSpikeOutOfOrderTimestamps: a late event must not underflow the
+// window arithmetic and wrongly empty the window.
+func TestRateSpikeOutOfOrderTimestamps(t *testing.T) {
+	r := &RateSpike{Category: 2, WindowNs: 1e9, MaxEvents: 3}
+	if s := r.Observe([]tracer.Entry{ev(1, 10e9, 2), ev(2, 10.2e9, 2), ev(3, 10.4e9, 2)}); s != "" {
+		t.Fatalf("fired at limit: %s", s)
+	}
+	// A late event (TS 9.8 s < the recorded 10 s) arrives: without the
+	// guard, 9.8e9 - 10e9 underflows and empties the window; the burst
+	// below then goes undetected.
+	if s := r.Observe([]tracer.Entry{ev(4, 9.8e9, 2)}); s == "" {
+		t.Fatal("4 events within the window must fire despite the late arrival")
+	}
+}
+
 func TestCollectorWindowBound(t *testing.T) {
 	var es []tracer.Entry
 	for i := 1; i <= 100; i++ {

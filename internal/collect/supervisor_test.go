@@ -1,0 +1,396 @@
+package collect
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+// scriptedSource replays a script of fallible polls, then returns empty
+// successful polls forever.
+type scriptedSource struct {
+	steps []scriptedPoll
+	i     int
+}
+
+type scriptedPoll struct {
+	es     []tracer.Entry
+	missed uint64
+	err    error
+}
+
+func (s *scriptedSource) Poll() ([]tracer.Entry, uint64, error) {
+	if s.i >= len(s.steps) {
+		return nil, 0, nil
+	}
+	st := s.steps[s.i]
+	s.i++
+	return st.es, st.missed, st.err
+}
+
+// flakySink fails its first failFirst writes; a negative failFirst means
+// every write fails. permanent makes failures wrap ErrPermanent.
+type flakySink struct {
+	buf       bytes.Buffer
+	failFirst int
+	permanent bool
+	writes    int
+}
+
+func (f *flakySink) Write(p []byte) (int, error) {
+	f.writes++
+	if f.failFirst < 0 || f.writes <= f.failFirst {
+		if f.permanent {
+			return 0, fmt.Errorf("sink died: %w", ErrPermanent)
+		}
+		return 0, errors.New("transient sink failure")
+	}
+	return f.buf.Write(p)
+}
+
+func TestNewSupervisorValidation(t *testing.T) {
+	if _, err := NewSupervisor(SupervisorConfig{}); err == nil {
+		t.Fatal("nil source: expected error")
+	}
+	s, err := NewSupervisor(SupervisorConfig{Source: &scriptedSource{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.PollRetryBudget != 8 || s.cfg.SinkRetryBudget != 8 ||
+		s.cfg.BackoffBase != 1 || s.cfg.BackoffMax != 64 || s.cfg.SpillCapacity != 16 {
+		t.Fatalf("defaults not applied: %+v", s.cfg)
+	}
+}
+
+func TestFallibleAdapter(t *testing.T) {
+	src := &fakePoller{polls: [][]tracer.Entry{{ev(1, 0, 1)}}, missed: []uint64{3}}
+	f := Fallible(src)
+	es, missed, err := f.Poll()
+	if err != nil || len(es) != 1 || missed != 3 {
+		t.Fatalf("adapter: %v %d %v", es, missed, err)
+	}
+}
+
+// TestSupervisorBackoffAndWedge: consecutive poll failures back off
+// exponentially and exhaust the retry budget into a wedged-source
+// verdict; a successful poll with traffic clears it.
+func TestSupervisorBackoffAndWedge(t *testing.T) {
+	src := &scriptedSource{}
+	for i := 0; i < 6; i++ {
+		src.steps = append(src.steps, scriptedPoll{err: errors.New("poll broke")})
+	}
+	src.steps = append(src.steps, scriptedPoll{es: []tracer.Entry{ev(1, 0, 1)}})
+
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:          src,
+		PollRetryBudget: 3,
+		BackoffBase:     1,
+		BackoffMax:      4,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100 && s.Stats().Polls == 0; i++ {
+		s.Step()
+		if st := s.Stats(); st.PollErrors >= 3 && st.Polls == 0 && !s.Health().SourceWedged {
+			t.Fatalf("budget exhausted (%d errors) but not wedged", st.PollErrors)
+		}
+	}
+	st := s.Stats()
+	if st.Polls != 1 || st.PollErrors != 6 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.PollBackoffSteps == 0 {
+		t.Fatal("no backoff steps recorded")
+	}
+	if s.Health().SourceWedged {
+		t.Fatal("wedge not cleared by successful poll")
+	}
+}
+
+// TestSupervisorBackoffDeterminism: identical configs and seeds absorb an
+// identical failure script in the identical number of steps.
+func TestSupervisorBackoffDeterminism(t *testing.T) {
+	run := func() (SupervisorStats, int) {
+		src := &scriptedSource{}
+		for i := 0; i < 5; i++ {
+			src.steps = append(src.steps, scriptedPoll{err: errors.New("x")})
+		}
+		s, err := NewSupervisor(SupervisorConfig{Source: src, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps := 0
+		for s.Stats().Polls < 3 {
+			s.Step()
+			steps++
+		}
+		return s.Stats(), steps
+	}
+	a, as := run()
+	b, bs := run()
+	if a != b || as != bs {
+		t.Fatalf("nondeterministic: %+v in %d steps vs %+v in %d steps", a, as, b, bs)
+	}
+}
+
+func TestSupervisorEmptyPollWedge(t *testing.T) {
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:          &scriptedSource{},
+		WedgeEmptyPolls: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	s.Step()
+	if s.Health().SourceWedged {
+		t.Fatal("wedged too early")
+	}
+	s.Step()
+	if !s.Health().SourceWedged {
+		t.Fatal("silent source not declared wedged")
+	}
+}
+
+// TestSupervisorQuarantine: inconsistent entries are quarantined into the
+// next dump instead of entering the window.
+func TestSupervisorQuarantine(t *testing.T) {
+	src := &scriptedSource{steps: []scriptedPoll{
+		{es: []tracer.Entry{ev(10, 0, 1), ev(10, 1, 1), ev(5, 2, 1), ev(11, 3, 1)}},
+		{es: []tracer.Entry{ev(12, 4, 1)}, missed: 100},
+	}}
+	loss := &LossDetector{Tolerance: 1}
+	s, err := NewSupervisor(SupervisorConfig{Source: src, Triggers: []Trigger{loss}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Step(); d != nil {
+		t.Fatalf("early dump: %+v", d)
+	}
+	d := s.Step()
+	if d == nil {
+		t.Fatal("loss trigger did not fire")
+	}
+	if len(d.Quarantined) != 2 || len(d.Violations) != 2 {
+		t.Fatalf("quarantine: %d entries, %d violations (%v)", len(d.Quarantined), len(d.Violations), d.Violations)
+	}
+	if d.Quarantined[0].Stamp != 10 || d.Quarantined[1].Stamp != 5 {
+		t.Fatalf("quarantined stamps: %+v", d.Quarantined)
+	}
+	for _, e := range d.Events {
+		if e.Stamp == 5 {
+			t.Fatal("out-of-order entry entered the window")
+		}
+	}
+	if got := s.Stats().Quarantined; got != 2 {
+		t.Fatalf("stats.Quarantined = %d", got)
+	}
+}
+
+// lossyScript builds a source whose polls each carry one event and the
+// given missed counts.
+func lossyScript(missed ...uint64) *scriptedSource {
+	src := &scriptedSource{}
+	for i, m := range missed {
+		src.steps = append(src.steps, scriptedPoll{
+			es:     []tracer.Entry{ev(uint64(i+1), uint64(i), 1)},
+			missed: m,
+		})
+	}
+	return src
+}
+
+func TestSupervisorSinkTransientRetry(t *testing.T) {
+	sink := &flakySink{failFirst: 3}
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:   lossyScript(50),
+		Triggers: []Trigger{&LossDetector{Tolerance: 1}},
+		Sink:     sink,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dumps int
+	for i := 0; i < 100 && s.Stats().DumpsWritten == 0; i++ {
+		if d := s.Step(); d != nil {
+			dumps++
+		}
+	}
+	st := s.Stats()
+	if dumps != 1 || st.Dumps != 1 || st.DumpsWritten != 1 {
+		t.Fatalf("dump accounting: produced=%d stats=%+v", dumps, st)
+	}
+	if st.SinkErrors != 3 || st.Spilled != 0 {
+		t.Fatalf("sink stats: %+v", st)
+	}
+	if sink.buf.Len() == 0 {
+		t.Fatal("sink received no bytes")
+	}
+	recs, truncated := tracer.DecodeAll(sink.buf.Bytes())
+	if truncated || len(recs) == 0 {
+		t.Fatalf("sink content: %d records truncated=%v", len(recs), truncated)
+	}
+}
+
+func TestSupervisorSinkBudgetSpill(t *testing.T) {
+	sink := &flakySink{failFirst: -1} // never recovers, but only transiently
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:          lossyScript(50),
+		Triggers:        []Trigger{&LossDetector{Tolerance: 1}},
+		Sink:            sink,
+		SinkRetryBudget: 2,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100 && s.Stats().Spilled == 0; i++ {
+		s.Step()
+	}
+	st := s.Stats()
+	if st.Spilled != 1 || st.SpillDropped != 0 || st.DumpsWritten != 0 {
+		t.Fatalf("spill stats: %+v", st)
+	}
+	if got := len(s.Spill()); got != 1 {
+		t.Fatalf("spill ring holds %d dumps", got)
+	}
+}
+
+func TestSupervisorSinkPermanentSpillAndFlush(t *testing.T) {
+	sink := &flakySink{failFirst: 1, permanent: true}
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:   lossyScript(50),
+		Triggers: []Trigger{&LossDetector{Tolerance: 1}},
+		Sink:     sink,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100 && s.Stats().Spilled == 0; i++ {
+		s.Step()
+	}
+	if !s.Health().SinkFailed {
+		t.Fatal("permanent sink failure not reported")
+	}
+	st := s.Stats()
+	if st.Spilled != 1 || st.SinkErrors != 1 {
+		t.Fatalf("permanent failure should spill on first error: %+v", st)
+	}
+	// The sink heals (failFirst exhausted): Flush drains the spill ring.
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush after heal: %v", err)
+	}
+	if s.Health().SinkFailed || len(s.Spill()) != 0 {
+		t.Fatalf("flush left state: %+v, %d spilled", s.Health(), len(s.Spill()))
+	}
+	if s.Stats().DumpsWritten != 1 || sink.buf.Len() == 0 {
+		t.Fatalf("flush did not deliver: %+v", s.Stats())
+	}
+}
+
+func TestSupervisorSpillRingBound(t *testing.T) {
+	sink := &flakySink{failFirst: -1, permanent: true}
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:        lossyScript(50, 50, 50, 50),
+		Triggers:      []Trigger{&LossDetector{Tolerance: 1}},
+		Sink:          sink,
+		SpillCapacity: 2,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200 && s.Stats().Spilled < 4; i++ {
+		s.Step()
+	}
+	st := s.Stats()
+	if st.Spilled != 4 || st.SpillDropped != 2 {
+		t.Fatalf("ring accounting: %+v", st)
+	}
+	if got := len(s.Spill()); got != 2 {
+		t.Fatalf("ring holds %d dumps, want 2", got)
+	}
+}
+
+// fakeResizer records adaptive resize decisions.
+type fakeResizer struct {
+	ratio int
+	calls []int
+	fail  bool
+}
+
+func (r *fakeResizer) Ratio() int { return r.ratio }
+func (r *fakeResizer) Resize(n int) error {
+	if r.fail {
+		return errors.New("resize refused")
+	}
+	r.ratio = n
+	r.calls = append(r.calls, n)
+	return nil
+}
+
+func TestSupervisorAdaptiveResize(t *testing.T) {
+	rz := &fakeResizer{ratio: 2}
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:      lossyScript(9, 9, 9, 9, 0, 0, 0, 0, 0, 0),
+		Triggers:    []Trigger{&LossDetector{Tolerance: 5}},
+		Resizer:     rz,
+		MaxRatio:    8,
+		GrowAfter:   2,
+		ShrinkAfter: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	st := s.Stats()
+	if st.Grows != 2 {
+		t.Fatalf("grows = %d (calls %v)", st.Grows, rz.calls)
+	}
+	if st.Shrinks != 2 {
+		t.Fatalf("shrinks = %d (calls %v)", st.Shrinks, rz.calls)
+	}
+	// 2 lossy polls grow 2->4, 2 more grow 4->8; each run of 3 clean polls
+	// shrinks one halving step back toward the base ratio: 8->4, then 4->2.
+	want := []int{4, 8, 4, 2}
+	if len(rz.calls) != len(want) {
+		t.Fatalf("resize calls %v, want %v", rz.calls, want)
+	}
+	for i := range want {
+		if rz.calls[i] != want[i] {
+			t.Fatalf("resize calls %v, want %v", rz.calls, want)
+		}
+	}
+	if len(s.ResizeErrors()) != 0 {
+		t.Fatalf("resize errors: %v", s.ResizeErrors())
+	}
+}
+
+func TestSupervisorResizeErrorSurfaced(t *testing.T) {
+	rz := &fakeResizer{ratio: 2, fail: true}
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:    lossyScript(9, 9),
+		Triggers:  []Trigger{&LossDetector{Tolerance: 5}},
+		Resizer:   rz,
+		MaxRatio:  8,
+		GrowAfter: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	s.Step()
+	if errs := s.ResizeErrors(); len(errs) != 1 || !strings.Contains(errs[0].Error(), "refused") {
+		t.Fatalf("resize errors: %v", errs)
+	}
+}

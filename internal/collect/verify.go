@@ -1,0 +1,86 @@
+// Readout verification: DESIGN.md's quiescence invariants, promoted to
+// runtime checks over the live polled stream. The tracer core panics on
+// protocol violations it can prove are its own accounting bugs; the
+// collector, by contrast, consumes readouts that may be torn by faulty
+// transports, so it quarantines inconsistent entries (reporting them in
+// the next Dump) rather than panicking.
+package collect
+
+import (
+	"fmt"
+
+	"btrace/internal/tracer"
+)
+
+// Verifier checks the stream invariants of a polled readout:
+//
+//   - the stream is totally ordered by logic stamp and stamps are unique
+//     (DESIGN.md invariant 5, first half);
+//   - stamps within one producer thread are strictly increasing
+//     (invariant 5, second half);
+//   - every entry is structurally sound (non-zero stamp, payload within
+//     the wire format's bounds — a torn batch decodes as garbage here).
+//
+// Entries failing a check are quarantined, not dropped silently, and the
+// verifier's cursors do not advance past them, so one corrupt entry
+// cannot poison the stream that follows it.
+//
+// A Verifier is driven by a single collector goroutine.
+type Verifier struct {
+	lastStamp uint64
+	perThread map[uint32]uint64
+
+	checked     uint64
+	quarantined uint64
+}
+
+// NewVerifier creates a Verifier with empty cursors.
+func NewVerifier() *Verifier {
+	return &Verifier{perThread: map[uint32]uint64{}}
+}
+
+// Check splits a polled batch into clean entries and quarantined ones,
+// with one violation description per quarantined entry.
+func (v *Verifier) Check(es []tracer.Entry) (clean, quarantined []tracer.Entry, violations []string) {
+	clean = es[:0:0]
+	for i := range es {
+		e := es[i]
+		if reason := v.check(&e); reason != "" {
+			quarantined = append(quarantined, e)
+			violations = append(violations, reason)
+			v.quarantined++
+			continue
+		}
+		v.lastStamp = e.Stamp
+		v.perThread[e.TID] = e.Stamp
+		clean = append(clean, e)
+		v.checked++
+	}
+	return clean, quarantined, violations
+}
+
+// check returns a non-empty violation description if e is inconsistent
+// with the stream so far.
+func (v *Verifier) check(e *tracer.Entry) string {
+	if e.Stamp == 0 {
+		return "zero logic stamp"
+	}
+	if len(e.Payload) > tracer.MaxPayload {
+		return fmt.Sprintf("stamp %d: payload %d exceeds wire maximum %d", e.Stamp, len(e.Payload), tracer.MaxPayload)
+	}
+	if e.Stamp == v.lastStamp {
+		return fmt.Sprintf("stamp %d: duplicate of previous entry", e.Stamp)
+	}
+	if e.Stamp < v.lastStamp {
+		return fmt.Sprintf("stamp %d: out of order after %d", e.Stamp, v.lastStamp)
+	}
+	if last, ok := v.perThread[e.TID]; ok && e.Stamp <= last {
+		return fmt.Sprintf("stamp %d: thread %d not strictly increasing after %d", e.Stamp, e.TID, last)
+	}
+	return ""
+}
+
+// Stats returns (entries accepted, entries quarantined) since creation.
+func (v *Verifier) Stats() (checked, quarantined uint64) {
+	return v.checked, v.quarantined
+}

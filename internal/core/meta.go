@@ -1,6 +1,9 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Packed word layouts.
 //
@@ -61,7 +64,16 @@ type meta struct {
 	// ratio changes.
 	blockOff atomic.Uint64
 
-	_ [13]uint64 // pad to 128 bytes
+	// hdrMu serializes writes to the header region (the first
+	// BlockHeaderSize bytes) of this metadata block's data blocks: the
+	// round owner writing the block header and a skipping producer
+	// best-effort writing a skip marker. Because dataIdx ≡ pos (mod A),
+	// every data block belongs to exactly one metadata block, so this
+	// mutex covers all contenders. Slow path only — the FAA fast path
+	// never touches it.
+	hdrMu sync.Mutex
+
+	_ [12]uint64 // pad to 128 bytes
 }
 
 // paddedWord is a cache-line padded atomic word for per-core state.

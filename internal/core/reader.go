@@ -153,7 +153,7 @@ func (r *Reader) readPos(pos uint64, ratio int, n uint64) ([]tracer.Entry, Block
 		if boRnd != rr {
 			return nil, BlockOverwritten
 		}
-		copy(r.scratch, b.block(boIdx))
+		speculativeCopy(r.scratch, b.block(boIdx))
 		if bo2 := m.blockOff.Load(); bo2 != packMeta(rr, boIdx) {
 			// A newer round claimed the metadata mid-copy; the data may
 			// be torn (§4.3: abandon and move on).
@@ -177,7 +177,7 @@ func (r *Reader) readPos(pos uint64, ratio int, n uint64) ([]tracer.Entry, Block
 		if boRnd != rr {
 			return nil, BlockOverwritten
 		}
-		copy(r.scratch[:aPos], b.block(boIdx)[:aPos])
+		speculativeCopy(r.scratch[:aPos], b.block(boIdx)[:aPos])
 		if m.allocated.Load() != aw || m.confirmed.Load() != packMeta(rr, cCnt) {
 			return nil, BlockBusy // a writer appended mid-copy; skip
 		}
@@ -193,7 +193,7 @@ func (r *Reader) readPos(pos uint64, ratio int, n uint64) ([]tracer.Entry, Block
 		// rounds); recover it if the global position proves no reuse
 		// could have been granted yet.
 		idx := b.dataIdx(pos, ratio)
-		copy(r.scratch, b.block(idx))
+		speculativeCopy(r.scratch, b.block(idx))
 		gw2 := b.global.Load()
 		ratio2, g2 := unpackGlobal(gw2)
 		if ratio2 != ratio || pos+n < g2 {

@@ -1,0 +1,11 @@
+//go:build !race
+
+package core
+
+// speculativeCopy copies src into dst. See speccopy_race.go for why this
+// is a distinct function rather than a bare copy: readers deliberately
+// copy block bytes that producers may still be writing, and validate the
+// metadata round afterwards (§4.3).
+func speculativeCopy(dst, src []byte) {
+	copy(dst, src)
+}

@@ -205,7 +205,9 @@ func (b *Buffer) advance(p tracer.Proc, core int, prevLocal uint64) {
 		idx := b.dataIdx(pos, ratio)
 		m.blockOff.Store(packMeta(r, idx))
 		blk := b.block(idx)
+		m.hdrMu.Lock()
 		tracer.EncodeBlockHeader(blk, pos)
+		m.hdrMu.Unlock()
 
 		// Step 5: reset allocated to (r, headerSize). Stale-round FAAs
 		// may race the reset; the read-CAS loop absorbs them.
@@ -266,10 +268,19 @@ func (b *Buffer) closeRound(m *meta, rndOld uint32) {
 // disjoint from the previous round's block (a preempted writer may still
 // be writing there); consumers never rely on the marker — they detect
 // skips from the metadata round.
+//
+// The write happens under hdrMu, re-checking that the metadata block is
+// still in prevRnd: once a wrap-around producer locks a newer round, a
+// late marker could otherwise scribble the header it just wrote into the
+// same data block (reachable when rnd%ratio collides, e.g. across a
+// resize).
 func (b *Buffer) markSkip(pos uint64, ratio int, m *meta, prevRnd uint32) {
 	idx := b.dataIdx(pos, ratio)
+	m.hdrMu.Lock()
+	defer m.hdrMu.Unlock()
+	cRnd, _ := unpackMeta(m.confirmed.Load())
 	boRnd, boIdx := unpackMeta(m.blockOff.Load())
-	if boRnd == prevRnd && boIdx != idx {
+	if cRnd == prevRnd && boRnd == prevRnd && boIdx != idx {
 		tracer.EncodeSkip(b.block(idx), pos)
 	}
 }

@@ -1,0 +1,155 @@
+// Collection-pipeline faults: flaky poll sources and dump sinks. These
+// wrap the real source/sink and inject the transport failures a daemon
+// collector sees in production — failed polls, torn (partial) batches,
+// transiently or permanently failing dump writes — without ever losing
+// events themselves: everything held back by a fault is delivered once
+// the fault clears, so any loss observed downstream is the pipeline's.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"btrace/internal/collect"
+	"btrace/internal/tracer"
+)
+
+// ErrInjected marks every transient error produced by this package.
+var ErrInjected = errors.New("faults: injected failure")
+
+// FlakyPoller wraps a collect.Poller as a collect.FalliblePoller whose
+// polls fail with probability ErrProb and, when they succeed, are torn
+// (only a prefix of the batch is delivered; the rest arrives on the next
+// successful poll) with probability TearProb. Wedge switches the source
+// to permanent failure until Heal — the frozen-source scenario the
+// supervisor's self-watchdog must detect.
+type FlakyPoller struct {
+	in  *Injector
+	src collect.Poller
+
+	// ErrProb is the probability that a poll fails.
+	ErrProb float64
+	// TearProb is the probability that a successful poll is torn.
+	TearProb float64
+
+	mu            sync.Mutex
+	wedged        bool
+	pending       []tracer.Entry
+	pendingMissed uint64
+	polls         uint64
+	failures      uint64
+	tears         uint64
+}
+
+// FlakyPoller wraps src with the given fault probabilities.
+func (in *Injector) FlakyPoller(src collect.Poller, errProb, tearProb float64) *FlakyPoller {
+	return &FlakyPoller{in: in, src: src, ErrProb: errProb, TearProb: tearProb}
+}
+
+// Wedge makes every subsequent poll fail until Heal.
+func (f *FlakyPoller) Wedge() {
+	f.mu.Lock()
+	f.wedged = true
+	f.mu.Unlock()
+	f.in.record("poller", "wedge")
+}
+
+// Heal clears a Wedge.
+func (f *FlakyPoller) Heal() {
+	f.mu.Lock()
+	f.wedged = false
+	f.mu.Unlock()
+	f.in.record("poller", "heal")
+}
+
+// Poll implements collect.FalliblePoller. A failed poll consumes nothing
+// from the underlying source.
+func (f *FlakyPoller) Poll() ([]tracer.Entry, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.polls++
+	if f.wedged {
+		f.failures++
+		return nil, 0, fmt.Errorf("%w: poller wedged", ErrInjected)
+	}
+	if f.in.decide("poller/err", f.ErrProb) {
+		f.failures++
+		return nil, 0, fmt.Errorf("%w: poll error", ErrInjected)
+	}
+	es, missed := f.src.Poll()
+	// Prepend what an earlier tear held back; its missed count is owed too.
+	if len(f.pending) > 0 || f.pendingMissed > 0 {
+		es = append(append([]tracer.Entry(nil), f.pending...), es...)
+		missed += f.pendingMissed
+		f.pending, f.pendingMissed = nil, 0
+	}
+	if len(es) > 1 && f.in.decide("poller/tear", f.TearProb) {
+		f.tears++
+		cut := len(es) / 2
+		f.pending = append([]tracer.Entry(nil), es[cut:]...)
+		es = es[:cut]
+	}
+	return es, missed, nil
+}
+
+// Stats returns (polls attempted, injected failures, torn batches).
+func (f *FlakyPoller) Stats() (polls, failures, tears uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.polls, f.failures, f.tears
+}
+
+// FlakySink wraps an io.Writer dump sink: the first FailFirst writes fail
+// transiently, and once DieAfter (if positive) successful or failed
+// writes have been attempted, every later write fails permanently
+// (wrapping collect.ErrPermanent, so a supervisor spills instead of
+// retrying forever).
+type FlakySink struct {
+	in  *Injector
+	dst io.Writer
+
+	// FailFirst is the number of initial writes that fail transiently.
+	FailFirst int
+	// DieAfter, when positive, is the number of write attempts after
+	// which the sink fails permanently.
+	DieAfter int
+
+	mu       sync.Mutex
+	writes   uint64
+	failures uint64
+}
+
+// FlakySink wraps dst.
+func (in *Injector) FlakySink(dst io.Writer, failFirst, dieAfter int) *FlakySink {
+	return &FlakySink{in: in, dst: dst, FailFirst: failFirst, DieAfter: dieAfter}
+}
+
+// Write implements io.Writer.
+func (s *FlakySink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writes++
+	if s.DieAfter > 0 && s.writes > uint64(s.DieAfter) {
+		s.failures++
+		s.in.record("sink", fmt.Sprintf("permanent#%d", s.writes))
+		return 0, fmt.Errorf("faults: sink died: %w", collect.ErrPermanent)
+	}
+	if s.writes <= uint64(s.FailFirst) {
+		s.failures++
+		s.in.record("sink", fmt.Sprintf("transient#%d", s.writes))
+		return 0, fmt.Errorf("%w: transient sink failure", ErrInjected)
+	}
+	return s.dst.Write(p)
+}
+
+// Stats returns (write attempts, injected failures).
+func (s *FlakySink) Stats() (writes, failures uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes, s.failures
+}
+
+var _ collect.FalliblePoller = (*FlakyPoller)(nil)
+var _ io.Writer = (*FlakySink)(nil)

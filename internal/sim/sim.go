@@ -131,6 +131,34 @@ func (m *Machine) Core(id int) *Core { return m.cores[id] }
 // Topology returns the machine's topology.
 func (m *Machine) Topology() Topology { return m.topo }
 
+// FaultAction is a FaultController's verdict for one preemption point.
+type FaultAction uint8
+
+// Fault actions a controller may request at a preemption point.
+const (
+	// FaultNone leaves the point to the thread's ordinary probabilistic
+	// preemption.
+	FaultNone FaultAction = iota
+	// FaultPreempt forces the thread to be scheduled out and immediately
+	// recontend for its core — a targeted preemption regardless of the
+	// thread's configured probability.
+	FaultPreempt
+	// FaultStall forces the thread off its core and parks it in the
+	// controller's Stall until the fault clears — a writer frozen (or
+	// killed) while holding unconfirmed bytes.
+	FaultStall
+)
+
+// FaultController injects scheduling faults at tracer preemption points.
+// At is consulted before the thread's probabilistic preemption; returning
+// FaultStall makes the thread release its core and call Stall, which
+// blocks until the controller lets the thread resume. Implementations
+// must be safe for concurrent use by all threads of a machine.
+type FaultController interface {
+	At(t *Thread, p tracer.PreemptPoint) FaultAction
+	Stall(t *Thread, p tracer.PreemptPoint)
+}
+
 // Thread is a simulated execution context: a goroutine bound to one
 // virtual core that can be preempted at tracer preemption points. It
 // implements tracer.Proc.
@@ -145,11 +173,14 @@ type Thread struct {
 	// preemptProb is the probability that a preemption point actually
 	// preempts the thread.
 	preemptProb float64
+	// fc, when set, injects targeted faults at preemption points.
+	fc FaultController
 
 	nopreempt  int // preemption-disable nesting
 	holding    bool
 	bound      bool
 	preempted  uint64
+	stalls     uint64
 	migrations uint64
 }
 
@@ -194,6 +225,14 @@ func (t *Thread) Thread() int { return t.id }
 // preemption point.
 func (t *Thread) Preempted() uint64 { return t.preempted }
 
+// Stalls returns how many times a FaultController parked this thread.
+func (t *Thread) Stalls() uint64 { return t.stalls }
+
+// SetFaultController installs (or, with nil, removes) a fault controller
+// on the thread. Must be called before the thread's driving goroutine
+// starts, or from that goroutine.
+func (t *Thread) SetFaultController(fc FaultController) { t.fc = fc }
+
 // Acquire schedules the thread onto its core, blocking until the core is
 // free. If the core was hot-unplugged, an unbound thread is migrated to
 // an online core first, while a bound thread waits (starves) until its
@@ -222,11 +261,29 @@ func (t *Thread) Release() {
 // thread is scheduled out (core released and re-acquired), exactly the
 // §2.2 Observation 2 hazard — the thread resumes on the same core with
 // other threads possibly having run in between.
-func (t *Thread) MaybePreempt(tracer.PreemptPoint) {
-	if !t.holding || t.nopreempt > 0 || t.preemptProb == 0 {
+func (t *Thread) MaybePreempt(p tracer.PreemptPoint) {
+	if !t.holding || t.nopreempt > 0 {
 		return
 	}
-	if t.rng.Float64() >= t.preemptProb {
+	if t.fc != nil {
+		switch t.fc.At(t, p) {
+		case FaultPreempt:
+			t.preempted++
+			t.m.cores[t.core].preemptions.Add(1)
+			t.Release()
+			t.Acquire()
+			return
+		case FaultStall:
+			t.preempted++
+			t.stalls++
+			t.m.cores[t.core].preemptions.Add(1)
+			t.Release()
+			t.fc.Stall(t, p)
+			t.Acquire()
+			return
+		}
+	}
+	if t.preemptProb == 0 || t.rng.Float64() >= t.preemptProb {
 		return
 	}
 	t.preempted++
