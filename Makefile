@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 chaos
+.PHONY: all build vet test race tier1 chaos bench
 
 all: tier1
 
@@ -30,3 +30,13 @@ tier1: build vet test race
 SHORT ?=
 chaos:
 	$(GO) test $(SHORT) -v -run 'TestChaos' ./internal/faults/
+
+# Read/write-path benchmarks with allocation accounting, recorded as
+# machine-readable JSON (BENCH_readpath.json) to track the perf
+# trajectory across commits. BENCHTIME trades precision for runtime.
+BENCHTIME ?= 2000x
+bench:
+	@{ $(GO) test ./internal/core -run '^$$' -bench 'BenchmarkReadPath' -benchmem -benchtime $(BENCHTIME); \
+	   $(GO) test . -run '^$$' -bench 'BenchmarkWritePathStampBatch' -benchmem -benchtime $(BENCHTIME); } \
+	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_readpath.json
+	@echo "wrote BENCH_readpath.json"

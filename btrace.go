@@ -13,20 +13,32 @@
 //
 //	tr, err := btrace.Open(btrace.Config{Cores: 8, BufferBytes: 8 << 20})
 //	if err != nil { ... }
-//	w := tr.Writer(coreID, threadID)
+//	w, _ := tr.Writer(coreID, threadID)
 //	w.Write(btrace.Event{TS: now, Category: 3, Level: 1, Payload: data})
+//
 //	r := tr.NewReader()
-//	events, _ := r.Snapshot()
+//	batch := make([]btrace.Event, 256)
+//	for {
+//		n, missed, _ := r.Next(batch)
+//		if n == 0 { break }
+//		consume(batch[:n], missed) // valid until the next call to Next
+//	}
 //
 // Each producing thread obtains a Writer naming the (virtual or physical)
 // core it runs on; the core id routes the write to the core's current
 // block. On platforms with real thread pinning, use the pinned CPU id; in
 // portable Go programs any stable shard id in [0, Cores) preserves the
 // algorithm's benefits.
+//
+// The batch Next loop is the steady-state read path: it reuses a decode
+// arena across calls, so following a busy buffer allocates nothing per
+// poll. Snapshot and Poll remain as convenience wrappers that return
+// freshly allocated, caller-owned slices.
 package btrace
 
 import (
 	"fmt"
+	"iter"
 	"sync/atomic"
 	"time"
 
@@ -41,25 +53,12 @@ import (
 // internal/sim) may implement Proc themselves.
 type Proc = tracer.Proc
 
-// Event is a trace event. Stamp is assigned by the tracer on write and
-// reported on read; the remaining fields are caller-provided.
-type Event struct {
-	// Stamp is the unique, monotonically increasing logic stamp the
-	// tracer assigned at write time (read side only).
-	Stamp uint64
-	// TS is the caller's timestamp in nanoseconds.
-	TS uint64
-	// Core is the core the event was written from (read side only).
-	Core uint8
-	// TID identifies the producing thread (24 bits).
-	TID uint32
-	// Category and Level classify the event (see internal/workload for
-	// the atrace-style scheme the evaluation uses).
-	Category uint8
-	Level    uint8
-	// Payload is the event body; at most MaxPayload bytes.
-	Payload []byte
-}
+// Event is a trace event: the Stamp, Core, and TID fields are assigned
+// by the tracer at write time and reported on read; TS, Category, Level,
+// and Payload are caller-provided. It is an alias of the internal wire
+// entry, so slices returned by the read path are the decoder's output
+// with no per-event conversion or copy.
+type Event = tracer.Entry
 
 // MaxPayload is the largest payload a single event may carry.
 const MaxPayload = tracer.MaxPayload
@@ -81,6 +80,15 @@ type Config struct {
 	// ActivePerCore sets the number of active blocks per core (A =
 	// ActivePerCore x Cores); default 16, the §5.1 sweet spot.
 	ActivePerCore int
+	// StampBatch makes each Writer reserve logic stamps in ranges of
+	// this size with a single atomic add, instead of one contended add
+	// per write. Stamps stay globally unique and strictly increasing per
+	// Writer, but writes by different Writers may commit with
+	// out-of-order stamps, so global stamp order no longer matches
+	// cross-thread write order. Leave at 0 or 1 (the default, one add
+	// per write) when consumers rely on global stamp order — Poll's
+	// missed accounting and collect.Verifier's ordering check do.
+	StampBatch int
 	// PoisonOnReclaim overwrites memory reclaimed by a shrink with a
 	// poison pattern, turning use-after-reclaim bugs into loud decode
 	// failures. Intended for tests.
@@ -89,9 +97,10 @@ type Config struct {
 
 // Tracer is an open BTrace instance.
 type Tracer struct {
-	buf   *core.Buffer
-	stamp atomic.Uint64
-	epoch time.Time
+	buf        *core.Buffer
+	stamp      atomic.Uint64
+	stampBatch uint64
+	epoch      time.Time
 	filterState
 }
 
@@ -110,6 +119,9 @@ func Open(cfg Config) (*Tracer, error) {
 		return nil, fmt.Errorf("btrace: MaxBufferBytes (%d) < BufferBytes (%d)",
 			cfg.MaxBufferBytes, cfg.BufferBytes)
 	}
+	if cfg.StampBatch < 0 {
+		return nil, fmt.Errorf("btrace: StampBatch must be non-negative")
+	}
 	opt, err := core.OptionsForBudget(cfg.BufferBytes, cfg.Cores, cfg.BlockSize, cfg.ActivePerCore)
 	if err != nil {
 		return nil, err
@@ -125,7 +137,11 @@ func Open(cfg Config) (*Tracer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tracer{buf: buf, epoch: time.Now()}, nil
+	sb := uint64(cfg.StampBatch)
+	if sb == 0 {
+		sb = 1
+	}
+	return &Tracer{buf: buf, stampBatch: sb, epoch: time.Now()}, nil
 }
 
 // Capacity returns the current live buffer capacity in bytes.
@@ -177,76 +193,42 @@ func (t *Tracer) Writer(core, tid int) (*Writer, error) {
 	return &Writer{t: t, proc: tracer.FixedProc{CoreID: core, TID: tid}}, nil
 }
 
-// Writer is a per-thread write handle.
+// Writer is a per-thread write handle. With Config.StampBatch > 1 it
+// holds the thread's current reservation of logic stamps.
 type Writer struct {
 	t    *Tracer
 	proc tracer.FixedProc
+	// nextStamp..endStamp (inclusive) is the unconsumed remainder of the
+	// Writer's stamp reservation; empty when nextStamp > endStamp.
+	nextStamp uint64
+	endStamp  uint64
 }
 
-// Write records e. The event receives the next global logic stamp; the
+// takeStamp returns the Writer's next logic stamp, reserving a fresh
+// range of StampBatch stamps with one atomic add when the current
+// reservation is exhausted. With StampBatch == 1 this is exactly one add
+// per write — the globally ordered default.
+func (w *Writer) takeStamp() uint64 {
+	if w.nextStamp > w.endStamp || w.nextStamp == 0 {
+		n := w.t.stampBatch
+		hi := w.t.stamp.Add(n)
+		w.nextStamp, w.endStamp = hi-n+1, hi
+	}
+	s := w.nextStamp
+	w.nextStamp++
+	return s
+}
+
+// Write records e. The event receives the Writer's next logic stamp; the
 // write is wait-free with respect to other threads except for the bounded
 // block-advancement slow path.
 func (w *Writer) Write(e Event) error {
-	return w.t.WriteProc(&w.proc, e)
-}
-
-// WriteProc records e under an explicit execution context; simulated
-// schedulers use this to inject preemption at the algorithm's preemption
-// points.
-func (t *Tracer) WriteProc(p Proc, e Event) error {
+	t := w.t
 	if f := unpackFilter(t.filter.Load()); !f.Allows(e.Category, e.Level) {
 		t.filtered.Add(1)
 		return nil
 	}
-	ent := tracer.Entry{
-		Stamp:   t.stamp.Add(1),
-		TS:      e.TS,
-		Core:    uint8(p.Core()),
-		TID:     uint32(p.Thread()) & 0xFFFFFF,
-		Cat:     e.Category,
-		Level:   e.Level,
-		Payload: e.Payload,
-	}
-	return t.buf.Write(p, &ent)
-}
-
-// Reader is a registered consumer. Snapshots never block producers; a
-// block being overwritten during a read is detected and dropped (§4.3).
-type Reader struct {
-	r *core.Reader
-}
-
-// NewReader registers a consumer.
-func (t *Tracer) NewReader() *Reader { return &Reader{r: t.buf.NewReader()} }
-
-// Close unregisters the reader.
-func (r *Reader) Close() { r.r.Close() }
-
-// Snapshot returns every currently recoverable event, oldest first by
-// logic stamp.
-func (r *Reader) Snapshot() []Event {
-	es, _ := r.r.Snapshot()
-	return convertEntries(es)
-}
-
-// Poll returns the events recorded since the previous Poll (oldest
-// first) and how many were lost to overwrite in between — the incremental
-// mode a collector daemon uses to follow a live trace without ever
-// blocking producers.
-func (r *Reader) Poll() (events []Event, missed uint64) {
-	es, missed := r.r.Poll()
-	return convertEntries(es), missed
-}
-
-func convertEntries(es []tracer.Entry) []Event {
-	out := make([]Event, len(es))
-	for i, e := range es {
-		out[i] = Event{
-			Stamp: e.Stamp, TS: e.TS, Core: e.Core, TID: e.TID,
-			Category: e.Cat, Level: e.Level, Payload: e.Payload,
-		}
-	}
-	return out
+	return t.writeStamped(&w.proc, &e, w.takeStamp())
 }
 
 // WriteNow records e with TS set to the tracer's monotonic clock (nanoseconds
@@ -254,5 +236,92 @@ func convertEntries(es []tracer.Entry) []Event {
 // the caller supplies its own timebase.
 func (w *Writer) WriteNow(e Event) error {
 	e.TS = uint64(time.Since(w.t.epoch).Nanoseconds())
-	return w.t.WriteProc(&w.proc, e)
+	return w.Write(e)
+}
+
+// WriteProc records e under an explicit execution context; simulated
+// schedulers use this to inject preemption at the algorithm's preemption
+// points. It always allocates the stamp with a single global add
+// (StampBatch applies only to Writers, which can hold a reservation).
+func (t *Tracer) WriteProc(p Proc, e Event) error {
+	if f := unpackFilter(t.filter.Load()); !f.Allows(e.Category, e.Level) {
+		t.filtered.Add(1)
+		return nil
+	}
+	return t.writeStamped(p, &e, t.stamp.Add(1))
+}
+
+// writeStamped stamps e with the tracer-assigned fields and records it.
+func (t *Tracer) writeStamped(p Proc, e *Event, stamp uint64) error {
+	e.Stamp = stamp
+	e.Core = uint8(p.Core())
+	e.TID = uint32(p.Thread()) & 0xFFFFFF
+	return t.buf.Write(p, e)
+}
+
+// Reader is a registered consumer. Reads never block producers; a block
+// being overwritten during a read is detected and dropped (§4.3).
+//
+// Next is the streaming batch API (arena-backed, allocation-free at
+// steady state); Snapshot and Poll are one-shot wrappers returning
+// caller-owned slices. A Reader is not safe for concurrent use.
+type Reader struct {
+	buf *core.Buffer
+	r   *core.Reader
+	cur *core.Cursor
+}
+
+// NewReader registers a consumer.
+func (t *Tracer) NewReader() *Reader {
+	return &Reader{buf: t.buf, r: t.buf.NewReader()}
+}
+
+// Close unregisters the reader.
+func (r *Reader) Close() {
+	r.r.Close()
+	if r.cur != nil {
+		r.cur.Close()
+		r.cur = nil
+	}
+}
+
+// Next fills batch with up to len(batch) events recorded since the
+// previous call (oldest first by logic stamp) and returns the count and
+// how many events were lost to overwrite in between. n == 0 means no new
+// events are currently available. The filled events — including their
+// Payload slices, which point into a reused decode arena — are valid
+// only until the next call to Next or Close; copy what must be retained.
+func (r *Reader) Next(batch []Event) (n int, missed uint64, err error) {
+	if r.cur == nil {
+		r.cur = r.buf.NewCursor()
+	}
+	return r.cur.Next(batch)
+}
+
+// Events returns a Go iterator over the events recorded after the
+// iterator starts draining, reading through batch (which must be
+// non-empty and sizes each underlying read). The yielded *Event is
+// borrowed per the Next contract: valid only for that iteration step.
+func (r *Reader) Events(batch []Event) iter.Seq2[*Event, error] {
+	if r.cur == nil {
+		r.cur = r.buf.NewCursor()
+	}
+	return tracer.Events(r.cur, batch)
+}
+
+// Snapshot returns every currently recoverable event, oldest first by
+// logic stamp. The slice and its payloads are freshly allocated and
+// owned by the caller.
+func (r *Reader) Snapshot() []Event {
+	es, _ := r.r.Snapshot()
+	return es
+}
+
+// Poll returns the events recorded since the previous Poll (oldest
+// first) and how many were lost to overwrite in between — the incremental
+// mode a collector daemon uses to follow a live trace without ever
+// blocking producers. The slice is freshly allocated and caller-owned;
+// steady-state collectors should prefer Next, which reuses its arena.
+func (r *Reader) Poll() (events []Event, missed uint64) {
+	return r.r.Poll()
 }

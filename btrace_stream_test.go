@@ -1,0 +1,231 @@
+package btrace
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestReaderNextBatch(t *testing.T) {
+	tr, err := Open(Config{Cores: 2, BufferBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tr.Writer(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 100
+	for i := 0; i < total; i++ {
+		if err := w.Write(Event{TS: uint64(i), Category: 1, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := tr.NewReader()
+	defer r.Close()
+	want := r.Snapshot()
+	if len(want) != total {
+		t.Fatalf("snapshot has %d events, want %d", len(want), total)
+	}
+
+	// A small batch forces delivery across multiple Next calls.
+	batch := make([]Event, 7)
+	var got []Event
+	for {
+		n, missed, err := r.Next(batch)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if missed != 0 {
+			t.Fatalf("missed = %d, want 0", missed)
+		}
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			e := batch[i]
+			e.Payload = append([]byte(nil), e.Payload...) // batch is borrowed
+			got = append(got, e)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Next delivered %d events, Snapshot %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Stamp != want[i].Stamp || string(got[i].Payload) != string(want[i].Payload) {
+			t.Fatalf("event %d: Next %+v != Snapshot %+v", i, got[i], want[i])
+		}
+	}
+
+	// New writes arrive on the same reader without re-delivery.
+	if err := w.Write(Event{TS: 999, Category: 1}); err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := r.Next(batch)
+	if err != nil || n != 1 || batch[0].Stamp != total+1 {
+		t.Fatalf("incremental Next = (%d, %v), stamp %d; want 1 event with stamp %d",
+			n, err, batch[0].Stamp, total+1)
+	}
+}
+
+func TestReaderEventsIterator(t *testing.T) {
+	tr, err := Open(Config{Cores: 1, BufferBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := tr.Writer(0, 1)
+	for i := 0; i < 20; i++ {
+		if err := w.Write(Event{TS: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := tr.NewReader()
+	defer r.Close()
+	var stamps []uint64
+	for e, err := range r.Events(make([]Event, 6)) {
+		if err != nil {
+			t.Fatalf("iterator error: %v", err)
+		}
+		stamps = append(stamps, e.Stamp)
+	}
+	if len(stamps) != 20 {
+		t.Fatalf("iterator yielded %d events, want 20", len(stamps))
+	}
+	for i, s := range stamps {
+		if s != uint64(i+1) {
+			t.Fatalf("stamp[%d] = %d, want %d", i, s, i+1)
+		}
+	}
+}
+
+// TestStampBatchUniqueAndMonotonic exercises the batched stamp
+// reservation: stamps must stay globally unique and strictly increasing
+// per Writer even when every Writer reserves ranges of 64.
+func TestStampBatchUniqueAndMonotonic(t *testing.T) {
+	tr, err := Open(Config{Cores: 8, BufferBytes: 4 << 20, StampBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers  = 8
+		perEach  = 500
+		seqBytes = 8
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w, err := tr.Writer(g, g+1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			payload := make([]byte, seqBytes)
+			for i := 0; i < perEach; i++ {
+				// The payload records the writer's own sequence number so
+				// the readout can reconstruct per-writer write order.
+				binary.LittleEndian.PutUint64(payload, uint64(i))
+				if err := w.Write(Event{TS: uint64(i), Payload: payload}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	r := tr.NewReader()
+	defer r.Close()
+	es := r.Snapshot()
+	if len(es) != writers*perEach {
+		t.Fatalf("retained %d events, want %d (buffer too small for the test)", len(es), writers*perEach)
+	}
+	type rec struct{ seq, stamp uint64 }
+	seen := make(map[uint64]bool, len(es))
+	perWriter := make(map[uint32][]rec)
+	for _, e := range es {
+		if seen[e.Stamp] {
+			t.Fatalf("duplicate stamp %d", e.Stamp)
+		}
+		seen[e.Stamp] = true
+		perWriter[e.TID] = append(perWriter[e.TID], rec{binary.LittleEndian.Uint64(e.Payload), e.Stamp})
+	}
+	if len(perWriter) != writers {
+		t.Fatalf("saw %d writers, want %d", len(perWriter), writers)
+	}
+	for tid, recs := range perWriter {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+		for i := 1; i < len(recs); i++ {
+			if recs[i].stamp <= recs[i-1].stamp {
+				t.Fatalf("writer %d: stamp %d (seq %d) not above %d (seq %d)",
+					tid, recs[i].stamp, recs[i].seq, recs[i-1].stamp, recs[i-1].seq)
+			}
+		}
+	}
+}
+
+// TestStampBatchDefaultKeepsGlobalOrder pins the default: without
+// StampBatch the global stamp sequence matches cross-thread write order
+// (one atomic add per write), which Poll's gap accounting relies on.
+func TestStampBatchDefaultKeepsGlobalOrder(t *testing.T) {
+	tr, err := Open(Config{Cores: 1, BufferBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := tr.Writer(0, 1)
+	for i := 0; i < 50; i++ {
+		if err := w.Write(Event{TS: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := tr.NewReader()
+	defer r.Close()
+	es := r.Snapshot()
+	for i, e := range es {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("stamp[%d] = %d, want %d", i, e.Stamp, i+1)
+		}
+	}
+}
+
+// BenchmarkWritePathStampBatch measures the write-path contention win of
+// batched stamp reservation: concurrent writers on a shared tracer, one
+// atomic add per write (batch=1) versus one per 64 writes.
+func BenchmarkWritePathStampBatch(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		name := "batch=1"
+		if batch != 1 {
+			name = "batch=64"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr, err := Open(Config{Cores: 8, BufferBytes: 8 << 20, StampBatch: batch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 32)
+			var nextID int64
+			var mu sync.Mutex
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				mu.Lock()
+				id := int(nextID)
+				nextID++
+				mu.Unlock()
+				w, err := tr.Writer(id%8, id+1)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for pb.Next() {
+					if err := w.Write(Event{TS: 1, Payload: payload}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const sample = `goos: linux
+goarch: amd64
+pkg: btrace/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkReadPathPoll   	    1000	   5495794 ns/op	13952035 B/op	      84 allocs/op
+BenchmarkReadPathCursor 	    1000	   3031368 ns/op	   13209 B/op	       0 allocs/op
+PASS
+ok  	btrace/internal/core	8.642s
+pkg: btrace
+BenchmarkWritePathStampBatch/batch=1-8         	  200000	        98.52 ns/op	      42 B/op	       0 allocs/op
+PASS
+`
+	f, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Fatalf("header: %+v", f)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	poll, cursor := f.Benchmarks[0], f.Benchmarks[1]
+	if poll.Name != "BenchmarkReadPathPoll" || poll.Package != "btrace/internal/core" ||
+		poll.Runs != 1000 || poll.BytesPerOp != 13952035 || poll.AllocsPerOp != 84 {
+		t.Fatalf("poll: %+v", poll)
+	}
+	if cursor.BytesPerOp != 13209 || cursor.AllocsPerOp != 0 {
+		t.Fatalf("cursor: %+v", cursor)
+	}
+	w := f.Benchmarks[2]
+	if w.Package != "btrace" || w.NsPerOp != 98.52 {
+		t.Fatalf("write bench: %+v", w)
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{"Benchmark", "BenchmarkX notanumber", ""} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

@@ -6,8 +6,11 @@
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -34,18 +37,19 @@ func main() {
 }
 
 func run(path string, maxGaps int, format string) error {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	recs, truncated := tracer.DecodeAll(data)
-	var es []tracer.Entry
-	for _, r := range recs {
-		if r.Kind == tracer.KindEvent {
-			es = append(es, r.Event)
-		}
+	defer f.Close()
+	// Stream the dump record by record: one record buffer, regardless of
+	// readout size.
+	dec := export.NewDecoder(bufio.NewReader(f))
+	es, err := dec.DecodeInto(nil)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, tracer.ErrCorrupt) {
+		return err
 	}
-	if truncated {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "warning: trailing bytes were not decodable (truncated dump?)")
 	}
 	if len(es) == 0 {
@@ -78,7 +82,7 @@ func run(path string, maxGaps int, format string) error {
 	for i, e := range es {
 		bytesTotal += uint64(e.WireSize())
 		perCore[e.Core]++
-		perCat[e.Cat]++
+		perCat[e.Category]++
 		tids[e.TID] = true
 		if e.TS < minTS {
 			minTS = e.TS

@@ -31,9 +31,9 @@ func writeDump(t *testing.T, es []tracer.Entry) string {
 
 func TestInspect(t *testing.T) {
 	es := []tracer.Entry{
-		{Stamp: 1, TS: 0, Core: 0, TID: 10, Cat: 11, Payload: []byte("a")},
-		{Stamp: 2, TS: 1e9, Core: 1, TID: 11, Cat: 11, Payload: []byte("b")},
-		{Stamp: 5, TS: 2e9, Core: 1, TID: 12, Cat: 16, Payload: []byte("c")},
+		{Stamp: 1, TS: 0, Core: 0, TID: 10, Category: 11, Payload: []byte("a")},
+		{Stamp: 2, TS: 1e9, Core: 1, TID: 11, Category: 11, Payload: []byte("b")},
+		{Stamp: 5, TS: 2e9, Core: 1, TID: 12, Category: 16, Payload: []byte("c")},
 	}
 	path := writeDump(t, es)
 	for _, format := range []string{"summary", "text", "chrome", "csv"} {

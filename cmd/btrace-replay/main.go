@@ -5,11 +5,13 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"btrace/internal/analysis"
+	"btrace/internal/export"
 	"btrace/internal/replay"
 	"btrace/internal/report"
 	"btrace/internal/tracer"
@@ -123,22 +125,21 @@ func run(tracerName, wlName string, budget int, scale float64, level int, thread
 	return nil
 }
 
-// dumpReadout serializes the readout as consecutive wire records.
+// dumpReadout serializes the readout as consecutive wire records via the
+// streaming encoder (one reusable record buffer).
 func dumpReadout(path string, es []tracer.Entry) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	buf := make([]byte, tracer.EventWireSize(tracer.MaxPayload))
-	for i := range es {
-		n, err := tracer.EncodeEvent(buf, &es[i])
-		if err != nil {
-			return err
-		}
-		if _, err := f.Write(buf[:n]); err != nil {
-			return err
-		}
+	bw := bufio.NewWriter(f)
+	if err := export.NewEncoder(bw).EncodeBatch(es); err != nil {
+		f.Close()
+		return err
 	}
-	return nil
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -294,13 +294,24 @@ func (s *server) handleReplayJSON(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="btrace-replay.json"`)
+	// Stream through a cursor when the tracer supports it: the response is
+	// produced in bounded batches instead of materializing the readout.
+	if cs, ok := tr.(tracer.CursorSource); ok {
+		cur := cs.NewCursor()
+		defer cur.Close()
+		batch := make([]tracer.Entry, 1024)
+		if _, _, err := export.ChromeTraceCursor(w, cur, batch); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
 	es, err := tr.ReadAll()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Disposition", `attachment; filename="btrace-replay.json"`)
 	if err := export.ChromeTrace(w, es); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}

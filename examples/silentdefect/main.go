@@ -95,7 +95,7 @@ func main() {
 	var lastBeat, hotplug, failedMigrate string
 	var beatTS, hotplugTS uint64
 	for _, e := range dump.Events {
-		switch e.Cat {
+		switch e.Category {
 		case catFreeze:
 			lastBeat, beatTS = string(e.Payload), e.TS
 		case catHotplug:
@@ -117,13 +117,6 @@ func main() {
 type pollAdapter struct{ r *btrace.Reader }
 
 func (p pollAdapter) Poll() ([]tracer.Entry, uint64) {
-	es, missed := p.r.Poll()
-	out := make([]tracer.Entry, len(es))
-	for i, e := range es {
-		out[i] = tracer.Entry{
-			Stamp: e.Stamp, TS: e.TS, Core: e.Core, TID: e.TID,
-			Cat: e.Category, Level: e.Level, Payload: e.Payload,
-		}
-	}
-	return out, missed
+	// btrace.Event is an alias of tracer.Entry, so no conversion is needed.
+	return p.r.Poll()
 }

@@ -1,3 +1,3 @@
 module btrace
 
-go 1.22
+go 1.23

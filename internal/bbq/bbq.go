@@ -308,3 +308,9 @@ func init() {
 		return New(totalBytes, 0)
 	})
 }
+
+// NewCursor implements tracer.CursorSource. BBQ's read path is a
+// quiescent snapshot, so the generic stamp-resume adapter applies.
+func (q *Queue) NewCursor() tracer.Cursor { return tracer.NewSnapshotCursor(q.ReadAll) }
+
+var _ tracer.CursorSource = (*Queue)(nil)

@@ -59,7 +59,7 @@ func (w *Watchdog) Observe(es []tracer.Entry) string {
 		if e.TS > w.latest {
 			w.latest = e.TS
 		}
-		if e.Cat == w.Category {
+		if e.Category == w.Category {
 			// A late (out-of-order) heartbeat must not move lastSeen
 			// backwards: that would fabricate a silence episode.
 			if e.TS > w.lastSeen {
@@ -102,7 +102,7 @@ func (r *RateSpike) Name() string { return fmt.Sprintf("ratespike(cat=%d)", r.Ca
 func (r *RateSpike) Observe(es []tracer.Entry) string {
 	for i := range es {
 		e := &es[i]
-		if e.Cat != r.Category {
+		if e.Category != r.Category {
 			continue
 		}
 		r.times = append(r.times, e.TS)
@@ -222,11 +222,30 @@ func (c *Collector) Step() *Dump {
 // from a fallible source with its own retry policy. All triggers that
 // fire on the same batch contribute to the dump reason — a watchdog and
 // a rate spike firing together are both reported.
+//
+// Ingest takes ownership of es (the Poller contract hands over fresh
+// slices). For batches borrowed from a cursor arena, use IngestShared.
 func (c *Collector) Ingest(es []tracer.Entry, missed uint64) *Dump {
+	return c.ingest(es, missed, false)
+}
+
+// IngestShared is Ingest for borrowed batches (the tracer.Cursor
+// ownership contract: entries and payloads are only valid until the next
+// Next call). Triggers observe the batch in place; what enters the
+// rolling window is deep-copied.
+func (c *Collector) IngestShared(es []tracer.Entry, missed uint64) *Dump {
+	return c.ingest(es, missed, true)
+}
+
+func (c *Collector) ingest(es []tracer.Entry, missed uint64, shared bool) *Dump {
 	c.polls++
 	c.missed += missed
 
-	c.window = append(c.window, es...)
+	if shared {
+		c.window = tracer.CloneEntries(c.window, es)
+	} else {
+		c.window = append(c.window, es...)
+	}
 	if over := len(c.window) - c.maxWindow; over > 0 {
 		c.window = append(c.window[:0], c.window[over:]...)
 	}

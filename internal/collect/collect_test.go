@@ -29,7 +29,7 @@ func (f *fakePoller) Poll() ([]tracer.Entry, uint64) {
 }
 
 func ev(stamp, ts uint64, cat uint8) tracer.Entry {
-	return tracer.Entry{Stamp: stamp, TS: ts, Cat: cat}
+	return tracer.Entry{Stamp: stamp, TS: ts, Category: cat}
 }
 
 func TestNewValidation(t *testing.T) {
@@ -306,7 +306,7 @@ func TestCollectorAgainstLiveBuffer(t *testing.T) {
 	stamp := uint64(0)
 	write := func(ts uint64, cat uint8) {
 		stamp++
-		if err := b.Write(p, &tracer.Entry{Stamp: stamp, TS: ts, Cat: cat, Payload: make([]byte, 8)}); err != nil {
+		if err := b.Write(p, &tracer.Entry{Stamp: stamp, TS: ts, Category: cat, Payload: make([]byte, 8)}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -61,8 +61,19 @@ type Resizer interface {
 // SupervisorConfig configures a Supervisor. Zero values select the
 // documented defaults.
 type SupervisorConfig struct {
-	// Source is the fallible trace source (required).
+	// Source is the fallible trace source. Exactly one of Source and
+	// Cursor must be set.
 	Source FalliblePoller
+	// Cursor is the streaming trace source: each step consumes at most
+	// BatchSize events through the cursor's reusable arena, so the
+	// pipeline's per-step memory stays bounded no matter how far the
+	// source runs ahead. Batches are borrowed per the tracer.Cursor
+	// contract; the supervisor deep-copies only what it retains (window
+	// and quarantine).
+	Cursor tracer.Cursor
+	// BatchSize bounds the events consumed per step in Cursor mode
+	// (default 512).
+	BatchSize int
 	// Triggers fire dumps, as in Config. A LossDetector among them also
 	// receives per-poll missed counts and sets the loss tolerance the
 	// adaptive resize policy uses.
@@ -162,6 +173,8 @@ type Supervisor struct {
 	col *Collector
 	ver *Verifier
 	rng *rand.Rand
+	// batch is the reusable read buffer of Cursor mode.
+	batch []tracer.Entry
 
 	// Quarantine accumulated since the last dump, attached to the next one.
 	quarantined []tracer.Entry
@@ -188,8 +201,14 @@ type Supervisor struct {
 
 // NewSupervisor creates a supervised pipeline.
 func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
-	if cfg.Source == nil {
+	if cfg.Source == nil && cfg.Cursor == nil {
 		return nil, fmt.Errorf("collect: nil source")
+	}
+	if cfg.Source != nil && cfg.Cursor != nil {
+		return nil, fmt.Errorf("collect: both Source and Cursor set")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 512
 	}
 	if cfg.PollRetryBudget == 0 {
 		cfg.PollRetryBudget = 8
@@ -225,6 +244,9 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		col: col,
 		ver: NewVerifier(),
 		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Cursor != nil {
+		s.batch = make([]tracer.Entry, cfg.BatchSize)
 	}
 	if col.loss != nil {
 		s.lossTol = col.loss.Tolerance
@@ -275,7 +297,21 @@ func (s *Supervisor) stepPoll() *Dump {
 		s.stats.PollBackoffSteps++
 		return nil
 	}
-	es, missed, err := s.cfg.Source.Poll()
+	var (
+		es     []tracer.Entry
+		missed uint64
+		err    error
+		// shared marks es as borrowed from the cursor's arena (valid only
+		// until the next Next call): retained copies must be deep.
+		shared bool
+	)
+	if s.cfg.Cursor != nil {
+		var n int
+		n, missed, err = s.cfg.Cursor.Next(s.batch)
+		es, shared = s.batch[:n], true
+	} else {
+		es, missed, err = s.cfg.Source.Poll()
+	}
 	if err != nil {
 		s.stats.PollErrors++
 		s.consecPollErrs++
@@ -301,13 +337,22 @@ func (s *Supervisor) stepPoll() *Dump {
 	}
 
 	clean, quarantined, violations := s.ver.Check(es)
-	s.quarantined = append(s.quarantined, quarantined...)
+	if shared {
+		s.quarantined = tracer.CloneEntries(s.quarantined, quarantined)
+	} else {
+		s.quarantined = append(s.quarantined, quarantined...)
+	}
 	s.violations = append(s.violations, violations...)
 	s.stats.Quarantined += uint64(len(quarantined))
 
 	s.adaptCapacity(missed)
 
-	dump := s.col.Ingest(clean, missed)
+	var dump *Dump
+	if shared {
+		dump = s.col.IngestShared(clean, missed)
+	} else {
+		dump = s.col.Ingest(clean, missed)
+	}
 	if dump == nil {
 		return nil
 	}

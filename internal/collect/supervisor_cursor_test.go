@@ -1,0 +1,127 @@
+package collect
+
+import (
+	"fmt"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+// arenaCursor simulates the core cursor's ownership contract as hostilely
+// as possible: every Next first scribbles over the payload arena handed
+// out by the previous call, so any consumer that retained a borrowed
+// payload reads garbage.
+type arenaCursor struct {
+	next    uint64
+	total   uint64
+	perCall int
+	arena   []byte
+}
+
+func (c *arenaCursor) Next(batch []tracer.Entry) (int, uint64, error) {
+	for i := range c.arena {
+		c.arena[i] = 0xEE // invalidate everything handed out previously
+	}
+	c.arena = c.arena[:0]
+	n := 0
+	for n < len(batch) && n < c.perCall && c.next <= c.total {
+		start := len(c.arena)
+		c.arena = append(c.arena, byte(c.next), byte(c.next>>8), byte(c.next^0x5A))
+		batch[n] = tracer.Entry{
+			Stamp:   c.next,
+			TS:      c.next * 10,
+			Payload: c.arena[start:len(c.arena):len(c.arena)],
+		}
+		c.next++
+		n++
+	}
+	return n, 0, nil
+}
+
+func (c *arenaCursor) Close() error { return nil }
+
+// TestSupervisorCursorBoundedBatches drives a Supervisor from a cursor
+// source: per-step consumption stays bounded by BatchSize, every event is
+// ingested exactly once, and dumped windows hold deep copies whose
+// payloads survive the cursor reusing its arena.
+func TestSupervisorCursorBoundedBatches(t *testing.T) {
+	const total = 100
+	cur := &arenaCursor{next: 1, total: total, perCall: 64}
+	fire := &fireAt{at: total} // fires when the last stamp is observed
+	s, err := NewSupervisor(SupervisorConfig{
+		Cursor:    cur,
+		BatchSize: 16, // tighter than the cursor's own perCall bound
+		Triggers:  []Trigger{fire},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump *Dump
+	for i := 0; i < total; i++ {
+		if d := s.Step(); d != nil {
+			dump = d
+			break
+		}
+	}
+	if dump == nil {
+		t.Fatal("trigger never fired")
+	}
+	if got := s.Stats().Polls; got < total/16 {
+		t.Fatalf("only %d polls for %d events with batch 16: batches not bounded?", got, total)
+	}
+	if len(dump.Events) != total {
+		t.Fatalf("dump window has %d events, want %d", len(dump.Events), total)
+	}
+	// Force one more arena invalidation, then verify the dumped payloads:
+	// a shallow copy anywhere in the pipeline shows up as 0xEE garbage.
+	var scratch [16]tracer.Entry
+	cur.total = 0
+	if _, _, err := cur.Next(scratch[:]); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range dump.Events {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("event %d: stamp %d, want %d", i, e.Stamp, i+1)
+		}
+		want := []byte{byte(e.Stamp), byte(e.Stamp >> 8), byte(e.Stamp ^ 0x5A)}
+		if string(e.Payload) != string(want) {
+			t.Fatalf("stamp %d: payload %x, want %x (window kept a borrowed slice)",
+				e.Stamp, e.Payload, want)
+		}
+	}
+}
+
+// fireAt fires once a given stamp has been observed.
+type fireAt struct {
+	at    uint64
+	fired bool
+}
+
+func (f *fireAt) Name() string { return "fireat" }
+
+func (f *fireAt) Observe(es []tracer.Entry) string {
+	for i := range es {
+		if es[i].Stamp >= f.at && !f.fired {
+			f.fired = true
+			return fmt.Sprintf("stamp %d reached", f.at)
+		}
+	}
+	return ""
+}
+
+// TestSupervisorConfigValidation pins the Source/Cursor exclusivity.
+func TestSupervisorConfigValidation(t *testing.T) {
+	if _, err := NewSupervisor(SupervisorConfig{}); err == nil {
+		t.Fatal("no source accepted")
+	}
+	cur := &arenaCursor{next: 1}
+	if _, err := NewSupervisor(SupervisorConfig{
+		Source: Fallible(noPoller{}),
+		Cursor: cur,
+	}); err == nil {
+		t.Fatal("both Source and Cursor accepted")
+	}
+	if _, err := NewSupervisor(SupervisorConfig{Cursor: cur}); err != nil {
+		t.Fatalf("cursor-only config rejected: %v", err)
+	}
+}

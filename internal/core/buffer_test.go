@@ -164,7 +164,7 @@ func TestDataIdxMapping(t *testing.T) {
 func TestWriteReadSingleEntry(t *testing.T) {
 	b := mustNew(t, smallOpt())
 	p := &tracer.FixedProc{CoreID: 1, TID: 7}
-	e := &tracer.Entry{Stamp: 42, TS: 1000, Core: 1, TID: 7, Cat: 3, Level: 2, Payload: []byte("payload!")}
+	e := &tracer.Entry{Stamp: 42, TS: 1000, Core: 1, TID: 7, Category: 3, Level: 2, Payload: []byte("payload!")}
 	if err := b.Write(p, e); err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestWriteReadSingleEntry(t *testing.T) {
 		t.Fatalf("got %d entries, want 1", len(es))
 	}
 	g := es[0]
-	if g.Stamp != 42 || g.TS != 1000 || g.Core != 1 || g.TID != 7 || g.Cat != 3 || g.Level != 2 {
+	if g.Stamp != 42 || g.TS != 1000 || g.Core != 1 || g.TID != 7 || g.Category != 3 || g.Level != 2 {
 		t.Fatalf("entry mismatch: %+v", g)
 	}
 	if string(g.Payload) != "payload!" {

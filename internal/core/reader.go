@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"btrace/internal/tracer"
@@ -101,12 +101,66 @@ func (s BlockState) String() string {
 	}
 }
 
+// arena is the reusable decode storage of a snapshot: the entry slice,
+// one packed byte buffer holding every payload, and the per-position
+// block infos. Reusing an arena across snapshots turns the read path's
+// per-poll cost from O(events) allocations into zero steady-state
+// allocations (the streaming-cursor design this repo's read pipeline is
+// built on).
+//
+// Payloads are appended to buf during the fill, which may reallocate it;
+// entries therefore record offsets (spans) and the Payload slice headers
+// are fixed up only once the fill is complete (fixPayloads).
+type arena struct {
+	entries []tracer.Entry
+	spans   []span // parallel to entries; start<0 means nil payload
+	buf     []byte
+	infos   []BlockInfo
+}
+
+type span struct{ start, end int }
+
+// reset empties the arena for the next snapshot, keeping capacity.
+func (a *arena) reset() {
+	a.entries = a.entries[:0]
+	a.spans = a.spans[:0]
+	a.buf = a.buf[:0]
+	a.infos = a.infos[:0]
+}
+
+// fixPayloads rewrites each entry's Payload to point into buf. Must run
+// after the fill (buf no longer grows) and before sorting (spans are
+// parallel to entries by index).
+func (a *arena) fixPayloads() {
+	for i := range a.entries {
+		sp := a.spans[i]
+		if sp.start < 0 {
+			a.entries[i].Payload = nil
+			continue
+		}
+		a.entries[i].Payload = a.buf[sp.start:sp.end:sp.end]
+	}
+}
+
 // Snapshot reads every event currently recoverable from the buffer,
 // oldest position first, together with per-position block information.
-// It is safe to run concurrently with producers.
+// It is safe to run concurrently with producers. The returned slices are
+// freshly allocated and owned by the caller; the streaming read path
+// (Buffer.NewCursor) reuses an arena instead and is what steady-state
+// consumers should poll.
 func (r *Reader) Snapshot() ([]tracer.Entry, []BlockInfo) {
+	var ar arena
+	r.snapshotInto(&ar)
+	return ar.entries, ar.infos
+}
+
+// snapshotInto resets ar and fills it with every recoverable event,
+// sorted by stamp, plus per-position infos. It is the shared engine
+// behind Snapshot (fresh arena) and Cursor (persistent arena).
+func (r *Reader) snapshotInto(ar *arena) {
 	r.epoch.Add(1)
 	defer r.epoch.Add(1)
+	ar.reset()
 
 	b := r.b
 	gw := b.global.Load()
@@ -119,28 +173,24 @@ func (r *Reader) Snapshot() ([]tracer.Entry, []BlockInfo) {
 		start = g - n
 	}
 
-	var (
-		entries []tracer.Entry
-		infos   []BlockInfo
-	)
 	for pos := start; pos < g; pos++ {
 		info := BlockInfo{Pos: pos}
-		es, state := r.readPos(pos, ratio, n)
-		info.State = state
-		info.Entries = len(es)
-		for i := range es {
-			info.Bytes += es[i].WireSize()
+		from := len(ar.entries)
+		info.State = r.readPosInto(ar, pos, ratio, n)
+		info.Entries = len(ar.entries) - from
+		for i := from; i < len(ar.entries); i++ {
+			info.Bytes += ar.entries[i].WireSize()
 		}
-		entries = append(entries, es...)
-		infos = append(infos, info)
+		ar.infos = append(ar.infos, info)
 	}
-	sortByStamp(entries)
-	return entries, infos
+	ar.fixPayloads()
+	sortByStamp(ar.entries)
 }
 
-// readPos recovers the events of global position pos, classifying the
-// outcome. ratio and n are the snapshot's ratio and live block count.
-func (r *Reader) readPos(pos uint64, ratio int, n uint64) ([]tracer.Entry, BlockState) {
+// readPosInto recovers the events of global position pos into ar,
+// classifying the outcome. ratio and n are the snapshot's ratio and live
+// block count. On any non-read outcome nothing is appended.
+func (r *Reader) readPosInto(ar *arena, pos uint64, ratio int, n uint64) BlockState {
 	b := r.b
 	bs := uint32(b.opt.BlockSize)
 	m, rr := b.metaOf(pos)
@@ -151,19 +201,18 @@ func (r *Reader) readPos(pos uint64, ratio int, n uint64) ([]tracer.Entry, Block
 		// Current, filled round: validate via blockOff after the copy.
 		boRnd, boIdx := unpackMeta(m.blockOff.Load())
 		if boRnd != rr {
-			return nil, BlockOverwritten
+			return BlockOverwritten
 		}
 		speculativeCopy(r.scratch, b.block(boIdx))
 		if bo2 := m.blockOff.Load(); bo2 != packMeta(rr, boIdx) {
 			// A newer round claimed the metadata mid-copy; the data may
 			// be torn (§4.3: abandon and move on).
-			return nil, BlockOverwritten
+			return BlockOverwritten
 		}
-		es, ok := parseBlock(r.scratch[:bs], pos)
-		if !ok {
-			return nil, BlockInvalid
+		if !parseBlockInto(ar, r.scratch[:bs], pos) {
+			return BlockInvalid
 		}
-		return es, BlockRead
+		return BlockRead
 
 	case cRnd == rr:
 		// Current, still-open round: readable only if every allocated
@@ -171,21 +220,20 @@ func (r *Reader) readPos(pos uint64, ratio int, n uint64) ([]tracer.Entry, Block
 		aw := m.allocated.Load()
 		aRnd, aPos := unpackMeta(aw)
 		if aRnd != rr || aPos != cCnt || aPos > bs {
-			return nil, BlockBusy
+			return BlockBusy
 		}
 		boRnd, boIdx := unpackMeta(m.blockOff.Load())
 		if boRnd != rr {
-			return nil, BlockOverwritten
+			return BlockOverwritten
 		}
 		speculativeCopy(r.scratch[:aPos], b.block(boIdx)[:aPos])
 		if m.allocated.Load() != aw || m.confirmed.Load() != packMeta(rr, cCnt) {
-			return nil, BlockBusy // a writer appended mid-copy; skip
+			return BlockBusy // a writer appended mid-copy; skip
 		}
-		es, ok := parseBlock(r.scratch[:aPos], pos)
-		if !ok {
-			return nil, BlockInvalid
+		if !parseBlockInto(ar, r.scratch[:aPos], pos) {
+			return BlockInvalid
 		}
-		return es, BlockActive
+		return BlockActive
 
 	case cRnd > rr:
 		// The metadata moved past rr. With ratio > 1 the round's data
@@ -197,58 +245,82 @@ func (r *Reader) readPos(pos uint64, ratio int, n uint64) ([]tracer.Entry, Block
 		gw2 := b.global.Load()
 		ratio2, g2 := unpackGlobal(gw2)
 		if ratio2 != ratio || pos+n < g2 {
-			return nil, BlockOverwritten
+			return BlockOverwritten
 		}
-		es, ok := parseBlock(r.scratch[:bs], pos)
-		if !ok {
-			return nil, BlockInvalid
+		if !parseBlockInto(ar, r.scratch[:bs], pos) {
+			return BlockInvalid
 		}
-		return es, BlockRead
+		return BlockRead
 
 	default:
 		// cRnd < rr: the position was granted but never locked — the
 		// skipping mechanism sacrificed it (§3.4) — or it is simply
 		// beyond the writers' progress.
-		return nil, BlockSkipped
+		return BlockSkipped
 	}
 }
 
-// parseBlock decodes the records of one block copy, validating that the
-// block header belongs to pos. It returns ok=false when the content does
-// not belong to pos (stale or reclaimed data).
-func parseBlock(blk []byte, pos uint64) ([]tracer.Entry, bool) {
-	recs, _ := tracer.DecodeAll(blk)
-	if len(recs) == 0 {
-		return nil, false
+// parseBlockInto decodes the records of one block copy into ar,
+// validating that the block header belongs to pos. It returns false
+// (appending nothing) when the content does not belong to pos (stale or
+// reclaimed data). Payload bytes are copied out of the scratch block
+// into the arena's packed buffer; only spans are recorded here, the
+// slice headers are fixed up by the caller after the fill.
+func parseBlockInto(ar *arena, blk []byte, pos uint64) bool {
+	first, err := tracer.DecodeRecord(blk)
+	if err != nil {
+		return false
 	}
-	switch recs[0].Kind {
+	switch first.Kind {
 	case tracer.KindBlockHeader:
-		if recs[0].Pos != pos {
-			return nil, false
+		if first.Pos != pos {
+			return false
 		}
 	case tracer.KindSkip:
-		return nil, true // sacrificed block, legitimately empty
+		return true // sacrificed block, legitimately empty
 	default:
-		return nil, false
+		return false
 	}
-	var es []tracer.Entry
-	for _, rec := range recs[1:] {
+	// Decode records in place (no intermediate []Record), salvaging the
+	// parseable prefix the way DecodeAll does.
+	src := blk[first.Size:]
+	for len(src) >= tracer.Align {
+		rec, err := tracer.DecodeRecord(src)
+		if err != nil {
+			break
+		}
 		if rec.Kind == tracer.KindEvent {
 			e := rec.Event
+			sp := span{start: -1}
 			if e.Payload != nil {
-				e.Payload = append([]byte(nil), e.Payload...)
+				sp.start = len(ar.buf)
+				ar.buf = append(ar.buf, e.Payload...)
+				sp.end = len(ar.buf)
 			}
-			es = append(es, e)
+			e.Payload = nil // rewritten by fixPayloads
+			ar.entries = append(ar.entries, e)
+			ar.spans = append(ar.spans, sp)
 		}
+		src = src[rec.Size:]
 	}
-	return es, true
+	return true
 }
 
 // sortByStamp orders entries by logic stamp: block granting order already
 // gives a coarse oldest-to-newest order, but entries of concurrently
-// active blocks interleave.
+// active blocks interleave. slices.SortFunc keeps the steady-state read
+// path allocation-free (sort.Slice allocates its reflect-based swapper).
 func sortByStamp(es []tracer.Entry) {
-	sort.Slice(es, func(i, j int) bool { return es[i].Stamp < es[j].Stamp })
+	slices.SortFunc(es, func(a, b tracer.Entry) int {
+		switch {
+		case a.Stamp < b.Stamp:
+			return -1
+		case a.Stamp > b.Stamp:
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 // ReadAll implements the quiescent snapshot used by the tracer.Tracer

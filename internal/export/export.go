@@ -46,7 +46,7 @@ func ChromeTrace(w io.Writer, es []tracer.Entry) error {
 	for i := range es {
 		e := &es[i]
 		file.TraceEvents = append(file.TraceEvents, chromeEvent{
-			Name: workload.Category(e.Cat).Name(),
+			Name: workload.Category(e.Category).Name(),
 			Ph:   "i",
 			TS:   float64(e.TS) / 1e3,
 			PID:  int(e.Core),
@@ -62,12 +62,24 @@ func ChromeTrace(w io.Writer, es []tracer.Entry) error {
 	return enc.Encode(file)
 }
 
+// csvHeader is the column set shared by CSV and CSVCursor.
+var csvHeader = []string{"stamp", "ts_ns", "core", "tid", "category", "level", "payload_bytes"}
+
 // CSV writes es as comma-separated rows with a header.
 func CSV(w io.Writer, es []tracer.Entry) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"stamp", "ts_ns", "core", "tid", "category", "level", "payload_bytes"}); err != nil {
+	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
+	if err := csvRows(cw, es); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// csvRows writes one row per entry.
+func csvRows(cw *csv.Writer, es []tracer.Entry) error {
 	for i := range es {
 		e := &es[i]
 		rec := []string{
@@ -75,7 +87,7 @@ func CSV(w io.Writer, es []tracer.Entry) error {
 			strconv.FormatUint(e.TS, 10),
 			strconv.Itoa(int(e.Core)),
 			strconv.FormatUint(uint64(e.TID), 10),
-			workload.Category(e.Cat).Name(),
+			workload.Category(e.Category).Name(),
 			strconv.Itoa(int(e.Level)),
 			strconv.Itoa(len(e.Payload)),
 		}
@@ -83,8 +95,7 @@ func CSV(w io.Writer, es []tracer.Entry) error {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return nil
 }
 
 // Text writes es in a human-readable, ftrace-output-like form:
@@ -108,7 +119,7 @@ func Text(w io.Writer, es []tracer.Entry) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w, "[%03d] tid=%-7d %12.6fs  %-18s level=%d stamp=%d%s\n",
-			e.Core, e.TID, float64(e.TS)/1e9, workload.Category(e.Cat).Name(),
+			e.Core, e.TID, float64(e.TS)/1e9, workload.Category(e.Category).Name(),
 			e.Level, e.Stamp, payload); err != nil {
 			return err
 		}

@@ -11,9 +11,9 @@ import (
 
 func sample() []tracer.Entry {
 	return []tracer.Entry{
-		{Stamp: 1, TS: 1_500_000, Core: 0, TID: 42, Cat: 11, Level: 2, Payload: []byte("hello")},
-		{Stamp: 2, TS: 2_500_000, Core: 11, TID: 43, Cat: 17, Level: 3, Payload: []byte{0x00, 0xFF}},
-		{Stamp: 3, TS: 3_500_000, Core: 5, TID: 44, Cat: 2, Level: 1},
+		{Stamp: 1, TS: 1_500_000, Core: 0, TID: 42, Category: 11, Level: 2, Payload: []byte("hello")},
+		{Stamp: 2, TS: 2_500_000, Core: 11, TID: 43, Category: 17, Level: 3, Payload: []byte{0x00, 0xFF}},
+		{Stamp: 3, TS: 3_500_000, Core: 5, TID: 44, Category: 2, Level: 1},
 	}
 }
 

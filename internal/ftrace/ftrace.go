@@ -244,3 +244,9 @@ func init() {
 		return New(totalBytes, cores, 0)
 	})
 }
+
+// NewCursor implements tracer.CursorSource. ftrace's read path is a
+// quiescent snapshot, so the generic stamp-resume adapter applies.
+func (t *Tracer) NewCursor() tracer.Cursor { return tracer.NewSnapshotCursor(t.ReadAll) }
+
+var _ tracer.CursorSource = (*Tracer)(nil)

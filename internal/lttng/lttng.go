@@ -300,3 +300,9 @@ func init() {
 		return New(totalBytes, cores, 0)
 	})
 }
+
+// NewCursor implements tracer.CursorSource. LTTng's read path is a
+// quiescent snapshot, so the generic stamp-resume adapter applies.
+func (t *Tracer) NewCursor() tracer.Cursor { return tracer.NewSnapshotCursor(t.ReadAll) }
+
+var _ tracer.CursorSource = (*Tracer)(nil)

@@ -319,7 +319,7 @@ func worker(cfg *Config, coreID int, events []workload.Event, th *sim.Thread,
 					TS:      ev.TS,
 					Core:    uint8(coreID),
 					TID:     ev.TID & 0xFFFFFF,
-					Cat:     uint8(ev.Cat),
+					Category:     uint8(ev.Cat),
 					Level:   ev.Level,
 					Payload: payload[:ev.PayloadLen],
 				}
@@ -356,8 +356,28 @@ func worker(cfg *Config, coreID int, events []workload.Event, th *sim.Thread,
 }
 
 // RetainedStamps reads the tracer back and returns the retained stamps in
-// ascending order.
+// ascending order. Tracers that can mint streaming cursors are drained
+// through one reused batch — only the stamps are retained, never the full
+// event slice; the rest fall back to ReadAll.
 func RetainedStamps(tr tracer.Tracer) ([]uint64, error) {
+	if cs, ok := tr.(tracer.CursorSource); ok {
+		cur := cs.NewCursor()
+		defer cur.Close()
+		batch := make([]tracer.Entry, 512)
+		var out []uint64
+		for {
+			n, _, err := cur.Next(batch)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				return out, nil
+			}
+			for i := 0; i < n; i++ {
+				out = append(out, batch[i].Stamp)
+			}
+		}
+	}
 	es, err := tr.ReadAll()
 	if err != nil {
 		return nil, err

@@ -77,7 +77,7 @@ type Entry struct {
 	// TID identifies the producing thread within the workload.
 	TID uint32
 	// Cat is the trace category (see internal/workload for the atrace set).
-	Cat uint8
+	Category uint8
 	// Level is the trace detail level (1..3, §2.2 of the paper).
 	Level uint8
 	// Payload is the event body. May be nil; only its length matters to
@@ -173,7 +173,7 @@ func EncodeEvent(dst []byte, e *Entry) (int, error) {
 	le64put(dst[0:], packWord0(KindEvent, size))
 	le64put(dst[8:], e.Stamp)
 	le64put(dst[16:], e.TS)
-	le64put(dst[24:], packWord3(e.Core, e.TID, e.Cat, e.Level, len(e.Payload)))
+	le64put(dst[24:], packWord3(e.Core, e.TID, e.Category, e.Level, len(e.Payload)))
 	copy(dst[EventHeaderSize:], e.Payload)
 	// Zero the padding so decodes are deterministic.
 	for i := EventHeaderSize + len(e.Payload); i < size; i++ {
@@ -214,6 +214,21 @@ type Record struct {
 	Event Entry
 }
 
+// PeekRecord reports the kind and total size of the record starting at
+// src without decoding its body; src must hold at least the first Align
+// bytes. Streaming decoders use it to learn how many bytes to read
+// before handing the full record to DecodeRecord.
+func PeekRecord(src []byte) (Kind, int, error) {
+	if len(src) < Align {
+		return KindInvalid, 0, fmt.Errorf("%w: short buffer (%d bytes)", ErrCorrupt, len(src))
+	}
+	k, size := unpackWord0(le64(src))
+	if size < Align || size%Align != 0 {
+		return KindInvalid, 0, fmt.Errorf("%w: kind %v size %d", ErrCorrupt, k, size)
+	}
+	return k, size, nil
+}
+
 // DecodeRecord decodes the record at the start of src. It returns the
 // record and its size. A zeroed or malformed region decodes as
 // (KindInvalid, ErrCorrupt).
@@ -243,7 +258,7 @@ func DecodeRecord(src []byte) (Record, error) {
 		r.Event.TS = le64(src[16:])
 		w3 := le64(src[24:])
 		var plen int
-		r.Event.Core, r.Event.TID, r.Event.Cat, r.Event.Level, plen = unpackWord3(w3)
+		r.Event.Core, r.Event.TID, r.Event.Category, r.Event.Level, plen = unpackWord3(w3)
 		if EventHeaderSize+plen > size {
 			return Record{}, fmt.Errorf("%w: payload length %d exceeds record size %d", ErrCorrupt, plen, size)
 		}

@@ -49,7 +49,7 @@ func TestEncodeDecodeEventRoundTrip(t *testing.T) {
 		TS:      987654321,
 		Core:    11,
 		TID:     1<<24 - 1,
-		Cat:     7,
+		Category:     7,
 		Level:   3,
 		Payload: []byte("hello btrace"),
 	}
@@ -70,7 +70,7 @@ func TestEncodeDecodeEventRoundTrip(t *testing.T) {
 	}
 	got := rec.Event
 	if got.Stamp != e.Stamp || got.TS != e.TS || got.Core != e.Core ||
-		got.TID != e.TID || got.Cat != e.Cat || got.Level != e.Level {
+		got.TID != e.TID || got.Category != e.Category || got.Level != e.Level {
 		t.Fatalf("decoded header %+v, want %+v", got, *e)
 	}
 	if !bytes.Equal(got.Payload, e.Payload) {
@@ -193,7 +193,7 @@ func TestEncodeDecodeQuick(t *testing.T) {
 		rand.New(rand.NewSource(int64(stamp))).Read(payload)
 		e := &Entry{
 			Stamp: stamp, TS: ts, Core: core, TID: tid & 0xFFFFFF,
-			Cat: cat, Level: level, Payload: payload,
+			Category: cat, Level: level, Payload: payload,
 		}
 		buf := make([]byte, e.WireSize())
 		if _, err := EncodeEvent(buf, e); err != nil {
@@ -206,10 +206,10 @@ func TestEncodeDecodeQuick(t *testing.T) {
 		g := rec.Event
 		if plen == 0 {
 			return g.Stamp == e.Stamp && g.TS == e.TS && g.Core == e.Core &&
-				g.TID == e.TID && g.Cat == e.Cat && g.Level == e.Level && g.Payload == nil
+				g.TID == e.TID && g.Category == e.Category && g.Level == e.Level && g.Payload == nil
 		}
 		return g.Stamp == e.Stamp && g.TS == e.TS && g.Core == e.Core &&
-			g.TID == e.TID && g.Cat == e.Cat && g.Level == e.Level &&
+			g.TID == e.TID && g.Category == e.Category && g.Level == e.Level &&
 			bytes.Equal(g.Payload, payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {

@@ -14,7 +14,7 @@ import (
 func FuzzDecodeRecord(f *testing.F) {
 	// Seed with every record kind plus mutations.
 	buf := make([]byte, 256)
-	e := &Entry{Stamp: 7, TS: 9, Core: 3, TID: 1234, Cat: 5, Level: 2, Payload: []byte("seed-payload")}
+	e := &Entry{Stamp: 7, TS: 9, Core: 3, TID: 1234, Category: 5, Level: 2, Payload: []byte("seed-payload")}
 	n, _ := EncodeEvent(buf, e)
 	f.Add(append([]byte(nil), buf[:n]...))
 	n = EncodeDummy(buf, 64)
@@ -52,7 +52,7 @@ func FuzzDecodeRecord(f *testing.F) {
 			}
 			g := rec2.Event
 			if g.Stamp != ev.Stamp || g.TS != ev.TS || g.Core != ev.Core ||
-				g.TID != ev.TID || g.Cat != ev.Cat || g.Level != ev.Level ||
+				g.TID != ev.TID || g.Category != ev.Category || g.Level != ev.Level ||
 				!bytes.Equal(g.Payload, ev.Payload) {
 				t.Fatalf("round-trip mismatch: %+v vs %+v", g, ev)
 			}

@@ -55,6 +55,8 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("OverwriteOldest", func(t *testing.T) { testOverwriteOldest(t, cfg) })
 	t.Run("ConcurrentNoDuplicates", func(t *testing.T) { testConcurrent(t, cfg) })
 	t.Run("StatsAccounting", func(t *testing.T) { testStats(t, cfg) })
+	t.Run("CursorMatchesReadAll", func(t *testing.T) { testCursorMatchesReadAll(t, cfg) })
+	t.Run("CursorIncremental", func(t *testing.T) { testCursorIncremental(t, cfg) })
 }
 
 func newTracer(t *testing.T, cfg Config) tracer.Tracer {
@@ -71,7 +73,7 @@ func testRoundTrip(t *testing.T, cfg Config) {
 	p := &tracer.FixedProc{CoreID: cfg.Cores - 1, TID: 3}
 	want := &tracer.Entry{
 		Stamp: 7, TS: 1234, Core: uint8(cfg.Cores - 1), TID: 3,
-		Cat: 5, Level: 2, Payload: []byte("conformance"),
+		Category: 5, Level: 2, Payload: []byte("conformance"),
 	}
 	if err := tr.Write(p, want); err != nil {
 		t.Fatalf("Write: %v", err)
@@ -85,7 +87,7 @@ func testRoundTrip(t *testing.T, cfg Config) {
 	}
 	got := es[0]
 	if got.Stamp != want.Stamp || got.TS != want.TS || got.Core != want.Core ||
-		got.TID != want.TID || got.Cat != want.Cat || got.Level != want.Level ||
+		got.TID != want.TID || got.Category != want.Category || got.Level != want.Level ||
 		string(got.Payload) != string(want.Payload) {
 		t.Fatalf("entry mismatch: got %+v want %+v", got, *want)
 	}
@@ -218,6 +220,95 @@ func testConcurrent(t *testing.T, cfg Config) {
 	}
 	if len(es) == 0 {
 		t.Fatal("nothing retained")
+	}
+}
+
+// newCursor requires the tracer to implement tracer.CursorSource — every
+// tracer in this repository must expose the streaming read path.
+func newCursor(t *testing.T, tr tracer.Tracer) tracer.Cursor {
+	t.Helper()
+	cs, ok := tr.(tracer.CursorSource)
+	if !ok {
+		t.Fatalf("%s does not implement tracer.CursorSource", tr.Name())
+	}
+	return cs.NewCursor()
+}
+
+func testCursorMatchesReadAll(t *testing.T, cfg Config) {
+	tr := newTracer(t, cfg)
+	p := &tracer.FixedProc{CoreID: 0, TID: 1}
+	const n = 40
+	for i := 1; i <= n; i++ {
+		payload := []byte{byte(i), byte(i >> 8), byte(i + 1)}
+		if err := tr.Write(p, &tracer.Entry{Stamp: uint64(i), TS: uint64(i), Payload: payload}); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	want, err := tr.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	cur := newCursor(t, tr)
+	defer cur.Close()
+	// A batch smaller than the readout forces delivery across Next calls.
+	got, err := tracer.Drain(cur, 7)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor delivered %d events, ReadAll %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Stamp != want[i].Stamp || got[i].TS != want[i].TS ||
+			string(got[i].Payload) != string(want[i].Payload) {
+			t.Fatalf("event %d: cursor %+v != ReadAll %+v", i, got[i], want[i])
+		}
+	}
+	// Exhausted cursor keeps returning 0 without error.
+	batch := make([]tracer.Entry, 4)
+	if n, missed, err := cur.Next(batch); n != 0 || missed != 0 || err != nil {
+		t.Fatalf("Next after drain = (%d, %d, %v), want (0, 0, nil)", n, missed, err)
+	}
+}
+
+func testCursorIncremental(t *testing.T, cfg Config) {
+	tr := newTracer(t, cfg)
+	p := &tracer.FixedProc{CoreID: 0, TID: 1}
+	write := func(from, to int) {
+		for i := from; i <= to; i++ {
+			if err := tr.Write(p, &tracer.Entry{Stamp: uint64(i), TS: uint64(i), Payload: []byte{byte(i)}}); err != nil {
+				t.Fatalf("Write %d: %v", i, err)
+			}
+		}
+	}
+	write(1, 10)
+	cur := newCursor(t, tr)
+	defer cur.Close()
+	got, err := tracer.Drain(cur, 64)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("first drain delivered %d events, want 10", len(got))
+	}
+	// New writes after the drain must be delivered exactly once, without
+	// re-delivering the first ten.
+	write(11, 15)
+	batch := make([]tracer.Entry, 64)
+	n, missed, err := cur.Next(batch)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if missed != 0 {
+		t.Fatalf("missed = %d, want 0", missed)
+	}
+	if n != 5 {
+		t.Fatalf("incremental Next delivered %d events, want 5", n)
+	}
+	for i := 0; i < n; i++ {
+		if want := uint64(11 + i); batch[i].Stamp != want {
+			t.Fatalf("incremental event %d: stamp %d, want %d", i, batch[i].Stamp, want)
+		}
 	}
 }
 

@@ -146,7 +146,7 @@ func formatOTF(dst []byte, e *tracer.Entry) []byte {
 	dst = append(dst, ";T:"...)
 	dst = strconv.AppendUint(dst, uint64(e.TID), 10)
 	dst = append(dst, ";F:"...)
-	dst = strconv.AppendUint(dst, uint64(e.Cat), 16)
+	dst = strconv.AppendUint(dst, uint64(e.Category), 16)
 	dst = append(dst, ";L:"...)
 	dst = strconv.AppendUint(dst, uint64(e.Level), 10)
 	dst = append(dst, ";S:"...)
@@ -258,3 +258,9 @@ func init() {
 		return New(totalBytes, threads, 0)
 	})
 }
+
+// NewCursor implements tracer.CursorSource. vtrace's read path is a
+// quiescent snapshot, so the generic stamp-resume adapter applies.
+func (t *Tracer) NewCursor() tracer.Cursor { return tracer.NewSnapshotCursor(t.ReadAll) }
+
+var _ tracer.CursorSource = (*Tracer)(nil)

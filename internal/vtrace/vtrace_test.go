@@ -67,7 +67,7 @@ func TestOTFFootprint(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := &tracer.FixedProc{TID: 1}
-	e := &tracer.Entry{Stamp: 123456789, TS: 987654321012, Core: 3, TID: 1, Cat: 9, Level: 3,
+	e := &tracer.Entry{Stamp: 123456789, TS: 987654321012, Core: 3, TID: 1, Category: 9, Level: 3,
 		Payload: []byte("0123456789abcdef0123456789abcdef")}
 	if err := tr.Write(p, e); err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestOTFFootprint(t *testing.T) {
 }
 
 func TestFormatOTF(t *testing.T) {
-	e := &tracer.Entry{Stamp: 42, TS: 100, Core: 2, TID: 7, Cat: 15, Level: 1, Payload: []byte{0xAB}}
+	e := &tracer.Entry{Stamp: 42, TS: 100, Core: 2, TID: 7, Category: 15, Level: 1, Payload: []byte{0xAB}}
 	s := string(formatOTF(nil, e))
 	for _, frag := range []string{"E:100", "P:2", "T:7", "F:f", "L:1", "S:42", "D:ab"} {
 		if !strings.Contains(s, frag) {
