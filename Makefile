@@ -40,3 +40,6 @@ bench:
 	   $(GO) test . -run '^$$' -bench 'BenchmarkWritePathStampBatch' -benchmem -benchtime $(BENCHTIME); } \
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_readpath.json
 	@echo "wrote BENCH_readpath.json"
+	@$(GO) test ./internal/store -run '^$$' -bench 'BenchmarkStore(Append|Query)' -benchmem -benchtime $(BENCHTIME) \
+	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_store.json
+	@echo "wrote BENCH_store.json"

@@ -1,8 +1,8 @@
 // Command btrace-inspect analyzes a serialized readout produced by
-// btrace-replay -dump: it lists per-core and per-category composition,
-// stamp continuity (fragments and gaps), and the time span covered —
-// the offline workflow a developer uses when a trace is pulled from a
-// device.
+// btrace-replay -dump, or a durable trace store directory: it lists
+// per-core and per-category composition, stamp continuity (fragments
+// and gaps), and the time span covered — the offline workflow a
+// developer uses when a trace is pulled from a device.
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"btrace/internal/export"
 	"btrace/internal/report"
+	"btrace/internal/store"
 	"btrace/internal/tracer"
 	"btrace/internal/workload"
 )
@@ -27,7 +28,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: btrace-inspect [flags] <readout-file>")
+		fmt.Fprintln(os.Stderr, "usage: btrace-inspect [flags] <readout-file | store-dir>")
 		os.Exit(2)
 	}
 	if err := run(flag.Arg(0), *maxGaps, *format); err != nil {
@@ -36,10 +37,31 @@ func main() {
 	}
 }
 
-func run(path string, maxGaps int, format string) error {
+// load reads the events to inspect: a directory is opened as a durable
+// segment store (recovering any torn tail), a file is decoded as a raw
+// readout dump.
+func load(path string) ([]tracer.Entry, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		st, err := store.Open(path, store.Config{})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		if s := st.Stats(); s.RecoveredTruncations > 0 {
+			fmt.Fprintf(os.Stderr, "warning: recovered %d torn segment tail(s), dropped %d byte(s)\n",
+				s.RecoveredTruncations, s.TornBytesDropped)
+		}
+		cur := st.NewCursor()
+		defer cur.Close()
+		return tracer.Drain(cur, 1024)
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
 	// Stream the dump record by record: one record buffer, regardless of
@@ -47,10 +69,18 @@ func run(path string, maxGaps int, format string) error {
 	dec := export.NewDecoder(bufio.NewReader(f))
 	es, err := dec.DecodeInto(nil)
 	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, tracer.ErrCorrupt) {
-		return err
+		return nil, err
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "warning: trailing bytes were not decodable (truncated dump?)")
+	}
+	return es, nil
+}
+
+func run(path string, maxGaps int, format string) error {
+	es, err := load(path)
+	if err != nil {
+		return err
 	}
 	if len(es) == 0 {
 		return fmt.Errorf("no events in %s", path)

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"btrace/internal/store"
 	"btrace/internal/tracer"
 )
 
@@ -43,6 +44,33 @@ func TestInspect(t *testing.T) {
 	}
 	if err := run(path, 10, "bogus"); err == nil {
 		t.Fatal("unknown format: expected error")
+	}
+}
+
+// TestInspectStoreDir: a directory argument is opened as a durable
+// segment store and inspected through its query cursor.
+func TestInspectStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 8; i++ {
+		e := tracer.Entry{Stamp: i, TS: i * 1e6, Core: uint8(i % 2), Category: 11}
+		if err := st.Append(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"summary", "text"} {
+		if err := run(dir, 10, format); err != nil {
+			t.Fatalf("store dir, format %s: %v", format, err)
+		}
+	}
+	if err := run(t.TempDir(), 10, "summary"); err == nil {
+		t.Error("empty store dir: expected error")
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"btrace/internal/export"
 	"btrace/internal/replay"
 	"btrace/internal/report"
+	"btrace/internal/store"
 	"btrace/internal/tracer"
 	"btrace/internal/workload"
 
@@ -35,6 +36,7 @@ func main() {
 		threadMode = flag.Bool("threads", true, "thread-level replay (false: core-level)")
 		preempt    = flag.Float64("preempt", 0.005, "mid-write preemption probability")
 		dump       = flag.String("dump", "", "write the readout to this file for btrace-inspect")
+		storeDir   = flag.String("store", "", "persist the readout into this durable segment store directory")
 	)
 	flag.Parse()
 
@@ -44,13 +46,13 @@ func main() {
 		return
 	}
 
-	if err := run(*tracerName, *wlName, *budget, *scale, *level, *threadMode, *preempt, *dump); err != nil {
+	if err := run(*tracerName, *wlName, *budget, *scale, *level, *threadMode, *preempt, *dump, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "btrace-replay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracerName, wlName string, budget int, scale float64, level int, threads bool, preempt float64, dump string) error {
+func run(tracerName, wlName string, budget int, scale float64, level int, threads bool, preempt float64, dump, storeDir string) error {
 	w, err := workload.ByName(wlName)
 	if err != nil {
 		return err
@@ -122,7 +124,28 @@ func run(tracerName, wlName string, budget int, scale float64, level int, thread
 		}
 		fmt.Printf("readout written to %s (%d events)\n", dump, len(es))
 	}
+	if storeDir != "" {
+		if err := persistReadout(storeDir, es); err != nil {
+			return err
+		}
+		fmt.Printf("readout persisted to store %s (%d events)\n", storeDir, len(es))
+	}
 	return nil
+}
+
+// persistReadout appends the readout to a durable segment store, so a
+// later btrace-inspect or btrace-serve -store can query it with crash
+// recovery and indexed stamp/time filters.
+func persistReadout(dir string, es []tracer.Entry) error {
+	st, err := store.Open(dir, store.Config{})
+	if err != nil {
+		return err
+	}
+	if err := st.AppendEntries(es); err != nil {
+		st.Close()
+		return err
+	}
+	return st.Close()
 }
 
 // dumpReadout serializes the readout as consecutive wire records via the

@@ -17,6 +17,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"btrace/internal/store"
 )
 
 // drainDeadline bounds graceful shutdown: in-flight requests get this
@@ -25,10 +27,31 @@ const drainDeadline = 10 * time.Second
 
 func main() {
 	addr := flag.String("addr", "localhost:8321", "listen address")
-	scale := flag.Float64("scale", 0.02, "default volume fraction for experiments")
+	scale := flag.Float64("scale", 0.02, "default volume fraction for experiments, in (0, 1]")
+	storeDir := flag.String("store", "", "durable trace store directory to serve via /store/query and /store/segments")
 	flag.Parse()
 
-	srv, err := newServer(*scale)
+	// The operator flag gets the same hard validation as the request
+	// parameter: a non-positive or >1 scale is a misconfiguration, not a
+	// bigger experiment.
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintf(os.Stderr, "btrace-serve: -scale must be in (0, 1], got %v\n", *scale)
+		os.Exit(2)
+	}
+
+	var ts *store.Store
+	if *storeDir != "" {
+		var err error
+		if ts, err = store.Open(*storeDir, store.Config{}); err != nil {
+			fmt.Fprintln(os.Stderr, "btrace-serve: open store:", err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		log.Printf("btrace-serve: store %s (%d segments, %d events)",
+			*storeDir, len(ts.Segments()), ts.Events())
+	}
+
+	srv, err := newServer(*scale, ts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "btrace-serve:", err)
 		os.Exit(1)

@@ -14,6 +14,7 @@ import (
 	"btrace/internal/experiments"
 	"btrace/internal/export"
 	"btrace/internal/replay"
+	"btrace/internal/store"
 	"btrace/internal/tracer"
 	"btrace/internal/workload"
 
@@ -31,9 +32,19 @@ var experimentNames = []string{
 }
 
 // maxRequestScale caps the ?scale= a request may ask for: replays and
-// experiments are CPU-bound, and an unauthenticated query must not be able
-// to demand a full-volume run (the operator's -scale flag is not capped).
+// experiments are CPU-bound, and an unauthenticated query must not be
+// able to demand a full-volume run. (The operator's -scale flag is
+// validated separately in main — it may go up to 1, but never outside
+// (0, 1].)
 const maxRequestScale = 0.25
+
+// maxQueryEvents caps /store/query responses; larger extractions should
+// page by stamp range.
+const maxQueryEvents = 1 << 20
+
+// defaultQueryEvents is the /store/query limit applied when the request
+// does not pick one.
+const defaultQueryEvents = 1 << 16
 
 // maxConcurrentRuns bounds simultaneous experiment/replay executions;
 // excess requests are rejected with 503 instead of queuing without bound.
@@ -46,9 +57,12 @@ type server struct {
 	tmpl         *template.Template
 	// runs is the semaphore limiting concurrent heavy computations.
 	runs chan struct{}
+	// store is the durable trace store served by /store/*; nil when the
+	// server runs without one.
+	store *store.Store
 }
 
-func newServer(defaultScale float64) (*server, error) {
+func newServer(defaultScale float64, st *store.Store) (*server, error) {
 	if defaultScale <= 0 || defaultScale > 1 {
 		return nil, fmt.Errorf("scale %v out of (0,1]", defaultScale)
 	}
@@ -57,11 +71,14 @@ func newServer(defaultScale float64) (*server, error) {
 		defaultScale: defaultScale,
 		tmpl:         template.Must(template.New("page").Parse(pageTemplate)),
 		runs:         make(chan struct{}, maxConcurrentRuns),
+		store:        st,
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/experiment/", s.handleExperiment)
 	s.mux.HandleFunc("/replay", s.handleReplay)
 	s.mux.HandleFunc("/replay.json", s.handleReplayJSON)
+	s.mux.HandleFunc("/store/segments", s.handleStoreSegments)
+	s.mux.HandleFunc("/store/query", s.handleStoreQuery)
 	return s, nil
 }
 

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"btrace/internal/export"
+	"btrace/internal/store"
+	"btrace/internal/tracer"
+)
+
+// handleStoreSegments reports the store's per-segment metadata as JSON:
+// the operator's view of what survived on disk, segment by segment.
+func (s *server) handleStoreSegments(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no trace store configured (start btrace-serve with -store)", http.StatusNotFound)
+		return
+	}
+	segs := s.store.Segments()
+	resp := struct {
+		Dir      string              `json:"dir"`
+		Segments []store.SegmentInfo `json:"segments"`
+		Bytes    int64               `json:"bytes"`
+		Events   uint64              `json:"events"`
+	}{Dir: s.store.Dir(), Segments: segs, Bytes: s.store.Size(), Events: s.store.Events()}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// parseStoreQuery builds a store.Query from request parameters:
+// min_stamp, max_stamp, min_ts, max_ts, cores, categories (comma
+// lists), limit.
+func parseStoreQuery(r *http.Request) (store.Query, error) {
+	var q store.Query
+	get := func(name string) (uint64, bool, error) {
+		v := r.URL.Query().Get(name)
+		if v == "" {
+			return 0, false, nil
+		}
+		u, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return 0, false, fmt.Errorf("bad %s %q", name, v)
+		}
+		return u, true, nil
+	}
+	var err error
+	if q.MinStamp, _, err = get("min_stamp"); err != nil {
+		return q, err
+	}
+	if q.MaxStamp, _, err = get("max_stamp"); err != nil {
+		return q, err
+	}
+	if q.MinTS, _, err = get("min_ts"); err != nil {
+		return q, err
+	}
+	if q.MaxTS, _, err = get("max_ts"); err != nil {
+		return q, err
+	}
+	parseList := func(name string) ([]uint8, error) {
+		v := r.URL.Query().Get(name)
+		if v == "" {
+			return nil, nil
+		}
+		var out []uint8
+		for _, part := range strings.Split(v, ",") {
+			u, err := strconv.ParseUint(strings.TrimSpace(part), 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s element %q", name, part)
+			}
+			out = append(out, uint8(u))
+		}
+		return out, nil
+	}
+	if q.Cores, err = parseList("cores"); err != nil {
+		return q, err
+	}
+	if q.Categories, err = parseList("categories"); err != nil {
+		return q, err
+	}
+	limit, ok, err := get("limit")
+	if err != nil {
+		return q, err
+	}
+	switch {
+	case !ok:
+		q.Limit = defaultQueryEvents
+	case limit == 0 || limit > maxQueryEvents:
+		return q, fmt.Errorf("limit must be in [1, %d]", maxQueryEvents)
+	default:
+		q.Limit = int(limit)
+	}
+	return q, nil
+}
+
+// handleStoreQuery streams the matching slice of the durable trace in
+// the requested format (text, csv or chrome), through the same cursor
+// contract every in-memory exporter uses.
+func (s *server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "no trace store configured (start btrace-serve with -store)", http.StatusNotFound)
+		return
+	}
+	q, err := parseStoreQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cur := s.store.Query(q)
+	defer cur.Close()
+	batch := make([]tracer.Entry, 1024)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _, err = export.TextCursor(w, cur, batch)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_, _, err = export.CSVCursor(w, cur, batch)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="btrace-store-query.json"`)
+		_, _, err = export.ChromeTraceCursor(w, cur, batch)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (text|csv|chrome)", format), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		// Headers are gone; the best we can do is cut the stream short.
+		return
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"btrace/internal/store"
+	"btrace/internal/tracer"
+)
+
+func storeServer(t *testing.T, n int) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	for i := 0; i < n; i++ {
+		e := tracer.Entry{
+			Stamp:    uint64(i + 1),
+			TS:       uint64(1000 + i),
+			Core:     uint8(i % 4),
+			Category: uint8(i % 3),
+			Level:    1,
+		}
+		if err := st.Append(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := newServer(0.005, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+func TestStoreEndpointsWithoutStore(t *testing.T) {
+	ts := testServer(t) // no store configured
+	for _, path := range []string{"/store/segments", "/store/query"} {
+		if code, body := get(t, ts.URL+path); code != http.StatusNotFound ||
+			!strings.Contains(body, "-store") {
+			t.Errorf("%s without store: %d %q", path, code, body)
+		}
+	}
+}
+
+func TestStoreSegmentsEndpoint(t *testing.T) {
+	ts, st := storeServer(t, 10)
+	code, body := get(t, ts.URL+"/store/segments")
+	if code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", code, body)
+	}
+	var resp struct {
+		Dir      string              `json:"dir"`
+		Segments []store.SegmentInfo `json:"segments"`
+		Events   uint64              `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if resp.Dir != st.Dir() || resp.Events != 10 || len(resp.Segments) == 0 {
+		t.Fatalf("segments response: %+v", resp)
+	}
+	if s0 := resp.Segments[0]; s0.BaseStamp != 1 || s0.MaxStamp != 10 {
+		t.Fatalf("segment meta: %+v", s0)
+	}
+}
+
+func TestStoreQueryEndpoint(t *testing.T) {
+	ts, _ := storeServer(t, 20)
+
+	// Default text format, stamp-range filtered.
+	code, body := get(t, ts.URL+"/store/query?min_stamp=5&max_stamp=8")
+	if code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", code, body)
+	}
+	if n := strings.Count(strings.TrimSpace(body), "\n") + 1; n != 4 {
+		t.Fatalf("want 4 text lines, got %d:\n%s", n, body)
+	}
+
+	// CSV has a header row plus one line per event.
+	code, body = get(t, ts.URL+"/store/query?format=csv&limit=3")
+	if code != http.StatusOK || strings.Count(body, "\n") != 4 {
+		t.Fatalf("csv: %d\n%s", code, body)
+	}
+
+	// Chrome trace is valid JSON with the filtered events.
+	code, body = get(t, ts.URL+"/store/query?format=chrome&cores=1")
+	if code != http.StatusOK {
+		t.Fatalf("chrome: %d", code)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatalf("invalid chrome JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 5 { // stamps 2,6,10,14,18 on core 1
+		t.Fatalf("chrome events: %d", len(parsed.TraceEvents))
+	}
+
+	// Parameter validation.
+	for _, q := range []string{
+		"?min_stamp=zebra",
+		"?cores=1,999",
+		"?limit=0",
+		"?limit=99999999",
+		"?format=xml",
+	} {
+		if code, _ := get(t, ts.URL+"/store/query"+q); code != http.StatusBadRequest {
+			t.Errorf("query %s: status %d, want 400", q, code)
+		}
+	}
+}

@@ -31,6 +31,14 @@ import (
 // it by returning an error wrapping ErrPermanent.
 var ErrPermanent = errors.New("collect: permanent sink failure")
 
+// DumpStore is the durable sink mode's persistence surface (satisfied by
+// store.Store). When the in-memory spill ring overflows, evicted dumps
+// are appended to the store instead of being dropped.
+type DumpStore interface {
+	// AppendEntries durably stages a dump's events.
+	AppendEntries(es []tracer.Entry) error
+}
+
 // FalliblePoller is an incremental trace source whose polls can fail —
 // the realistic form of Poller a supervised pipeline consumes.
 type FalliblePoller interface {
@@ -117,8 +125,16 @@ type SupervisorConfig struct {
 	ShrinkAfter int
 
 	// SpillCapacity bounds the in-memory spill ring (default 16 dumps);
-	// beyond it the oldest spilled dump is dropped and counted.
+	// beyond it the oldest spilled dump is dropped and counted — unless
+	// Store is set, in which case it is persisted instead.
 	SpillCapacity int
+
+	// Store, when set, enables the durable sink mode: dumps evicted from
+	// the spill ring are appended to the store (counted as
+	// SpillPersisted) rather than dropped (SpillDropped). A store append
+	// failure falls back to dropping, so a broken disk cannot wedge the
+	// pipeline.
+	Store DumpStore
 }
 
 // SupervisorStats counts everything the pipeline absorbed.
@@ -128,12 +144,13 @@ type SupervisorStats struct {
 	PollBackoffSteps uint64 // steps skipped waiting out poll backoff
 	EventsMissed     uint64 // events lost to overwrite between polls
 
-	Dumps        uint64 // dumps produced by triggers
-	DumpsWritten uint64 // dumps fully delivered to the sink
-	SinkErrors   uint64 // failed sink writes
-	SinkBackoff  uint64 // steps skipped waiting out sink backoff
-	Spilled      uint64 // dumps diverted to the spill ring
-	SpillDropped uint64 // spilled dumps evicted by the ring bound
+	Dumps          uint64 // dumps produced by triggers
+	DumpsWritten   uint64 // dumps fully delivered to the sink
+	SinkErrors     uint64 // failed sink writes
+	SinkBackoff    uint64 // steps skipped waiting out sink backoff
+	Spilled        uint64 // dumps diverted to the spill ring
+	SpillDropped   uint64 // spilled dumps evicted by the ring bound and lost
+	SpillPersisted uint64 // evicted dumps persisted to the durable store
 
 	Grows   uint64 // adaptive Resize grow operations
 	Shrinks uint64 // adaptive Resize shrink operations
@@ -459,14 +476,35 @@ func (s *Supervisor) stepSink() {
 }
 
 // spillDump appends a dump to the bounded in-memory spill ring, evicting
-// the oldest when full.
+// the oldest when full. With a durable store configured, evicted dumps
+// are persisted instead of dropped.
 func (s *Supervisor) spillDump(d *Dump) {
 	s.spill = append(s.spill, d)
 	s.stats.Spilled++
 	if over := len(s.spill) - s.cfg.SpillCapacity; over > 0 {
+		for _, old := range s.spill[:over] {
+			if s.cfg.Store != nil && s.persistDump(old) {
+				s.stats.SpillPersisted++
+			} else {
+				s.stats.SpillDropped++
+			}
+		}
 		s.spill = append(s.spill[:0], s.spill[over:]...)
-		s.stats.SpillDropped += uint64(over)
 	}
+}
+
+// persistDump writes a dump's events (quarantined entries included, so
+// nothing the verifier flagged is silently lost) to the durable store.
+func (s *Supervisor) persistDump(d *Dump) bool {
+	if err := s.cfg.Store.AppendEntries(d.Events); err != nil {
+		return false
+	}
+	if len(d.Quarantined) > 0 {
+		if err := s.cfg.Store.AppendEntries(d.Quarantined); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Flush synchronously attempts to deliver every pending and spilled dump

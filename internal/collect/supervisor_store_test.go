@@ -1,0 +1,94 @@
+package collect
+
+import (
+	"errors"
+	"testing"
+
+	"btrace/internal/store"
+	"btrace/internal/tracer"
+)
+
+// failingStore rejects every append, exercising the fallback-to-drop
+// path of the durable sink mode.
+type failingStore struct{ calls int }
+
+func (f *failingStore) AppendEntries([]tracer.Entry) error {
+	f.calls++
+	return errors.New("disk gone")
+}
+
+// TestSupervisorSpillPersistsToStore: with a durable store configured,
+// spill-ring overflow persists the evicted dumps instead of dropping
+// them, and the persisted events are queryable from the store.
+func TestSupervisorSpillPersistsToStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sink := &flakySink{failFirst: -1, permanent: true}
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:        lossyScript(50, 50, 50, 50),
+		Triggers:      []Trigger{&LossDetector{Tolerance: 1}},
+		Sink:          sink,
+		SpillCapacity: 2,
+		Store:         st,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200 && s.Stats().Spilled < 4; i++ {
+		s.Step()
+	}
+	stats := s.Stats()
+	if stats.Spilled != 4 || stats.SpillPersisted != 2 || stats.SpillDropped != 0 {
+		t.Fatalf("durable spill accounting: %+v", stats)
+	}
+	if got := len(s.Spill()); got != 2 {
+		t.Fatalf("ring holds %d dumps, want 2", got)
+	}
+	// The two evicted dumps' events are durably readable.
+	cur := st.NewCursor()
+	defer cur.Close()
+	es, err := tracer.Drain(cur, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 {
+		t.Fatalf("store holds %d events, want 2 (one per evicted single-event dump)", len(es))
+	}
+	for _, e := range es {
+		if e.Stamp == 0 {
+			t.Fatalf("persisted event has zero stamp: %+v", e)
+		}
+	}
+}
+
+// TestSupervisorSpillStoreFailureFallsBack: a failing store must not
+// wedge the pipeline; evictions degrade to drops.
+func TestSupervisorSpillStoreFailureFallsBack(t *testing.T) {
+	fs := &failingStore{}
+	sink := &flakySink{failFirst: -1, permanent: true}
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:        lossyScript(50, 50, 50, 50),
+		Triggers:      []Trigger{&LossDetector{Tolerance: 1}},
+		Sink:          sink,
+		SpillCapacity: 2,
+		Store:         fs,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200 && s.Stats().Spilled < 4; i++ {
+		s.Step()
+	}
+	stats := s.Stats()
+	if stats.SpillPersisted != 0 || stats.SpillDropped != 2 {
+		t.Fatalf("fallback accounting: %+v", stats)
+	}
+	if fs.calls == 0 {
+		t.Fatal("store was never attempted")
+	}
+}

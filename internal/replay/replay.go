@@ -315,13 +315,13 @@ func worker(cfg *Config, coreID int, events []workload.Event, th *sim.Thread,
 				ev := events[next]
 				next++
 				e := tracer.Entry{
-					Stamp:   stamp.Add(1),
-					TS:      ev.TS,
-					Core:    uint8(coreID),
-					TID:     ev.TID & 0xFFFFFF,
-					Category:     uint8(ev.Cat),
-					Level:   ev.Level,
-					Payload: payload[:ev.PayloadLen],
+					Stamp:    stamp.Add(1),
+					TS:       ev.TS,
+					Core:     uint8(coreID),
+					TID:      ev.TID & 0xFFFFFF,
+					Category: uint8(ev.Cat),
+					Level:    ev.Level,
+					Payload:  payload[:ev.PayloadLen],
 				}
 				var t0 time.Time
 				if cfg.MeasureLatency {

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+// benchEntries builds n stamp-ordered events with small payloads, the
+// shape the collector's spill path produces.
+func benchEntries(n int) []tracer.Entry {
+	es := make([]tracer.Entry, n)
+	payload := []byte("0123456789abcdef")
+	for i := range es {
+		s := uint64(i + 1)
+		es[i] = tracer.Entry{
+			Stamp: s, TS: s * 800, Core: uint8(s % 8), TID: uint32(s % 32),
+			Category: uint8(s % 6), Level: 2, Payload: payload,
+		}
+	}
+	return es
+}
+
+// BenchmarkStoreAppend measures the durable append path in batches of
+// 512 (the supervisor's default cursor batch), rotation included.
+func BenchmarkStoreAppend(b *testing.B) {
+	const batch = 512
+	es := benchEntries(batch)
+	st, err := Open(b.TempDir(), Config{SegmentBytes: 4 << 20, MaxBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	var next uint64
+	b.SetBytes(int64(batch * FrameSize(&es[0])))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range es {
+			next++
+			es[j].Stamp = next
+			es[j].TS = next * 800
+		}
+		if err := st.AppendEntries(es); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreQuery measures an indexed stamp-range query (1k of 100k
+// records) against a sealed multi-segment store, per-op = one full query.
+func BenchmarkStoreQuery(b *testing.B) {
+	const total = 100_000
+	st, err := Open(b.TempDir(), Config{SegmentBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	es := benchEntries(total)
+	if err := st.AppendEntries(es); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]tracer.Entry, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(1 + (i*37)%(total-1000))
+		cur := st.Query(Query{MinStamp: lo, MaxStamp: lo + 999})
+		n := 0
+		for {
+			m, _, err := cur.Next(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m == 0 {
+				break
+			}
+			n += m
+		}
+		cur.Close()
+		if n != 1000 {
+			b.Fatalf("query returned %d records, want 1000", n)
+		}
+	}
+}
+
+// BenchmarkStoreScanOpen measures recovery cost: reopening (full scan +
+// index rebuild) of a ~100k-record store.
+func BenchmarkStoreScanOpen(b *testing.B) {
+	dir := b.TempDir()
+	st, err := Open(dir, Config{SegmentBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.AppendEntries(benchEntries(100_000)); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := Open(dir, Config{SegmentBytes: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if re.Events() != 100_000 {
+			b.Fatalf("reopened store has %d events", re.Events())
+		}
+		re.Close()
+	}
+}

@@ -1,0 +1,173 @@
+// Compaction: rotation under a small SegmentBytes (or frequent seals
+// from the collector's spill path) leaves runs of small sealed segments,
+// each costing a file handle and an index entry per query. Compact
+// merges adjacent small sealed segments into one, copying the already
+// checksummed frames verbatim.
+//
+// Crash safety: the merged file is written to a .tmp name, fsynced, then
+// renamed over the first source segment (atomic on POSIX), and only then
+// are the remaining sources deleted. A crash between the rename and the
+// deletes leaves sources whose stamp ranges are contained in the merged
+// segment; Open detects and deletes those leftovers (see recoverSegment).
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// compactThreshold: only segments smaller than SegmentBytes/2 are
+// considered small enough to merge.
+func (st *Store) compactThreshold() int64 { return st.cfg.SegmentBytes / 2 }
+
+// Compact merges adjacent runs of small sealed segments. It returns the
+// number of source segments consumed.
+func (st *Store) Compact() (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return 0, ErrClosed
+	}
+	merged := 0
+	for i := 0; i < len(st.segs); {
+		run := st.runAt(i)
+		if run < 2 {
+			i++
+			continue
+		}
+		if err := st.mergeRunLocked(i, run); err != nil {
+			return merged, err
+		}
+		merged += run
+		i++ // the merged segment now sits at i; look past it
+	}
+	if merged > 0 {
+		st.stats.Compactions++
+		st.stats.SegmentsCompacted += uint64(merged)
+	}
+	return merged, nil
+}
+
+// runAt returns the length of the longest mergeable run starting at i:
+// adjacent sealed segments, each small, whose combined payload stays
+// within SegmentBytes.
+func (st *Store) runAt(i int) int {
+	small := st.compactThreshold()
+	var total int64
+	n := 0
+	for j := i; j < len(st.segs); j++ {
+		s := st.segs[j]
+		if !s.sealed || s.size >= small {
+			break
+		}
+		body := s.size - headerSize
+		if n > 0 && total+body+headerSize > st.cfg.SegmentBytes {
+			break
+		}
+		total += body
+		n++
+	}
+	return n
+}
+
+// mergeRunLocked merges segs[i:i+run] into a single segment that keeps
+// the first source's seq and path.
+func (st *Store) mergeRunLocked(i, run int) error {
+	first := st.segs[i]
+	sources := st.segs[i : i+run]
+	tmpPath := first.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	cleanup := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return e
+	}
+
+	m := &segment{seq: first.seq, coversThrough: sources[run-1].coversThrough,
+		path: first.path, sealed: true}
+	if _, err := tmp.Write(make([]byte, headerSize)); err != nil {
+		return cleanup(err)
+	}
+	off := int64(headerSize)
+	for _, s := range sources {
+		src, err := os.Open(s.path)
+		if err != nil {
+			return cleanup(err)
+		}
+		// Copy the frames verbatim (they are already checksummed), then
+		// merge the metadata and rebase the sparse index.
+		if _, err := src.Seek(headerSize, io.SeekStart); err != nil {
+			src.Close()
+			return cleanup(err)
+		}
+		n, err := io.Copy(tmp, io.LimitReader(src, s.size-headerSize))
+		src.Close()
+		if err != nil {
+			return cleanup(err)
+		}
+		if n != s.size-headerSize {
+			return cleanup(fmt.Errorf("store: compact copied %d of %d bytes from %s",
+				n, s.size-headerSize, s.path))
+		}
+		for _, ie := range s.sparse {
+			m.sparse = append(m.sparse, indexEntry{stamp: ie.stamp, off: ie.off - headerSize + off})
+		}
+		mergeMeta(&m.meta, &s.meta)
+		off += n
+	}
+	m.size = off
+	hdr := make([]byte, headerSize)
+	encodeHeader(hdr, &m.meta, true)
+	if _, err := tmp.WriteAt(hdr, 0); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	// Commit point: the merged segment replaces the first source.
+	if err := os.Rename(tmpPath, first.path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	for _, s := range sources[1:] {
+		os.Remove(s.path)
+	}
+	st.segs = append(st.segs[:i+1], st.segs[i+run:]...)
+	st.segs[i] = m
+	return nil
+}
+
+// mergeMeta folds src into dst (append order: dst precedes src).
+func mergeMeta(dst, src *segmentMeta) {
+	if src.count == 0 {
+		return
+	}
+	if dst.count == 0 {
+		*dst = *src
+		return
+	}
+	// Ordered survives only if the concatenation stays non-decreasing.
+	dst.ordered = dst.ordered && src.ordered && src.baseStamp >= dst.maxStamp
+	if src.baseStamp < dst.baseStamp {
+		dst.baseStamp = src.baseStamp
+	}
+	if src.maxStamp > dst.maxStamp {
+		dst.maxStamp = src.maxStamp
+	}
+	if src.minTS < dst.minTS {
+		dst.minTS = src.minTS
+	}
+	if src.maxTS > dst.maxTS {
+		dst.maxTS = src.maxTS
+	}
+	dst.coreBits |= src.coreBits
+	dst.catBits |= src.catBits
+	dst.count += src.count
+}

@@ -1,0 +1,359 @@
+// Queries and cursors. A store.Cursor implements tracer.Cursor, so every
+// consumer written against the streaming read path — exporters,
+// replay.RetainedStamps, the collector pipeline, the conformance suite —
+// works against disk unchanged. A cursor is incremental: once it drains
+// the active segment it returns n == 0, and later Next calls pick up
+// whatever was appended (or rotated in) since.
+package store
+
+import (
+	"os"
+	"sort"
+
+	"btrace/internal/tracer"
+)
+
+// Query selects a subset of the stored trace. The zero Query matches
+// everything. Bounds are inclusive; a zero upper bound means unbounded.
+type Query struct {
+	// MinStamp/MaxStamp bound the logic-stamp range.
+	MinStamp, MaxStamp uint64
+	// MinTS/MaxTS bound the virtual-time range in nanoseconds.
+	MinTS, MaxTS uint64
+	// Cores restricts to these virtual cores (empty = all).
+	Cores []uint8
+	// Categories restricts to these workload categories (empty = all).
+	Categories []uint8
+	// Limit caps the number of delivered events (0 = unlimited).
+	Limit int
+}
+
+// compiled is the evaluated form of a Query: bitmap masks for segment
+// pruning plus exact membership sets for record filtering.
+type compiled struct {
+	q        Query
+	coreMask uint64 // union of bit min(core,63); ^0 when unrestricted
+	catMask  uint64
+	coreSet  [256]bool
+	catSet   [256]bool
+	anyCore  bool
+	anyCat   bool
+}
+
+func compile(q Query) *compiled {
+	c := &compiled{q: q, anyCore: len(q.Cores) == 0, anyCat: len(q.Categories) == 0}
+	c.coreMask, c.catMask = ^uint64(0), ^uint64(0)
+	if !c.anyCore {
+		c.coreMask = 0
+		for _, core := range q.Cores {
+			c.coreMask |= 1 << min(uint(core), 63)
+			c.coreSet[core] = true
+		}
+	}
+	if !c.anyCat {
+		c.catMask = 0
+		for _, cat := range q.Categories {
+			c.catMask |= 1 << min(uint(cat), 63)
+			c.catSet[cat] = true
+		}
+	}
+	return c
+}
+
+// matchSegment reports whether the segment can contain matching records.
+func (c *compiled) matchSegment(m *segmentMeta) bool {
+	if m.count == 0 {
+		return false
+	}
+	if c.q.MinStamp > m.maxStamp || (c.q.MaxStamp > 0 && c.q.MaxStamp < m.baseStamp) {
+		return false
+	}
+	if c.q.MinTS > m.maxTS || (c.q.MaxTS > 0 && c.q.MaxTS < m.minTS) {
+		return false
+	}
+	return c.coreMask&m.coreBits != 0 && c.catMask&m.catBits != 0
+}
+
+// match reports whether one record satisfies the query.
+func (c *compiled) match(e *tracer.Entry) bool {
+	if e.Stamp < c.q.MinStamp || (c.q.MaxStamp > 0 && e.Stamp > c.q.MaxStamp) {
+		return false
+	}
+	if e.TS < c.q.MinTS || (c.q.MaxTS > 0 && e.TS > c.q.MaxTS) {
+		return false
+	}
+	return (c.anyCore || c.coreSet[e.Core]) && (c.anyCat || c.catSet[e.Category])
+}
+
+// Cursor streams store records, oldest segment first, in append order.
+// When the store is fed in stamp order (the collector-pipeline
+// guarantee) that is stamp order end to end. Entries handed out borrow
+// the cursor's arena per the tracer.Cursor ownership contract.
+type Cursor struct {
+	st *Store
+	q  *compiled
+
+	// nextSeq is the next segment seq to read; cur* describe the
+	// segment currently being read.
+	nextSeq   uint64
+	cur       *segment
+	curSealed bool
+	curBound  int64 // committed bytes readable this pass
+	dedupe    bool  // entered a merged segment: drop stamps <= lastStamp
+	f         *os.File
+	rd        chunkReader
+
+	lastStamp   uint64
+	seenRetired uint64
+	delivered   int
+	arena       []byte
+	closed      bool
+}
+
+// NewCursor returns a cursor over the whole store, from the oldest
+// retained record onward. It satisfies tracer.CursorSource.
+func (st *Store) NewCursor() tracer.Cursor { return st.Query(Query{}) }
+
+// Query returns a cursor over the records matching q.
+func (st *Store) Query(q Query) *Cursor {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c := &Cursor{st: st, q: compile(q), nextSeq: 1, seenRetired: st.retiredEvents}
+	if len(st.segs) > 0 {
+		c.nextSeq = st.segs[0].seq
+	}
+	return c
+}
+
+// Next implements tracer.Cursor: it fills batch with up to len(batch)
+// matching events and reports how many events retention deleted ahead of
+// the cursor since the previous call (an upper bound when retention laps
+// a partially-read segment).
+func (c *Cursor) Next(batch []tracer.Entry) (int, uint64, error) {
+	if c.closed {
+		return 0, 0, tracer.ErrClosed
+	}
+	if len(batch) == 0 {
+		return 0, 0, nil
+	}
+	c.arena = c.arena[:0]
+	var (
+		n      int
+		missed uint64
+	)
+	for n < len(batch) {
+		if c.q.q.Limit > 0 && c.delivered >= c.q.q.Limit {
+			break
+		}
+		if c.f == nil {
+			m, ok := c.openNext()
+			missed += m
+			if !ok {
+				break
+			}
+			continue
+		}
+		read, done, err := c.readFrames(batch[n:])
+		n += read
+		if err != nil {
+			return n, missed, err
+		}
+		if done {
+			// Segment exhausted for good: move on.
+			c.f.Close()
+			c.f = nil
+			c.nextSeq = c.cur.coversThrough + 1
+			c.cur = nil
+			continue
+		}
+		if read == 0 {
+			// Active segment, nothing new committed yet.
+			break
+		}
+	}
+	return n, missed, nil
+}
+
+// openNext locates and opens the next readable segment, honoring merged
+// coverage and retention. It returns the events missed to retention and
+// whether a segment is now open.
+func (c *Cursor) openNext() (missed uint64, ok bool) {
+	for {
+		c.st.mu.Lock()
+		if c.st.maxRetiredSeq < c.nextSeq {
+			// Deletions (if any) were all behind us; forget them.
+			c.seenRetired = c.st.retiredEvents
+		} else if c.st.retiredEvents > c.seenRetired {
+			// Retention lapped the cursor.
+			missed += c.st.retiredEvents - c.seenRetired
+			c.seenRetired = c.st.retiredEvents
+		}
+		idx := c.st.findSeqLocked(c.nextSeq)
+		var seg *segment
+		dedupe := false
+		switch {
+		case idx >= 0 && c.st.segs[idx].seq == c.nextSeq:
+			seg = c.st.segs[idx]
+		case idx >= 0 && c.st.segs[idx].coversThrough >= c.nextSeq:
+			// A merged segment subsumes the seq we wanted. Its prefix was
+			// already delivered from the pre-merge sources: re-read it
+			// only if we can drop duplicates by stamp.
+			seg = c.st.segs[idx]
+			if seg.meta.ordered {
+				dedupe = true
+			} else {
+				next := seg.coversThrough + 1
+				c.st.mu.Unlock()
+				c.nextSeq = next
+				continue
+			}
+		case idx+1 < len(c.st.segs):
+			seg = c.st.segs[idx+1]
+		default:
+			c.st.mu.Unlock()
+			return missed, false
+		}
+		if !c.q.matchSegment(&seg.meta) && seg.sealed {
+			next := seg.coversThrough + 1
+			c.st.mu.Unlock()
+			c.nextSeq = next
+			continue
+		}
+		path, bound, sealed := seg.path, seg.size, seg.sealed
+		startOff := int64(headerSize)
+		// Sparse seek: skip straight to the stamp lower bound when the
+		// segment is ordered. With dedupe on, everything at or below
+		// lastStamp is a duplicate, so seek past it too.
+		seekStamp := c.q.q.MinStamp
+		if dedupe && c.lastStamp+1 > seekStamp {
+			seekStamp = c.lastStamp + 1
+		}
+		if seg.meta.ordered && seekStamp > 0 && len(seg.sparse) > 0 {
+			lo := sort.Search(len(seg.sparse), func(i int) bool {
+				return seg.sparse[i].stamp >= seekStamp
+			})
+			if lo > 0 {
+				startOff = seg.sparse[lo-1].off
+			}
+		}
+		c.st.mu.Unlock()
+
+		f, err := os.Open(path)
+		if err != nil {
+			// Deleted between lookup and open (retention race): retry the
+			// loop, which will re-observe the retirement counters.
+			c.nextSeq = seg.coversThrough + 1
+			continue
+		}
+		c.f = f
+		c.cur = seg
+		c.curSealed = sealed
+		c.curBound = bound
+		c.dedupe = dedupe
+		c.rd = chunkReader{f: f, off: startOff}
+		return missed, true
+	}
+}
+
+// refreshBound re-reads the committed size of the current segment. For a
+// segment no longer in the store (sealed then compacted away while we
+// hold its file), the held inode is immutable: its own size is final.
+func (c *Cursor) refreshBound() {
+	c.st.mu.Lock()
+	idx := c.st.findSeqLocked(c.cur.seq)
+	if idx >= 0 && c.st.segs[idx] == c.cur {
+		c.curBound = c.cur.size
+		c.curSealed = c.cur.sealed
+		c.st.mu.Unlock()
+		return
+	}
+	c.st.mu.Unlock()
+	if fi, err := c.f.Stat(); err == nil {
+		c.curBound = fi.Size()
+	}
+	c.curSealed = true
+}
+
+// readFrames decodes committed frames of the current segment into out,
+// applying the query filter. done reports the segment is fully consumed
+// and will never grow again.
+func (c *Cursor) readFrames(out []tracer.Entry) (n int, done bool, err error) {
+	if !c.curSealed {
+		c.refreshBound()
+	}
+	pos := func() int64 { return c.rd.off + int64(c.rd.pos) }
+	for n < len(out) {
+		if c.q.q.Limit > 0 && c.delivered >= c.q.q.Limit {
+			return n, true, nil
+		}
+		if pos() >= c.curBound {
+			return n, c.curSealed, nil
+		}
+		head, err := c.rd.peek(tracer.Align)
+		if err != nil || len(head) < tracer.Align {
+			// Committed bytes must be readable; treat shortfall as end.
+			return n, c.curSealed, nil
+		}
+		_, recSize, perr := tracer.PeekRecord(head)
+		if perr != nil || recSize > maxRecordSize {
+			return n, true, perr
+		}
+		if pos()+int64(recSize+tailSize) > c.curBound {
+			return n, c.curSealed, nil // frame not fully committed yet
+		}
+		buf, err := c.rd.peek(recSize + tailSize)
+		if err != nil || len(buf) < recSize+tailSize {
+			return n, c.curSealed, nil
+		}
+		if err := checkFrame(buf[:recSize], buf[recSize:recSize+tailSize]); err != nil {
+			return n, true, err
+		}
+		rec, derr := tracer.DecodeRecord(buf[:recSize])
+		if derr != nil {
+			return n, true, derr
+		}
+		c.rd.advance(recSize + tailSize)
+		e := rec.Event
+		if c.dedupe && e.Stamp <= c.lastStamp {
+			continue
+		}
+		// Ordered early exit: past the stamp upper bound, nothing later
+		// in this segment can match.
+		if c.cur.meta.ordered && c.q.q.MaxStamp > 0 && e.Stamp > c.q.q.MaxStamp {
+			return n, true, nil
+		}
+		if !c.q.match(&e) {
+			continue
+		}
+		// Re-home the payload in the cursor's arena: the read buffer is
+		// recycled by the next peek.
+		if len(e.Payload) > 0 {
+			off := len(c.arena)
+			c.arena = append(c.arena, e.Payload...)
+			e.Payload = c.arena[off:len(c.arena):len(c.arena)]
+		}
+		out[n] = e
+		n++
+		c.delivered++
+		if e.Stamp > c.lastStamp {
+			c.lastStamp = e.Stamp
+		}
+	}
+	return n, false, nil
+}
+
+// Close implements tracer.Cursor.
+func (c *Cursor) Close() error {
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
+	c.closed = true
+	c.arena = nil
+	return nil
+}
+
+var (
+	_ tracer.Cursor       = (*Cursor)(nil)
+	_ tracer.CursorSource = (*Store)(nil)
+)

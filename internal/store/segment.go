@@ -1,0 +1,309 @@
+// Segment file format and recovery. A segment is an append-only file of
+// CRC-framed wire records:
+//
+//	offset 0    header (80 bytes, rewritten in place when the segment seals)
+//	offset 80   frame*   where frame = wire record ++ 8-byte tail
+//
+// The wire record is exactly the repository's record format
+// (tracer.EncodeEvent); the tail packs crc32c(record) in its low 32 bits
+// and a frame magic in its high 32 bits, keeping every frame a multiple
+// of tracer.Align bytes. The tail is what makes crash recovery exact: a
+// torn append fails either the magic or the checksum, and the scan
+// truncates the file at the first frame that does — never mid-record,
+// never past a whole one.
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"btrace/internal/tracer"
+)
+
+const (
+	// segMagic identifies a segment file (and its format version).
+	segMagic = 0x62747365673031 // "btseg01"
+	// frameMagic marks the high half of every frame tail.
+	frameMagic = 0xb7f2a3c4
+	// headerSize is the fixed on-disk header length.
+	headerSize = 80
+	// tailSize is the per-frame CRC tail length.
+	tailSize = 8
+	// indexStride is the sparse-index granularity: one entry every
+	// indexStride frames.
+	indexStride = 64
+)
+
+// castagnoli is the CRC-32C table shared by all frame checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordSize bounds a frame's claimed record size, mirroring the
+// streaming decoder's cap: a corrupt size word must not drive an
+// unbounded read.
+var maxRecordSize = tracer.EventWireSize(tracer.MaxPayload)
+
+// FrameSize returns the on-disk size of a frame holding e.
+func FrameSize(e *tracer.Entry) int { return e.WireSize() + tailSize }
+
+// segmentMeta is the queryable summary of one segment, maintained
+// incrementally on append and rebuilt by scanning on open.
+type segmentMeta struct {
+	baseStamp uint64 // first record's stamp (0 while empty)
+	maxStamp  uint64
+	minTS     uint64
+	maxTS     uint64
+	coreBits  uint64 // bit min(core,63) set per record
+	catBits   uint64 // bit min(category,63) set per record
+	count     uint64
+	// ordered reports that stamps were non-decreasing in append order;
+	// sparse-index seeks are only valid when it holds.
+	ordered bool
+}
+
+func (m *segmentMeta) observe(e *tracer.Entry) {
+	if m.count == 0 {
+		m.baseStamp, m.maxStamp = e.Stamp, e.Stamp
+		m.minTS, m.maxTS = e.TS, e.TS
+		m.ordered = true
+	} else {
+		if e.Stamp < m.maxStamp {
+			m.ordered = false
+		}
+		if e.Stamp > m.maxStamp {
+			m.maxStamp = e.Stamp
+		}
+		if e.Stamp < m.baseStamp {
+			m.baseStamp = e.Stamp
+		}
+		if e.TS < m.minTS {
+			m.minTS = e.TS
+		}
+		if e.TS > m.maxTS {
+			m.maxTS = e.TS
+		}
+	}
+	m.coreBits |= 1 << min(uint(e.Core), 63)
+	m.catBits |= 1 << min(uint(e.Category), 63)
+	m.count++
+}
+
+// indexEntry maps a stamp to the file offset of its frame.
+type indexEntry struct {
+	stamp uint64
+	off   int64
+}
+
+// segment is one on-disk segment plus its in-memory metadata. Sealed
+// segments keep no open file; readers open their own handles.
+type segment struct {
+	seq  uint64
+	path string
+	// coversThrough is the highest source seq this segment subsumes: its
+	// own seq normally, the last merged source's seq after compaction.
+	// Cursors use it to step over merged ranges without re-delivering.
+	coversThrough uint64
+	size          int64 // committed bytes (header + whole frames)
+	sealed        bool
+	meta          segmentMeta
+	// sparse holds one entry per indexStride frames (first frame
+	// included), used to seek stamp-range queries when meta.ordered.
+	sparse []indexEntry
+}
+
+// le64 helpers (the header is little-endian like the wire format).
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func le64put(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// encodeHeader renders the segment header. Layout:
+//
+//	[0:8)   segMagic
+//	[8:16)  baseStamp   [16:24) maxStamp
+//	[24:32) minTS       [32:40) maxTS
+//	[40:48) coreBits    [48:56) catBits
+//	[56:64) count
+//	[64:72) flags (bit 0 = sealed, bit 1 = ordered)
+//	[72:80) crc32c of [0:72) in the low 32 bits
+func encodeHeader(dst []byte, m *segmentMeta, sealed bool) {
+	le64put(dst[0:], segMagic)
+	le64put(dst[8:], m.baseStamp)
+	le64put(dst[16:], m.maxStamp)
+	le64put(dst[24:], m.minTS)
+	le64put(dst[32:], m.maxTS)
+	le64put(dst[40:], m.coreBits)
+	le64put(dst[48:], m.catBits)
+	le64put(dst[56:], m.count)
+	var flags uint64
+	if sealed {
+		flags |= 1
+	}
+	if m.ordered {
+		flags |= 2
+	}
+	le64put(dst[64:], flags)
+	le64put(dst[72:], uint64(crc32.Checksum(dst[:72], castagnoli)))
+}
+
+// decodeHeader parses and validates a segment header, returning the
+// sealed flag. A header whose magic or checksum does not match is
+// reported as corrupt; the caller falls back to a full scan.
+func decodeHeader(src []byte) (m segmentMeta, sealed bool, err error) {
+	if len(src) < headerSize {
+		return m, false, fmt.Errorf("store: short header (%d bytes)", len(src))
+	}
+	if le64(src[0:]) != segMagic {
+		return m, false, fmt.Errorf("store: bad segment magic %#x", le64(src[0:]))
+	}
+	if uint32(le64(src[72:])) != crc32.Checksum(src[:72], castagnoli) {
+		return m, false, fmt.Errorf("store: header checksum mismatch")
+	}
+	m.baseStamp = le64(src[8:])
+	m.maxStamp = le64(src[16:])
+	m.minTS = le64(src[24:])
+	m.maxTS = le64(src[32:])
+	m.coreBits = le64(src[40:])
+	m.catBits = le64(src[48:])
+	m.count = le64(src[56:])
+	flags := le64(src[64:])
+	m.ordered = flags&2 != 0
+	return m, flags&1 != 0, nil
+}
+
+// encodeFrame appends the framed encoding of e to dst: the wire record
+// followed by the CRC tail.
+func encodeFrame(dst []byte, e *tracer.Entry) ([]byte, error) {
+	size := e.WireSize()
+	off := len(dst)
+	dst = append(dst, make([]byte, size+tailSize)...)
+	if _, err := tracer.EncodeEvent(dst[off:off+size], e); err != nil {
+		return dst[:off], err
+	}
+	crc := crc32.Checksum(dst[off:off+size], castagnoli)
+	le64put(dst[off+size:], uint64(frameMagic)<<32|uint64(crc))
+	return dst, nil
+}
+
+// checkFrame validates one complete frame (record ++ tail) in buf.
+func checkFrame(rec, tail []byte) error {
+	w := le64(tail)
+	if uint32(w>>32) != frameMagic {
+		return fmt.Errorf("%w: bad frame magic %#x", tracer.ErrCorrupt, uint32(w>>32))
+	}
+	if uint32(w) != crc32.Checksum(rec, castagnoli) {
+		return fmt.Errorf("%w: frame checksum mismatch", tracer.ErrCorrupt)
+	}
+	return nil
+}
+
+// scanSegment walks every frame of f from the data start, rebuilding the
+// segment metadata and sparse index, and returns the offset of the first
+// byte that is not part of a whole, checksummed event frame — the exact
+// truncation point after a torn append. Scanning never trusts the
+// header's counters: after a crash they may describe a tail that was
+// never written (or one that was torn).
+func scanSegment(f *os.File, s *segment) (valid int64, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	s.meta = segmentMeta{}
+	s.sparse = s.sparse[:0]
+
+	r := &chunkReader{f: f, off: headerSize}
+	off := int64(headerSize)
+	frame := 0
+	for {
+		head, err := r.peek(tracer.Align)
+		if err != nil || len(head) < tracer.Align {
+			return off, nil // clean end (or unreadable tail: truncate here)
+		}
+		_, recSize, perr := tracer.PeekRecord(head)
+		if perr != nil || recSize > maxRecordSize {
+			return off, nil
+		}
+		buf, err := r.peek(recSize + tailSize)
+		if err != nil || len(buf) < recSize+tailSize {
+			return off, nil // torn frame
+		}
+		if checkFrame(buf[:recSize], buf[recSize:recSize+tailSize]) != nil {
+			return off, nil
+		}
+		rec, derr := tracer.DecodeRecord(buf[:recSize])
+		if derr != nil || rec.Kind != tracer.KindEvent {
+			return off, nil // the store only ever appends event records
+		}
+		if frame%indexStride == 0 {
+			s.sparse = append(s.sparse, indexEntry{stamp: rec.Event.Stamp, off: off})
+		}
+		s.meta.observe(&rec.Event)
+		frame++
+		r.advance(recSize + tailSize)
+		off += int64(recSize + tailSize)
+		if off > size {
+			// Defensive: cannot happen with a truthful Stat, but never
+			// report more valid bytes than the file holds.
+			return size, nil
+		}
+	}
+}
+
+// chunkReader reads a file sequentially through one reusable buffer,
+// exposing peek/advance over frame boundaries without a syscall per
+// record.
+type chunkReader struct {
+	f   *os.File
+	off int64 // file offset of buf[0]
+	buf []byte
+	pos int // current position within buf
+}
+
+const chunkSize = 64 << 10
+
+// peek returns at least n bytes starting at the current position, or as
+// many as the file still holds.
+func (r *chunkReader) peek(n int) ([]byte, error) {
+	if r.pos > 0 && len(r.buf)-r.pos < n {
+		r.off += int64(r.pos)
+		r.buf = append(r.buf[:0], r.buf[r.pos:]...)
+		r.pos = 0
+	}
+	for len(r.buf)-r.pos < n {
+		want := n - (len(r.buf) - r.pos)
+		if want < chunkSize {
+			want = chunkSize
+		}
+		grow := len(r.buf)
+		r.buf = append(r.buf, make([]byte, want)...)
+		m, err := r.f.ReadAt(r.buf[grow:grow+want], r.off+int64(grow))
+		r.buf = r.buf[:grow+m]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return r.buf[r.pos:], err
+		}
+	}
+	return r.buf[r.pos:], nil
+}
+
+// advance consumes n bytes (which a prior peek must have made available).
+func (r *chunkReader) advance(n int) {
+	r.pos += n
+}

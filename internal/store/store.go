@@ -1,0 +1,554 @@
+// Package store implements the durable half of the deployment story: an
+// append-only, segmented on-disk trace store fed by tracer.Cursor
+// streams. The block buffer keeps the latest trace continuous in memory;
+// the store is where traces go to survive the process — collector dumps
+// spill into it instead of being dropped, and post-mortem queries ("what
+// happened on core 3 between t1 and t2") are answered from disk without
+// replaying a full export.
+//
+// Layout: a store is a directory of numbered segment files
+// (seg-00000001.seg, ...). Each segment is a fixed header followed by
+// CRC-framed wire records (see segment.go). Exactly one segment — the
+// newest — is active; it rotates when it reaches Config.SegmentBytes.
+// Sealed segments are immutable, which is what makes retention (atomic
+// whole-file deletion, oldest first) and compaction (merge-and-rename)
+// crash-safe.
+//
+// Recovery invariant: reopening a store after a crash loses at most the
+// final torn record of the active segment. Every surviving record is
+// whole and checksummed; the scan truncates the file at the first frame
+// whose magic, checksum or decode fails.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"btrace/internal/tracer"
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Config configures a Store. Zero values select the documented defaults.
+type Config struct {
+	// SegmentBytes is the rotation threshold: the active segment seals
+	// once appending would push it past this size (default 1 MiB). A
+	// single record larger than the threshold still gets a segment of
+	// its own rather than being rejected.
+	SegmentBytes int64
+	// MaxBytes bounds the store's total on-disk size; beyond it the
+	// oldest sealed segments are deleted, whole files at a time
+	// (0 = unlimited). The active segment is never deleted.
+	MaxBytes int64
+	// MaxAgeNs bounds retention by virtual age: sealed segments whose
+	// newest timestamp trails the store's newest timestamp by more than
+	// this are deleted (0 = unlimited).
+	MaxAgeNs uint64
+	// SyncEveryAppend fsyncs after every append batch. Off by default:
+	// the durability point is the seal (rotation), matching the paper's
+	// dump-then-analyze workflow.
+	SyncEveryAppend bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 1 << 20
+	}
+	return c
+}
+
+// Stats counts what the store absorbed and survived.
+type Stats struct {
+	Appends       uint64 // events appended
+	BytesAppended uint64 // frame bytes appended
+	Seals         uint64 // segments sealed (rotation or Close)
+
+	SegmentsDeleted uint64 // segments removed by retention
+	EventsRetired   uint64 // events removed by retention
+
+	Compactions       uint64 // compaction passes that merged something
+	SegmentsCompacted uint64 // source segments consumed by compaction
+
+	RecoveredTruncations uint64 // segments truncated at open (torn tails)
+	TornBytesDropped     uint64 // bytes cut by those truncations
+	LeftoverSegments     uint64 // interrupted-compaction leftovers deleted at open
+}
+
+// Store is a segmented on-disk trace store. All methods are safe for
+// concurrent use; appends are serialized internally.
+type Store struct {
+	dir string
+	cfg Config
+
+	mu      sync.Mutex
+	segs    []*segment // ascending seq; the last may be active
+	active  *os.File   // write handle of the unsealed last segment
+	nextSeq uint64
+	closed  bool
+	encBuf  []byte // reusable frame-encoding buffer
+	stats   Stats
+	// retiredEvents / maxRetiredSeq feed the cursors' missed accounting
+	// when retention laps a reader.
+	retiredEvents uint64
+	maxRetiredSeq uint64
+}
+
+// Open opens (creating if necessary) the store in dir and recovers it:
+// stray temp files are removed, every segment is scanned, torn tails are
+// truncated, and leftovers of an interrupted compaction are deleted.
+func Open(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, cfg: cfg, nextSeq: 1}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, de := range entries {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name)) // interrupted compaction
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "seg-%d.seg", &seq); err != nil || seq == 0 {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for i, seq := range seqs {
+		last := i == len(seqs)-1
+		if err := st.recoverSegment(seq, last); err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.nextSeq = seq + 1
+	}
+	return st, nil
+}
+
+// recoverSegment opens, scans and (if needed) truncates one segment,
+// appending it to the store unless it is empty or a compaction leftover.
+func (st *Store) recoverSegment(seq uint64, last bool) error {
+	s := &segment{seq: seq, coversThrough: seq, path: st.segPath(seq)}
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, headerSize)
+	headerOK := false
+	if _, err := f.ReadAt(hdr, 0); err == nil {
+		if _, sealed, herr := decodeHeader(hdr); herr == nil {
+			headerOK = true
+			s.sealed = sealed
+		}
+	}
+	if !headerOK {
+		// Unrecognizable header: the file is not (or no longer) a
+		// segment. Quarantine by truncating to nothing and reusing only
+		// if it is the last slot; otherwise drop it.
+		fi, _ := f.Stat()
+		if fi != nil && fi.Size() > 0 {
+			st.stats.RecoveredTruncations++
+			st.stats.TornBytesDropped += uint64(fi.Size())
+		}
+		f.Close()
+		os.Remove(s.path)
+		return nil
+	}
+	valid, err := scanSegment(f, s)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if valid < fi.Size() {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return err
+		}
+		st.stats.RecoveredTruncations++
+		st.stats.TornBytesDropped += uint64(fi.Size() - valid)
+		// A truncated segment is no longer what its seal described.
+		s.sealed = false
+	}
+	s.size = valid
+
+	if s.meta.count == 0 && !last {
+		// Empty interior segment: nothing to keep.
+		f.Close()
+		os.Remove(s.path)
+		return nil
+	}
+
+	// Interrupted-compaction leftover: a segment whose whole stamp range
+	// is contained in the (ordered) segment before it is the shadow of a
+	// merge that renamed but had not finished deleting its sources.
+	if prev := st.lastSeg(); prev != nil && prev.meta.ordered && s.meta.count > 0 &&
+		s.meta.baseStamp >= prev.meta.baseStamp && s.meta.maxStamp <= prev.meta.maxStamp {
+		f.Close()
+		os.Remove(s.path)
+		prev.coversThrough = seq
+		st.stats.LeftoverSegments++
+		return nil
+	}
+
+	if !s.sealed && last {
+		st.active = f // resume appending where the crash left off
+	} else {
+		s.sealed = true // an unsealed interior segment can never grow again
+		f.Close()
+	}
+	st.segs = append(st.segs, s)
+	return nil
+}
+
+func (st *Store) segPath(seq uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("seg-%08d.seg", seq))
+}
+
+func (st *Store) lastSeg() *segment {
+	if len(st.segs) == 0 {
+		return nil
+	}
+	return st.segs[len(st.segs)-1]
+}
+
+// activeSeg returns the unsealed last segment, or nil.
+func (st *Store) activeSeg() *segment {
+	if s := st.lastSeg(); s != nil && !s.sealed {
+		return s
+	}
+	return nil
+}
+
+// Append durably stages one event. The write is visible to cursors as
+// soon as Append returns; it is durable at the next seal (or Sync).
+func (st *Store) Append(e *tracer.Entry) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.appendLocked([]tracer.Entry{*e})
+}
+
+// AppendEntries stages a batch of events with one write per segment
+// stretch — the bulk path the collector's spill and the replay dump use.
+func (st *Store) AppendEntries(es []tracer.Entry) error {
+	if len(es) == 0 {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.appendLocked(es)
+}
+
+func (st *Store) appendLocked(es []tracer.Entry) error {
+	if st.closed {
+		return ErrClosed
+	}
+	for i := 0; i < len(es); {
+		seg := st.activeSeg()
+		if seg == nil {
+			var err error
+			if seg, err = st.newSegmentLocked(); err != nil {
+				return err
+			}
+		}
+		// Take the longest run of entries that fits the active segment;
+		// a record that fits no segment on its own still goes out alone.
+		st.encBuf = st.encBuf[:0]
+		runStart := i
+		for i < len(es) {
+			fs := int64(FrameSize(&es[i]))
+			over := seg.size+int64(len(st.encBuf))+fs > st.cfg.SegmentBytes
+			if over && (seg.meta.count > 0 || len(st.encBuf) > 0) {
+				break
+			}
+			var err error
+			if st.encBuf, err = encodeFrame(st.encBuf, &es[i]); err != nil {
+				return err
+			}
+			i++
+		}
+		if len(st.encBuf) == 0 {
+			// Nothing fit: rotate and retry the same entry.
+			if err := st.sealActiveLocked(); err != nil {
+				return err
+			}
+			continue
+		}
+		n, err := st.active.WriteAt(st.encBuf, seg.size)
+		if n < len(st.encBuf) {
+			// Torn in-process write: cut the partial frame immediately so
+			// readers (and a later reopen) only ever see whole frames.
+			st.active.Truncate(seg.size)
+			if err == nil {
+				err = fmt.Errorf("store: short write (%d of %d bytes)", n, len(st.encBuf))
+			}
+			return err
+		}
+		off := seg.size
+		for j := runStart; j < i; j++ {
+			if seg.meta.count%indexStride == 0 {
+				seg.sparse = append(seg.sparse, indexEntry{stamp: es[j].Stamp, off: off})
+			}
+			seg.meta.observe(&es[j])
+			fs := int64(FrameSize(&es[j]))
+			off += fs
+			st.stats.Appends++
+			st.stats.BytesAppended += uint64(fs)
+		}
+		seg.size = off
+		if st.cfg.SyncEveryAppend {
+			if err := st.active.Sync(); err != nil {
+				return err
+			}
+		}
+		if seg.size >= st.cfg.SegmentBytes {
+			if err := st.sealActiveLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// newSegmentLocked creates and activates a fresh segment file.
+func (st *Store) newSegmentLocked() (*segment, error) {
+	seq := st.nextSeq
+	s := &segment{seq: seq, coversThrough: seq, path: st.segPath(seq), size: headerSize}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSize)
+	encodeHeader(hdr, &s.meta, false)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		os.Remove(s.path)
+		return nil, err
+	}
+	st.nextSeq++
+	st.active = f
+	st.segs = append(st.segs, s)
+	return s, nil
+}
+
+// sealActiveLocked finalizes the active segment: rewrite its header with
+// the real metadata, fsync, close, and run retention.
+func (st *Store) sealActiveLocked() error {
+	seg := st.activeSeg()
+	if seg == nil {
+		return nil
+	}
+	hdr := make([]byte, headerSize)
+	encodeHeader(hdr, &seg.meta, true)
+	if _, err := st.active.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	if err := st.active.Sync(); err != nil {
+		return err
+	}
+	if err := st.active.Close(); err != nil {
+		return err
+	}
+	st.active = nil
+	seg.sealed = true
+	st.stats.Seals++
+	st.enforceRetentionLocked()
+	return nil
+}
+
+// enforceRetentionLocked deletes the oldest sealed segments until the
+// byte and age bounds hold. Deletion is atomic per segment (one
+// os.Remove); the active segment is never touched.
+func (st *Store) enforceRetentionLocked() {
+	if st.cfg.MaxBytes > 0 {
+		total := int64(0)
+		for _, s := range st.segs {
+			total += s.size
+		}
+		for total > st.cfg.MaxBytes && len(st.segs) > 1 && st.segs[0].sealed {
+			total -= st.segs[0].size
+			st.retireOldestLocked()
+		}
+	}
+	if st.cfg.MaxAgeNs > 0 {
+		var newest uint64
+		for _, s := range st.segs {
+			if s.meta.count > 0 && s.meta.maxTS > newest {
+				newest = s.meta.maxTS
+			}
+		}
+		for len(st.segs) > 1 && st.segs[0].sealed &&
+			st.segs[0].meta.count > 0 && st.segs[0].meta.maxTS+st.cfg.MaxAgeNs < newest {
+			st.retireOldestLocked()
+		}
+	}
+}
+
+func (st *Store) retireOldestLocked() {
+	s := st.segs[0]
+	os.Remove(s.path)
+	st.segs = st.segs[1:]
+	st.stats.SegmentsDeleted++
+	st.stats.EventsRetired += s.meta.count
+	st.retiredEvents += s.meta.count
+	if s.coversThrough > st.maxRetiredSeq {
+		st.maxRetiredSeq = s.coversThrough
+	}
+}
+
+// Sync flushes the active segment to disk without sealing it.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if st.active != nil {
+		return st.active.Sync()
+	}
+	return nil
+}
+
+// Seal seals the active segment (if any), making the store's entire
+// contents durable and immutable until the next append.
+func (st *Store) Seal() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	return st.sealActiveLocked()
+}
+
+// Close seals the active segment and closes the store. Cursors opened
+// before Close keep working over the sealed files until their own Close.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	err := st.sealActiveLocked()
+	st.closed = true
+	return err
+}
+
+// Reset deletes every segment and returns the store to its empty state.
+// Must not race appends from other goroutines the caller still owns.
+func (st *Store) Reset() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if st.active != nil {
+		st.active.Close()
+		st.active = nil
+	}
+	var firstErr error
+	for _, s := range st.segs {
+		if err := os.Remove(s.path); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	st.segs = nil
+	st.nextSeq = 1
+	st.stats = Stats{}
+	st.retiredEvents, st.maxRetiredSeq = 0, 0
+	return firstErr
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Size returns the store's total on-disk size in bytes.
+func (st *Store) Size() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var total int64
+	for _, s := range st.segs {
+		total += s.size
+	}
+	return total
+}
+
+// Events returns the number of events currently held.
+func (st *Store) Events() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var n uint64
+	for _, s := range st.segs {
+		n += s.meta.count
+	}
+	return n
+}
+
+// Stats returns a snapshot of the store's counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
+// SegmentInfo is the queryable public summary of one segment.
+type SegmentInfo struct {
+	Seq       uint64 `json:"seq"`
+	File      string `json:"file"`
+	Bytes     int64  `json:"bytes"`
+	Events    uint64 `json:"events"`
+	BaseStamp uint64 `json:"base_stamp"`
+	MaxStamp  uint64 `json:"max_stamp"`
+	MinTS     uint64 `json:"min_ts"`
+	MaxTS     uint64 `json:"max_ts"`
+	CoreBits  uint64 `json:"core_bits"`
+	CatBits   uint64 `json:"cat_bits"`
+	Sealed    bool   `json:"sealed"`
+	Ordered   bool   `json:"ordered"`
+}
+
+// Segments returns the per-segment metadata, oldest first.
+func (st *Store) Segments() []SegmentInfo {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]SegmentInfo, 0, len(st.segs))
+	for _, s := range st.segs {
+		out = append(out, SegmentInfo{
+			Seq:       s.seq,
+			File:      filepath.Base(s.path),
+			Bytes:     s.size,
+			Events:    s.meta.count,
+			BaseStamp: s.meta.baseStamp,
+			MaxStamp:  s.meta.maxStamp,
+			MinTS:     s.meta.minTS,
+			MaxTS:     s.meta.maxTS,
+			CoreBits:  s.meta.coreBits,
+			CatBits:   s.meta.catBits,
+			Sealed:    s.sealed,
+			Ordered:   s.meta.ordered,
+		})
+	}
+	return out
+}
+
+// findSeqLocked returns the index of the last segment with seq <= target
+// (-1 if none).
+func (st *Store) findSeqLocked(target uint64) int {
+	lo := sort.Search(len(st.segs), func(i int) bool { return st.segs[i].seq > target })
+	return lo - 1
+}

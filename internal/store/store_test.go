@@ -1,0 +1,578 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"btrace/internal/tracer"
+	"btrace/internal/tracer/tracertest"
+)
+
+// mkEntry builds a deterministic test entry.
+func mkEntry(stamp uint64) tracer.Entry {
+	return tracer.Entry{
+		Stamp:    stamp,
+		TS:       stamp * 1000,
+		Core:     uint8(stamp % 4),
+		TID:      uint32(stamp % 7),
+		Category: uint8(stamp % 5),
+		Level:    uint8(stamp%3 + 1),
+		Payload:  []byte(fmt.Sprintf("payload-%d", stamp)),
+	}
+}
+
+func appendRange(t *testing.T, st *Store, from, to uint64) {
+	t.Helper()
+	var es []tracer.Entry
+	for s := from; s <= to; s++ {
+		es = append(es, mkEntry(s))
+	}
+	if err := st.AppendEntries(es); err != nil {
+		t.Fatalf("AppendEntries: %v", err)
+	}
+}
+
+func drainStore(t *testing.T, st *Store, q Query) []tracer.Entry {
+	t.Helper()
+	cur := st.Query(q)
+	defer cur.Close()
+	es, err := tracer.Drain(cur, 64)
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	return es
+}
+
+func checkEntry(t *testing.T, got tracer.Entry) {
+	t.Helper()
+	want := mkEntry(got.Stamp)
+	if got.TS != want.TS || got.Core != want.Core || got.TID != want.TID ||
+		got.Category != want.Category || got.Level != want.Level ||
+		string(got.Payload) != string(want.Payload) {
+		t.Fatalf("entry mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	appendRange(t, st, 1, 500)
+	es := drainStore(t, st, Query{})
+	if len(es) != 500 {
+		t.Fatalf("drained %d events, want 500", len(es))
+	}
+	for i, e := range es {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("event %d: stamp %d", i, e.Stamp)
+		}
+		checkEntry(t, e)
+	}
+	if got := st.Events(); got != 500 {
+		t.Fatalf("Events() = %d", got)
+	}
+	if len(st.Segments()) < 2 {
+		t.Fatalf("expected rotation across segments, got %d", len(st.Segments()))
+	}
+}
+
+func TestReopenPreservesEverything(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRange(t, st, 1, 300)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Config{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	es := drainStore(t, st2, Query{})
+	if len(es) != 300 {
+		t.Fatalf("reopened store has %d events, want 300", len(es))
+	}
+	// And it keeps accepting appends with monotonically advancing seqs.
+	appendRange(t, st2, 301, 320)
+	if es = drainStore(t, st2, Query{}); len(es) != 320 {
+		t.Fatalf("after reopen+append: %d events, want 320", len(es))
+	}
+}
+
+// TestCrashRecoveryTornTail is the acceptance criterion: a process killed
+// mid-append (simulated by truncating the newest segment at every
+// possible byte offset of its tail frame region) reopens losing at most
+// the torn record, and a stamp-range query over the recovered store
+// matches the same query over the surviving records in memory.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	const n = 120
+	dir := t.TempDir()
+	st, err := Open(dir, Config{SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRange(t, st, 1, n)
+	// No Close: simulate the crash before any seal by copying the raw
+	// active segment bytes.
+	segPath := filepath.Join(dir, "seg-00000001.seg")
+	whole, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	for _, cut := range []int64{
+		int64(len(whole)) - 1, int64(len(whole)) - tailSize, int64(len(whole)) - tailSize - 3,
+		int64(len(whole)) - 40, int64(len(whole)) / 2, headerSize + 5, headerSize, 0,
+	} {
+		if cut < 0 {
+			continue
+		}
+		crash := t.TempDir()
+		if err := os.WriteFile(filepath.Join(crash, "seg-00000001.seg"), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Open(crash, Config{})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		es := drainStore(t, rec, Query{})
+		// Only whole records, a strict prefix of what was written, and at
+		// most one record lost relative to the bytes that survived.
+		for i, e := range es {
+			if e.Stamp != uint64(i+1) {
+				t.Fatalf("cut=%d: record %d has stamp %d (not a prefix)", cut, i, e.Stamp)
+			}
+			checkEntry(t, e)
+		}
+		survived := len(es)
+		// Count whole frames present in the truncated bytes: recovery
+		// must keep every one of them.
+		wholeFrames := countWholeFrames(t, whole, cut)
+		if survived != wholeFrames {
+			t.Fatalf("cut=%d: recovered %d records, %d whole frames survive on disk",
+				cut, survived, wholeFrames)
+		}
+		// Stamp-range query over the recovered store vs the in-memory
+		// readout of the surviving records.
+		q := Query{MinStamp: 20, MaxStamp: 90}
+		got := drainStore(t, rec, q)
+		var want []tracer.Entry
+		for _, e := range es {
+			if e.Stamp >= q.MinStamp && e.Stamp <= q.MaxStamp {
+				want = append(want, e)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cut=%d: query returned %d records, want %d", cut, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Stamp != want[i].Stamp || string(got[i].Payload) != string(want[i].Payload) {
+				t.Fatalf("cut=%d: query record %d mismatch", cut, i)
+			}
+		}
+		rec.Close()
+	}
+}
+
+// countWholeFrames walks the segment image and counts frames that lie
+// entirely within the first cut bytes.
+func countWholeFrames(t *testing.T, img []byte, cut int64) int {
+	t.Helper()
+	off := int64(headerSize)
+	n := 0
+	for off+tracer.Align <= int64(len(img)) {
+		_, size, err := tracer.PeekRecord(img[off:])
+		if err != nil {
+			break
+		}
+		end := off + int64(size+tailSize)
+		if end > int64(len(img)) {
+			break
+		}
+		if end <= cut {
+			n++
+		}
+		off = end
+	}
+	return n
+}
+
+func TestRecoveryMidStore(t *testing.T) {
+	// Torn tail in the newest segment of a multi-segment store: sealed
+	// segments are untouched, only the active one is truncated.
+	dir := t.TempDir()
+	st, err := Open(dir, Config{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRange(t, st, 1, 400)
+	segs := st.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(segs))
+	}
+	last := segs[len(segs)-1]
+	if last.Sealed {
+		t.Skip("no active segment to tear")
+	}
+	lastPath := filepath.Join(dir, last.File)
+	st.Close() // seal happens here, but we restore the pre-seal bytes below
+
+	// Chop 5 bytes off the last segment to tear its final record, and
+	// also flip its header back to unsealed state arbitrarily by cutting
+	// into it — recovery must not trust the seal.
+	fi, err := os.Stat(lastPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(lastPath, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, Config{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Stats().RecoveredTruncations != 1 {
+		t.Fatalf("RecoveredTruncations = %d, want 1", rec.Stats().RecoveredTruncations)
+	}
+	es := drainStore(t, rec, Query{})
+	if len(es) != 399 {
+		t.Fatalf("recovered %d events, want 399 (one torn)", len(es))
+	}
+	for i, e := range es {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("record %d: stamp %d", i, e.Stamp)
+		}
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	appendRange(t, st, 1, 400)
+
+	cases := []struct {
+		name string
+		q    Query
+		keep func(e *tracer.Entry) bool
+	}{
+		{"stamp range", Query{MinStamp: 100, MaxStamp: 250},
+			func(e *tracer.Entry) bool { return e.Stamp >= 100 && e.Stamp <= 250 }},
+		{"time range", Query{MinTS: 50_000, MaxTS: 120_000},
+			func(e *tracer.Entry) bool { return e.TS >= 50_000 && e.TS <= 120_000 }},
+		{"core", Query{Cores: []uint8{2}},
+			func(e *tracer.Entry) bool { return e.Core == 2 }},
+		{"category", Query{Categories: []uint8{0, 3}},
+			func(e *tracer.Entry) bool { return e.Category == 0 || e.Category == 3 }},
+		{"combined", Query{MinStamp: 40, MaxStamp: 360, Cores: []uint8{1, 3}, Categories: []uint8{1, 2, 4}},
+			func(e *tracer.Entry) bool {
+				return e.Stamp >= 40 && e.Stamp <= 360 && (e.Core == 1 || e.Core == 3) &&
+					(e.Category == 1 || e.Category == 2 || e.Category == 4)
+			}},
+	}
+	all := drainStore(t, st, Query{})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := drainStore(t, st, tc.q)
+			var want []tracer.Entry
+			for i := range all {
+				if tc.keep(&all[i]) {
+					want = append(want, all[i])
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("query returned %d events, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Stamp != want[i].Stamp {
+					t.Fatalf("event %d: stamp %d, want %d", i, got[i].Stamp, want[i].Stamp)
+				}
+				checkEntry(t, got[i])
+			}
+		})
+	}
+
+	t.Run("limit", func(t *testing.T) {
+		got := drainStore(t, st, Query{Limit: 17})
+		if len(got) != 17 {
+			t.Fatalf("limit query returned %d events", len(got))
+		}
+	})
+}
+
+func TestRetentionByBytes(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{SegmentBytes: 2 << 10, MaxBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	appendRange(t, st, 1, 2000)
+	if sz := st.Size(); sz > (8<<10)+(2<<10) {
+		t.Fatalf("store size %d exceeds budget+active", sz)
+	}
+	if st.Stats().SegmentsDeleted == 0 {
+		t.Fatal("retention never deleted a segment")
+	}
+	es := drainStore(t, st, Query{})
+	if len(es) == 0 {
+		t.Fatal("retention deleted everything")
+	}
+	// Newest survives; survivors are a contiguous suffix.
+	if es[len(es)-1].Stamp != 2000 {
+		t.Fatalf("newest stamp %d, want 2000", es[len(es)-1].Stamp)
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i].Stamp != es[i-1].Stamp+1 {
+			t.Fatalf("interior gap %d -> %d", es[i-1].Stamp, es[i].Stamp)
+		}
+	}
+}
+
+func TestRetentionByAge(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{SegmentBytes: 2 << 10, MaxAgeNs: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	appendRange(t, st, 1, 1000) // TS = stamp*1000, span 1e6 ns >> MaxAge
+	st.Seal()
+	es := drainStore(t, st, Query{})
+	if len(es) == 0 || len(es) == 1000 {
+		t.Fatalf("age retention kept %d of 1000", len(es))
+	}
+	oldest := es[0].TS
+	newest := es[len(es)-1].TS
+	// Whole-segment granularity: survivors may exceed the age bound by
+	// up to one segment's span, but grossly stale segments must be gone.
+	if newest-oldest > 600_000 {
+		t.Fatalf("oldest survivor is %d ns old (MaxAge 100000)", newest-oldest)
+	}
+}
+
+func TestCursorFollowsAppends(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	appendRange(t, st, 1, 10)
+	cur := st.Query(Query{})
+	defer cur.Close()
+	batch := make([]tracer.Entry, 64)
+	n, _, err := cur.Next(batch)
+	if err != nil || n != 10 {
+		t.Fatalf("first Next = (%d, %v), want 10", n, err)
+	}
+	if n, _, _ := cur.Next(batch); n != 0 {
+		t.Fatalf("drained cursor returned %d", n)
+	}
+	// Appends spanning a rotation must all be picked up exactly once.
+	appendRange(t, st, 11, 60)
+	var got []uint64
+	for {
+		n, _, err := cur.Next(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			got = append(got, batch[i].Stamp)
+		}
+	}
+	if len(got) != 50 {
+		t.Fatalf("follow-up read delivered %d events, want 50", len(got))
+	}
+	for i, s := range got {
+		if s != uint64(11+i) {
+			t.Fatalf("follow-up event %d: stamp %d", i, s)
+		}
+	}
+}
+
+func TestCursorMissedOnRetention(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{SegmentBytes: 1 << 10, MaxBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cur := st.Query(Query{})
+	defer cur.Close()
+	appendRange(t, st, 1, 2000) // far past the byte bound: oldest retired
+	var total int
+	var missed uint64
+	batch := make([]tracer.Entry, 128)
+	for {
+		n, m, err := cur.Next(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		missed += m
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if missed == 0 {
+		t.Fatal("cursor reported no missed events despite retention")
+	}
+	if total+int(missed) < 2000 {
+		t.Fatalf("delivered %d + missed %d < 2000 written", total, missed)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Seal after every small batch to fabricate many small segments.
+	for s := uint64(1); s <= 200; s += 20 {
+		appendRange(t, st, s, s+19)
+		if err := st.Seal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := len(st.Segments())
+	if before < 5 {
+		t.Fatalf("setup produced only %d segments", before)
+	}
+	merged, err := st.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == 0 {
+		t.Fatal("compaction merged nothing")
+	}
+	after := st.Segments()
+	if len(after) >= before {
+		t.Fatalf("segments %d -> %d after compaction", before, len(after))
+	}
+	es := drainStore(t, st, Query{})
+	if len(es) != 200 {
+		t.Fatalf("post-compaction drain: %d events, want 200", len(es))
+	}
+	for i, e := range es {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("post-compaction record %d: stamp %d", i, e.Stamp)
+		}
+		checkEntry(t, e)
+	}
+	// Queries still prune and seek correctly over the merged segment.
+	q := drainStore(t, st, Query{MinStamp: 50, MaxStamp: 60})
+	if len(q) != 11 {
+		t.Fatalf("post-compaction query: %d events, want 11", len(q))
+	}
+	// And the compacted store survives a reopen byte-for-byte.
+	dir := st.Dir()
+	st.Close()
+	re, err := Open(dir, Config{SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if es = drainStore(t, re, Query{}); len(es) != 200 {
+		t.Fatalf("reopened compacted store: %d events", len(es))
+	}
+}
+
+func TestCompactionLeftoverRecovery(t *testing.T) {
+	// Simulate a crash between compaction's rename and its source
+	// deletes: duplicate a merged segment's content as a later segment
+	// whose stamp range the merged one contains.
+	dir := t.TempDir()
+	st, err := Open(dir, Config{SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRange(t, st, 1, 50)
+	st.Seal()
+	appendRange(t, st, 51, 100)
+	st.Seal()
+	if _, err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.Segments()); n != 1 {
+		t.Fatalf("expected 1 merged segment, got %d", n)
+	}
+	st.Close()
+
+	// Fabricate the leftover: a stale seg-2 holding records 51..100,
+	// already contained in the merged seg-1.
+	leftover, err := Open(t.TempDir(), Config{SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRange(t, leftover, 51, 100)
+	leftover.Close()
+	src, err := os.ReadFile(filepath.Join(leftover.Dir(), "seg-00000001.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000002.seg"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(dir, Config{SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Stats().LeftoverSegments != 1 {
+		t.Fatalf("LeftoverSegments = %d, want 1", rec.Stats().LeftoverSegments)
+	}
+	es := drainStore(t, rec, Query{})
+	if len(es) != 100 {
+		t.Fatalf("recovered %d events, want 100 (no duplicates)", len(es))
+	}
+	for i, e := range es {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("record %d: stamp %d", i, e.Stamp)
+		}
+	}
+}
+
+// TestStoreTracerConformance runs the repository-wide tracer conformance
+// suite against the store-backed tracer: the cursor/batch contract must
+// hold against disk exactly as it does against memory.
+func TestStoreTracerConformance(t *testing.T) {
+	tracertest.Run(t, tracertest.Config{
+		New: func(totalBytes, cores, threads int) (tracer.Tracer, error) {
+			return NewTracer(t.TempDir(), totalBytes)
+		},
+	})
+}
+
+func TestTracerAdapterStoreAccess(t *testing.T) {
+	tr, err := NewTracer(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	p := &tracer.FixedProc{}
+	for i := 1; i <= 10; i++ {
+		e := mkEntry(uint64(i))
+		if err := tr.Write(p, &e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Store().Events(); got != 10 {
+		t.Fatalf("Store().Events() = %d", got)
+	}
+	if st := tr.Stats(); st.Writes != 10 || st.BytesWritten == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -1,0 +1,87 @@
+// Tracer adapter: exposes a Store through the tracer.Tracer interface so
+// the tracertest conformance suite — the contract every in-memory tracer
+// in this repository satisfies — also runs against disk. Retention by
+// MaxBytes stands in for overwrite-oldest: deleting whole oldest
+// segments keeps the newest records and never opens interior gaps for a
+// single stamp-ordered producer.
+package store
+
+import (
+	"sort"
+
+	"btrace/internal/tracer"
+)
+
+// Tracer adapts a Store to tracer.Tracer. Unlike the in-memory tracers
+// it persists every write; ReadAll and cursors read back from disk.
+type Tracer struct {
+	st     *Store
+	budget int
+}
+
+// NewTracer opens a store-backed tracer in dir with a total on-disk
+// budget of totalBytes (enforced by retention, whole segments at a
+// time).
+func NewTracer(dir string, totalBytes int) (*Tracer, error) {
+	st, err := Open(dir, Config{
+		SegmentBytes: int64(totalBytes) / 8,
+		MaxBytes:     int64(totalBytes),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Tracer{st: st, budget: totalBytes}, nil
+}
+
+// Store returns the underlying store.
+func (t *Tracer) Store() *Store { return t.st }
+
+// Name implements tracer.Tracer.
+func (t *Tracer) Name() string { return "store" }
+
+// Write implements tracer.Tracer; the Proc is unused (the entry already
+// carries its core and thread identity).
+func (t *Tracer) Write(_ tracer.Proc, e *tracer.Entry) error {
+	return t.st.Append(e)
+}
+
+// ReadAll implements tracer.Tracer: a full drain of the store, sorted by
+// stamp (segments hold append order, which concurrent producers
+// interleave arbitrarily).
+func (t *Tracer) ReadAll() ([]tracer.Entry, error) {
+	cur := t.st.NewCursor()
+	defer cur.Close()
+	es, err := tracer.Drain(cur, 1024)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Stamp < es[j].Stamp })
+	return es, nil
+}
+
+// NewCursor implements tracer.CursorSource.
+func (t *Tracer) NewCursor() tracer.Cursor { return t.st.NewCursor() }
+
+// TotalBytes implements tracer.Tracer.
+func (t *Tracer) TotalBytes() int { return t.budget }
+
+// Stats implements tracer.Tracer.
+func (t *Tracer) Stats() tracer.Stats {
+	ss := t.st.Stats()
+	return tracer.Stats{
+		Writes:       ss.Appends,
+		BytesWritten: ss.BytesAppended,
+		Overwritten:  ss.EventsRetired,
+	}
+}
+
+// Reset implements tracer.Tracer.
+func (t *Tracer) Reset() { t.st.Reset() }
+
+// Close seals and closes the underlying store.
+func (t *Tracer) Close() error { return t.st.Close() }
+
+var (
+	_ tracer.Tracer       = (*Tracer)(nil)
+	_ tracer.CursorSource = (*Tracer)(nil)
+)

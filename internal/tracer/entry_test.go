@@ -45,13 +45,13 @@ func TestEventWireSizePadding(t *testing.T) {
 
 func TestEncodeDecodeEventRoundTrip(t *testing.T) {
 	e := &Entry{
-		Stamp:   0xDEADBEEF01234567,
-		TS:      987654321,
-		Core:    11,
-		TID:     1<<24 - 1,
-		Category:     7,
-		Level:   3,
-		Payload: []byte("hello btrace"),
+		Stamp:    0xDEADBEEF01234567,
+		TS:       987654321,
+		Core:     11,
+		TID:      1<<24 - 1,
+		Category: 7,
+		Level:    3,
+		Payload:  []byte("hello btrace"),
 	}
 	buf := make([]byte, e.WireSize())
 	n, err := EncodeEvent(buf, e)
