@@ -496,15 +496,15 @@ func (s *Supervisor) spillDump(d *Dump) {
 // persistDump writes a dump's events (quarantined entries included, so
 // nothing the verifier flagged is silently lost) to the durable store.
 func (s *Supervisor) persistDump(d *Dump) bool {
-	if err := s.cfg.Store.AppendEntries(d.Events); err != nil {
-		return false
-	}
+	es := d.Events
 	if len(d.Quarantined) > 0 {
-		if err := s.cfg.Store.AppendEntries(d.Quarantined); err != nil {
-			return false
-		}
+		// One AppendEntries call for the whole dump, so the
+		// SpillPersisted/SpillDropped split reflects a single outcome —
+		// two calls could persist the events yet count the dump dropped.
+		es = make([]tracer.Entry, 0, len(d.Events)+len(d.Quarantined))
+		es = append(append(es, d.Events...), d.Quarantined...)
 	}
-	return true
+	return s.cfg.Store.AppendEntries(es) == nil
 }
 
 // Flush synchronously attempts to deliver every pending and spilled dump

@@ -6,9 +6,10 @@
 //
 // Crash safety: the merged file is written to a .tmp name, fsynced, then
 // renamed over the first source segment (atomic on POSIX), and only then
-// are the remaining sources deleted. A crash between the rename and the
-// deletes leaves sources whose stamp ranges are contained in the merged
-// segment; Open detects and deletes those leftovers (see recoverSegment).
+// are the remaining sources deleted. The merged header records the
+// highest source seq it consumed (coversThrough), so a crash between the
+// rename and the deletes leaves sources that Open can identify exactly —
+// by seq, not by heuristic — and delete (see recoverSegment).
 package store
 
 import (
@@ -121,7 +122,7 @@ func (st *Store) mergeRunLocked(i, run int) error {
 	}
 	m.size = off
 	hdr := make([]byte, headerSize)
-	encodeHeader(hdr, &m.meta, true)
+	encodeHeader(hdr, &m.meta, m.coversThrough, true)
 	if _, err := tmp.WriteAt(hdr, 0); err != nil {
 		return cleanup(err)
 	}

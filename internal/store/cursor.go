@@ -202,6 +202,12 @@ func (c *Cursor) openNext() (missed uint64, ok bool) {
 			if seg.meta.ordered {
 				dedupe = true
 			} else {
+				// Unordered merge: stamps can't distinguish delivered
+				// records from new ones, so the rest of the merged range
+				// cannot be resumed. Surface the gap through missed —
+				// the segment's count is an upper bound on what the
+				// cursor never saw — rather than skipping silently.
+				missed += seg.meta.count
 				next := seg.coversThrough + 1
 				c.st.mu.Unlock()
 				c.nextSeq = next

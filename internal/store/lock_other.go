@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+const lockFileName = "LOCK"
+
+// lockDir on platforms without flock(2) only creates the marker file;
+// inter-process exclusion is advisory-by-convention there.
+func lockDir(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName is the advisory-lock marker inside a store directory. It
+// never matches the seg-%08d.seg pattern, so recovery ignores it.
+const lockFileName = "LOCK"
+
+// lockDir takes an exclusive flock(2) on dir/LOCK for the lifetime of a
+// Store. Recovery truncates and deletes files, and appends track
+// in-memory offsets, so two Store instances over one directory — say a
+// btrace-replay run pointed at a directory a long-lived btrace-serve
+// already holds — would corrupt it. The kernel drops the lock when the
+// holder exits, so a crash never leaves the directory wedged.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is already in use by another store instance (flock: %w)", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,38 @@
+//go:build unix
+
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpenLocksDirectory: a second Open on a live store directory must
+// fail fast (its recovery would truncate files the first instance is
+// appending to), and Close must release the lock for the next opener.
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRange(t, st, 1, 10)
+
+	if _, err := Open(dir, Config{}); err == nil {
+		t.Fatal("second Open on a held store directory succeeded")
+	} else if !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("second Open error = %v, want an in-use diagnosis", err)
+	}
+
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	defer re.Close()
+	if es := drainStore(t, re, Query{}); len(es) != 10 {
+		t.Fatalf("reopened store has %d events, want 10", len(es))
+	}
+}

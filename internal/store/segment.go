@@ -24,11 +24,11 @@ import (
 
 const (
 	// segMagic identifies a segment file (and its format version).
-	segMagic = 0x62747365673031 // "btseg01"
+	segMagic = 0x62747365673032 // "btseg02"
 	// frameMagic marks the high half of every frame tail.
 	frameMagic = 0xb7f2a3c4
 	// headerSize is the fixed on-disk header length.
-	headerSize = 80
+	headerSize = 88
 	// tailSize is the per-frame CRC tail length.
 	tailSize = 8
 	// indexStride is the sparse-index granularity: one entry every
@@ -138,9 +138,16 @@ func le64put(b []byte, v uint64) {
 //	[24:32) minTS       [32:40) maxTS
 //	[40:48) coreBits    [48:56) catBits
 //	[56:64) count
-//	[64:72) flags (bit 0 = sealed, bit 1 = ordered)
-//	[72:80) crc32c of [0:72) in the low 32 bits
-func encodeHeader(dst []byte, m *segmentMeta, sealed bool) {
+//	[64:72) coversThrough (highest source seq this segment subsumes;
+//	        the segment's own seq unless it was produced by compaction)
+//	[72:80) flags (bit 0 = sealed, bit 1 = ordered)
+//	[80:88) crc32c of [0:80) in the low 32 bits
+//
+// coversThrough is what makes interrupted-compaction recovery precise:
+// the merged segment explicitly names the source seqs it consumed, so
+// Open deletes exactly those if a crash left them behind — never an
+// unrelated segment that merely repeats a stamp range.
+func encodeHeader(dst []byte, m *segmentMeta, coversThrough uint64, sealed bool) {
 	le64put(dst[0:], segMagic)
 	le64put(dst[8:], m.baseStamp)
 	le64put(dst[16:], m.maxStamp)
@@ -149,6 +156,7 @@ func encodeHeader(dst []byte, m *segmentMeta, sealed bool) {
 	le64put(dst[40:], m.coreBits)
 	le64put(dst[48:], m.catBits)
 	le64put(dst[56:], m.count)
+	le64put(dst[64:], coversThrough)
 	var flags uint64
 	if sealed {
 		flags |= 1
@@ -156,22 +164,23 @@ func encodeHeader(dst []byte, m *segmentMeta, sealed bool) {
 	if m.ordered {
 		flags |= 2
 	}
-	le64put(dst[64:], flags)
-	le64put(dst[72:], uint64(crc32.Checksum(dst[:72], castagnoli)))
+	le64put(dst[72:], flags)
+	le64put(dst[80:], uint64(crc32.Checksum(dst[:80], castagnoli)))
 }
 
 // decodeHeader parses and validates a segment header, returning the
-// sealed flag. A header whose magic or checksum does not match is
-// reported as corrupt; the caller falls back to a full scan.
-func decodeHeader(src []byte) (m segmentMeta, sealed bool, err error) {
+// merge coverage and sealed flag. A header whose magic or checksum does
+// not match is reported as corrupt; the caller falls back to a full
+// scan.
+func decodeHeader(src []byte) (m segmentMeta, coversThrough uint64, sealed bool, err error) {
 	if len(src) < headerSize {
-		return m, false, fmt.Errorf("store: short header (%d bytes)", len(src))
+		return m, 0, false, fmt.Errorf("store: short header (%d bytes)", len(src))
 	}
 	if le64(src[0:]) != segMagic {
-		return m, false, fmt.Errorf("store: bad segment magic %#x", le64(src[0:]))
+		return m, 0, false, fmt.Errorf("store: bad segment magic %#x", le64(src[0:]))
 	}
-	if uint32(le64(src[72:])) != crc32.Checksum(src[:72], castagnoli) {
-		return m, false, fmt.Errorf("store: header checksum mismatch")
+	if uint32(le64(src[80:])) != crc32.Checksum(src[:80], castagnoli) {
+		return m, 0, false, fmt.Errorf("store: header checksum mismatch")
 	}
 	m.baseStamp = le64(src[8:])
 	m.maxStamp = le64(src[16:])
@@ -180,9 +189,10 @@ func decodeHeader(src []byte) (m segmentMeta, sealed bool, err error) {
 	m.coreBits = le64(src[40:])
 	m.catBits = le64(src[48:])
 	m.count = le64(src[56:])
-	flags := le64(src[64:])
+	coversThrough = le64(src[64:])
+	flags := le64(src[72:])
 	m.ordered = flags&2 != 0
-	return m, flags&1 != 0, nil
+	return m, coversThrough, flags&1 != 0, nil
 }
 
 // encodeFrame appends the framed encoding of e to dst: the wire record

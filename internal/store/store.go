@@ -78,6 +78,7 @@ type Stats struct {
 	RecoveredTruncations uint64 // segments truncated at open (torn tails)
 	TornBytesDropped     uint64 // bytes cut by those truncations
 	LeftoverSegments     uint64 // interrupted-compaction leftovers deleted at open
+	HeadersRebuilt       uint64 // corrupt headers rebuilt at open from a frame scan
 }
 
 // Store is a segmented on-disk trace store. All methods are safe for
@@ -87,6 +88,7 @@ type Store struct {
 	cfg Config
 
 	mu      sync.Mutex
+	lock    *os.File   // held flock on dir/LOCK, released by Close
 	segs    []*segment // ascending seq; the last may be active
 	active  *os.File   // write handle of the unsealed last segment
 	nextSeq uint64
@@ -102,14 +104,22 @@ type Store struct {
 // Open opens (creating if necessary) the store in dir and recovers it:
 // stray temp files are removed, every segment is scanned, torn tails are
 // truncated, and leftovers of an interrupted compaction are deleted.
+// Open holds an exclusive inter-process lock on the directory until
+// Close; a second Open (from this or any other process) fails fast
+// rather than letting two recoveries truncate each other's files.
 func Open(dir string, cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	st := &Store{dir: dir, cfg: cfg, nextSeq: 1}
+	var err error
+	if st.lock, err = lockDir(dir); err != nil {
+		return nil, err
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
+		st.Close()
 		return nil, err
 	}
 	var seqs []uint64
@@ -134,6 +144,13 @@ func Open(dir string, cfg Config) (*Store, error) {
 		}
 		st.nextSeq = seq + 1
 	}
+	// A merged last segment may cover source seqs past its own file name
+	// (its sources were already deleted); never reissue a covered seq, or
+	// cursors would skip the new segment and a later recovery would
+	// mistake it for a compaction leftover.
+	if s := st.lastSeg(); s != nil && s.coversThrough >= st.nextSeq {
+		st.nextSeq = s.coversThrough + 1
+	}
 	return st, nil
 }
 
@@ -145,20 +162,15 @@ func (st *Store) recoverSegment(seq uint64, last bool) error {
 	if err != nil {
 		return err
 	}
-	hdr := make([]byte, headerSize)
-	headerOK := false
-	if _, err := f.ReadAt(hdr, 0); err == nil {
-		if _, sealed, herr := decodeHeader(hdr); herr == nil {
-			headerOK = true
-			s.sealed = sealed
-		}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
 	}
-	if !headerOK {
-		// Unrecognizable header: the file is not (or no longer) a
-		// segment. Quarantine by truncating to nothing and reusing only
-		// if it is the last slot; otherwise drop it.
-		fi, _ := f.Stat()
-		if fi != nil && fi.Size() > 0 {
+	if fi.Size() < headerSize {
+		// Too short to hold even a header: a segment creation that never
+		// completed. No frame can survive; drop it.
+		if fi.Size() > 0 {
 			st.stats.RecoveredTruncations++
 			st.stats.TornBytesDropped += uint64(fi.Size())
 		}
@@ -166,12 +178,23 @@ func (st *Store) recoverSegment(seq uint64, last bool) error {
 		os.Remove(s.path)
 		return nil
 	}
-	valid, err := scanSegment(f, s)
-	if err != nil {
-		f.Close()
-		return err
+	hdr := make([]byte, headerSize)
+	headerOK := false
+	if _, err := f.ReadAt(hdr, 0); err == nil {
+		if _, covers, sealed, herr := decodeHeader(hdr); herr == nil {
+			headerOK = true
+			s.sealed = sealed
+			if covers > seq {
+				s.coversThrough = covers
+			}
+		}
 	}
-	fi, err := f.Stat()
+	// The frame scan never trusts the header — it rebuilds the metadata
+	// and finds the exact truncation point whether or not the header
+	// decoded. Frames are independently CRC-framed, so a torn in-place
+	// header rewrite (sealActiveLocked) costs the header alone, never
+	// the records behind it.
+	valid, err := scanSegment(f, s)
 	if err != nil {
 		f.Close()
 		return err
@@ -188,6 +211,25 @@ func (st *Store) recoverSegment(seq uint64, last bool) error {
 	}
 	s.size = valid
 
+	if !headerOK {
+		if s.meta.count == 0 {
+			// No header and no whole frames: not (or no longer) a segment.
+			f.Close()
+			os.Remove(s.path)
+			return nil
+		}
+		// Valid frames behind a corrupt header (e.g. a seal's header
+		// rewrite torn by a crash): rebuild the header from the scan
+		// instead of discarding the segment.
+		encodeHeader(hdr, &s.meta, s.coversThrough, false)
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			f.Close()
+			return err
+		}
+		s.sealed = false
+		st.stats.HeadersRebuilt++
+	}
+
 	if s.meta.count == 0 && !last {
 		// Empty interior segment: nothing to keep.
 		f.Close()
@@ -195,14 +237,15 @@ func (st *Store) recoverSegment(seq uint64, last bool) error {
 		return nil
 	}
 
-	// Interrupted-compaction leftover: a segment whose whole stamp range
-	// is contained in the (ordered) segment before it is the shadow of a
-	// merge that renamed but had not finished deleting its sources.
-	if prev := st.lastSeg(); prev != nil && prev.meta.ordered && s.meta.count > 0 &&
-		s.meta.baseStamp >= prev.meta.baseStamp && s.meta.maxStamp <= prev.meta.maxStamp {
+	// Interrupted-compaction leftover: compaction renames the merged
+	// segment — whose header names the source seqs it consumed via
+	// coversThrough — before deleting those sources. A source file that
+	// survived the crash is exactly a segment whose seq the previous
+	// recovered segment explicitly covers; nothing else is ever deleted,
+	// so independent runs that happen to repeat a stamp range coexist.
+	if prev := st.lastSeg(); prev != nil && prev.coversThrough >= seq {
 		f.Close()
 		os.Remove(s.path)
-		prev.coversThrough = seq
 		st.stats.LeftoverSegments++
 		return nil
 	}
@@ -335,7 +378,7 @@ func (st *Store) newSegmentLocked() (*segment, error) {
 		return nil, err
 	}
 	hdr := make([]byte, headerSize)
-	encodeHeader(hdr, &s.meta, false)
+	encodeHeader(hdr, &s.meta, s.coversThrough, false)
 	if _, err := f.WriteAt(hdr, 0); err != nil {
 		f.Close()
 		os.Remove(s.path)
@@ -355,7 +398,7 @@ func (st *Store) sealActiveLocked() error {
 		return nil
 	}
 	hdr := make([]byte, headerSize)
-	encodeHeader(hdr, &seg.meta, true)
+	encodeHeader(hdr, &seg.meta, seg.coversThrough, true)
 	if _, err := st.active.WriteAt(hdr, 0); err != nil {
 		return err
 	}
@@ -445,6 +488,10 @@ func (st *Store) Close() error {
 		return nil
 	}
 	err := st.sealActiveLocked()
+	if st.lock != nil {
+		st.lock.Close() // releases the directory flock
+		st.lock = nil
+	}
 	st.closed = true
 	return err
 }
