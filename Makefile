@@ -4,12 +4,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 chaos bench
+.PHONY: all build fmt vet test race tier1 chaos bench benchdiff
 
 all: tier1
 
 build:
 	$(GO) build ./...
+
+# fmt fails (listing the offenders) if any tracked Go file is not
+# gofmt-clean, so formatting drift cannot land through CI.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	  echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +28,7 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-tier1: build vet test race
+tier1: build fmt vet test race
 
 # The chaos suite: every DESIGN.md invariant under injected preemption
 # storms, stalled writers, hotplug-during-resize, and poll/sink failures.
@@ -32,9 +38,16 @@ chaos:
 	$(GO) test $(SHORT) -v -run 'TestChaos' ./internal/faults/
 
 # Read/write-path benchmarks with allocation accounting, recorded as
-# machine-readable JSON (BENCH_readpath.json) to track the perf
-# trajectory across commits. BENCHTIME trades precision for runtime.
+# machine-readable JSON (BENCH_*.json) to track the perf trajectory
+# across commits. BENCHTIME trades precision for runtime. BENCH_obs.json
+# captures the self-observability overhead contract: the instrumented
+# record/read fast paths must stay at 0 allocs/op and within noise of
+# the Options.DisableStats baseline (see DESIGN.md). The obs record
+# sub-benchmarks measure a single ~45ns Write, so they get their own
+# much higher iteration count (OBS_RECORD_BENCHTIME) — at BENCHTIME-scale
+# counts the timer granularity would swamp the <2% contract.
 BENCHTIME ?= 2000x
+OBS_RECORD_BENCHTIME ?= 200000x
 bench:
 	@{ $(GO) test ./internal/core -run '^$$' -bench 'BenchmarkReadPath' -benchmem -benchtime $(BENCHTIME); \
 	   $(GO) test . -run '^$$' -bench 'BenchmarkWritePathStampBatch' -benchmem -benchtime $(BENCHTIME); } \
@@ -43,3 +56,18 @@ bench:
 	@$(GO) test ./internal/store -run '^$$' -bench 'BenchmarkStore(Append|Query)' -benchmem -benchtime $(BENCHTIME) \
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_store.json
 	@echo "wrote BENCH_store.json"
+	@{ $(GO) test ./internal/core -run '^$$' -bench 'BenchmarkObsOverhead/record' -benchmem -benchtime $(OBS_RECORD_BENCHTIME); \
+	   $(GO) test ./internal/core -run '^$$' -bench 'BenchmarkObsOverhead/read' -benchmem -benchtime $(BENCHTIME); } \
+	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_obs.json
+	@echo "wrote BENCH_obs.json"
+
+# Compare freshly produced BENCH_*.json against the committed baselines
+# (taken from HEAD): >30% ns/op regressions fail, and the read-path / obs
+# fast paths must stay allocation-free. CI runs the same comparison on
+# every push (bench-smoke job).
+benchdiff:
+	@mkdir -p .benchbase
+	@for f in BENCH_readpath.json BENCH_store.json BENCH_obs.json; do \
+	  git show HEAD:$$f > .benchbase/$$f 2>/dev/null || rm -f .benchbase/$$f; done
+	$(GO) run ./cmd/benchdiff -old .benchbase -new . \
+	  -zero-allocs 'BenchmarkReadPathCursor,BenchmarkObsOverhead/.*'

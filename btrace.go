@@ -93,6 +93,13 @@ type Config struct {
 	// poison pattern, turning use-after-reclaim bugs into loud decode
 	// failures. Intended for tests.
 	PoisonOnReclaim bool
+	// DisableStats opts this tracer out of the self-observability layer:
+	// no counters are registered and nothing appears in Metrics(). The
+	// record fast path is identical either way (event counting rides the
+	// confirmation CAS the protocol already performs — see DESIGN.md,
+	// "Self-observability"); this exists for baseline measurements and
+	// for embedders that want zero metrics surface.
+	DisableStats bool
 }
 
 // Tracer is an open BTrace instance.
@@ -133,6 +140,7 @@ func Open(cfg Config) (*Tracer, error) {
 		}
 	}
 	opt.PoisonOnReclaim = cfg.PoisonOnReclaim
+	opt.DisableStats = cfg.DisableStats
 	buf, err := core.New(opt)
 	if err != nil {
 		return nil, err

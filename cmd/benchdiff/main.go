@@ -1,0 +1,187 @@
+// Command benchdiff compares two sets of bench2json files and fails when
+// performance regressed past the allowed envelope. CI's bench-smoke job
+// copies the committed BENCH_*.json baselines aside, regenerates them
+// with `make bench`, and runs benchdiff to gate the push:
+//
+//	benchdiff -old .benchbase -new . -max-regress 30 \
+//	  -zero-allocs 'BenchmarkReadPathCursor,BenchmarkObsOverhead/.*'
+//
+// A benchmark fails the gate if its ns/op grew by more than -max-regress
+// percent over the baseline, or if its name matches a -zero-allocs
+// pattern and its allocs/op is not zero (the read-path and obs fast-path
+// contracts). Benchmarks present on only one side are reported but never
+// fail: baselines recorded on different hardware drift, so the absolute
+// numbers are advisory — the allocation contract and gross regressions
+// are what the gate enforces.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Benchmark mirrors cmd/bench2json's per-benchmark record.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File mirrors cmd/bench2json's document.
+type File struct {
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		oldDir     = flag.String("old", "", "directory with baseline BENCH_*.json files")
+		newDir     = flag.String("new", ".", "directory with freshly generated BENCH_*.json files")
+		maxRegress = flag.Float64("max-regress", 30, "maximum allowed ns/op regression in percent")
+		minNs      = flag.Float64("min-ns", 1000, "baselines below this ns/op are reported but exempt from the regression gate (timing noise dominates)")
+		zeroAllocs = flag.String("zero-allocs", "", "comma-separated name regexes that must stay at 0 allocs/op")
+	)
+	flag.Parse()
+	if *oldDir == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old directory required")
+		os.Exit(2)
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		matches, err := filepath.Glob(filepath.Join(*newDir, "BENCH_*.json"))
+		if err != nil || len(matches) == 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: no BENCH_*.json files found in", *newDir)
+			os.Exit(2)
+		}
+		for _, m := range matches {
+			names = append(names, filepath.Base(m))
+		}
+	}
+	zeroRes, err := compilePatterns(*zeroAllocs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var failures []string
+	for _, name := range names {
+		newFile, err := load(filepath.Join(*newDir, name))
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", name, err))
+			continue
+		}
+		oldFile, err := load(filepath.Join(*oldDir, name))
+		if err != nil {
+			// No baseline (first commit of this file): allocation
+			// contracts still apply, regressions cannot.
+			fmt.Printf("%s: no baseline (%v); checking allocation contracts only\n", name, err)
+			oldFile = &File{}
+		}
+		failures = append(failures, diff(name, oldFile, newFile, *maxRegress, *minNs, zeroRes)...)
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: all benchmarks within the allowed envelope")
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func compilePatterns(s string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		re, err := regexp.Compile("^(" + p + ")$")
+		if err != nil {
+			return nil, fmt.Errorf("bad -zero-allocs pattern %q: %w", p, err)
+		}
+		res = append(res, re)
+	}
+	return res, nil
+}
+
+// canonical strips the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names, so baselines recorded on machines with different core
+// counts still line up.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func canonical(name string) string { return procSuffix.ReplaceAllString(name, "") }
+
+// diff compares one file pair and returns the gate failures.
+func diff(file string, oldF, newF *File, maxRegress, minNs float64, zeroRes []*regexp.Regexp) []string {
+	old := make(map[string]Benchmark, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		old[canonical(b.Name)] = b
+	}
+	var failures []string
+	for _, nb := range newF.Benchmarks {
+		name := canonical(nb.Name)
+		for _, re := range zeroRes {
+			if re.MatchString(name) && nb.AllocsPerOp != 0 {
+				failures = append(failures,
+					fmt.Sprintf("%s: %s allocates %.0f allocs/op, contract is 0", file, name, nb.AllocsPerOp))
+			}
+		}
+		ob, ok := old[name]
+		if !ok {
+			fmt.Printf("%s: %s is new (%.0f ns/op), no baseline to compare\n", file, name, nb.NsPerOp)
+			continue
+		}
+		if ob.NsPerOp <= 0 {
+			continue
+		}
+		change := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		verdict := "ok"
+		switch {
+		case ob.NsPerOp < minNs:
+			// Sub-threshold baselines swing far more than any real
+			// regression on shared runners; the allocation contract
+			// above is the enforceable edge for them.
+			verdict = "untimed (below -min-ns)"
+		case change > maxRegress:
+			verdict = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %s regressed %.1f%% (%.0f -> %.0f ns/op), limit %.0f%%",
+					file, name, change, ob.NsPerOp, nb.NsPerOp, maxRegress))
+		}
+		fmt.Printf("%s: %s %+.1f%% ns/op (%.0f -> %.0f) [%s]\n",
+			file, name, change, ob.NsPerOp, nb.NsPerOp, verdict)
+	}
+	for _, ob := range oldF.Benchmarks {
+		found := false
+		for _, nb := range newF.Benchmarks {
+			if canonical(nb.Name) == canonical(ob.Name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("%s: %s disappeared from the new run\n", file, canonical(ob.Name))
+		}
+	}
+	return failures
+}

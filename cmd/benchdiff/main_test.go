@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestDiffPassesWithinEnvelope(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{bench("BenchmarkX-8", 100, 0)}}
+	newF := &File{Benchmarks: []Benchmark{bench("BenchmarkX-4", 120, 0)}}
+	if f := diff("f.json", oldF, newF, 30, 0, nil); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{bench("BenchmarkX", 100, 0)}}
+	newF := &File{Benchmarks: []Benchmark{bench("BenchmarkX", 131, 0)}}
+	f := diff("f.json", oldF, newF, 30, 0, nil)
+	if len(f) != 1 || !strings.Contains(f[0], "regressed 31.0%") {
+		t.Fatalf("want one regression failure, got %v", f)
+	}
+}
+
+func TestDiffZeroAllocContract(t *testing.T) {
+	res, err := compilePatterns("BenchmarkRead.*,BenchmarkObsOverhead/.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newF := &File{Benchmarks: []Benchmark{
+		bench("BenchmarkReadCursor-8", 50, 2),
+		bench("BenchmarkObsOverhead/record-instrumented-8", 50, 1),
+		bench("BenchmarkOther", 50, 7),
+	}}
+	f := diff("f.json", &File{}, newF, 30, 0, res)
+	if len(f) != 2 {
+		t.Fatalf("want 2 allocation failures, got %v", f)
+	}
+	for _, msg := range f {
+		if !strings.Contains(msg, "contract is 0") {
+			t.Fatalf("unexpected failure %q", msg)
+		}
+	}
+}
+
+func TestDiffMinNsExemptsNoisyBenchmarks(t *testing.T) {
+	// A 3x slowdown on a 50 ns baseline is shared-runner noise, not a
+	// regression; the same slowdown on a 5000 ns baseline fails.
+	oldF := &File{Benchmarks: []Benchmark{
+		bench("BenchmarkFast", 50, 0), bench("BenchmarkSlow", 5000, 0),
+	}}
+	newF := &File{Benchmarks: []Benchmark{
+		bench("BenchmarkFast", 150, 0), bench("BenchmarkSlow", 15000, 0),
+	}}
+	f := diff("f.json", oldF, newF, 30, 1000, nil)
+	if len(f) != 1 || !strings.Contains(f[0], "BenchmarkSlow") {
+		t.Fatalf("want only BenchmarkSlow to fail, got %v", f)
+	}
+}
+
+func TestDiffNewAndVanishedBenchmarksDoNotFail(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{bench("BenchmarkGone", 10, 0)}}
+	newF := &File{Benchmarks: []Benchmark{bench("BenchmarkFresh", 10, 0)}}
+	if f := diff("f.json", oldF, newF, 30, 0, nil); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+}
+
+func TestCanonicalStripsProcSuffix(t *testing.T) {
+	if got := canonical("BenchmarkX/sub=1-16"); got != "BenchmarkX/sub=1" {
+		t.Fatalf("canonical = %q", got)
+	}
+	if got := canonical("BenchmarkX"); got != "BenchmarkX" {
+		t.Fatalf("canonical = %q", got)
+	}
+}
+
+func TestCompilePatternsRejectsBadRegex(t *testing.T) {
+	if _, err := compilePatterns("Benchmark[("); err == nil {
+		t.Fatal("want error for invalid regex")
+	}
+}

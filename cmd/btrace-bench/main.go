@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"btrace"
 	"btrace/internal/experiments"
 )
 
@@ -29,6 +30,7 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 20)")
 		tracers   = flag.String("tracers", "", "comma-separated tracer subset (default: all 5)")
 		quick     = flag.Bool("quick", false, "use the reduced quick configuration")
+		metrics   = flag.Bool("metrics", false, "dump the self-observability metrics (Prometheus text) to stderr at exit")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -60,6 +62,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "btrace-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "# self-observability metrics")
+		btrace.WriteMetrics(os.Stderr)
 	}
 }
 

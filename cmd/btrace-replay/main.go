@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"btrace"
 	"btrace/internal/analysis"
 	"btrace/internal/export"
 	"btrace/internal/replay"
@@ -37,6 +38,7 @@ func main() {
 		preempt    = flag.Float64("preempt", 0.005, "mid-write preemption probability")
 		dump       = flag.String("dump", "", "write the readout to this file for btrace-inspect")
 		storeDir   = flag.String("store", "", "persist the readout into this durable segment store directory")
+		metrics    = flag.Bool("metrics", false, "dump the self-observability metrics (Prometheus text) to stderr at exit")
 	)
 	flag.Parse()
 
@@ -49,6 +51,10 @@ func main() {
 	if err := run(*tracerName, *wlName, *budget, *scale, *level, *threadMode, *preempt, *dump, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "btrace-replay:", err)
 		os.Exit(1)
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "# self-observability metrics")
+		btrace.WriteMetrics(os.Stderr)
 	}
 }
 

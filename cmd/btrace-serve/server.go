@@ -6,6 +6,7 @@ import (
 	"html/template"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"btrace/internal/analysis"
 	"btrace/internal/experiments"
 	"btrace/internal/export"
+	"btrace/internal/obs"
 	"btrace/internal/replay"
 	"btrace/internal/store"
 	"btrace/internal/tracer"
@@ -79,6 +81,16 @@ func newServer(defaultScale float64, st *store.Store) (*server, error) {
 	s.mux.HandleFunc("/replay.json", s.handleReplayJSON)
 	s.mux.HandleFunc("/store/segments", s.handleStoreSegments)
 	s.mux.HandleFunc("/store/query", s.handleStoreQuery)
+	// Self-observability surface: Prometheus text metrics over the
+	// process-wide registry, plus the standard pprof profiles (explicit
+	// routes — importing net/http/pprof for its DefaultServeMux side
+	// effect would do nothing for this private mux).
+	s.mux.Handle("/metrics", obs.Default().Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s, nil
 }
 

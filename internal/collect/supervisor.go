@@ -155,7 +155,8 @@ type SupervisorStats struct {
 	Grows   uint64 // adaptive Resize grow operations
 	Shrinks uint64 // adaptive Resize shrink operations
 
-	Quarantined uint64 // entries rejected by the verifier
+	Quarantined     uint64 // entries rejected by the verifier
+	WedgeDetections uint64 // false->true transitions of the wedge verdict
 }
 
 // HealthReport is the supervisor's self-diagnosis.
@@ -214,6 +215,10 @@ type Supervisor struct {
 	resizeErrors []error
 
 	stats SupervisorStats
+	// published is the stats snapshot last folded into obs; the delta is
+	// published once per Step/Flush (see publishObs).
+	published SupervisorStats
+	obs       *supObs
 }
 
 // NewSupervisor creates a supervised pipeline.
@@ -261,7 +266,9 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		col: col,
 		ver: NewVerifier(),
 		rng: rand.New(rand.NewSource(cfg.Seed)),
+		obs: newSupObs(),
 	}
+	s.registerObs()
 	if cfg.Cursor != nil {
 		s.batch = make([]tracer.Entry, cfg.BatchSize)
 	}
@@ -304,6 +311,7 @@ func (s *Supervisor) backoffAfter(n int) int {
 func (s *Supervisor) Step() *Dump {
 	dump := s.stepPoll()
 	s.stepSink()
+	s.publishObs()
 	return dump
 }
 
@@ -333,8 +341,9 @@ func (s *Supervisor) stepPoll() *Dump {
 		s.stats.PollErrors++
 		s.consecPollErrs++
 		s.pollBackoff = s.backoffAfter(s.consecPollErrs)
-		if s.consecPollErrs >= s.cfg.PollRetryBudget {
+		if s.consecPollErrs >= s.cfg.PollRetryBudget && !s.sourceWedged {
 			s.sourceWedged = true // self-watchdog: source declared wedged
+			s.stats.WedgeDetections++
 		}
 		return nil
 	}
@@ -346,6 +355,9 @@ func (s *Supervisor) stepPoll() *Dump {
 	if len(es) == 0 && missed == 0 {
 		s.consecEmpty++
 		if s.cfg.WedgeEmptyPolls > 0 && s.consecEmpty >= s.cfg.WedgeEmptyPolls {
+			if !s.sourceWedged {
+				s.stats.WedgeDetections++
+			}
 			s.sourceWedged = true
 		}
 	} else {
@@ -515,6 +527,7 @@ func (s *Supervisor) Flush() error {
 	if s.cfg.Sink == nil {
 		return nil
 	}
+	defer s.publishObs()
 	for len(s.pending) > 0 {
 		p := s.pending[0]
 		if p.wire == nil {

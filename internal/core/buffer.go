@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -28,16 +29,21 @@ type Buffer struct {
 	// blocks from the shared pool.
 	acquired []paddedWord
 
-	// stats counters (atomic).
-	writes       atomic.Uint64
-	bytesWritten atomic.Uint64
-	dummyBytes   atomic.Uint64
-	skipped      atomic.Uint64
-	closed       atomic.Uint64
-	advancements atomic.Uint64
-	casRetries   atomic.Uint64
-	repairs      atomic.Uint64
-	blockedWaits atomic.Uint64
+	// Event-count packing for the confirmed word (see meta.go): event
+	// confirmations add evInc on top of their byte count, so the record
+	// count of a round rides the confirmation CAS the fast path performs
+	// anyway. cntMask extracts the byte part, evShift the event part.
+	// evInc == 0 disables in-word counting (blocks too large for the bit
+	// budget); the writer then falls back to a sharded per-write counter.
+	evInc   uint32
+	evShift uint32
+	cntMask uint32
+
+	// ctrs is the self-observability state (internal/obs): slow-path
+	// counters plus the round-retirement accumulators the in-word event
+	// counts are harvested into. Nil when Options.DisableStats requests
+	// the uninstrumented baseline; every update site is nil-safe.
+	ctrs *bufCounters
 
 	// resizeMu serializes Resize and Reset.
 	resizeMu sync.Mutex
@@ -63,8 +69,49 @@ func New(opt Options) (*Buffer, error) {
 		locals:   make([]paddedWord, opt.Cores),
 		acquired: make([]paddedWord, opt.Cores),
 	}
+	b.evShift, b.evInc, b.cntMask = confirmLayout(opt.BlockSize)
 	b.initState()
+	if !opt.DisableStats {
+		b.ctrs = newBufCounters(opt.Cores)
+		b.ctrs.acquired = b.acquired
+		b.ctrs.capacity.Set(int64(b.Capacity()))
+		b.ctrs.metas = b.metas
+		b.ctrs.evShift = b.evShift
+		b.ctrs.cntMask = b.cntMask
+		b.ctrs.blockSize = uint64(opt.BlockSize)
+		b.ctrs.headerSize = headerSize
+		b.registerObs()
+	}
 	return b, nil
+}
+
+// confirmLayout splits the confirmed word's 32-bit count field into an
+// event-count part and a byte part for blocks of size bs. The byte part
+// needs bits.Len(bs) bits (counts run 0..bs inclusive); whatever remains
+// holds the round's record count. A round fits at most bs/EventHeaderSize
+// records (every record is at least one event header), so in-word counting
+// is enabled only when that maximum fits the remaining bits — true for
+// every block size up to 128 KiB, and in particular the 4 KiB paper
+// default. Oversized blocks get shift 0: counting falls back to a sharded
+// per-write counter and the byte part spans the whole field.
+func confirmLayout(bs int) (shift, inc, mask uint32) {
+	shift = uint32(bits.Len32(uint32(bs)))
+	maxEvents := uint32(bs / tracer.EventHeaderSize)
+	if shift >= 32 || maxEvents >= 1<<(32-shift) {
+		return 0, 0, ^uint32(0)
+	}
+	return shift, 1 << shift, 1<<shift - 1
+}
+
+// cBytes extracts the confirmed-byte part of a confirmed count field.
+func (b *Buffer) cBytes(cnt uint32) uint32 { return cnt & b.cntMask }
+
+// cEvents extracts the record-count part of a confirmed count field.
+func (b *Buffer) cEvents(cnt uint32) uint32 {
+	if b.evInc == 0 {
+		return 0
+	}
+	return cnt >> b.evShift
 }
 
 // initState resets all metadata to the initial configuration: every
@@ -132,28 +179,47 @@ func (b *Buffer) metaOf(pos uint64) (*meta, uint32) {
 	return &b.metas[pos%a], uint32(pos / a)
 }
 
-// Stats returns a snapshot of the buffer's counters.
+// Stats returns a snapshot of the buffer's counters (all zero when the
+// buffer was opened with Options.DisableStats). Writes and BytesWritten
+// are derived from the round accounting — retired rounds plus a scan of
+// the live metadata words — so the record fast path never maintains a
+// dedicated counter; the derivation is exact at quiescence.
 func (b *Buffer) Stats() tracer.Stats {
+	c := b.ctrs
+	if c == nil {
+		return tracer.Stats{}
+	}
+	writes, eventBytes := c.eventTotals()
 	return tracer.Stats{
-		Writes:        b.writes.Load(),
-		BytesWritten:  b.bytesWritten.Load(),
-		DummyBytes:    b.dummyBytes.Load(),
-		SkippedBlocks: b.skipped.Load(),
-		ClosedBlocks:  b.closed.Load(),
-		Advancements:  b.advancements.Load(),
-		CASRetries:    b.casRetries.Load(),
+		Writes:        writes,
+		BytesWritten:  eventBytes,
+		DummyBytes:    c.dummyBytes.Load(),
+		SkippedBlocks: c.skipped.Load(),
+		ClosedBlocks:  c.closed.Load(),
+		Advancements:  c.advancements.Load(),
+		CASRetries:    c.casRetries.Load(),
 	}
 }
 
 // Repairs returns the number of stale-round allocation repairs performed
 // (space claimed in a newer round by a thread holding an outdated core
 // assignment, immediately filled with dummy data; see writer.go).
-func (b *Buffer) Repairs() uint64 { return b.repairs.Load() }
+func (b *Buffer) Repairs() uint64 {
+	if b.ctrs == nil {
+		return 0
+	}
+	return b.ctrs.repairs.Load()
+}
 
 // BlockedWaits returns how many times a producer waited for a preempted
 // writer instead of skipping; always zero unless Options.BlockOnStragglers
 // enables the §3.4 ablation mode.
-func (b *Buffer) BlockedWaits() uint64 { return b.blockedWaits.Load() }
+func (b *Buffer) BlockedWaits() uint64 {
+	if b.ctrs == nil {
+		return 0
+	}
+	return b.ctrs.blockedWaits.Load()
+}
 
 // BlocksAcquired returns, per core, how many data blocks the core has
 // acquired from the shared pool — the observable form of the paper's
@@ -176,13 +242,5 @@ func (b *Buffer) Reset() {
 		b.buf[i] = 0
 	}
 	b.initState()
-	b.writes.Store(0)
-	b.bytesWritten.Store(0)
-	b.dummyBytes.Store(0)
-	b.skipped.Store(0)
-	b.closed.Store(0)
-	b.advancements.Store(0)
-	b.casRetries.Store(0)
-	b.repairs.Store(0)
-	b.blockedWaits.Store(0)
+	b.ctrs.reset()
 }

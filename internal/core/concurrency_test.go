@@ -79,7 +79,8 @@ func checkQuiescentInvariants(t *testing.T, b *Buffer) {
 	for i := range b.metas {
 		m := &b.metas[i]
 		aRnd, aPos := unpackMeta(m.allocated.Load())
-		cRnd, cCnt := unpackMeta(m.confirmed.Load())
+		cRnd, cFull := unpackMeta(m.confirmed.Load())
+		cCnt := b.cBytes(cFull)
 		if aRnd != cRnd {
 			t.Errorf("meta %d: allocated rnd %d != confirmed rnd %d", i, aRnd, cRnd)
 		}

@@ -61,6 +61,7 @@ func (c *Cursor) Next(batch []tracer.Entry) (int, uint64, error) {
 	c.last = c.ar.entries[c.idx-1].Stamp
 	missed := c.missed
 	c.missed = 0
+	c.r.b.ctrs.read(n, missed)
 	return n, missed, nil
 }
 

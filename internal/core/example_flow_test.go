@@ -28,10 +28,14 @@ func (p *stepProc) MaybePreempt(pt tracer.PreemptPoint) {
 func (p *stepProc) DisablePreemption() func() { return func() {} }
 
 // metaState reads the metadata words of the metadata block serving pos.
+// The confirmed count is returned as its byte part (the packed record
+// count bits are stripped).
 func metaState(b *Buffer, pos uint64) (aRnd, aPos, cRnd, cCnt uint32) {
 	m, _ := b.metaOf(pos)
 	aRnd, aPos = unpackMeta(m.allocated.Load())
-	cRnd, cCnt = unpackMeta(m.confirmed.Load())
+	var cFull uint32
+	cRnd, cFull = unpackMeta(m.confirmed.Load())
+	cCnt = b.cBytes(cFull)
 	return
 }
 

@@ -15,8 +15,21 @@ import (
 // Metadata words (§4.1, Fig. 8):
 //
 //	allocated: bits 32..63 rnd, bits 0..31 byte position (FAA target)
-//	confirmed: bits 32..63 rnd, bits 0..31 confirmed byte count
+//	confirmed: bits 32..63 rnd, bits 0..31 packed count field
 //	blockOff:  bits 32..63 rnd, bits 0..31 data block index owned in rnd
+//
+// The confirmed count field is itself split (Buffer.confirmLayout): its
+// low bits.Len(BlockSize) bits hold the confirmed byte count the protocol
+// runs on, and the remaining high bits count the event records confirmed
+// in the round. An event confirmation adds size + Buffer.evInc in the one
+// CAS the fast path already performs, so per-round record counting is
+// free; the count is harvested into the self-observability accumulators
+// by whichever producer retires the round (the step-3 lock CAS), since at
+// that point the word is frozen — a fully confirmed round accepts no
+// further confirms. The split leaves enough event bits for any block size
+// up to 128 KiB because a record occupies at least EventHeaderSize bytes;
+// larger blocks disable in-word counting (evInc = 0) and fall back to a
+// sharded per-write counter.
 //
 // pos maps to metadata and data blocks as
 //

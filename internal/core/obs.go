@@ -1,0 +1,319 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"btrace/internal/obs"
+)
+
+// bufCounters is the buffer's self-observability state: every stat the
+// block lifecycle maintains, backed by obs primitives instead of shared
+// atomics. The record fast path touches no counter at all: per-round
+// record counts ride the confirmation CAS in the packed high bits of the
+// confirmed word (meta.go), the slow path harvests them into the
+// retirement accumulators when a round is locked away, and the write and
+// event-byte totals are derived on demand from those accumulators plus a
+// scan of the live metadata words. The derivation only ever lags the true
+// value mid-flight and is exact at quiescence; eventTotals latches a
+// running maximum so the published series stay monotonic.
+//
+// bufCounters is allocated separately from the Buffer and is what the
+// obs registry's collector closure captures: the Buffer itself stays
+// finalizable, and when it is collected the finalizer folds these
+// counters into the registry's retired totals so process-lifetime series
+// never go backwards. (The metas alias pins the metadata array — not the
+// Buffer — until the fold drops the closure.)
+//
+// All methods are nil-safe: a Buffer opened with Options.DisableStats
+// has a nil bufCounters and skips every update (the uninstrumented
+// baseline BenchmarkObsOverhead measures against).
+type bufCounters struct {
+	// writes is the fallback record counter, used only when the block
+	// size is too large for in-word counting (Buffer.evInc == 0); sharded
+	// by core id so producers on different cores never bounce a line.
+	writes *obs.Counter
+
+	// Round retirement accounting (slow path): every locked round
+	// contributes its harvested record count and BlockSize bytes; every
+	// initialized round contributes one header.
+	retiredEvents *obs.Counter
+	retiredRounds *obs.Counter
+	roundsStarted *obs.Counter
+
+	// Monotonic latches for the derived totals.
+	writesPub atomic.Uint64
+	bytesPub  atomic.Uint64
+
+	// Derivation inputs, fixed at New: the buffer's metadata array (its
+	// backing array is independent of the Buffer allocation) and the
+	// confirmed-word layout.
+	metas      []meta
+	evShift    uint32
+	cntMask    uint32
+	blockSize  uint64
+	headerSize uint64
+
+	// Slow paths (single padded shard each).
+	dummyBytes   *obs.Counter
+	skipped      *obs.Counter
+	closed       *obs.Counter
+	advancements *obs.Counter
+	casRetries   *obs.Counter
+	repairs      *obs.Counter
+	blockedWaits *obs.Counter
+
+	// Lifecycle beyond the write path.
+	resizes        *obs.Counter
+	reclaims       *obs.Counter
+	reclaimedBytes *obs.Counter
+	verifyFailures *obs.Counter
+
+	// Read path.
+	snapshots   *obs.Counter
+	readEntries *obs.Counter
+	readMissed  *obs.Counter
+
+	// capacity mirrors the live capacity so the collector never has to
+	// reach back into the Buffer.
+	capacity obs.Gauge
+
+	// acquired aliases the buffer's per-core acquisition words (their
+	// backing array is independent of the Buffer allocation).
+	acquired []paddedWord
+}
+
+func newBufCounters(cores int) *bufCounters {
+	return &bufCounters{
+		writes:         obs.NewCounter(cores),
+		retiredEvents:  obs.NewCounter(1),
+		retiredRounds:  obs.NewCounter(1),
+		roundsStarted:  obs.NewCounter(1),
+		dummyBytes:     obs.NewCounter(1),
+		skipped:        obs.NewCounter(1),
+		closed:         obs.NewCounter(1),
+		advancements:   obs.NewCounter(1),
+		casRetries:     obs.NewCounter(1),
+		repairs:        obs.NewCounter(1),
+		blockedWaits:   obs.NewCounter(1),
+		resizes:        obs.NewCounter(1),
+		reclaims:       obs.NewCounter(1),
+		reclaimedBytes: obs.NewCounter(1),
+		verifyFailures: obs.NewCounter(1),
+		snapshots:      obs.NewCounter(1),
+		readEntries:    obs.NewCounter(1),
+		readMissed:     obs.NewCounter(1),
+	}
+}
+
+// wroteFallback counts one record on the producing core's private shard.
+// Only reached when the block size defeats in-word counting; the default
+// configurations never take it.
+func (c *bufCounters) wroteFallback(core int) {
+	if c != nil {
+		c.writes.IncAt(core)
+	}
+}
+
+// roundRetired harvests a locked-away round: its packed record count and
+// its BlockSize bytes move into the retirement accumulators. prevRnd 0 is
+// the initState pseudo-round — fully confirmed on paper but never
+// written — and contributes nothing.
+func (c *bufCounters) roundRetired(prevRnd uint32, events uint64) {
+	if c == nil || prevRnd == 0 {
+		return
+	}
+	c.retiredRounds.Inc()
+	if events > 0 {
+		c.retiredEvents.Add(events)
+	}
+}
+
+// roundStarted counts a round lock/initialization (one confirmed header).
+func (c *bufCounters) roundStarted() {
+	if c != nil {
+		c.roundsStarted.Inc()
+	}
+}
+
+// eventTotals derives the record count and event-byte total. Retired
+// accumulators are read before the live scan and the overhead counters
+// after it, so every interleaving with concurrent round retirement
+// under-counts rather than over-counts; the latches then keep the
+// published values monotonic. Exact at quiescence.
+func (c *bufCounters) eventTotals() (writes, eventBytes uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	retEv := c.retiredEvents.Load()
+	retRounds := c.retiredRounds.Load()
+	var liveEv, liveBytes uint64
+	for i := range c.metas {
+		rnd, cnt := unpackMeta(c.metas[i].confirmed.Load())
+		if rnd == 0 {
+			continue // pseudo-round: confirmed by construction, never written
+		}
+		liveBytes += uint64(cnt & c.cntMask)
+		if c.evShift != 0 {
+			liveEv += uint64(cnt >> c.evShift)
+		}
+	}
+	overhead := c.roundsStarted.Load()*c.headerSize + c.dummyBytes.Load()
+	writes = retEv + liveEv + c.writes.Load()
+	if gross := retRounds*c.blockSize + liveBytes; gross > overhead {
+		eventBytes = gross - overhead
+	}
+	return latchMax(&c.writesPub, writes), latchMax(&c.bytesPub, eventBytes)
+}
+
+// latchMax raises cell to at least v and returns the latched maximum.
+func latchMax(cell *atomic.Uint64, v uint64) uint64 {
+	for {
+		old := cell.Load()
+		if v <= old {
+			return old
+		}
+		if cell.CompareAndSwap(old, v) {
+			return v
+		}
+	}
+}
+
+func (c *bufCounters) dummy(n uint32) {
+	if c != nil {
+		c.dummyBytes.Add(uint64(n))
+	}
+}
+
+func (c *bufCounters) skip() {
+	if c != nil {
+		c.skipped.Inc()
+	}
+}
+
+func (c *bufCounters) close() {
+	if c != nil {
+		c.closed.Inc()
+	}
+}
+
+func (c *bufCounters) advance() {
+	if c != nil {
+		c.advancements.Inc()
+	}
+}
+
+func (c *bufCounters) casRetry() {
+	if c != nil {
+		c.casRetries.Inc()
+	}
+}
+
+func (c *bufCounters) repair() {
+	if c != nil {
+		c.repairs.Inc()
+	}
+}
+
+func (c *bufCounters) blockedWait() {
+	if c != nil {
+		c.blockedWaits.Inc()
+	}
+}
+
+// resized records a Resize: the new live capacity and, on shrink, the
+// number of bytes reclaimed.
+func (c *bufCounters) resized(newCapacity, reclaimedBytes int) {
+	if c == nil {
+		return
+	}
+	c.resizes.Inc()
+	c.capacity.Set(int64(newCapacity))
+	if reclaimedBytes > 0 {
+		c.reclaims.Inc()
+		c.reclaimedBytes.Add(uint64(reclaimedBytes))
+	}
+}
+
+func (c *bufCounters) verified(violations int) {
+	if c != nil && violations > 0 {
+		c.verifyFailures.Add(uint64(violations))
+	}
+}
+
+// snapshotted records one read-path snapshot/refill pass.
+func (c *bufCounters) snapshotted() {
+	if c != nil {
+		c.snapshots.Inc()
+	}
+}
+
+// read records a cursor batch delivery.
+func (c *bufCounters) read(n int, missed uint64) {
+	if c == nil {
+		return
+	}
+	c.readEntries.Add(uint64(n))
+	if missed > 0 {
+		c.readMissed.Add(missed)
+	}
+}
+
+func (c *bufCounters) reset() {
+	if c == nil {
+		return
+	}
+	for _, ctr := range []*obs.Counter{
+		c.writes, c.retiredEvents, c.retiredRounds, c.roundsStarted,
+		c.dummyBytes, c.skipped, c.closed,
+		c.advancements, c.casRetries, c.repairs, c.blockedWaits,
+		c.resizes, c.reclaims, c.reclaimedBytes, c.verifyFailures,
+		c.snapshots, c.readEntries, c.readMissed,
+	} {
+		ctr.Reset()
+	}
+	c.writesPub.Store(0)
+	c.bytesPub.Store(0)
+}
+
+// collect emits the buffer's series. It runs under the registry lock and
+// must not reference the Buffer (see type comment).
+func (c *bufCounters) collect(e *obs.Emitter) {
+	writes, eventBytes := c.eventTotals()
+	e.Counter("btrace_core_writes_total", "events recorded through the block fast path", writes)
+	e.Counter("btrace_core_written_bytes_total", "wire bytes recorded", eventBytes)
+	e.Counter("btrace_core_rounds_started_total", "block rounds locked and initialized", c.roundsStarted.Load())
+	e.Counter("btrace_core_rounds_retired_total", "fully confirmed rounds retired by a later lock", c.retiredRounds.Load())
+	e.Counter("btrace_core_dummy_bytes_total", "filler bytes written to close or repair block tails", c.dummyBytes.Load())
+	e.Counter("btrace_core_blocks_skipped_total", "candidate blocks sacrificed to preempted writers", c.skipped.Load())
+	e.Counter("btrace_core_blocks_closed_total", "lagging blocks force-closed during advancement", c.closed.Load())
+	e.Counter("btrace_core_advancements_total", "slow-path block advancements", c.advancements.Load())
+	e.Counter("btrace_core_cas_retries_total", "failed CAS attempts in slow paths", c.casRetries.Load())
+	e.Counter("btrace_core_repairs_total", "stale-round allocations repaired with dummy data", c.repairs.Load())
+	e.Counter("btrace_core_blocked_waits_total", "producer waits in the BlockOnStragglers ablation", c.blockedWaits.Load())
+	e.Counter("btrace_core_resizes_total", "buffer resize operations", c.resizes.Load())
+	e.Counter("btrace_core_reclaims_total", "shrinks that reclaimed memory", c.reclaims.Load())
+	e.Counter("btrace_core_reclaimed_bytes_total", "bytes reclaimed by shrinks", c.reclaimedBytes.Load())
+	e.Counter("btrace_core_verify_failures_total", "invariant violations reported by Verify", c.verifyFailures.Load())
+	e.Counter("btrace_core_snapshots_total", "read-path snapshot/refill passes", c.snapshots.Load())
+	e.Counter("btrace_core_read_entries_total", "events delivered through cursors", c.readEntries.Load())
+	e.Counter("btrace_core_read_missed_total", "events lost to overwrite before a cursor observed them", c.readMissed.Load())
+	var acquired uint64
+	for i := range c.acquired {
+		acquired += c.acquired[i].v.Load()
+	}
+	e.Counter("btrace_core_blocks_acquired_total", "data blocks drawn from the shared pool", acquired)
+	e.Gauge("btrace_core_capacity_bytes", "live buffer capacity", float64(c.capacity.Load()))
+	e.Gauge("btrace_core_buffers", "live tracing buffers", 1)
+}
+
+// registerObs wires the buffer's counters into the process-wide registry
+// and arranges for them to be folded into the retired totals when the
+// Buffer becomes unreachable. The collector closure deliberately captures
+// only the counters, never b, so registration does not defeat the
+// finalizer.
+func (b *Buffer) registerObs() {
+	reg := obs.Default()
+	id := reg.Register(b.ctrs.collect)
+	runtime.SetFinalizer(b, func(*Buffer) { reg.Fold(id) })
+}

@@ -63,6 +63,13 @@ type Options struct {
 	// pattern after a shrink, so tests catch any use-after-reclaim.
 	PoisonOnReclaim bool
 
+	// DisableStats disables every self-observability counter update:
+	// Stats/Repairs/BlockedWaits return zeros and the buffer is not
+	// registered with the obs registry. Benchmark-only — this is the
+	// uninstrumented baseline BenchmarkObsOverhead measures the metric
+	// layer's cost against.
+	DisableStats bool
+
 	// BlockOnStragglers is the §3.4 ablation switch: instead of skipping
 	// a candidate block held by a preempted writer, wait for the writer
 	// to confirm (the availability policy of a global-buffer tracer such

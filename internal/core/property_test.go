@@ -153,7 +153,7 @@ func TestPropertyActiveBlocksBounded(t *testing.T) {
 		open := 0
 		for j := range b.metas {
 			_, cCnt := unpackMeta(b.metas[j].confirmed.Load())
-			if cCnt < bs {
+			if b.cBytes(cCnt) < bs {
 				open++
 			}
 		}

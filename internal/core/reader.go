@@ -185,6 +185,7 @@ func (r *Reader) snapshotInto(ar *arena) {
 	}
 	ar.fixPayloads()
 	sortByStamp(ar.entries)
+	b.ctrs.snapshotted()
 }
 
 // readPosInto recovers the events of global position pos into ar,
@@ -197,7 +198,7 @@ func (r *Reader) readPosInto(ar *arena, pos uint64, ratio int, n uint64) BlockSt
 	cRnd, cCnt := unpackMeta(m.confirmed.Load())
 
 	switch {
-	case cRnd == rr && cCnt == bs:
+	case cRnd == rr && b.cBytes(cCnt) == bs:
 		// Current, filled round: validate via blockOff after the copy.
 		boRnd, boIdx := unpackMeta(m.blockOff.Load())
 		if boRnd != rr {
@@ -219,7 +220,7 @@ func (r *Reader) readPosInto(ar *arena, pos uint64, ratio int, n uint64) BlockSt
 		// byte is confirmed (§4.3).
 		aw := m.allocated.Load()
 		aRnd, aPos := unpackMeta(aw)
-		if aRnd != rr || aPos != cCnt || aPos > bs {
+		if aRnd != rr || aPos != b.cBytes(cCnt) || aPos > bs {
 			return BlockBusy
 		}
 		boRnd, boIdx := unpackMeta(m.blockOff.Load())

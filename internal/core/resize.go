@@ -50,6 +50,7 @@ func (b *Buffer) Resize(newRatio int) error {
 	b.drainPastBoundary(posB)
 
 	if newRatio > oldRatio {
+		b.ctrs.resized(b.Capacity(), 0)
 		return nil
 	}
 
@@ -63,6 +64,7 @@ func (b *Buffer) Resize(newRatio int) error {
 			b.buf[i] = PoisonByte
 		}
 	}
+	b.ctrs.resized(b.Capacity(), b.opt.ActiveBlocks*(oldRatio-newRatio)*b.opt.BlockSize)
 	return nil
 }
 
@@ -122,22 +124,25 @@ func (b *Buffer) consumeCandidate(p tracer.Proc) {
 	ratio, pos := unpackGlobal(g)
 	m, r := b.metaOf(pos)
 
-	cRnd, cCnt := unpackMeta(m.confirmed.Load())
+	cw := m.confirmed.Load()
+	cRnd, cCnt := unpackMeta(cw)
 	if cRnd >= r {
 		return
 	}
-	if cCnt < bs {
+	if b.cBytes(cCnt) < bs {
 		b.closeRound(m, cRnd)
-		cRnd, cCnt = unpackMeta(m.confirmed.Load())
-		if cRnd >= r || cCnt < bs {
-			b.skipped.Add(1)
+		cw = m.confirmed.Load()
+		cRnd, cCnt = unpackMeta(cw)
+		if cRnd >= r || b.cBytes(cCnt) < bs {
+			b.ctrs.skip()
 			return
 		}
 	}
-	if !m.confirmed.CompareAndSwap(packMeta(cRnd, bs), packMeta(r, 0)) {
-		b.casRetries.Add(1)
+	if !m.confirmed.CompareAndSwap(cw, packMeta(r, 0)) {
+		b.ctrs.casRetry()
 		return
 	}
+	b.ctrs.roundRetired(cRnd, uint64(b.cEvents(cCnt)))
 	idx := b.dataIdx(pos, ratio)
 	m.blockOff.Store(packMeta(r, idx))
 	tracer.EncodeBlockHeader(b.block(idx), pos)
@@ -146,9 +151,10 @@ func (b *Buffer) consumeCandidate(p tracer.Proc) {
 		if m.allocated.CompareAndSwap(a, packMeta(r, headerSize)) {
 			break
 		}
-		b.casRetries.Add(1)
+		b.ctrs.casRetry()
 	}
-	b.confirm(m, r, headerSize, "resize-header")
+	b.ctrs.roundStarted()
+	b.confirm(m, r, headerSize, 0, "resize-header")
 	b.closeRound(m, r) // sacrifice
 	_ = p
 }

@@ -55,7 +55,8 @@ func (b *Buffer) Verify() VerifyReport {
 	for i := range b.metas {
 		m := &b.metas[i]
 		aRnd, aPos := unpackMeta(m.allocated.Load())
-		cRnd, cCnt := unpackMeta(m.confirmed.Load())
+		cRnd, cFull := unpackMeta(m.confirmed.Load())
+		cCnt := b.cBytes(cFull)
 		if cCnt > bs {
 			rep.Violations = append(rep.Violations,
 				fmt.Sprintf("meta %d: confirmed count %d exceeds block size %d (invariant 2)", i, cCnt, bs))
@@ -119,5 +120,6 @@ func (b *Buffer) Verify() VerifyReport {
 		}
 		perThread[e.TID] = e.Stamp
 	}
+	b.ctrs.verified(len(rep.Violations))
 	return rep
 }

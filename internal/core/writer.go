@@ -53,9 +53,14 @@ func (b *Buffer) Write(p tracer.Proc, e *tracer.Entry) error {
 				return err
 			}
 			p.MaybePreempt(tracer.PreemptBeforeConfirm)
-			b.confirm(m, aRnd, size, "event")
-			b.writes.Add(1)
-			b.bytesWritten.Add(uint64(size))
+			// The record count piggybacks on the confirmation CAS via
+			// evInc (meta.go), so the fast path maintains no counter of
+			// its own; blocks too large for the bit budget fall back to a
+			// core-sharded add.
+			b.confirm(m, aRnd, size, b.evInc, "event")
+			if b.evInc == 0 {
+				b.ctrs.wroteFallback(core)
+			}
 			return nil
 
 		case aRnd == r && aPos < bs:
@@ -79,7 +84,7 @@ func (b *Buffer) Write(p tracer.Proc, e *tracer.Entry) error {
 					n = bs
 				}
 				b.fillTail(m, aRnd, aPos, n, "repair")
-				b.repairs.Add(1)
+				b.ctrs.repair()
 			}
 			b.advance(p, core, lw)
 		}
@@ -87,11 +92,14 @@ func (b *Buffer) Write(p tracer.Proc, e *tracer.Entry) error {
 }
 
 // confirm adds n confirmed bytes to round rnd of m, verifying the round
-// matches and the count cannot exceed BlockSize. Both violations indicate
-// a protocol bug (a byte range confirmed twice or a round completing while
-// bytes were outstanding); they are unreachable if the accounting is
-// correct, and panicking here keeps corruption from propagating silently.
-func (b *Buffer) confirm(m *meta, rnd, n uint32, site string) {
+// matches and the count cannot exceed BlockSize. ev is added on top of the
+// byte delta — b.evInc to count an event record in the packed high bits of
+// the count field, 0 for filler (headers, dummies). The violations checked
+// here indicate a protocol bug (a byte range confirmed twice or a round
+// completing while bytes were outstanding); they are unreachable if the
+// accounting is correct, and panicking keeps corruption from propagating
+// silently.
+func (b *Buffer) confirm(m *meta, rnd, n, ev uint32, site string) {
 	bs := uint32(b.opt.BlockSize)
 	for {
 		c := m.confirmed.Load()
@@ -99,13 +107,13 @@ func (b *Buffer) confirm(m *meta, rnd, n uint32, site string) {
 		if cRnd != rnd {
 			panic(fmt.Sprintf("core: confirm(%s): round moved %d -> %d with %d bytes outstanding", site, rnd, cRnd, n))
 		}
-		if cCnt+n > bs {
-			panic(fmt.Sprintf("core: confirm(%s): over-confirmation %d+%d > %d in round %d", site, cCnt, n, bs, rnd))
+		if b.cBytes(cCnt)+n > bs {
+			panic(fmt.Sprintf("core: confirm(%s): over-confirmation %d+%d > %d in round %d", site, b.cBytes(cCnt), n, bs, rnd))
 		}
-		if m.confirmed.CompareAndSwap(c, packMeta(rnd, cCnt+n)) {
+		if m.confirmed.CompareAndSwap(c, packMeta(rnd, cCnt+n+ev)) {
 			return
 		}
-		b.casRetries.Add(1)
+		b.ctrs.casRetry()
 	}
 }
 
@@ -117,8 +125,8 @@ func (b *Buffer) fillTail(m *meta, rnd, from, to uint32, site string) {
 		blk := b.block(boIdx)
 		tracer.EncodeDummy(blk[from:to], int(to-from))
 	}
-	b.dummyBytes.Add(uint64(to - from))
-	b.confirm(m, rnd, to-from, site)
+	b.ctrs.dummy(to - from)
+	b.confirm(m, rnd, to-from, 0, site)
 }
 
 // advance moves core's assignment to a fresh data block (slow path, §4.2
@@ -128,7 +136,7 @@ func (b *Buffer) fillTail(m *meta, rnd, from, to uint32, site string) {
 // fast path with the new assignment.
 func (b *Buffer) advance(p tracer.Proc, core int, prevLocal uint64) {
 	bs := uint32(b.opt.BlockSize)
-	b.advancements.Add(1)
+	b.ctrs.advance()
 	for fails := 0; ; fails++ {
 		if b.locals[core].v.Load() != prevLocal {
 			return // someone else advanced this core
@@ -151,34 +159,37 @@ func (b *Buffer) advance(p tracer.Proc, core int, prevLocal uint64) {
 		// shares this metadata block. If its round is still open, close
 		// it (§3.2) so newer traces cannot land in soon-overwritten
 		// space, then double-check for a preempted writer.
-		cRnd, cCnt := unpackMeta(m.confirmed.Load())
+		cw := m.confirmed.Load()
+		cRnd, cCnt := unpackMeta(cw)
 		if cRnd >= r {
 			// A wrap-around producer already consumed this candidate.
-			b.casRetries.Add(1)
+			b.ctrs.casRetry()
 			continue
 		}
-		if cCnt < bs {
+		if b.cBytes(cCnt) < bs {
 			b.closeRound(m, cRnd)
-			cRnd, cCnt = unpackMeta(m.confirmed.Load())
+			cw = m.confirmed.Load()
+			cRnd, cCnt = unpackMeta(cw)
 			if cRnd >= r {
-				b.casRetries.Add(1)
+				b.ctrs.casRetry()
 				continue
 			}
-			if cCnt < bs {
+			if b.cBytes(cCnt) < bs {
 				if b.opt.BlockOnStragglers {
 					// Ablation mode: wait for the preempted writer the
 					// way a blocking global-buffer tracer would.
-					b.blockedWaits.Add(1)
+					b.ctrs.blockedWait()
 					for {
 						cRnd2, cCnt2 := unpackMeta(m.confirmed.Load())
-						if cRnd2 != cRnd || cCnt2 >= bs {
+						if cRnd2 != cRnd || b.cBytes(cCnt2) >= bs {
 							break
 						}
 						runtime.Gosched()
 					}
-					cRnd, cCnt = unpackMeta(m.confirmed.Load())
-					if cRnd >= r || cCnt < bs {
-						b.casRetries.Add(1)
+					cw = m.confirmed.Load()
+					cRnd, cCnt = unpackMeta(cw)
+					if cRnd >= r || b.cBytes(cCnt) < bs {
+						b.ctrs.casRetry()
 						continue
 					}
 				} else {
@@ -187,19 +198,25 @@ func (b *Buffer) advance(p tracer.Proc, core int, prevLocal uint64) {
 					// blocking (§3.4), sacrificing one block for
 					// availability.
 					b.markSkip(pos, ratio, m, cRnd)
-					b.skipped.Add(1)
+					b.ctrs.skip()
 					continue
 				}
 			}
 		}
 
 		// Step 3: lock the candidate by CASing confirmed from the fully
-		// confirmed old round to (r, 0). Failure means a wrap-around
-		// producer locked it first.
-		if !m.confirmed.CompareAndSwap(packMeta(cRnd, bs), packMeta(r, 0)) {
-			b.casRetries.Add(1)
+		// confirmed old round to (r, 0). The expected value is the word
+		// loaded above: once the byte count reaches BlockSize no confirm
+		// can touch the word again, so it is frozen until some producer's
+		// lock CAS replaces it. Failure means a wrap-around producer
+		// locked it first. Winning the CAS retires round cRnd: its packed
+		// record count is harvested into the retirement accumulators
+		// before the bits vanish.
+		if !m.confirmed.CompareAndSwap(cw, packMeta(r, 0)) {
+			b.ctrs.casRetry()
 			continue
 		}
+		b.ctrs.roundRetired(cRnd, uint64(b.cEvents(cCnt)))
 
 		// Step 4: record the round's data block and write its header.
 		idx := b.dataIdx(pos, ratio)
@@ -216,12 +233,15 @@ func (b *Buffer) advance(p tracer.Proc, core int, prevLocal uint64) {
 			if m.allocated.CompareAndSwap(a, packMeta(r, headerSize)) {
 				break
 			}
-			b.casRetries.Add(1)
+			b.ctrs.casRetry()
 		}
 
 		// Step 6: confirm the header, making the block consumable once
-		// the remaining bytes are confirmed.
-		b.confirm(m, r, headerSize, "header")
+		// the remaining bytes are confirmed. roundStarted is counted
+		// first so the derived event-byte total only ever lags (never
+		// overshoots) the true value.
+		b.ctrs.roundStarted()
+		b.confirm(m, r, headerSize, 0, "header")
 
 		// The block is now assigned but not yet published to the core: a
 		// preemption here is exactly the "assigned but not prepared"
@@ -255,10 +275,10 @@ func (b *Buffer) closeRound(m *meta, rndOld uint32) {
 		}
 		if m.allocated.CompareAndSwap(a, packMeta(rndOld, bs)) {
 			b.fillTail(m, rndOld, aPos, bs, "close")
-			b.closed.Add(1)
+			b.ctrs.close()
 			return
 		}
-		b.casRetries.Add(1)
+		b.ctrs.casRetry()
 	}
 }
 

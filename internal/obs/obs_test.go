@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterShardRouting(t *testing.T) {
+	c := NewCounter(5) // rounds up to 8
+	if got := len(c.shards); got != 8 {
+		t.Fatalf("shards = %d, want 8", got)
+	}
+	c.Inc()
+	c.Add(4)
+	c.IncAt(3)
+	c.AddAt(11, 10) // 11 & 7 == 3
+	if got := c.Load(); got != 16 {
+		t.Fatalf("Load = %d, want 16", got)
+	}
+	if got := c.shards[3].v.Load(); got != 11 {
+		t.Fatalf("shard 3 = %d, want 11 (IncAt + wrapped AddAt)", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("Load after Reset = %d, want 0", got)
+	}
+}
+
+// TestCounterConcurrent hammers one counter from GOMAXPROCS goroutines
+// through both the sharded and the unsharded entry points; run under
+// -race this is also the data-race check the metrics contract requires.
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter(runtime.GOMAXPROCS(0))
+	g := NewCounter(1)
+	const perG = 10000
+	n := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.IncAt(shard)
+				c.AddAt(shard, 2)
+				g.Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got, want := c.Load(), uint64(3*perG*n); got != want {
+		t.Fatalf("sharded Load = %d, want %d", got, want)
+	}
+	if got, want := g.Load(), uint64(perG*n); got != want {
+		t.Fatalf("unsharded Load = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{0, 10, 11, 100, 999, 1000, 1001, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 2, 2} // le=10: {0,10}; le=100: {11,100}; le=1000: {999,1000}; +Inf: {1001, 2^40}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count)
+	}
+	if wantSum := uint64(0 + 10 + 11 + 100 + 999 + 1000 + 1001 + 1<<40); s.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	for _, bounds := range [][]uint64{nil, {}, {5, 5}, {10, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestHistogramSnapshotConsistency takes snapshots while observers are
+// mid-flight and checks the documented invariants: Count always equals
+// the sum of the buckets, Count never decreases across snapshots, and
+// the quiescent final state is exact.
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	h := NewHistogram(SizeBounds)
+	const perG = 5000
+	n := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(seed + uint64(j)%4096)
+			}
+		}(uint64(i))
+	}
+	go func() { wg.Wait(); close(stop) }()
+
+	var lastCount uint64
+	for snaps := 0; ; snaps++ {
+		s := h.Snapshot()
+		var sum uint64
+		for _, c := range s.Counts {
+			sum += c
+		}
+		if sum != s.Count {
+			t.Fatalf("snapshot %d: Count %d != bucket sum %d", snaps, s.Count, sum)
+		}
+		if s.Count < lastCount {
+			t.Fatalf("snapshot %d: Count went backwards %d -> %d", snaps, lastCount, s.Count)
+		}
+		lastCount = s.Count
+		select {
+		case <-stop:
+			final := h.Snapshot()
+			if want := uint64(perG * n); final.Count != want {
+				t.Fatalf("final Count = %d, want %d", final.Count, want)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestRegistryMergeAcrossSources(t *testing.T) {
+	r := NewRegistry()
+	mk := func(writes uint64, depth float64) CollectFunc {
+		return func(e *Emitter) {
+			e.Counter("x_writes_total", "writes", writes)
+			e.Gauge("x_depth", "depth", depth)
+		}
+	}
+	r.Register(mk(10, 1))
+	r.Register(mk(32, 2))
+	s := r.Snapshot()
+	if got := s.Value("x_writes_total"); got != 42 {
+		t.Fatalf("merged counter = %v, want 42", got)
+	}
+	if got := s.Value("x_depth"); got != 3 {
+		t.Fatalf("merged gauge = %v, want 3", got)
+	}
+}
+
+func TestRegistryFoldRetiresCountersDropsGauges(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram([]uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	id := r.Register(func(e *Emitter) {
+		e.Counter("y_total", "", 7)
+		e.Gauge("y_depth", "", 3)
+		e.Histogram("y_ns", "", h.Snapshot())
+	})
+	r.Fold(id)
+	s := r.Snapshot()
+	if got := s.Value("y_total"); got != 7 {
+		t.Fatalf("retired counter = %v, want 7", got)
+	}
+	if _, ok := s.Get("y_depth"); ok {
+		t.Fatal("gauge survived Fold")
+	}
+	hs, ok := s.Get("y_ns")
+	if !ok || hs.Hist.Count != 2 || hs.Hist.Sum != 55 {
+		t.Fatalf("retired histogram = %+v, ok=%v", hs.Hist, ok)
+	}
+
+	// A second live instance merges on top of the retired totals.
+	r.Register(func(e *Emitter) {
+		e.Counter("y_total", "", 5)
+		e.Histogram("y_ns", "", h.Snapshot())
+	})
+	s = r.Snapshot()
+	if got := s.Value("y_total"); got != 12 {
+		t.Fatalf("retired+live counter = %v, want 12", got)
+	}
+	hs, _ = s.Get("y_ns")
+	if hs.Hist.Count != 4 {
+		t.Fatalf("retired+live histogram count = %d, want 4", hs.Hist.Count)
+	}
+	// Folding must not corrupt the retired accumulator across snapshots.
+	if got := r.Snapshot().Value("y_total"); got != 12 {
+		t.Fatalf("repeat snapshot counter = %v, want 12", got)
+	}
+}
+
+func TestUnregisterDropsContribution(t *testing.T) {
+	r := NewRegistry()
+	id := r.Register(func(e *Emitter) { e.Counter("z_total", "", 9) })
+	r.Unregister(id)
+	if _, ok := r.Snapshot().Get("z_total"); ok {
+		t.Fatal("unregistered source still visible")
+	}
+}
+
+// TestPrometheusRendering renders a snapshot and validates it with a
+// strict line-level parser: every registered series appears, every
+// sample line is preceded by its TYPE, histogram buckets are cumulative
+// and closed by +Inf/_sum/_count.
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram([]uint64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+	r.Register(func(e *Emitter) {
+		e.Counter("demo_writes_total", "number of writes", 42)
+		e.Gauge("demo_capacity_bytes", "live capacity", 4096)
+		e.Histogram("demo_append_ns", "append latency", h.Snapshot())
+	})
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	series := ParsePrometheusText(t, bufio.NewScanner(resp.Body))
+	for name, want := range map[string]float64{
+		"demo_writes_total":    42,
+		"demo_capacity_bytes":  4096,
+		"demo_append_ns_count": 3,
+		"demo_append_ns_sum":   5550,
+	} {
+		got, ok := series[name]
+		if !ok {
+			t.Fatalf("series %s missing (got %v)", name, series)
+		}
+		if got != want {
+			t.Fatalf("series %s = %v, want %v", name, got, want)
+		}
+	}
+	if got := series[`demo_append_ns_bucket{le="+Inf"}`]; got != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3", got)
+	}
+	if got := series[`demo_append_ns_bucket{le="1000"}`]; got != 2 {
+		t.Fatalf("le=1000 cumulative bucket = %v, want 2", got)
+	}
+
+	// Every sample in the snapshot must be rendered.
+	for _, s := range r.Snapshot().Samples {
+		probe := s.Name
+		if s.Kind == KindHistogram {
+			probe = s.Name + "_count"
+		}
+		if _, ok := series[probe]; !ok {
+			t.Fatalf("registered series %s not rendered", s.Name)
+		}
+	}
+}
+
+// ParsePrometheusText is the shared test helper validating Prometheus
+// text exposition: it fails the test on any malformed line and returns
+// the parsed samples keyed by "name" or "name{labels}".
+func ParsePrometheusText(t *testing.T, sc *bufio.Scanner) map[string]float64 {
+	t.Helper()
+	series := make(map[string]float64)
+	typed := make(map[string]string)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown type in %q", line)
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		var val float64
+		if _, err := fmt.Sscanf(valStr, "%g", &val); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		base := key
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		root := base
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if cut, ok := strings.CutSuffix(base, suffix); ok {
+				if _, isHist := typed[cut]; isHist {
+					root = cut
+					break
+				}
+			}
+		}
+		if _, ok := typed[root]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE", line)
+		}
+		series[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return series
+}

@@ -47,6 +47,7 @@ func (st *Store) Compact() (int, error) {
 		st.stats.Compactions++
 		st.stats.SegmentsCompacted += uint64(merged)
 	}
+	st.publishObsLocked()
 	return merged, nil
 }
 

@@ -1,0 +1,137 @@
+package store
+
+import (
+	"runtime"
+	"time"
+
+	"btrace/internal/obs"
+)
+
+// storeObs mirrors the store's Stats (plus size/latency histograms and
+// instantaneous gauges) into obs primitives. The store keeps its stats
+// as a plain struct under st.mu; each public mutating operation folds
+// the accumulated deltas into these atomic counters on its way out, so
+// the /metrics scraper never needs st.mu and a collection pass can never
+// deadlock against Close.
+//
+// storeObs is allocated separately from the Store and is what the
+// registry's collector closure captures, keeping the Store finalizable.
+type storeObs struct {
+	appends       *obs.Counter
+	bytesAppended *obs.Counter
+	seals         *obs.Counter
+
+	segmentsDeleted *obs.Counter
+	eventsRetired   *obs.Counter
+
+	compactions       *obs.Counter
+	segmentsCompacted *obs.Counter
+
+	recoveredTruncations *obs.Counter
+	tornBytesDropped     *obs.Counter
+	leftoverSegments     *obs.Counter
+	headersRebuilt       *obs.Counter
+
+	// appendNs and fsyncNs are the store's two latencies of record: how
+	// long an append batch holds st.mu, and how long each fsync stalls.
+	appendNs *obs.Histogram
+	fsyncNs  *obs.Histogram
+	// batchEvents is the AppendEntries batch-size distribution.
+	batchEvents *obs.Histogram
+
+	segments  obs.Gauge
+	sizeBytes obs.Gauge
+	events    obs.Gauge
+}
+
+func newStoreObs() *storeObs {
+	return &storeObs{
+		appends:              obs.NewCounter(1),
+		bytesAppended:        obs.NewCounter(1),
+		seals:                obs.NewCounter(1),
+		segmentsDeleted:      obs.NewCounter(1),
+		eventsRetired:        obs.NewCounter(1),
+		compactions:          obs.NewCounter(1),
+		segmentsCompacted:    obs.NewCounter(1),
+		recoveredTruncations: obs.NewCounter(1),
+		tornBytesDropped:     obs.NewCounter(1),
+		leftoverSegments:     obs.NewCounter(1),
+		headersRebuilt:       obs.NewCounter(1),
+		appendNs:             obs.NewHistogram(obs.LatencyBounds),
+		fsyncNs:              obs.NewHistogram(obs.LatencyBounds),
+		batchEvents:          obs.NewHistogram(obs.SizeBounds),
+	}
+}
+
+// collect emits the store's series. It runs under the registry lock and
+// must not reference the Store (see type comment).
+func (o *storeObs) collect(e *obs.Emitter) {
+	e.Counter("btrace_store_appends_total", "events appended", o.appends.Load())
+	e.Counter("btrace_store_appended_bytes_total", "frame bytes appended", o.bytesAppended.Load())
+	e.Counter("btrace_store_seals_total", "segments sealed", o.seals.Load())
+	e.Counter("btrace_store_segments_deleted_total", "segments removed by retention", o.segmentsDeleted.Load())
+	e.Counter("btrace_store_events_retired_total", "events removed by retention", o.eventsRetired.Load())
+	e.Counter("btrace_store_compactions_total", "compaction passes that merged segments", o.compactions.Load())
+	e.Counter("btrace_store_segments_compacted_total", "source segments consumed by compaction", o.segmentsCompacted.Load())
+	e.Counter("btrace_store_recovered_truncations_total", "torn segment tails truncated at open", o.recoveredTruncations.Load())
+	e.Counter("btrace_store_torn_bytes_dropped_total", "bytes cut by recovery truncations", o.tornBytesDropped.Load())
+	e.Counter("btrace_store_leftover_segments_total", "interrupted-compaction leftovers deleted at open", o.leftoverSegments.Load())
+	e.Counter("btrace_store_headers_rebuilt_total", "corrupt headers rebuilt at open", o.headersRebuilt.Load())
+	e.Histogram("btrace_store_append_ns", "append batch latency under the store lock", o.appendNs.Snapshot())
+	e.Histogram("btrace_store_fsync_ns", "fsync latency", o.fsyncNs.Snapshot())
+	e.Histogram("btrace_store_batch_events", "events per append batch", o.batchEvents.Snapshot())
+	e.Gauge("btrace_store_segments", "live segments", float64(o.segments.Load()))
+	e.Gauge("btrace_store_size_bytes", "total on-disk size", float64(o.sizeBytes.Load()))
+	e.Gauge("btrace_store_events", "events currently held", float64(o.events.Load()))
+	e.Gauge("btrace_store_stores", "open stores", 1)
+}
+
+// publishObsLocked folds the stat deltas accumulated since the last
+// publish into the counters and refreshes the gauges from the live
+// segment list. Called with st.mu held, once per public mutating
+// operation — never per event.
+func (st *Store) publishObsLocked() {
+	o := st.obs
+	cur, last := st.stats, st.published
+	o.appends.Add(cur.Appends - last.Appends)
+	o.bytesAppended.Add(cur.BytesAppended - last.BytesAppended)
+	o.seals.Add(cur.Seals - last.Seals)
+	o.segmentsDeleted.Add(cur.SegmentsDeleted - last.SegmentsDeleted)
+	o.eventsRetired.Add(cur.EventsRetired - last.EventsRetired)
+	o.compactions.Add(cur.Compactions - last.Compactions)
+	o.segmentsCompacted.Add(cur.SegmentsCompacted - last.SegmentsCompacted)
+	o.recoveredTruncations.Add(cur.RecoveredTruncations - last.RecoveredTruncations)
+	o.tornBytesDropped.Add(cur.TornBytesDropped - last.TornBytesDropped)
+	o.leftoverSegments.Add(cur.LeftoverSegments - last.LeftoverSegments)
+	o.headersRebuilt.Add(cur.HeadersRebuilt - last.HeadersRebuilt)
+	st.published = cur
+
+	var size int64
+	var events uint64
+	for _, s := range st.segs {
+		size += s.size
+		events += s.meta.count
+	}
+	o.segments.Set(int64(len(st.segs)))
+	o.sizeBytes.Set(size)
+	o.events.Set(int64(events))
+}
+
+// syncActive fsyncs the active segment, timing the stall.
+func (st *Store) syncActive() error {
+	start := time.Now()
+	err := st.active.Sync()
+	st.obs.fsyncNs.Observe(uint64(time.Since(start)))
+	return err
+}
+
+// registerObs wires the store's counters into the process-wide registry.
+// Close folds them into the retired totals; the finalizer is the backstop
+// for stores that are dropped without Close (Fold on an already-folded id
+// is a no-op). The collector closure captures only the counters, never
+// st, so registration does not defeat the finalizer.
+func (st *Store) registerObs() {
+	reg := obs.Default()
+	st.obsID = reg.Register(st.obs.collect)
+	runtime.SetFinalizer(st, func(s *Store) { reg.Fold(s.obsID) })
+}

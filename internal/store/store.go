@@ -28,7 +28,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"btrace/internal/obs"
 	"btrace/internal/tracer"
 )
 
@@ -95,6 +97,11 @@ type Store struct {
 	closed  bool
 	encBuf  []byte // reusable frame-encoding buffer
 	stats   Stats
+	// published is the stats snapshot last folded into obs; public
+	// mutating operations publish the delta on exit (see obs.go).
+	published Stats
+	obs       *storeObs
+	obsID     uint64
 	// retiredEvents / maxRetiredSeq feed the cursors' missed accounting
 	// when retention laps a reader.
 	retiredEvents uint64
@@ -112,7 +119,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	st := &Store{dir: dir, cfg: cfg, nextSeq: 1}
+	st := &Store{dir: dir, cfg: cfg, nextSeq: 1, obs: newStoreObs()}
 	var err error
 	if st.lock, err = lockDir(dir); err != nil {
 		return nil, err
@@ -151,6 +158,8 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if s := st.lastSeg(); s != nil && s.coversThrough >= st.nextSeq {
 		st.nextSeq = s.coversThrough + 1
 	}
+	st.publishObsLocked() // surface the recovery counters
+	st.registerObs()
 	return st, nil
 }
 
@@ -284,7 +293,7 @@ func (st *Store) activeSeg() *segment {
 func (st *Store) Append(e *tracer.Entry) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.appendLocked([]tracer.Entry{*e})
+	return st.appendTimedLocked([]tracer.Entry{*e})
 }
 
 // AppendEntries stages a batch of events with one write per segment
@@ -295,7 +304,18 @@ func (st *Store) AppendEntries(es []tracer.Entry) error {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.appendLocked(es)
+	return st.appendTimedLocked(es)
+}
+
+// appendTimedLocked wraps appendLocked with the append-latency and
+// batch-size observations and the per-operation obs publish.
+func (st *Store) appendTimedLocked(es []tracer.Entry) error {
+	start := time.Now()
+	err := st.appendLocked(es)
+	st.obs.appendNs.Observe(uint64(time.Since(start)))
+	st.obs.batchEvents.Observe(uint64(len(es)))
+	st.publishObsLocked()
+	return err
 }
 
 func (st *Store) appendLocked(es []tracer.Entry) error {
@@ -356,7 +376,7 @@ func (st *Store) appendLocked(es []tracer.Entry) error {
 		}
 		seg.size = off
 		if st.cfg.SyncEveryAppend {
-			if err := st.active.Sync(); err != nil {
+			if err := st.syncActive(); err != nil {
 				return err
 			}
 		}
@@ -402,7 +422,7 @@ func (st *Store) sealActiveLocked() error {
 	if _, err := st.active.WriteAt(hdr, 0); err != nil {
 		return err
 	}
-	if err := st.active.Sync(); err != nil {
+	if err := st.syncActive(); err != nil {
 		return err
 	}
 	if err := st.active.Close(); err != nil {
@@ -463,7 +483,7 @@ func (st *Store) Sync() error {
 		return ErrClosed
 	}
 	if st.active != nil {
-		return st.active.Sync()
+		return st.syncActive()
 	}
 	return nil
 }
@@ -476,7 +496,9 @@ func (st *Store) Seal() error {
 	if st.closed {
 		return ErrClosed
 	}
-	return st.sealActiveLocked()
+	err := st.sealActiveLocked()
+	st.publishObsLocked()
+	return err
 }
 
 // Close seals the active segment and closes the store. Cursors opened
@@ -493,6 +515,11 @@ func (st *Store) Close() error {
 		st.lock = nil
 	}
 	st.closed = true
+	// Publish the final deltas, then retire this store's counters into
+	// the registry's folded totals (the collector never takes st.mu, so
+	// folding under it cannot deadlock).
+	st.publishObsLocked()
+	obs.Default().Fold(st.obsID)
 	return err
 }
 
@@ -516,8 +543,12 @@ func (st *Store) Reset() error {
 	}
 	st.segs = nil
 	st.nextSeq = 1
+	// The obs counters stay put — process-lifetime series are monotonic
+	// even across a store Reset; only the publish baseline restarts.
 	st.stats = Stats{}
+	st.published = Stats{}
 	st.retiredEvents, st.maxRetiredSeq = 0, 0
+	st.publishObsLocked()
 	return firstErr
 }
 

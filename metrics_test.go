@@ -1,0 +1,79 @@
+package btrace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetricsSnapshot checks the public metrics API: recording traffic
+// moves the core series, and the Prometheus rendering exposes them.
+func TestMetricsSnapshot(t *testing.T) {
+	before := Metrics().Value("btrace_core_writes_total")
+
+	tr, err := Open(Config{Cores: 2, BufferBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tr.Writer(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 100
+	for i := 0; i < writes; i++ {
+		if err := w.Write(Event{TS: uint64(i), Category: 1, Level: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := Metrics()
+	if got := s.Value("btrace_core_writes_total") - before; got < writes {
+		t.Fatalf("btrace_core_writes_total moved by %v, want >= %d", got, writes)
+	}
+	if _, ok := s.Get("btrace_core_capacity_bytes"); !ok {
+		t.Fatal("btrace_core_capacity_bytes missing")
+	}
+	if st := tr.Stats(); float64(st.Writes) > s.Value("btrace_core_writes_total") {
+		t.Fatalf("tracer stats (%d writes) exceed the process-wide series (%v)",
+			st.Writes, s.Value("btrace_core_writes_total"))
+	}
+
+	var sb strings.Builder
+	if err := WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE btrace_core_writes_total counter",
+		"btrace_core_capacity_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteMetrics output missing %q", want)
+		}
+	}
+}
+
+// TestMetricsDisableStats checks the opt-out: a tracer opened with
+// Config.DisableStats registers nothing, so recording traffic through it
+// moves no process-wide series.
+func TestMetricsDisableStats(t *testing.T) {
+	tr, err := Open(Config{Cores: 2, BufferBytes: 1 << 20, DisableStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Metrics().Value("btrace_core_writes_total")
+	w, err := tr.Writer(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := w.Write(Event{TS: uint64(i), Category: 1, Level: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := Metrics().Value("btrace_core_writes_total") - before; got != 0 {
+		t.Fatalf("DisableStats tracer moved btrace_core_writes_total by %v", got)
+	}
+	if st := tr.Stats(); st.Writes != 0 {
+		t.Fatalf("DisableStats tracer reports %d writes in Stats", st.Writes)
+	}
+}
