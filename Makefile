@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race tier1 chaos bench benchdiff
+.PHONY: all build fmt vet test race race-stress tier1 chaos bench benchdiff
 
 all: tier1
 
@@ -27,6 +27,12 @@ test:
 # injector and collector pipeline all exercise real concurrency).
 race:
 	$(GO) test -race ./internal/...
+
+# The store's parallel-cursor stress test under the race detector:
+# concurrent appenders, short- and long-lived parallel cursors and
+# retention all racing mid-scan. -short keeps a double run CI-sized.
+race-stress:
+	$(GO) test -race -short -count 2 -run 'TestStoreParallelStress' ./internal/store
 
 tier1: build fmt vet test race
 

@@ -30,6 +30,7 @@ type Benchmark struct {
 	Name        string  `json:"name"`
 	Package     string  `json:"package,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
@@ -170,6 +171,22 @@ func diff(file string, oldF, newF *File, maxRegress, minNs float64, zeroRes []*r
 		}
 		fmt.Printf("%s: %s %+.1f%% ns/op (%.0f -> %.0f) [%s]\n",
 			file, name, change, ob.NsPerOp, nb.NsPerOp, verdict)
+		// Throughput gate: benchmarks that report MB/s (the store append
+		// and query paths) also fail when the rate drops past the
+		// envelope. Derived from the same timing as ns/op, so the same
+		// noise floor applies.
+		if ob.MBPerSec > 0 && nb.MBPerSec > 0 && ob.NsPerOp >= minNs {
+			drop := (ob.MBPerSec - nb.MBPerSec) / ob.MBPerSec * 100
+			tv := "ok"
+			if drop > maxRegress {
+				tv = "REGRESSION"
+				failures = append(failures,
+					fmt.Sprintf("%s: %s throughput dropped %.1f%% (%.1f -> %.1f MB/s), limit %.0f%%",
+						file, name, drop, ob.MBPerSec, nb.MBPerSec, maxRegress))
+			}
+			fmt.Printf("%s: %s %+.1f%% MB/s (%.1f -> %.1f) [%s]\n",
+				file, name, -drop, ob.MBPerSec, nb.MBPerSec, tv)
+		}
 	}
 	for _, ob := range oldF.Benchmarks {
 		found := false

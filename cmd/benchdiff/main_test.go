@@ -62,6 +62,43 @@ func TestDiffMinNsExemptsNoisyBenchmarks(t *testing.T) {
 	}
 }
 
+func benchMB(name string, ns, mb float64) Benchmark {
+	return Benchmark{Name: name, NsPerOp: ns, MBPerSec: mb}
+}
+
+func TestDiffFlagsThroughputDrop(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{benchMB("BenchmarkStoreAppendConcurrent", 30000, 900)}}
+	newF := &File{Benchmarks: []Benchmark{benchMB("BenchmarkStoreAppendConcurrent", 31000, 500)}}
+	f := diff("f.json", oldF, newF, 30, 1000, nil)
+	if len(f) != 1 || !strings.Contains(f[0], "throughput dropped 44.4%") {
+		t.Fatalf("want one throughput failure, got %v", f)
+	}
+}
+
+func TestDiffThroughputWithinEnvelopePasses(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{benchMB("BenchmarkStoreAppendConcurrent", 30000, 900)}}
+	newF := &File{Benchmarks: []Benchmark{benchMB("BenchmarkStoreAppendConcurrent", 32000, 800)}}
+	if f := diff("f.json", oldF, newF, 30, 1000, nil); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+}
+
+func TestDiffThroughputGateSkipsMissingAndNoisy(t *testing.T) {
+	// A baseline without MB/s (or below the noise floor) never triggers
+	// the throughput gate, even on a large drop.
+	oldF := &File{Benchmarks: []Benchmark{
+		bench("BenchmarkNoRate", 5000, 0),
+		benchMB("BenchmarkNoisy", 50, 900),
+	}}
+	newF := &File{Benchmarks: []Benchmark{
+		benchMB("BenchmarkNoRate", 5000, 100),
+		benchMB("BenchmarkNoisy", 50, 100),
+	}}
+	if f := diff("f.json", oldF, newF, 30, 1000, nil); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+}
+
 func TestDiffNewAndVanishedBenchmarksDoNotFail(t *testing.T) {
 	oldF := &File{Benchmarks: []Benchmark{bench("BenchmarkGone", 10, 0)}}
 	newF := &File{Benchmarks: []Benchmark{bench("BenchmarkFresh", 10, 0)}}

@@ -29,6 +29,9 @@ func main() {
 	addr := flag.String("addr", "localhost:8321", "listen address")
 	scale := flag.Float64("scale", 0.02, "default volume fraction for experiments, in (0, 1]")
 	storeDir := flag.String("store", "", "durable trace store directory to serve via /store/query and /store/segments")
+	queryWorkers := flag.Int("query-workers", store.DefaultQueryWorkers, "parallel scan workers for /store/query (0 = sequential cursor)")
+	commitEvery := flag.Duration("commit-every", 0, "store group-commit interval (0 = fsync only on demand)")
+	commitBytes := flag.Int64("commit-bytes", 0, "store group-commit byte threshold (0 = no byte trigger)")
 	flag.Parse()
 
 	// The operator flag gets the same hard validation as the request
@@ -42,7 +45,8 @@ func main() {
 	var ts *store.Store
 	if *storeDir != "" {
 		var err error
-		if ts, err = store.Open(*storeDir, store.Config{}); err != nil {
+		cfg := store.Config{CommitEvery: *commitEvery, CommitBytes: *commitBytes}
+		if ts, err = store.Open(*storeDir, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "btrace-serve: open store:", err)
 			os.Exit(1)
 		}
@@ -51,7 +55,7 @@ func main() {
 			*storeDir, len(ts.Segments()), ts.Events())
 	}
 
-	srv, err := newServer(*scale, ts)
+	srv, err := newServer(*scale, ts, *queryWorkers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "btrace-serve:", err)
 		os.Exit(1)

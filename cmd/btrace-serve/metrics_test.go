@@ -59,7 +59,7 @@ func scrape(t *testing.T, srv *server) map[string]float64 {
 // durable store — then scrapes /metrics and checks that every subsystem's
 // series are present and that the counters moved with the traffic.
 func TestMetricsEndToEnd(t *testing.T) {
-	srv, err := newServer(0.005, nil)
+	srv, err := newServer(0.005, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func (f pollerFunc) Poll() ([]tracer.Entry, uint64) { return f() }
 
 // TestPprofEndpoints checks the pprof surface responds on the private mux.
 func TestPprofEndpoints(t *testing.T) {
-	srv, err := newServer(0.005, nil)
+	srv, err := newServer(0.005, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,9 +62,12 @@ type server struct {
 	// store is the durable trace store served by /store/*; nil when the
 	// server runs without one.
 	store *store.Store
+	// queryWorkers sizes the parallel scan pool /store/query uses; zero
+	// or negative falls back to the sequential cursor.
+	queryWorkers int
 }
 
-func newServer(defaultScale float64, st *store.Store) (*server, error) {
+func newServer(defaultScale float64, st *store.Store, queryWorkers int) (*server, error) {
 	if defaultScale <= 0 || defaultScale > 1 {
 		return nil, fmt.Errorf("scale %v out of (0,1]", defaultScale)
 	}
@@ -74,6 +77,7 @@ func newServer(defaultScale float64, st *store.Store) (*server, error) {
 		tmpl:         template.Must(template.New("page").Parse(pageTemplate)),
 		runs:         make(chan struct{}, maxConcurrentRuns),
 		store:        st,
+		queryWorkers: queryWorkers,
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/experiment/", s.handleExperiment)

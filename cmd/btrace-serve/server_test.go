@@ -11,7 +11,7 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv, err := newServer(0.005, nil)
+	srv, err := newServer(0.005, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,10 +35,10 @@ func get(t *testing.T, url string) (int, string) {
 }
 
 func TestNewServerValidation(t *testing.T) {
-	if _, err := newServer(0, nil); err == nil {
+	if _, err := newServer(0, nil, 0); err == nil {
 		t.Error("zero scale")
 	}
-	if _, err := newServer(2, nil); err == nil {
+	if _, err := newServer(2, nil, 0); err == nil {
 		t.Error("scale > 1")
 	}
 }
@@ -99,7 +99,7 @@ func TestReplayScaleCapped(t *testing.T) {
 }
 
 func TestRunSemaphoreSheds(t *testing.T) {
-	srv, err := newServer(0.005, nil)
+	srv, err := newServer(0.005, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -112,7 +112,12 @@ func (s *server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cur := s.store.Query(q)
+	var cur tracer.Cursor
+	if s.queryWorkers > 0 {
+		cur = s.store.QueryParallel(q, s.queryWorkers)
+	} else {
+		cur = s.store.Query(q)
+	}
 	defer cur.Close()
 	batch := make([]tracer.Entry, 1024)
 	switch format := r.URL.Query().Get("format"); format {

@@ -30,7 +30,7 @@ func storeServer(t *testing.T, n int) (*httptest.Server, *store.Store) {
 			t.Fatal(err)
 		}
 	}
-	srv, err := newServer(0.005, st)
+	srv, err := newServer(0.005, st, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

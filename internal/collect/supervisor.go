@@ -39,6 +39,15 @@ type DumpStore interface {
 	AppendEntries(es []tracer.Entry) error
 }
 
+// asyncAppender is the non-blocking staging surface a DumpStore may
+// additionally offer (store.Store does). The spill path prefers it:
+// eviction then costs one arena copy instead of a wait for the write
+// goroutine, so a slow disk cannot stall the poll loop. Errors the
+// async path defers surface on the store's own Sync/Close.
+type asyncAppender interface {
+	AppendEntriesAsync(es []tracer.Entry) error
+}
+
 // FalliblePoller is an incremental trace source whose polls can fail —
 // the realistic form of Poller a supervised pipeline consumes.
 type FalliblePoller interface {
@@ -515,6 +524,9 @@ func (s *Supervisor) persistDump(d *Dump) bool {
 		// two calls could persist the events yet count the dump dropped.
 		es = make([]tracer.Entry, 0, len(d.Events)+len(d.Quarantined))
 		es = append(append(es, d.Events...), d.Quarantined...)
+	}
+	if aa, ok := s.cfg.Store.(asyncAppender); ok {
+		return aa.AppendEntriesAsync(es) == nil
 	}
 	return s.cfg.Store.AppendEntries(es) == nil
 }

@@ -48,7 +48,11 @@ func TestSupervisorSpillPersistsToStore(t *testing.T) {
 	if got := len(s.Spill()); got != 2 {
 		t.Fatalf("ring holds %d dumps, want 2", got)
 	}
-	// The two evicted dumps' events are durably readable.
+	// The two evicted dumps' events are durably readable. The spill
+	// path stages asynchronously, so force the staged bytes down first.
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	cur := st.NewCursor()
 	defer cur.Close()
 	es, err := tracer.Drain(cur, 64)

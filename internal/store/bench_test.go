@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"btrace/internal/tracer"
@@ -43,6 +44,118 @@ func BenchmarkStoreAppend(b *testing.B) {
 		}
 		if err := st.AppendEntries(es); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreAppendConcurrent measures the group-commit write path
+// under contention: 8 producer goroutines stage 512-event batches into
+// the shared arena while the writer goroutine drains with vectored
+// writes. Per-goroutine stamp bases keep stamps unique without
+// coordination.
+func BenchmarkStoreAppendConcurrent(b *testing.B) {
+	const batch = 512
+	st, err := Open(b.TempDir(), Config{SegmentBytes: 4 << 20, MaxBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto := benchEntries(batch)
+	b.SetBytes(int64(batch * FrameSize(&proto[0])))
+	b.ReportAllocs()
+	b.SetParallelism(8) // >= 8 goroutines even at GOMAXPROCS=1
+	var gid atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := gid.Add(1) << 40
+		es := benchEntries(batch)
+		var next uint64
+		for pb.Next() {
+			for j := range es {
+				next++
+				es[j].Stamp = base | next
+				es[j].TS = next * 800
+			}
+			if err := st.AppendEntries(es); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchQueryStore builds the shared fixture for the wide-query pair: a
+// ~100k-record store spread over a dozen sealed segments.
+func benchQueryStore(b *testing.B) *Store {
+	b.Helper()
+	st, err := Open(b.TempDir(), Config{SegmentBytes: 512 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.AppendEntries(benchEntries(100_000)); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	if n := len(st.Segments()); n < 8 {
+		b.Fatalf("fixture has %d segments, want >= 8", n)
+	}
+	return st
+}
+
+// drainCursor runs one full query to exhaustion, the shared inner loop
+// of the wide-query pair.
+func drainCursor(b *testing.B, cur tracer.Cursor, batch []tracer.Entry) int {
+	n := 0
+	for {
+		m, _, err := cur.Next(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m == 0 {
+			break
+		}
+		n += m
+	}
+	if err := cur.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// BenchmarkStoreQueryWide is the sequential baseline for
+// BenchmarkStoreQueryParallel: one category filter drained across every
+// segment of the fixture, per-op = one full query.
+func BenchmarkStoreQueryWide(b *testing.B) {
+	st := benchQueryStore(b)
+	defer st.Close()
+	batch := make([]tracer.Entry, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := drainCursor(b, st.Query(Query{Categories: []uint8{2}}), batch)
+		if n == 0 {
+			b.Fatal("query returned no records")
+		}
+	}
+}
+
+// BenchmarkStoreQueryParallel runs the identical query through the
+// parallel pruned cursor (pooled span reads, in-place decode, k-way
+// merge over per-segment streams).
+func BenchmarkStoreQueryParallel(b *testing.B) {
+	st := benchQueryStore(b)
+	defer st.Close()
+	batch := make([]tracer.Entry, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := drainCursor(b, st.QueryParallel(Query{Categories: []uint8{2}}, 4), batch)
+		if n == 0 {
+			b.Fatal("query returned no records")
 		}
 	}
 }

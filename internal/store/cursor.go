@@ -85,6 +85,19 @@ func (c *compiled) match(e *tracer.Entry) bool {
 	return (c.anyCore || c.coreSet[e.Core]) && (c.anyCat || c.catSet[e.Category])
 }
 
+// matchRaw is match evaluated on fields lifted straight from a raw
+// record header, so a scan loop can reject a frame before paying its
+// checksum and decode.
+func (c *compiled) matchRaw(stamp, ts uint64, core, cat uint8) bool {
+	if stamp < c.q.MinStamp || (c.q.MaxStamp > 0 && stamp > c.q.MaxStamp) {
+		return false
+	}
+	if ts < c.q.MinTS || (c.q.MaxTS > 0 && ts > c.q.MaxTS) {
+		return false
+	}
+	return (c.anyCore || c.coreSet[core]) && (c.anyCat || c.catSet[cat])
+}
+
 // Cursor streams store records, oldest segment first, in append order.
 // When the store is fed in stamp order (the collector-pipeline
 // guarantee) that is stamp order end to end. Entries handed out borrow
@@ -256,7 +269,7 @@ func (c *Cursor) openNext() (missed uint64, ok bool) {
 		c.curSealed = sealed
 		c.curBound = bound
 		c.dedupe = dedupe
-		c.rd = chunkReader{f: f, off: startOff}
+		c.rd = chunkReader{f: f, off: startOff, bound: bound}
 		return missed, true
 	}
 }
@@ -271,13 +284,20 @@ func (c *Cursor) refreshBound() {
 		c.curBound = c.cur.size
 		c.curSealed = c.cur.sealed
 		c.st.mu.Unlock()
+		c.rd.bound = c.curBound
 		return
 	}
 	c.st.mu.Unlock()
-	if fi, err := c.f.Stat(); err == nil {
+	// The segment left the store while we hold its file. Its committed
+	// size is final, but the inode of a preallocated segment may still
+	// carry a zeroed tail if it was dropped before the seal finalize
+	// trimmed it — keep the last committed bound rather than trusting
+	// the file size past it.
+	if fi, err := c.f.Stat(); err == nil && fi.Size() < c.curBound {
 		c.curBound = fi.Size()
 	}
 	c.curSealed = true
+	c.rd.bound = c.curBound
 }
 
 // readFrames decodes committed frames of the current segment into out,

@@ -32,8 +32,13 @@ type storeObs struct {
 	leftoverSegments     *obs.Counter
 	headersRebuilt       *obs.Counter
 
+	// groupCommits counts write-pipeline commit windows: each is one
+	// fsync covering every batch staged since the previous window.
+	groupCommits *obs.Counter
+
 	// appendNs and fsyncNs are the store's two latencies of record: how
-	// long an append batch holds st.mu, and how long each fsync stalls.
+	// long a producer spends staging a batch and waiting for the writer
+	// to apply it, and how long each fsync stalls.
 	appendNs *obs.Histogram
 	fsyncNs  *obs.Histogram
 	// batchEvents is the AppendEntries batch-size distribution.
@@ -42,6 +47,8 @@ type storeObs struct {
 	segments  obs.Gauge
 	sizeBytes obs.Gauge
 	events    obs.Gauge
+	// stagedBytes is the staging arena's fill level at the last stage.
+	stagedBytes obs.Gauge
 }
 
 func newStoreObs() *storeObs {
@@ -57,6 +64,7 @@ func newStoreObs() *storeObs {
 		tornBytesDropped:     obs.NewCounter(1),
 		leftoverSegments:     obs.NewCounter(1),
 		headersRebuilt:       obs.NewCounter(1),
+		groupCommits:         obs.NewCounter(1),
 		appendNs:             obs.NewHistogram(obs.LatencyBounds),
 		fsyncNs:              obs.NewHistogram(obs.LatencyBounds),
 		batchEvents:          obs.NewHistogram(obs.SizeBounds),
@@ -77,12 +85,14 @@ func (o *storeObs) collect(e *obs.Emitter) {
 	e.Counter("btrace_store_torn_bytes_dropped_total", "bytes cut by recovery truncations", o.tornBytesDropped.Load())
 	e.Counter("btrace_store_leftover_segments_total", "interrupted-compaction leftovers deleted at open", o.leftoverSegments.Load())
 	e.Counter("btrace_store_headers_rebuilt_total", "corrupt headers rebuilt at open", o.headersRebuilt.Load())
-	e.Histogram("btrace_store_append_ns", "append batch latency under the store lock", o.appendNs.Snapshot())
+	e.Counter("btrace_store_group_commits_total", "write-pipeline group-commit fsync windows", o.groupCommits.Load())
+	e.Histogram("btrace_store_append_ns", "append batch stage+apply latency", o.appendNs.Snapshot())
 	e.Histogram("btrace_store_fsync_ns", "fsync latency", o.fsyncNs.Snapshot())
 	e.Histogram("btrace_store_batch_events", "events per append batch", o.batchEvents.Snapshot())
 	e.Gauge("btrace_store_segments", "live segments", float64(o.segments.Load()))
 	e.Gauge("btrace_store_size_bytes", "total on-disk size", float64(o.sizeBytes.Load()))
 	e.Gauge("btrace_store_events", "events currently held", float64(o.events.Load()))
+	e.Gauge("btrace_store_staged_bytes", "staging arena fill at last stage", float64(o.stagedBytes.Load()))
 	e.Gauge("btrace_store_stores", "open stores", 1)
 }
 

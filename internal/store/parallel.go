@@ -1,0 +1,755 @@
+// Parallel pruned queries. QueryParallel answers the same tracer.Cursor
+// contract as the sequential Cursor, but scans the surviving segments
+// with a bounded worker pool feeding a k-way merge by stamp:
+//
+//   - Prune first: the per-round snapshot drops sealed segments whose
+//     header metadata (stamp/time min-max, core and category bitsets)
+//     cannot match the query, without ever opening their files.
+//   - One goroutine per surviving segment streams decoded, pre-filtered
+//     chunks over a channel; a semaphore of `workers` permits bounds how
+//     many are inside a read+decode at once.
+//   - The merge pops streams by head stamp (or concatenates them when
+//     the segments' stamp ranges are disjoint and ordered — the common
+//     sealed-rotation layout — which is a straight copy per chunk).
+//
+// Rounds are incremental like the sequential cursor: a round snapshots
+// the committed state, drains it, and records per-segment resume
+// offsets; a later Next starts a new round from those offsets, so
+// appends landing between calls are picked up and nothing is delivered
+// twice. Entries handed out borrow chunk buffers that stay valid until
+// the next Next or Close, matching the cursor ownership contract, and
+// `missed` is the same upper bound the sequential cursor reports when
+// retention laps the reader.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"btrace/internal/tracer"
+)
+
+const (
+	// scanSpanBytes is the read granularity of a parallel scan: one
+	// ReadAt, decode, send. Must exceed maxRecordSize+tailSize so a
+	// frame always fits a span.
+	scanSpanBytes = 256 << 10
+	// chunkMaxEntries bounds one chunk's decoded batch.
+	chunkMaxEntries = 4096
+	// DefaultQueryWorkers is the scan-pool size when the caller passes
+	// workers <= 0.
+	DefaultQueryWorkers = 4
+)
+
+// segSnap is the immutable per-round snapshot of one segment, taken
+// under st.mu. Stream goroutines only ever touch the snapshot, never
+// the live *segment (which the writer goroutine keeps mutating).
+type segSnap struct {
+	seq           uint64
+	coversThrough uint64
+	path          string
+	start         int64 // first byte to scan (resume offset or sparse seek)
+	bound         int64 // committed bytes at snapshot time
+	count         uint64
+	baseStamp     uint64
+	maxStamp      uint64
+	ordered       bool
+	sealed        bool
+}
+
+// pchunk is one decoded batch in flight from a stream to the merge.
+// entries' payloads alias data.
+type pchunk struct {
+	entries []tracer.Entry
+	data    []byte
+}
+
+// globalChunks backs every cursor's chunkPool, so span buffers (up to
+// scanSpanBytes each) survive cursor lifetimes instead of being
+// reallocated and rezeroed per query. A chunk only reaches the global
+// pool from Close, after its payloads' validity window has ended.
+var globalChunks = sync.Pool{New: func() any { return new(pchunk) }}
+
+// chunkPool recycles chunks (and their buffers) across spans and
+// rounds. Streams and the merge touch it concurrently.
+type chunkPool struct {
+	mu   sync.Mutex
+	free []*pchunk
+}
+
+func (p *chunkPool) get() *pchunk {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		ck := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return ck
+	}
+	p.mu.Unlock()
+	return globalChunks.Get().(*pchunk)
+}
+
+func (p *chunkPool) put(ck *pchunk) {
+	ck.entries = ck.entries[:0]
+	ck.data = ck.data[:0]
+	p.mu.Lock()
+	p.free = append(p.free, ck)
+	p.mu.Unlock()
+}
+
+// pstream is one segment's scan: a goroutine filling ch, plus the
+// merge's view of the current chunk. missed/endOff/err are written by
+// the goroutine before ch closes and read by the merge only after the
+// close (or after wg.Wait), which orders them.
+type pstream struct {
+	snap segSnap
+	ch   chan *pchunk
+
+	missed uint64
+	endOff int64 // resume offset for the next round
+	err    error
+
+	cur *pchunk
+	idx int
+}
+
+// PCursor is a parallel query cursor. It implements tracer.Cursor. Like
+// the sequential Cursor it is not safe for concurrent use by multiple
+// goroutines (the store itself is).
+type PCursor struct {
+	st      *Store
+	q       *compiled
+	workers int
+
+	sem  chan struct{}
+	pool chunkPool
+
+	// Round state; streams == nil between rounds.
+	streams []*pstream
+	h       []*pstream // min-heap by head stamp (general path)
+	concat  bool       // disjoint-ordered fast path: consume streams in order
+	ci      int
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	// Cross-round state.
+	progress      map[uint64]int64 // seq -> next unread offset
+	lowSeq        uint64           // lowest not-fully-consumed seq
+	seenRetired   uint64
+	pendingMissed uint64
+	delivered     int
+	retired       []*pchunk // chunks whose entries the caller borrowed last Next
+	closed        bool
+}
+
+// QueryParallel returns a parallel cursor over the records matching q,
+// scanning up to workers segments concurrently (<= 0 selects
+// DefaultQueryWorkers).
+func (st *Store) QueryParallel(q Query, workers int) *PCursor {
+	if workers <= 0 {
+		workers = DefaultQueryWorkers
+	}
+	c := &PCursor{
+		st:       st,
+		q:        compile(q),
+		workers:  workers,
+		sem:      make(chan struct{}, workers),
+		progress: make(map[uint64]int64),
+	}
+	st.mu.Lock()
+	c.seenRetired = st.retiredEvents
+	if len(st.segs) > 0 {
+		c.lowSeq = st.segs[0].seq
+	} else {
+		c.lowSeq = st.nextSeq
+	}
+	st.mu.Unlock()
+	return c
+}
+
+// Next implements tracer.Cursor.
+func (c *PCursor) Next(batch []tracer.Entry) (int, uint64, error) {
+	if c.closed {
+		return 0, 0, tracer.ErrClosed
+	}
+	if len(batch) == 0 {
+		return 0, 0, nil
+	}
+	// Entries handed out by the previous Next are invalid from here on;
+	// their chunks go back to the pool.
+	c.recycleRetired()
+	var missed uint64
+	if c.q.q.Limit > 0 && c.delivered >= c.q.q.Limit {
+		if c.streams != nil {
+			c.abortRound()
+		}
+		return 0, 0, nil
+	}
+	if c.streams == nil {
+		missed += c.startRound()
+		if c.streams == nil {
+			return 0, missed, nil
+		}
+	}
+	var n int
+	var err error
+	if c.concat {
+		n, err = c.mergeConcat(batch)
+	} else {
+		n, err = c.mergeHeap(batch)
+	}
+	missed += c.pendingMissed
+	c.pendingMissed = 0
+	return n, missed, err
+}
+
+// startRound snapshots the committed store state and launches one scan
+// goroutine per surviving segment. Returns events missed to retention
+// since the previous round. On return c.streams is nil if there is
+// nothing to scan.
+func (c *PCursor) startRound() (missed uint64) {
+	snaps, m := c.snapshot()
+	missed = m
+	if len(snaps) == 0 {
+		return missed
+	}
+	c.done = make(chan struct{})
+	c.streams = make([]*pstream, 0, len(snaps))
+	// Concat fast path: every stream ordered and the stamp ranges
+	// strictly increasing across segments — rotation's natural layout.
+	c.concat = true
+	for i := range snaps {
+		if !snaps[i].ordered {
+			c.concat = false
+			break
+		}
+		if i > 0 && snaps[i-1].maxStamp >= snaps[i].baseStamp {
+			c.concat = false
+			break
+		}
+	}
+	c.ci = 0
+	c.h = c.h[:0]
+	for i := range snaps {
+		ps := &pstream{snap: snaps[i], ch: make(chan *pchunk, 1)}
+		ps.endOff = snaps[i].start
+		c.streams = append(c.streams, ps)
+		c.wg.Add(1)
+		go c.runStream(ps)
+	}
+	if !c.concat {
+		// Load every stream's head and heapify.
+		for _, ps := range c.streams {
+			if c.advanceStream(ps) {
+				c.h = append(c.h, ps)
+			}
+		}
+		for i := len(c.h)/2 - 1; i >= 0; i-- {
+			c.down(i)
+		}
+	}
+	return missed
+}
+
+// snapshot captures, under st.mu, the per-segment scan ranges for one
+// round: retention-missed accounting, header-metadata pruning, merged-
+// coverage resume rules and the sparse first-visit seek all happen
+// here, so stream goroutines never touch live segments.
+func (c *PCursor) snapshot() ([]segSnap, uint64) {
+	st := c.st
+	var missed uint64
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.maxRetiredSeq < c.lowSeq {
+		// Deletions (if any) were all behind us; forget them.
+		c.seenRetired = st.retiredEvents
+	} else if st.retiredEvents > c.seenRetired {
+		// Retention lapped the cursor.
+		missed += st.retiredEvents - c.seenRetired
+		c.seenRetired = st.retiredEvents
+	}
+	var snaps []segSnap
+	low := uint64(0)
+	for _, s := range st.segs {
+		start := int64(headerSize)
+		resumed := false
+		if off, ok := c.progress[s.seq]; ok {
+			start, resumed = off, true
+		}
+		if s.coversThrough > s.seq {
+			// A compacted segment subsumes seqs we may have partially
+			// read from the pre-merge sources. The merged file keeps the
+			// first source's frames as a byte-identical prefix, so a
+			// resume offset recorded against s.seq itself stays valid —
+			// but progress inside any other source cannot be translated.
+			tainted := false
+			for k := range c.progress {
+				if k > s.seq && k <= s.coversThrough {
+					tainted = true
+					break
+				}
+			}
+			if tainted {
+				if start < s.size {
+					// The un-resumable remainder is bounded by the
+					// segment's count; surface it rather than skipping
+					// silently (same upper bound the sequential cursor
+					// reports for unordered merges).
+					missed += s.meta.count
+				}
+				c.progress[s.seq] = s.size
+				for k := range c.progress {
+					if k > s.seq && k <= s.coversThrough {
+						delete(c.progress, k)
+					}
+				}
+				continue
+			}
+		}
+		if start >= s.size && s.sealed {
+			continue // fully consumed and immutable
+		}
+		if !c.q.matchSegment(&s.meta) && s.sealed {
+			// Prune without opening the file — the header metadata rules
+			// out every record.
+			c.progress[s.seq] = s.size
+			continue
+		}
+		if low == 0 {
+			low = s.seq
+		}
+		if !resumed && s.meta.ordered && c.q.q.MinStamp > 0 && len(s.sparse) > 0 {
+			lo := sort.Search(len(s.sparse), func(i int) bool {
+				return s.sparse[i].stamp >= c.q.q.MinStamp
+			})
+			if lo > 0 && s.sparse[lo-1].off > start {
+				start = s.sparse[lo-1].off
+			}
+		}
+		snaps = append(snaps, segSnap{
+			seq:           s.seq,
+			coversThrough: s.coversThrough,
+			path:          s.path,
+			start:         start,
+			bound:         s.size,
+			count:         s.meta.count,
+			baseStamp:     s.meta.baseStamp,
+			maxStamp:      s.meta.maxStamp,
+			ordered:       s.meta.ordered,
+			sealed:        s.sealed,
+		})
+	}
+	if low == 0 {
+		low = st.nextSeq
+	}
+	c.lowSeq = low
+	return snaps, missed
+}
+
+// runStream scans one segment snapshot span by span, sending decoded
+// chunks to the merge. A semaphore permit is held only across the
+// read+decode, never across a channel send, so a blocked merge cannot
+// starve other streams of scan slots.
+func (c *PCursor) runStream(ps *pstream) {
+	defer c.wg.Done()
+	defer close(ps.ch)
+	sn := &ps.snap
+	f, err := os.Open(sn.path)
+	if err != nil {
+		// Retention won the race to the file: what this stream would
+		// have delivered is bounded by the segment's count.
+		ps.missed = sn.count
+		ps.endOff = sn.bound
+		return
+	}
+	defer f.Close()
+	if !sn.ordered {
+		c.scanUnordered(ps, f)
+		return
+	}
+	off := sn.start
+	for off < sn.bound {
+		if !c.acquire() {
+			ps.endOff = off
+			return
+		}
+		ck := c.pool.get()
+		stop, serr := c.scanSpan(f, sn, &off, ck)
+		c.release()
+		if serr != nil {
+			c.pool.put(ck)
+			ps.err = serr
+			ps.endOff = off
+			return
+		}
+		if len(ck.entries) > 0 {
+			select {
+			case ps.ch <- ck:
+			case <-c.done:
+				c.pool.put(ck)
+				ps.endOff = off
+				return
+			}
+		} else {
+			c.pool.put(ck)
+		}
+		ps.endOff = off
+		if stop {
+			if sn.sealed {
+				// Ordered early exit on an immutable segment: nothing
+				// later can ever match; mark it fully consumed.
+				ps.endOff = sn.bound
+			}
+			return
+		}
+	}
+	ps.endOff = sn.bound
+}
+
+func (c *PCursor) acquire() bool {
+	select {
+	case c.sem <- struct{}{}:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+func (c *PCursor) release() { <-c.sem }
+
+// scanSpan reads one span of committed bytes at *off and decodes its
+// whole frames into ck, filtering as it goes. stop reports the ordered
+// early exit (a stamp past MaxStamp was seen).
+func (c *PCursor) scanSpan(f *os.File, sn *segSnap, off *int64, ck *pchunk) (stop bool, err error) {
+	want := sn.bound - *off
+	if want > scanSpanBytes {
+		want = scanSpanBytes
+	}
+	if int64(cap(ck.data)) < want {
+		ck.data = make([]byte, want)
+	} else {
+		ck.data = ck.data[:want]
+	}
+	n, rerr := f.ReadAt(ck.data, *off)
+	ck.data = ck.data[:n]
+	if n == 0 {
+		if rerr != nil && rerr != io.EOF {
+			return false, rerr
+		}
+		// Committed bytes unreadable: treat as segment end, like the
+		// sequential cursor's shortfall handling.
+		*off = sn.bound
+		return false, nil
+	}
+	buf := ck.data
+	pos := 0
+	for pos+tracer.Align <= len(buf) {
+		_, recSize, perr := tracer.PeekRecord(buf[pos:])
+		if perr != nil {
+			return false, perr
+		}
+		if recSize > maxRecordSize {
+			// Mirror the sequential cursor: an implausible size ends the
+			// segment quietly (recovery truncates it at reopen).
+			*off = sn.bound
+			return false, nil
+		}
+		frame := recSize + tailSize
+		if pos+frame > len(buf) {
+			break // frame crosses the span boundary: the next span rereads it
+		}
+		rec, tail := buf[pos:pos+recSize], buf[pos+recSize:pos+frame]
+		// The tail magic keeps the frame walk honest for every frame;
+		// the checksum and the decode are deferred until the raw header
+		// fields say the query wants this record, so a pruned frame
+		// costs three loads and a mask test instead of a CRC pass.
+		if uint32(le64(tail)>>32) != frameMagic {
+			return false, fmt.Errorf("%w: bad frame magic %#x", tracer.ErrCorrupt, uint32(le64(tail)>>32))
+		}
+		if recSize < tracer.EventHeaderSize {
+			return false, fmt.Errorf("%w: short event", tracer.ErrCorrupt)
+		}
+		stamp := le64(rec[8:])
+		pos += frame
+		if sn.ordered && c.q.q.MaxStamp > 0 && stamp > c.q.q.MaxStamp {
+			*off += int64(pos)
+			return true, nil
+		}
+		w3 := le64(rec[24:])
+		if !c.q.matchRaw(stamp, le64(rec[16:]), uint8(w3>>56), uint8(w3>>24)) {
+			continue
+		}
+		if cerr := checkFrame(rec, tail); cerr != nil {
+			return false, cerr
+		}
+		var e tracer.Entry
+		if derr := decodeEventTo(rec, &e); derr != nil {
+			return false, derr
+		}
+		ck.entries = append(ck.entries, e)
+		if len(ck.entries) >= chunkMaxEntries {
+			break
+		}
+	}
+	if pos == 0 {
+		// A frame longer than the remaining committed bytes: the
+		// snapshot outran the file. End the stream here.
+		*off = sn.bound
+		return false, nil
+	}
+	*off += int64(pos)
+	return false, nil
+}
+
+// scanUnordered loads the stream's whole remaining range (bounded by
+// SegmentBytes) as one chunk and sorts it by stamp, so the merge can
+// treat every stream as stamp-ordered.
+func (c *PCursor) scanUnordered(ps *pstream, f *os.File) {
+	sn := &ps.snap
+	if !c.acquire() {
+		return
+	}
+	ck := c.pool.get()
+	want := sn.bound - sn.start
+	if int64(cap(ck.data)) < want {
+		ck.data = make([]byte, want)
+	} else {
+		ck.data = ck.data[:want]
+	}
+	n, rerr := f.ReadAt(ck.data, sn.start)
+	ck.data = ck.data[:n]
+	var err error
+	if int64(n) < want && rerr != nil && rerr != io.EOF {
+		err = rerr
+	}
+	pos := 0
+	if err == nil {
+		buf := ck.data
+		for pos+tracer.Align <= len(buf) {
+			_, recSize, perr := tracer.PeekRecord(buf[pos:])
+			if perr != nil {
+				err = perr
+				break
+			}
+			if recSize > maxRecordSize {
+				pos = len(buf)
+				break
+			}
+			frame := recSize + tailSize
+			if pos+frame > len(buf) {
+				break
+			}
+			if cerr := checkFrame(buf[pos:pos+recSize], buf[pos+recSize:pos+frame]); cerr != nil {
+				err = cerr
+				break
+			}
+			var e tracer.Entry
+			if derr := decodeEventTo(buf[pos:pos+recSize], &e); derr != nil {
+				err = derr
+				break
+			}
+			pos += frame
+			if c.q.match(&e) {
+				ck.entries = append(ck.entries, e)
+			}
+		}
+		sort.Slice(ck.entries, func(i, j int) bool {
+			return ck.entries[i].Stamp < ck.entries[j].Stamp
+		})
+	}
+	c.release()
+	ps.err = err
+	ps.endOff = sn.start + int64(pos)
+	if len(ck.entries) > 0 {
+		select {
+		case ps.ch <- ck:
+		case <-c.done:
+			c.pool.put(ck)
+		}
+	} else {
+		c.pool.put(ck)
+	}
+}
+
+// advanceStream makes ps.cur/idx reference the stream's next
+// undelivered entry, blocking for the scanner when needed. false means
+// the stream finished (its missed tally is folded in).
+func (c *PCursor) advanceStream(ps *pstream) bool {
+	for {
+		if ps.cur != nil {
+			if ps.idx < len(ps.cur.entries) {
+				return true
+			}
+			c.retired = append(c.retired, ps.cur)
+			ps.cur, ps.idx = nil, 0
+		}
+		ck, ok := <-ps.ch
+		if !ok {
+			c.pendingMissed += ps.missed
+			ps.missed = 0
+			return false
+		}
+		ps.cur, ps.idx = ck, 0
+	}
+}
+
+// mergeHeap delivers in global stamp order by popping the stream with
+// the smallest head stamp.
+func (c *PCursor) mergeHeap(batch []tracer.Entry) (int, error) {
+	n := 0
+	for n < len(batch) {
+		if c.q.q.Limit > 0 && c.delivered >= c.q.q.Limit {
+			c.abortRound()
+			return n, nil
+		}
+		if len(c.h) == 0 {
+			return n, c.finishRound()
+		}
+		ps := c.h[0]
+		batch[n] = ps.cur.entries[ps.idx]
+		ps.idx++
+		n++
+		c.delivered++
+		if ps.idx >= len(ps.cur.entries) {
+			if !c.advanceStream(ps) {
+				last := len(c.h) - 1
+				c.h[0] = c.h[last]
+				c.h = c.h[:last]
+				if len(c.h) > 1 {
+					c.down(0)
+				}
+				continue
+			}
+		}
+		c.down(0)
+	}
+	return n, nil
+}
+
+// mergeConcat is the disjoint-ordered fast path: streams are consumed
+// whole, in segment order, with bulk copies per chunk.
+func (c *PCursor) mergeConcat(batch []tracer.Entry) (int, error) {
+	n := 0
+	for n < len(batch) {
+		if c.q.q.Limit > 0 && c.delivered >= c.q.q.Limit {
+			c.abortRound()
+			return n, nil
+		}
+		if c.ci >= len(c.streams) {
+			return n, c.finishRound()
+		}
+		ps := c.streams[c.ci]
+		if ps.cur == nil || ps.idx >= len(ps.cur.entries) {
+			if !c.advanceStream(ps) {
+				c.ci++
+				continue
+			}
+		}
+		k := copy(batch[n:], ps.cur.entries[ps.idx:])
+		if c.q.q.Limit > 0 {
+			if rem := c.q.q.Limit - c.delivered; k > rem {
+				k = rem
+			}
+		}
+		n += k
+		ps.idx += k
+		c.delivered += k
+	}
+	return n, nil
+}
+
+// finishRound records every stream's resume offset and surfaces the
+// first stream error. Every stream has already closed its channel.
+func (c *PCursor) finishRound() error {
+	var err error
+	c.wg.Wait()
+	for _, ps := range c.streams {
+		if ps.cur != nil {
+			c.retired = append(c.retired, ps.cur)
+			ps.cur = nil
+		}
+		c.progress[ps.snap.seq] = ps.endOff
+		if ps.err != nil && err == nil {
+			err = ps.err
+		}
+	}
+	close(c.done)
+	c.streams = nil
+	c.h = c.h[:0]
+	return err
+}
+
+// abortRound cancels the in-flight streams (Limit reached or Close) and
+// records the offsets they reached. Chunks that never made it to the
+// caller go straight back to the pool.
+func (c *PCursor) abortRound() {
+	close(c.done)
+	for _, ps := range c.streams {
+		for ck := range ps.ch {
+			c.pool.put(ck)
+		}
+	}
+	c.wg.Wait()
+	for _, ps := range c.streams {
+		if ps.cur != nil {
+			c.pool.put(ps.cur)
+			ps.cur = nil
+		}
+		c.progress[ps.snap.seq] = ps.endOff
+	}
+	c.streams = nil
+	c.h = c.h[:0]
+}
+
+func (c *PCursor) recycleRetired() {
+	for _, ck := range c.retired {
+		c.pool.put(ck)
+	}
+	c.retired = c.retired[:0]
+}
+
+// down restores the min-heap property from index i.
+func (c *PCursor) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(c.h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(c.h) && c.headStamp(r) < c.headStamp(l) {
+			m = r
+		}
+		if c.headStamp(i) <= c.headStamp(m) {
+			return
+		}
+		c.h[i], c.h[m] = c.h[m], c.h[i]
+		i = m
+	}
+}
+
+func (c *PCursor) headStamp(i int) uint64 {
+	ps := c.h[i]
+	return ps.cur.entries[ps.idx].Stamp
+}
+
+// Close implements tracer.Cursor.
+func (c *PCursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.streams != nil {
+		c.abortRound()
+	}
+	c.recycleRetired()
+	for _, ck := range c.pool.free {
+		globalChunks.Put(ck)
+	}
+	c.pool.free = nil
+	return nil
+}
+
+var _ tracer.Cursor = (*PCursor)(nil)

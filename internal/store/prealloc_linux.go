@@ -1,0 +1,19 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// preallocate reserves size bytes of disk for f up front, so the write
+// path's WriteAt calls land in already-reserved extents instead of
+// allocating blocks (and joining a journal transaction) as the file
+// grows. Best effort: filesystems without fallocate just grow the file
+// the usual way, and the seal path truncates any unused tail.
+func preallocate(f *os.File, size int64) {
+	if size > 0 {
+		syscall.Fallocate(int(f.Fd()), 0, 0, size)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// preallocate is a no-op where fallocate is unavailable; segments grow
+// on demand exactly as before.
+func preallocate(*os.File, int64) {}

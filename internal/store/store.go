@@ -52,15 +52,31 @@ type Config struct {
 	// newest timestamp trails the store's newest timestamp by more than
 	// this are deleted (0 = unlimited).
 	MaxAgeNs uint64
-	// SyncEveryAppend fsyncs after every append batch. Off by default:
-	// the durability point is the seal (rotation), matching the paper's
-	// dump-then-analyze workflow.
+	// SyncEveryAppend makes every append batch wait for the group commit
+	// covering it: when Append returns, the batch is fsynced. Off by
+	// default: the durability point is the seal (rotation), a Sync call,
+	// or the CommitEvery/CommitBytes window, matching the paper's
+	// dump-then-analyze workflow. Concurrent appenders share one fsync
+	// per commit window instead of paying one each.
 	SyncEveryAppend bool
+	// CommitEvery bounds how long applied-but-unsynced bytes may sit
+	// before a group commit fsyncs them (0 = no timer; durability then
+	// comes from seals, Sync, SyncEveryAppend or CommitBytes).
+	CommitEvery time.Duration
+	// CommitBytes triggers a group commit once this many bytes have been
+	// applied since the previous commit (0 = no byte threshold).
+	CommitBytes int64
+	// MaxStagedBytes bounds the staging arena; producers block once this
+	// many encoded bytes await the writer goroutine (default 8 MiB).
+	MaxStagedBytes int64
 }
 
 func (c Config) withDefaults() Config {
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = 1 << 20
+	}
+	if c.MaxStagedBytes <= 0 {
+		c.MaxStagedBytes = 8 << 20
 	}
 	return c
 }
@@ -84,18 +100,29 @@ type Stats struct {
 }
 
 // Store is a segmented on-disk trace store. All methods are safe for
-// concurrent use; appends are serialized internally.
+// concurrent use. Appends stage into an in-memory arena drained by a
+// dedicated writer goroutine; seal fsyncs and retention run on a
+// maintenance goroutine (see pipeline.go).
 type Store struct {
 	dir string
 	cfg Config
 
-	mu      sync.Mutex
-	lock    *os.File   // held flock on dir/LOCK, released by Close
-	segs    []*segment // ascending seq; the last may be active
-	active  *os.File   // write handle of the unsealed last segment
+	// pipe and maint are the write pipeline's two queues; writerWG and
+	// maintWG join their goroutines at Close.
+	pipe     pipeline
+	maint    maintenance
+	writerWG sync.WaitGroup
+	maintWG  sync.WaitGroup
+
+	mu     sync.Mutex
+	lock   *os.File   // held flock on dir/LOCK, released by Close
+	segs   []*segment // ascending seq; the last may be active
+	active *os.File   // write handle of the unsealed last segment
+	// parked holds sealed files whose fsync is deferred to the next
+	// commit window (drainParked); bounded by maxParkedSeals.
+	parked  []parkedSeal
 	nextSeq uint64
 	closed  bool
-	encBuf  []byte // reusable frame-encoding buffer
 	stats   Stats
 	// published is the stats snapshot last folded into obs; public
 	// mutating operations publish the delta on exit (see obs.go).
@@ -124,6 +151,10 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if st.lock, err = lockDir(dir); err != nil {
 		return nil, err
 	}
+	// The pipeline goroutines idle until the first append/seal request,
+	// so starting them before recovery is safe — and it lets every error
+	// path below clean up through the one Close implementation.
+	st.startPipeline()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		st.Close()
@@ -288,105 +319,28 @@ func (st *Store) activeSeg() *segment {
 	return nil
 }
 
-// Append durably stages one event. The write is visible to cursors as
-// soon as Append returns; it is durable at the next seal (or Sync).
+// Append stages one event. The write is visible to cursors as soon as
+// Append returns; it is durable at the group commit covering it when
+// SyncEveryAppend is set, otherwise at the next seal, Sync, or
+// CommitEvery/CommitBytes window.
 func (st *Store) Append(e *tracer.Entry) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.appendTimedLocked([]tracer.Entry{*e})
+	return st.appendPipelined([]tracer.Entry{*e}, st.cfg.SyncEveryAppend, true)
 }
 
-// AppendEntries stages a batch of events with one write per segment
-// stretch — the bulk path the collector's spill and the replay dump use.
+// AppendEntries stages a batch of events; the writer goroutine drains
+// it with one write per segment stretch — the bulk path the collector's
+// spill and the replay dump use.
 func (st *Store) AppendEntries(es []tracer.Entry) error {
-	if len(es) == 0 {
-		return nil
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.appendTimedLocked(es)
+	return st.appendPipelined(es, st.cfg.SyncEveryAppend, true)
 }
 
-// appendTimedLocked wraps appendLocked with the append-latency and
-// batch-size observations and the per-operation obs publish.
-func (st *Store) appendTimedLocked(es []tracer.Entry) error {
-	start := time.Now()
-	err := st.appendLocked(es)
-	st.obs.appendNs.Observe(uint64(time.Since(start)))
-	st.obs.batchEvents.Observe(uint64(len(es)))
-	st.publishObsLocked()
-	return err
-}
-
-func (st *Store) appendLocked(es []tracer.Entry) error {
-	if st.closed {
-		return ErrClosed
-	}
-	for i := 0; i < len(es); {
-		seg := st.activeSeg()
-		if seg == nil {
-			var err error
-			if seg, err = st.newSegmentLocked(); err != nil {
-				return err
-			}
-		}
-		// Take the longest run of entries that fits the active segment;
-		// a record that fits no segment on its own still goes out alone.
-		st.encBuf = st.encBuf[:0]
-		runStart := i
-		for i < len(es) {
-			fs := int64(FrameSize(&es[i]))
-			over := seg.size+int64(len(st.encBuf))+fs > st.cfg.SegmentBytes
-			if over && (seg.meta.count > 0 || len(st.encBuf) > 0) {
-				break
-			}
-			var err error
-			if st.encBuf, err = encodeFrame(st.encBuf, &es[i]); err != nil {
-				return err
-			}
-			i++
-		}
-		if len(st.encBuf) == 0 {
-			// Nothing fit: rotate and retry the same entry.
-			if err := st.sealActiveLocked(); err != nil {
-				return err
-			}
-			continue
-		}
-		n, err := st.active.WriteAt(st.encBuf, seg.size)
-		if n < len(st.encBuf) {
-			// Torn in-process write: cut the partial frame immediately so
-			// readers (and a later reopen) only ever see whole frames.
-			st.active.Truncate(seg.size)
-			if err == nil {
-				err = fmt.Errorf("store: short write (%d of %d bytes)", n, len(st.encBuf))
-			}
-			return err
-		}
-		off := seg.size
-		for j := runStart; j < i; j++ {
-			if seg.meta.count%indexStride == 0 {
-				seg.sparse = append(seg.sparse, indexEntry{stamp: es[j].Stamp, off: off})
-			}
-			seg.meta.observe(&es[j])
-			fs := int64(FrameSize(&es[j]))
-			off += fs
-			st.stats.Appends++
-			st.stats.BytesAppended += uint64(fs)
-		}
-		seg.size = off
-		if st.cfg.SyncEveryAppend {
-			if err := st.syncActive(); err != nil {
-				return err
-			}
-		}
-		if seg.size >= st.cfg.SegmentBytes {
-			if err := st.sealActiveLocked(); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+// AppendEntriesAsync stages a batch without waiting for it to reach the
+// segment files: the call returns once the batch is in the staging
+// arena (blocking only on MaxStagedBytes backpressure). Write errors
+// surface on a later append, Sync or Close. The collector's spill path
+// uses it so a slow disk cannot stall the poll loop.
+func (st *Store) AppendEntriesAsync(es []tracer.Entry) error {
+	return st.appendPipelined(es, false, false)
 }
 
 // newSegmentLocked creates and activates a fresh segment file.
@@ -397,6 +351,7 @@ func (st *Store) newSegmentLocked() (*segment, error) {
 	if err != nil {
 		return nil, err
 	}
+	preallocate(f, st.cfg.SegmentBytes)
 	hdr := make([]byte, headerSize)
 	encodeHeader(hdr, &s.meta, s.coversThrough, false)
 	if _, err := f.WriteAt(hdr, 0); err != nil {
@@ -408,31 +363,6 @@ func (st *Store) newSegmentLocked() (*segment, error) {
 	st.active = f
 	st.segs = append(st.segs, s)
 	return s, nil
-}
-
-// sealActiveLocked finalizes the active segment: rewrite its header with
-// the real metadata, fsync, close, and run retention.
-func (st *Store) sealActiveLocked() error {
-	seg := st.activeSeg()
-	if seg == nil {
-		return nil
-	}
-	hdr := make([]byte, headerSize)
-	encodeHeader(hdr, &seg.meta, seg.coversThrough, true)
-	if _, err := st.active.WriteAt(hdr, 0); err != nil {
-		return err
-	}
-	if err := st.syncActive(); err != nil {
-		return err
-	}
-	if err := st.active.Close(); err != nil {
-		return err
-	}
-	st.active = nil
-	seg.sealed = true
-	st.stats.Seals++
-	st.enforceRetentionLocked()
-	return nil
 }
 
 // enforceRetentionLocked deletes the oldest sealed segments until the
@@ -465,6 +395,7 @@ func (st *Store) enforceRetentionLocked() {
 
 func (st *Store) retireOldestLocked() {
 	s := st.segs[0]
+	s.retired = true // a parked seal fsync would be wasted on it
 	os.Remove(s.path)
 	st.segs = st.segs[1:]
 	st.stats.SegmentsDeleted++
@@ -475,62 +406,151 @@ func (st *Store) retireOldestLocked() {
 	}
 }
 
-// Sync flushes the active segment to disk without sealing it.
+// Sync makes every previously staged append durable: it drains the
+// staging arena, forces a group commit (seal fsyncs included), and
+// waits for the maintenance queue — on return, all prior appends are
+// fsynced and retention is up to date.
 func (st *Store) Sync() error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.closed {
+	p := &st.pipe
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
 		return ErrClosed
 	}
-	if st.active != nil {
-		return st.syncActive()
+	t := p.staged
+	if p.syncWant < t {
+		p.syncWant = t
 	}
-	return nil
+	p.forceSync = true
+	p.wcond.Signal()
+	for (p.written < t || p.synced < t || p.forceSync) && p.err == nil {
+		p.cond.Wait()
+	}
+	err := p.err
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	st.maint.waitIdle()
+	if err := st.drainParked(); err != nil {
+		return err
+	}
+	return st.maint.firstErr()
 }
 
 // Seal seals the active segment (if any), making the store's entire
-// contents durable and immutable until the next append.
+// contents durable and immutable until the next append. It drains the
+// staging arena and the maintenance queue before returning.
 func (st *Store) Seal() error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.closed {
+	p := &st.pipe
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
 		return ErrClosed
 	}
-	err := st.sealActiveLocked()
-	st.publishObsLocked()
-	return err
+	t := p.staged
+	p.sealReqs++
+	want := p.sealReqs
+	p.wcond.Signal()
+	for (p.written < t || p.sealsDone < want) && p.err == nil {
+		p.cond.Wait()
+	}
+	err := p.err
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	st.maint.waitIdle()
+	if err := st.drainParked(); err != nil {
+		return err
+	}
+	return st.maint.firstErr()
 }
 
-// Close seals the active segment and closes the store. Cursors opened
-// before Close keep working over the sealed files until their own Close.
+// Close drains the pipeline, seals the active segment and closes the
+// store. Cursors opened before Close keep working over the sealed files
+// until their own Close.
 func (st *Store) Close() error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.closed {
+	p := &st.pipe
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
 		return nil
 	}
-	err := st.sealActiveLocked()
+	p.closed = true
+	p.wcond.Signal()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	st.writerWG.Wait() // drains everything staged before it exits
+
+	st.mu.Lock()
+	rerr := st.rotateActiveLocked()
+	st.mu.Unlock()
+	st.stopMaintenance() // finalizes the last seal, joins the goroutine
+	if derr := st.drainParked(); rerr == nil {
+		rerr = derr // clean Close leaves everything durable
+	}
+
+	st.mu.Lock()
+	st.closed = true
 	if st.lock != nil {
 		st.lock.Close() // releases the directory flock
 		st.lock = nil
 	}
-	st.closed = true
 	// Publish the final deltas, then retire this store's counters into
 	// the registry's folded totals (the collector never takes st.mu, so
 	// folding under it cannot deadlock).
 	st.publishObsLocked()
+	st.mu.Unlock()
 	obs.Default().Fold(st.obsID)
+
+	err := rerr
+	p.mu.Lock()
+	if err == nil {
+		err = p.err
+	}
+	p.mu.Unlock()
+	if err == nil {
+		err = st.maint.firstErr()
+	}
 	return err
 }
 
-// Reset deletes every segment and returns the store to its empty state.
-// Must not race appends from other goroutines the caller still owns.
+// Reset deletes every segment and returns the store to its empty state
+// (clearing any sticky write-path error with it). Must not race appends
+// from other goroutines the caller still owns.
 func (st *Store) Reset() error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.closed {
+	p := &st.pipe
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
 		return ErrClosed
 	}
+	// Drain the writer so no staged batch lands after the wipe.
+	t := p.staged
+	p.wcond.Signal()
+	for p.written < t && p.err == nil {
+		p.cond.Wait()
+	}
+	p.buf, p.metas = p.buf[:0], p.metas[:0]
+	p.written, p.synced = p.staged, p.staged
+	p.err = nil
+	p.unsynced = 0
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	st.maint.waitIdle()
+	st.maint.clearErr()
+	// Parked seal files are about to be deleted: close them without the
+	// deferred fsync.
+	st.mu.Lock()
+	for _, ps := range st.parked {
+		ps.seg.retired = true
+	}
+	st.mu.Unlock()
+	st.drainParked()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.active != nil {
 		st.active.Close()
 		st.active = nil

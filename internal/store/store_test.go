@@ -318,6 +318,11 @@ func TestRetentionByBytes(t *testing.T) {
 	}
 	defer st.Close()
 	appendRange(t, st, 1, 2000)
+	// Retention runs on the maintenance goroutine; Sync is the barrier
+	// that waits for it.
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	if sz := st.Size(); sz > (8<<10)+(2<<10) {
 		t.Fatalf("store size %d exceeds budget+active", sz)
 	}
@@ -410,7 +415,10 @@ func TestCursorMissedOnRetention(t *testing.T) {
 	defer st.Close()
 	cur := st.Query(Query{})
 	defer cur.Close()
-	appendRange(t, st, 1, 2000) // far past the byte bound: oldest retired
+	appendRange(t, st, 1, 2000)       // far past the byte bound: oldest retired
+	if err := st.Sync(); err != nil { // wait for background retention
+		t.Fatal(err)
+	}
 	var total int
 	var missed uint64
 	batch := make([]tracer.Entry, 128)
