@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress tier1 chaos bench benchdiff
+.PHONY: all build fmt vet test race race-stress tier1 chaos overload-stress bench benchdiff
 
 all: tier1
 
@@ -43,6 +43,14 @@ SHORT ?=
 chaos:
 	$(GO) test $(SHORT) -v -run 'TestChaos' ./internal/faults/
 
+# The overload storm scenario on its own: oversubscribed producers and a
+# wedged store drive the adaptive gate through two full
+# engage → degrade → recover cycles, checking the tier trajectory, the
+# event-exact accounting identity and the p99 latency bound. Honors
+# -short (make overload-stress SHORT=-short).
+overload-stress:
+	$(GO) test $(SHORT) -v -run 'TestChaosOverloadStorm' ./internal/faults/
+
 # Read/write-path benchmarks with allocation accounting, recorded as
 # machine-readable JSON (BENCH_*.json) to track the perf trajectory
 # across commits. BENCHTIME trades precision for runtime. BENCH_obs.json
@@ -63,7 +71,8 @@ bench:
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_store.json
 	@echo "wrote BENCH_store.json"
 	@{ $(GO) test ./internal/core -run '^$$' -bench 'BenchmarkObsOverhead/record' -benchmem -benchtime $(OBS_RECORD_BENCHTIME); \
-	   $(GO) test ./internal/core -run '^$$' -bench 'BenchmarkObsOverhead/read' -benchmem -benchtime $(BENCHTIME); } \
+	   $(GO) test ./internal/core -run '^$$' -bench 'BenchmarkObsOverhead/read' -benchmem -benchtime $(BENCHTIME); \
+	   $(GO) test ./internal/overload -run '^$$' -bench 'BenchmarkRecordUnderOverload' -benchmem -benchtime $(BENCHTIME); } \
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_obs.json
 	@echo "wrote BENCH_obs.json"
 

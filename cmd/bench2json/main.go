@@ -24,6 +24,9 @@ type Benchmark struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	// Metrics holds custom units emitted via b.ReportMetric (e.g. the
+	// overload benchmark's "p99-ns"), keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the emitted document.
@@ -108,6 +111,13 @@ func parseBenchLine(line string) (Benchmark, bool) {
 			b.AllocsPerOp = v
 		case "MB/s":
 			b.MBPerSec = v
+		default:
+			// Custom units from b.ReportMetric keep their unit string as
+			// the key, so downstream gates can pick them up by name.
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[fields[i+1]] = v
 		}
 	}
 	return b, true

@@ -49,3 +49,20 @@ func TestParseBenchLineMalformed(t *testing.T) {
 		}
 	}
 }
+
+func TestParseCustomMetrics(t *testing.T) {
+	const line = "BenchmarkRecordUnderOverload/storm-8   	    2000	      1699 ns/op	       383.5 p99-ns	     128 B/op	       3 allocs/op"
+	b, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.NsPerOp != 1699 || b.AllocsPerOp != 3 {
+		t.Fatalf("standard units: %+v", b)
+	}
+	if got := b.Metrics["p99-ns"]; got != 383.5 {
+		t.Fatalf("p99-ns = %v, want 383.5", got)
+	}
+	if len(b.Metrics) != 1 {
+		t.Fatalf("metrics: %+v", b.Metrics)
+	}
+}

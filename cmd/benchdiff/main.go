@@ -22,17 +22,19 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
 // Benchmark mirrors cmd/bench2json's per-benchmark record.
 type Benchmark struct {
-	Name        string  `json:"name"`
-	Package     string  `json:"package,omitempty"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Package     string             `json:"package,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File mirrors cmd/bench2json's document.
@@ -132,6 +134,16 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 
 func canonical(name string) string { return procSuffix.ReplaceAllString(name, "") }
 
+// sortedKeys returns m's keys in order, for deterministic report output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // diff compares one file pair and returns the gate failures.
 func diff(file string, oldF, newF *File, maxRegress, minNs float64, zeroRes []*regexp.Regexp) []string {
 	old := make(map[string]Benchmark, len(oldF.Benchmarks))
@@ -171,6 +183,29 @@ func diff(file string, oldF, newF *File, maxRegress, minNs float64, zeroRes []*r
 		}
 		fmt.Printf("%s: %s %+.1f%% ns/op (%.0f -> %.0f) [%s]\n",
 			file, name, change, ob.NsPerOp, nb.NsPerOp, verdict)
+		// Custom-metric gate: units reported via b.ReportMetric (the
+		// overload benchmark's p99-ns record latency) are latency-like —
+		// growth past the envelope fails, same noise floor as ns/op.
+		for _, unit := range sortedKeys(nb.Metrics) {
+			nv := nb.Metrics[unit]
+			ov, has := ob.Metrics[unit]
+			if !has || ov <= 0 {
+				continue
+			}
+			mchange := (nv - ov) / ov * 100
+			mv := "ok"
+			switch {
+			case ov < minNs:
+				mv = "untimed (below -min-ns)"
+			case mchange > maxRegress:
+				mv = "REGRESSION"
+				failures = append(failures,
+					fmt.Sprintf("%s: %s %s regressed %.1f%% (%.1f -> %.1f), limit %.0f%%",
+						file, name, unit, mchange, ov, nv, maxRegress))
+			}
+			fmt.Printf("%s: %s %+.1f%% %s (%.1f -> %.1f) [%s]\n",
+				file, name, mchange, unit, ov, nv, mv)
+		}
 		// Throughput gate: benchmarks that report MB/s (the store append
 		// and query paths) also fail when the rate drops past the
 		// envelope. Derived from the same timing as ns/op, so the same

@@ -121,3 +121,39 @@ func TestCompilePatternsRejectsBadRegex(t *testing.T) {
 		t.Fatal("want error for invalid regex")
 	}
 }
+
+func benchMetric(name string, ns float64, unit string, v float64) Benchmark {
+	return Benchmark{Name: name, NsPerOp: ns, Metrics: map[string]float64{unit: v}}
+}
+
+func TestDiffFlagsCustomMetricRegression(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{benchMetric("BenchmarkRecordUnderOverload/storm", 2000, "p99-ns", 2000)}}
+	newF := &File{Benchmarks: []Benchmark{benchMetric("BenchmarkRecordUnderOverload/storm", 2100, "p99-ns", 3000)}}
+	f := diff("f.json", oldF, newF, 30, 1000, nil)
+	if len(f) != 1 || !strings.Contains(f[0], "p99-ns regressed 50.0%") {
+		t.Fatalf("want one p99-ns failure, got %v", f)
+	}
+}
+
+func TestDiffCustomMetricWithinEnvelopeAndNoiseFloor(t *testing.T) {
+	// Within the envelope: passes. Below -min-ns: exempt even at 3x.
+	oldF := &File{Benchmarks: []Benchmark{
+		benchMetric("BenchmarkA", 2000, "p99-ns", 2000),
+		benchMetric("BenchmarkB", 2000, "p99-ns", 200),
+	}}
+	newF := &File{Benchmarks: []Benchmark{
+		benchMetric("BenchmarkA", 2000, "p99-ns", 2400),
+		benchMetric("BenchmarkB", 2000, "p99-ns", 600),
+	}}
+	if f := diff("f.json", oldF, newF, 30, 1000, nil); len(f) != 0 {
+		t.Fatalf("unexpected failures: %v", f)
+	}
+}
+
+func TestDiffCustomMetricMissingBaselineIgnored(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{bench("BenchmarkA", 2000, 0)}}
+	newF := &File{Benchmarks: []Benchmark{benchMetric("BenchmarkA", 2000, "p99-ns", 9999)}}
+	if f := diff("f.json", oldF, newF, 30, 1000, nil); len(f) != 0 {
+		t.Fatalf("metric without baseline must not fail, got %v", f)
+	}
+}

@@ -1,0 +1,295 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"btrace/internal/collect"
+	"btrace/internal/overload"
+	"btrace/internal/store"
+	"btrace/internal/tracer"
+)
+
+// maxIngestBody caps a single POST /ingest payload. At 32 bytes minimum
+// per wire record this is well over 100k events — a batch, not a bulk
+// import; larger uploads should be split.
+const maxIngestBody = 4 << 20
+
+// ingestQueueDepth is the number of accepted-but-unprocessed batches the
+// pipeline holds before /ingest starts answering 429. The bound is the
+// server-side backpressure: beyond it the client is told to slow down
+// instead of the queue growing without limit.
+const ingestQueueDepth = 256
+
+// ingestIdleSleep is how long the pipeline goroutine sleeps when the
+// queue is empty before polling again.
+const ingestIdleSleep = 2 * time.Millisecond
+
+// ingestConfig carries the overload-control flags into the pipeline.
+type ingestConfig struct {
+	// SampleRate is the head-sampling keep-rate floor (-sample-rate).
+	SampleRate float64
+	// RateLimit is the per-category token refill rate in events per
+	// second of virtual time; 0 disables the bucket (-rate-limit).
+	RateLimit float64
+	// RateBurst is the bucket capacity; 0 defaults to 2×RateLimit
+	// (-rate-burst).
+	RateBurst float64
+	// Shed enables the tiered load-shedding controller (-shed). When
+	// false the gate still samples and rate-limits, but never escalates
+	// past TierNone.
+	Shed bool
+}
+
+// ingestTrigger fires a dump for every non-empty admitted batch: the
+// ingest path has no windowing semantics of its own, so each accepted
+// batch goes straight to the durable store.
+type ingestTrigger struct{}
+
+func (ingestTrigger) Observe(es []tracer.Entry) string {
+	if len(es) > 0 {
+		return "ingest"
+	}
+	return ""
+}
+func (ingestTrigger) Name() string { return "ingest" }
+
+// queuePoller adapts the ingest queue to collect.FalliblePoller: each
+// poll drains at most one batch, without blocking, and never fails.
+type queuePoller struct{ q chan []tracer.Entry }
+
+func (p queuePoller) Poll() ([]tracer.Entry, uint64, error) {
+	select {
+	case es := <-p.q:
+		return es, 0, nil
+	default:
+		return nil, 0, nil
+	}
+}
+
+// ingestPipeline owns the POST /ingest delivery path: a bounded queue of
+// decoded batches drained by a supervised collector running in StoreSink
+// mode behind an adaptive overload gate. HTTP handlers touch only the
+// queue, the atomic counters and the mutex-protected snapshots — the
+// Supervisor itself stays single-goroutine, as its contract requires.
+type ingestPipeline struct {
+	queue chan []tracer.Entry
+	gate  *overload.Gate
+	sup   *collect.Supervisor
+	st    *store.Store
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	accepted atomic.Uint64 // events accepted into the queue
+	rejected atomic.Uint64 // batches refused with 429 (queue full)
+
+	// mu guards the snapshots the run loop publishes after every step so
+	// /readyz never calls into the Supervisor from a second goroutine.
+	mu     sync.Mutex
+	health collect.HealthReport
+	tier   overload.Tier
+}
+
+// newIngestPipeline wires the gate and supervisor over st and starts the
+// drain goroutine.
+func newIngestPipeline(st *store.Store, cfg ingestConfig) (*ingestPipeline, error) {
+	if cfg.SampleRate <= 0 || cfg.SampleRate > 1 {
+		return nil, fmt.Errorf("sample rate %v out of (0, 1]", cfg.SampleRate)
+	}
+	gcfg := overload.Config{
+		MinSampleRate: cfg.SampleRate,
+		RatePerSec:    cfg.RateLimit,
+		Burst:         cfg.RateBurst,
+	}
+	if !cfg.Shed {
+		// A score can never exceed 1, so an engage threshold above it
+		// pins the controller at TierNone while sampling and rate limits
+		// keep working.
+		gcfg.EngagePressure = 2
+	}
+	p := &ingestPipeline{
+		queue: make(chan []tracer.Entry, ingestQueueDepth),
+		gate:  overload.NewGate(gcfg),
+		st:    st,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	sup, err := collect.NewSupervisor(collect.SupervisorConfig{
+		Source:    queuePoller{p.queue},
+		Triggers:  []collect.Trigger{ingestTrigger{}},
+		Store:     st,
+		StoreSink: true,
+		Overload:  p.gate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.sup = sup
+	go p.run()
+	return p, nil
+}
+
+// run is the pipeline goroutine: it steps the supervisor, publishes the
+// health/tier snapshot, and sleeps briefly when the queue is dry.
+func (p *ingestPipeline) run() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.stop:
+			// Drain what was already accepted, then flush pending and
+			// spilled dumps, before the store is closed behind us. Errors
+			// are reflected in the final snapshot's SinkFailed.
+			for len(p.queue) > 0 {
+				p.sup.Step()
+			}
+			p.sup.Flush()
+			p.snapshot()
+			return
+		default:
+		}
+		p.sup.Step()
+		p.snapshot()
+		if len(p.queue) == 0 {
+			select {
+			case <-p.stop:
+				continue // let the stop branch above run the flush
+			case <-time.After(ingestIdleSleep):
+			}
+		}
+	}
+}
+
+func (p *ingestPipeline) snapshot() {
+	h := p.sup.Health()
+	t := p.gate.Tier()
+	p.mu.Lock()
+	p.health, p.tier = h, t
+	p.mu.Unlock()
+}
+
+// Close stops the drain goroutine, flushing whatever is queued or
+// spilled into the store first. Safe to call more than once.
+func (p *ingestPipeline) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+// enqueue offers one decoded batch to the pipeline without blocking.
+func (p *ingestPipeline) enqueue(es []tracer.Entry) bool {
+	select {
+	case p.queue <- es:
+		p.accepted.Add(uint64(len(es)))
+		return true
+	default:
+		p.rejected.Add(1)
+		return false
+	}
+}
+
+// notReadyReasons returns why the ingest path should refuse traffic —
+// empty when it is ready. The conditions mirror DESIGN.md "Overload
+// control": a dead store write path, a wedged or permanently failing
+// pipeline, and the full-drop shedding tier (at which nearly every
+// accepted event would be discarded anyway).
+func (p *ingestPipeline) notReadyReasons() []string {
+	var reasons []string
+	if err := p.st.WriteErr(); err != nil {
+		reasons = append(reasons, "store write path failed: "+err.Error())
+	}
+	p.mu.Lock()
+	h, tier := p.health, p.tier
+	p.mu.Unlock()
+	if h.SourceWedged {
+		reasons = append(reasons, "ingest pipeline wedged")
+	}
+	if h.SinkFailed {
+		reasons = append(reasons, "store sink in permanent failure")
+	}
+	if tier >= overload.TierStream {
+		reasons = append(reasons, "overload shedding at full-drop tier")
+	}
+	return reasons
+}
+
+// handleIngest accepts wire-encoded trace records (tracer.EncodeEvent
+// framing, concatenated) and feeds the events through the overload gate
+// into the durable store. Responses: 202 with the accepted count, 429
+// when the queue is full (client should back off and retry), 400 for
+// malformed payloads.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.ingest == nil {
+		http.Error(w, "ingest requires a durable store (start with -store)",
+			http.StatusServiceUnavailable)
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBody+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxIngestBody {
+		http.Error(w, fmt.Sprintf("payload exceeds %d bytes", maxIngestBody),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	recs, truncated := tracer.DecodeAll(body)
+	if truncated {
+		http.Error(w, "corrupt or truncated record stream", http.StatusBadRequest)
+		return
+	}
+	var es []tracer.Entry
+	for _, rec := range recs {
+		if rec.Kind == tracer.KindEvent {
+			es = append(es, rec.Event)
+		}
+	}
+	if len(es) == 0 {
+		http.Error(w, "no event records in payload", http.StatusBadRequest)
+		return
+	}
+	if !s.ingest.enqueue(es) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{"accepted": len(es)})
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+// It deliberately checks nothing else — liveness failing triggers
+// restarts, and restarting does not fix an overloaded store.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is the readiness probe: 200 while the server can do
+// useful work, 503 with one reason per line while it cannot. Without an
+// ingest pipeline the server is a read-only dashboard and is always
+// ready once it is serving.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.ingest == nil {
+		io.WriteString(w, "ok (dashboard only, no ingest pipeline)\n")
+		return
+	}
+	if reasons := s.ingest.notReadyReasons(); len(reasons) > 0 {
+		http.Error(w, strings.Join(reasons, "\n"), http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}

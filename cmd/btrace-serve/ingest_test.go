@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"btrace/internal/overload"
+	"btrace/internal/store"
+	"btrace/internal/tracer"
+)
+
+// encodeEvents wire-encodes entries the way a client of POST /ingest
+// would: tracer.EncodeEvent records, concatenated.
+func encodeEvents(t *testing.T, es []tracer.Entry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := range es {
+		rec := make([]byte, es[i].WireSize())
+		n, err := tracer.EncodeEvent(rec, &es[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(rec[:n])
+	}
+	return buf.Bytes()
+}
+
+func httpGet(t *testing.T, srv *server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func httpPost(t *testing.T, srv *server, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", path, bytes.NewReader(body)))
+	return rec
+}
+
+// TestProbesDashboardOnly: without an ingest pipeline the server is live
+// and ready (it is a working read-only dashboard), and /ingest explains
+// what is missing instead of 404ing.
+func TestProbesDashboardOnly(t *testing.T) {
+	srv, err := newServer(0.005, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := httpGet(t, srv, "/healthz"); rec.Code != 200 {
+		t.Errorf("/healthz status %d", rec.Code)
+	}
+	rec := httpGet(t, srv, "/readyz")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "dashboard only") {
+		t.Errorf("/readyz status %d body %q", rec.Code, rec.Body.String())
+	}
+	if rec := httpPost(t, srv, "/ingest", nil); rec.Code != 503 {
+		t.Errorf("/ingest without store: status %d, want 503", rec.Code)
+	}
+}
+
+// newIngestServer builds a server over a fresh store with a live ingest
+// pipeline; cleanup stops the pipeline before the store closes, like
+// main does.
+func newIngestServer(t *testing.T, cfg ingestConfig) (*server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ing, err := newIngestPipeline(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ing.Close)
+	srv, err := newServer(0.005, st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.attachIngest(ing)
+	return srv, st
+}
+
+// TestIngestEndToEnd: well-formed posted events land durably in the
+// store, the response reports the accepted count, and the probes stay
+// green throughout.
+func TestIngestEndToEnd(t *testing.T) {
+	srv, st := newIngestServer(t, ingestConfig{SampleRate: 1, Shed: true})
+	body := encodeEvents(t, []tracer.Entry{
+		{Stamp: 1, TS: 10, TID: 7, Category: 1, Level: 1, Payload: []byte("a")},
+		{Stamp: 2, TS: 20, TID: 7, Category: 1, Level: 1},
+		{Stamp: 3, TS: 30, TID: 7, Category: 2, Level: 2},
+	})
+	rec := httpPost(t, srv, "/ingest", body)
+	if rec.Code != 202 {
+		t.Fatalf("/ingest status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct{ Accepted int }
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 3 {
+		t.Fatalf("accepted %d, want 3", resp.Accepted)
+	}
+	if rec := httpGet(t, srv, "/readyz"); rec.Code != 200 {
+		t.Fatalf("/readyz during ingest: %d %s", rec.Code, rec.Body.String())
+	}
+	// The pipeline drains asynchronously; closing it flushes everything
+	// accepted, after which the store must hold all three events.
+	srv.ingest.Close()
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Events() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("store holds %d events, want 3", st.Events())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestIngestRejectsBadPayloads covers the 4xx surface: wrong method,
+// corrupt framing, event-free payloads, oversized bodies.
+func TestIngestRejectsBadPayloads(t *testing.T) {
+	srv, _ := newIngestServer(t, ingestConfig{SampleRate: 1, Shed: true})
+	if rec := httpGet(t, srv, "/ingest"); rec.Code != 405 {
+		t.Errorf("GET /ingest: status %d, want 405", rec.Code)
+	}
+	if rec := httpPost(t, srv, "/ingest", []byte("garbage!")); rec.Code != 400 {
+		t.Errorf("corrupt payload: status %d, want 400", rec.Code)
+	}
+	if rec := httpPost(t, srv, "/ingest", nil); rec.Code != 400 {
+		t.Errorf("empty payload: status %d, want 400", rec.Code)
+	}
+	if rec := httpPost(t, srv, "/ingest", make([]byte, maxIngestBody+8)); rec.Code != 413 {
+		t.Errorf("oversized payload: status %d, want 413", rec.Code)
+	}
+}
+
+// TestIngestQueueFullBackpressure: a stalled pipeline (no drain
+// goroutine, one-slot queue) answers 429 with Retry-After instead of
+// queuing without bound.
+func TestIngestQueueFullBackpressure(t *testing.T) {
+	srv, err := newServer(0.005, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.attachIngest(&ingestPipeline{queue: make(chan []tracer.Entry, 1)})
+	body := encodeEvents(t, []tracer.Entry{{Stamp: 1, TS: 10, TID: 7, Category: 1, Level: 1}})
+	if rec := httpPost(t, srv, "/ingest", body); rec.Code != 202 {
+		t.Fatalf("first post: status %d", rec.Code)
+	}
+	rec := httpPost(t, srv, "/ingest", body)
+	if rec.Code != 429 {
+		t.Fatalf("second post: status %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := srv.ingest.rejected.Load(); got != 1 {
+		t.Errorf("rejected batches: %d, want 1", got)
+	}
+}
+
+// TestReadyzReportsOverloadAndStoreFailure: the readiness probe turns
+// 503 with a reason for each not-ready condition it folds in.
+func TestReadyzReportsOverloadAndStoreFailure(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(0.005, st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hand-built pipeline (no goroutine) lets the test set snapshot
+	// state deterministically.
+	p := &ingestPipeline{st: st}
+	srv.attachIngest(p)
+
+	if rec := httpGet(t, srv, "/readyz"); rec.Code != 200 {
+		t.Fatalf("healthy: /readyz status %d", rec.Code)
+	}
+	p.mu.Lock()
+	p.tier = overload.TierStream
+	p.mu.Unlock()
+	rec := httpGet(t, srv, "/readyz")
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "full-drop tier") {
+		t.Errorf("full-drop tier: status %d body %q", rec.Code, rec.Body.String())
+	}
+	p.mu.Lock()
+	p.tier = overload.TierNone
+	p.health.SinkFailed = true
+	p.mu.Unlock()
+	rec = httpGet(t, srv, "/readyz")
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "permanent failure") {
+		t.Errorf("sink failed: status %d body %q", rec.Code, rec.Body.String())
+	}
+	p.mu.Lock()
+	p.health.SinkFailed = false
+	p.mu.Unlock()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec = httpGet(t, srv, "/readyz")
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "store write path failed") {
+		t.Errorf("closed store: status %d body %q", rec.Code, rec.Body.String())
+	}
+}

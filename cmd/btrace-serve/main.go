@@ -32,6 +32,10 @@ func main() {
 	queryWorkers := flag.Int("query-workers", store.DefaultQueryWorkers, "parallel scan workers for /store/query (0 = sequential cursor)")
 	commitEvery := flag.Duration("commit-every", 0, "store group-commit interval (0 = fsync only on demand)")
 	commitBytes := flag.Int64("commit-bytes", 0, "store group-commit byte threshold (0 = no byte trigger)")
+	sampleRate := flag.Float64("sample-rate", 0.05, "ingest head-sampling keep-rate floor under full overload, in (0, 1]")
+	rateLimit := flag.Float64("rate-limit", 0, "per-category ingest rate limit in events/sec of virtual time (0 = unlimited)")
+	rateBurst := flag.Float64("rate-burst", 0, "token-bucket burst for -rate-limit (0 = 2x the rate)")
+	shed := flag.Bool("shed", true, "enable tiered load shedding on the ingest path")
 	flag.Parse()
 
 	// The operator flag gets the same hard validation as the request
@@ -39,6 +43,10 @@ func main() {
 	// bigger experiment.
 	if *scale <= 0 || *scale > 1 {
 		fmt.Fprintf(os.Stderr, "btrace-serve: -scale must be in (0, 1], got %v\n", *scale)
+		os.Exit(2)
+	}
+	if *sampleRate <= 0 || *sampleRate > 1 {
+		fmt.Fprintf(os.Stderr, "btrace-serve: -sample-rate must be in (0, 1], got %v\n", *sampleRate)
 		os.Exit(2)
 	}
 
@@ -59,6 +67,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "btrace-serve:", err)
 		os.Exit(1)
+	}
+	// With a store attached the server also accepts traffic on POST
+	// /ingest, behind the adaptive overload gate. The pipeline is stopped
+	// (with a final flush) before the deferred store Close runs.
+	if ts != nil {
+		ing, err := newIngestPipeline(ts, ingestConfig{
+			SampleRate: *sampleRate,
+			RateLimit:  *rateLimit,
+			RateBurst:  *rateBurst,
+			Shed:       *shed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btrace-serve: ingest:", err)
+			os.Exit(1)
+		}
+		defer ing.Close()
+		srv.attachIngest(ing)
 	}
 	hs := &http.Server{
 		Addr:    *addr,

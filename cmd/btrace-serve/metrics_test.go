@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -91,6 +92,10 @@ func TestMetricsEndToEnd(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		sup.Step()
 	}
+	// The supervisor's obs collector retires via finalizer; keep the
+	// supervisor reachable past the scrape or a GC between here and
+	// there folds its gauge series away.
+	defer runtime.KeepAlive(sup)
 
 	// Store: append, seal, close.
 	st, err := store.Open(t.TempDir(), store.Config{})

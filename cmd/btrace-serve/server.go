@@ -65,6 +65,9 @@ type server struct {
 	// queryWorkers sizes the parallel scan pool /store/query uses; zero
 	// or negative falls back to the sequential cursor.
 	queryWorkers int
+	// ingest is the POST /ingest delivery pipeline; nil when the server
+	// runs without a store (attachIngest wires it after construction).
+	ingest *ingestPipeline
 }
 
 func newServer(defaultScale float64, st *store.Store, queryWorkers int) (*server, error) {
@@ -85,6 +88,11 @@ func newServer(defaultScale float64, st *store.Store, queryWorkers int) (*server
 	s.mux.HandleFunc("/replay.json", s.handleReplayJSON)
 	s.mux.HandleFunc("/store/segments", s.handleStoreSegments)
 	s.mux.HandleFunc("/store/query", s.handleStoreQuery)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	// Probe surface: /healthz is pure liveness, /readyz folds in the
+	// store write path and the overload controller (see ingest.go).
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	// Self-observability surface: Prometheus text metrics over the
 	// process-wide registry, plus the standard pprof profiles (explicit
 	// routes — importing net/http/pprof for its DefaultServeMux side
@@ -99,6 +107,11 @@ func newServer(defaultScale float64, st *store.Store, queryWorkers int) (*server
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// attachIngest hands the server its ingest pipeline. Separate from
+// newServer so dashboard-only deployments (and most tests) need not
+// build one.
+func (s *server) attachIngest(p *ingestPipeline) { s.ingest = p }
 
 // acquireRun takes a slot in the computation semaphore, answering 503
 // (with Retry-After) and returning false when the server is saturated.

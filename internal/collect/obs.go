@@ -22,13 +22,14 @@ type supObs struct {
 	pollBackoffSteps *obs.Counter
 	eventsMissed     *obs.Counter
 
-	dumps          *obs.Counter
-	dumpsWritten   *obs.Counter
-	sinkErrors     *obs.Counter
-	sinkBackoff    *obs.Counter
-	spilled        *obs.Counter
-	spillDropped   *obs.Counter
-	spillPersisted *obs.Counter
+	dumps              *obs.Counter
+	dumpsWritten       *obs.Counter
+	sinkErrors         *obs.Counter
+	sinkBackoff        *obs.Counter
+	spilled            *obs.Counter
+	spillDropped       *obs.Counter
+	spillDroppedEvents *obs.Counter
+	spillPersisted     *obs.Counter
 
 	grows   *obs.Counter
 	shrinks *obs.Counter
@@ -44,21 +45,22 @@ type supObs struct {
 
 func newSupObs() *supObs {
 	return &supObs{
-		polls:            obs.NewCounter(1),
-		pollErrors:       obs.NewCounter(1),
-		pollBackoffSteps: obs.NewCounter(1),
-		eventsMissed:     obs.NewCounter(1),
-		dumps:            obs.NewCounter(1),
-		dumpsWritten:     obs.NewCounter(1),
-		sinkErrors:       obs.NewCounter(1),
-		sinkBackoff:      obs.NewCounter(1),
-		spilled:          obs.NewCounter(1),
-		spillDropped:     obs.NewCounter(1),
-		spillPersisted:   obs.NewCounter(1),
-		grows:            obs.NewCounter(1),
-		shrinks:          obs.NewCounter(1),
-		quarantined:      obs.NewCounter(1),
-		wedgeDetections:  obs.NewCounter(1),
+		polls:              obs.NewCounter(1),
+		pollErrors:         obs.NewCounter(1),
+		pollBackoffSteps:   obs.NewCounter(1),
+		eventsMissed:       obs.NewCounter(1),
+		dumps:              obs.NewCounter(1),
+		dumpsWritten:       obs.NewCounter(1),
+		sinkErrors:         obs.NewCounter(1),
+		sinkBackoff:        obs.NewCounter(1),
+		spilled:            obs.NewCounter(1),
+		spillDropped:       obs.NewCounter(1),
+		spillDroppedEvents: obs.NewCounter(1),
+		spillPersisted:     obs.NewCounter(1),
+		grows:              obs.NewCounter(1),
+		shrinks:            obs.NewCounter(1),
+		quarantined:        obs.NewCounter(1),
+		wedgeDetections:    obs.NewCounter(1),
 	}
 }
 
@@ -76,6 +78,7 @@ func (o *supObs) addDeltas(cur, last SupervisorStats) {
 	o.sinkBackoff.Add(cur.SinkBackoff - last.SinkBackoff)
 	o.spilled.Add(cur.Spilled - last.Spilled)
 	o.spillDropped.Add(cur.SpillDropped - last.SpillDropped)
+	o.spillDroppedEvents.Add(cur.SpillDroppedEvents - last.SpillDroppedEvents)
 	o.spillPersisted.Add(cur.SpillPersisted - last.SpillPersisted)
 	o.grows.Add(cur.Grows - last.Grows)
 	o.shrinks.Add(cur.Shrinks - last.Shrinks)
@@ -96,6 +99,7 @@ func (o *supObs) collect(e *obs.Emitter) {
 	e.Counter("btrace_collect_sink_backoff_steps_total", "steps skipped waiting out sink backoff", o.sinkBackoff.Load())
 	e.Counter("btrace_collect_spilled_total", "dumps diverted to the in-memory spill ring", o.spilled.Load())
 	e.Counter("btrace_collect_spill_dropped_total", "spilled dumps evicted and lost", o.spillDropped.Load())
+	e.Counter("btrace_collect_spill_dropped_events_total", "events inside dropped spill dumps", o.spillDroppedEvents.Load())
 	e.Counter("btrace_collect_spill_persisted_total", "evicted dumps persisted to the durable store", o.spillPersisted.Load())
 	e.Counter("btrace_collect_grows_total", "adaptive buffer grow operations", o.grows.Load())
 	e.Counter("btrace_collect_shrinks_total", "adaptive buffer shrink operations", o.shrinks.Load())

@@ -23,6 +23,7 @@ import (
 	"io"
 	"math/rand"
 
+	"btrace/internal/overload"
 	"btrace/internal/tracer"
 )
 
@@ -46,6 +47,14 @@ type DumpStore interface {
 // async path defers surface on the store's own Sync/Close.
 type asyncAppender interface {
 	AppendEntriesAsync(es []tracer.Entry) error
+}
+
+// writeHealth is the sticky-error surface a DumpStore may offer
+// (store.Store does). The spill path consults it around asynchronous
+// staging: staging into a write path that has already failed must count
+// the dump dropped, not persisted — the bytes will never reach disk.
+type writeHealth interface {
+	WriteErr() error
 }
 
 // FalliblePoller is an incremental trace source whose polls can fail —
@@ -144,6 +153,18 @@ type SupervisorConfig struct {
 	// failure falls back to dropping, so a broken disk cannot wedge the
 	// pipeline.
 	Store DumpStore
+
+	// StoreSink makes the Store the primary dump destination: triggered
+	// dumps are delivered to it synchronously from stepSink, with the
+	// same retry budget, backoff and spill fallback an io.Writer sink
+	// gets. Requires Store; mutually exclusive with Sink.
+	StoreSink bool
+
+	// Overload, when set, is the adaptive overload gate applied to every
+	// verified batch before ingest. The supervisor feeds it the pressure
+	// signals the pipeline already tracks — spill ring fill, per-poll
+	// loss rate, and the store's write-path latencies — once per poll.
+	Overload *overload.Gate
 }
 
 // SupervisorStats counts everything the pipeline absorbed.
@@ -160,6 +181,11 @@ type SupervisorStats struct {
 	Spilled        uint64 // dumps diverted to the spill ring
 	SpillDropped   uint64 // spilled dumps evicted by the ring bound and lost
 	SpillPersisted uint64 // evicted dumps persisted to the durable store
+	// SpillDroppedEvents counts the events (quarantined included) inside
+	// dropped dumps, making loss accounting event-exact: every event the
+	// pipeline accepted is eventually delivered, persisted, or counted
+	// here.
+	SpillDroppedEvents uint64
 
 	Grows   uint64 // adaptive Resize grow operations
 	Shrinks uint64 // adaptive Resize shrink operations
@@ -237,6 +263,14 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	if cfg.Source != nil && cfg.Cursor != nil {
 		return nil, fmt.Errorf("collect: both Source and Cursor set")
+	}
+	if cfg.StoreSink {
+		if cfg.Store == nil {
+			return nil, fmt.Errorf("collect: StoreSink requires Store")
+		}
+		if cfg.Sink != nil {
+			return nil, fmt.Errorf("collect: StoreSink is mutually exclusive with Sink")
+		}
 	}
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = 512
@@ -383,6 +417,14 @@ func (s *Supervisor) stepPoll() *Dump {
 	s.violations = append(s.violations, violations...)
 	s.stats.Quarantined += uint64(len(quarantined))
 
+	// Overload control sits between verification and ingest: quarantined
+	// entries already left the batch (they are evidence, never shed), and
+	// whatever the gate admits is what the window and triggers see.
+	if g := s.cfg.Overload; g != nil {
+		g.Evaluate(s.pressure(len(clean), missed))
+		clean = g.Filter(clean)
+	}
+
 	s.adaptCapacity(missed)
 
 	var dump *Dump
@@ -399,10 +441,25 @@ func (s *Supervisor) stepPoll() *Dump {
 	s.quarantined = nil
 	s.violations = nil
 	s.stats.Dumps++
-	if s.cfg.Sink != nil {
+	if s.cfg.Sink != nil || s.cfg.StoreSink {
 		s.pending = append(s.pending, &pendingDump{dump: dump})
 	}
 	return dump
+}
+
+// pressure assembles the overload controller's input vector from the
+// signals the pipeline already tracks.
+func (s *Supervisor) pressure(polled int, missed uint64) overload.Pressure {
+	p := overload.Pressure{
+		SpillFill: float64(len(s.spill)) / float64(s.cfg.SpillCapacity),
+	}
+	if total := missed + uint64(polled); total > 0 {
+		p.LossRate = float64(missed) / float64(total)
+	}
+	if ps, ok := s.cfg.Store.(overload.PressureSource); ok {
+		p.Store = ps.Pressure()
+	}
+	return p
 }
 
 // adaptCapacity implements graceful degradation under loss pressure:
@@ -450,12 +507,16 @@ func (s *Supervisor) adaptCapacity(missed uint64) {
 // stepSink drains pending dumps to the sink, honoring backoff, the retry
 // budget and permanent-failure spilling.
 func (s *Supervisor) stepSink() {
-	if s.cfg.Sink == nil || len(s.pending) == 0 {
+	if (s.cfg.Sink == nil && !s.cfg.StoreSink) || len(s.pending) == 0 {
 		return
 	}
 	if s.sinkBackoff > 0 {
 		s.sinkBackoff--
 		s.stats.SinkBackoff++
+		return
+	}
+	if s.cfg.StoreSink {
+		s.stepStoreSink()
 		return
 	}
 	for len(s.pending) > 0 {
@@ -496,9 +557,45 @@ func (s *Supervisor) stepSink() {
 	}
 }
 
+// stepStoreSink delivers pending dumps to the durable store — the
+// StoreSink analogue of the io.Writer drain loop above. Delivery is the
+// synchronous AppendEntries (delivered means applied); a sticky
+// write-path failure is the store's ErrPermanent: everything pending
+// spills at once rather than burning the retry budget against a disk
+// that is gone.
+func (s *Supervisor) stepStoreSink() {
+	wh, _ := s.cfg.Store.(writeHealth)
+	for len(s.pending) > 0 {
+		p := s.pending[0]
+		p.attempts++
+		if err := s.cfg.Store.AppendEntries(dumpEntries(p.dump)); err != nil {
+			s.stats.SinkErrors++
+			if wh != nil && wh.WriteErr() != nil {
+				s.sinkFailed = true
+				for _, q := range s.pending {
+					s.spillDump(q.dump)
+				}
+				s.pending = s.pending[:0]
+				return
+			}
+			if p.attempts >= s.cfg.SinkRetryBudget {
+				s.spillDump(p.dump)
+				s.pending = s.pending[1:]
+			}
+			s.sinkBackoff = s.backoffAfter(p.attempts)
+			return
+		}
+		s.sinkFailed = false
+		s.stats.DumpsWritten++
+		s.pending = s.pending[1:]
+	}
+}
+
 // spillDump appends a dump to the bounded in-memory spill ring, evicting
 // the oldest when full. With a durable store configured, evicted dumps
-// are persisted instead of dropped.
+// are persisted instead of dropped. Each evicted dump is counted exactly
+// once — persisted or dropped, never both — and drops are additionally
+// counted event-exact in SpillDroppedEvents.
 func (s *Supervisor) spillDump(d *Dump) {
 	s.spill = append(s.spill, d)
 	s.stats.Spilled++
@@ -508,25 +605,44 @@ func (s *Supervisor) spillDump(d *Dump) {
 				s.stats.SpillPersisted++
 			} else {
 				s.stats.SpillDropped++
+				s.stats.SpillDroppedEvents += uint64(len(old.Events) + len(old.Quarantined))
 			}
 		}
 		s.spill = append(s.spill[:0], s.spill[over:]...)
 	}
 }
 
-// persistDump writes a dump's events (quarantined entries included, so
-// nothing the verifier flagged is silently lost) to the durable store.
-func (s *Supervisor) persistDump(d *Dump) bool {
-	es := d.Events
-	if len(d.Quarantined) > 0 {
-		// One AppendEntries call for the whole dump, so the
-		// SpillPersisted/SpillDropped split reflects a single outcome —
-		// two calls could persist the events yet count the dump dropped.
-		es = make([]tracer.Entry, 0, len(d.Events)+len(d.Quarantined))
-		es = append(append(es, d.Events...), d.Quarantined...)
+// dumpEntries merges a dump's clean and quarantined entries (nothing the
+// verifier flagged is silently lost) into the slice handed to the store
+// — one append per dump, so the persisted/dropped split always reflects
+// a single outcome.
+func dumpEntries(d *Dump) []tracer.Entry {
+	if len(d.Quarantined) == 0 {
+		return d.Events
 	}
+	es := make([]tracer.Entry, 0, len(d.Events)+len(d.Quarantined))
+	return append(append(es, d.Events...), d.Quarantined...)
+}
+
+// persistDump writes a dump's events to the durable store, reporting
+// whether the dump may be counted persisted. The async staging path
+// returns before the write applies, so a nil error from it is not
+// enough: if the write path was already dead before staging — or died
+// while we staged — the bytes will never reach disk, and counting the
+// dump persisted would double-book it against the store's own failure
+// accounting. Checking WriteErr on both sides of the stage closes that
+// window: a dump is persisted, or it is dropped, never both.
+func (s *Supervisor) persistDump(d *Dump) bool {
+	es := dumpEntries(d)
+	wh, _ := s.cfg.Store.(writeHealth)
 	if aa, ok := s.cfg.Store.(asyncAppender); ok {
-		return aa.AppendEntriesAsync(es) == nil
+		if wh != nil && wh.WriteErr() != nil {
+			return false
+		}
+		if aa.AppendEntriesAsync(es) != nil {
+			return false
+		}
+		return wh == nil || wh.WriteErr() == nil
 	}
 	return s.cfg.Store.AppendEntries(es) == nil
 }
@@ -536,6 +652,9 @@ func (s *Supervisor) persistDump(d *Dump) bool {
 // returns the first delivery error (spilled dumps stay in the ring on
 // failure).
 func (s *Supervisor) Flush() error {
+	if s.cfg.StoreSink {
+		return s.flushToStore()
+	}
 	if s.cfg.Sink == nil {
 		return nil
 	}
@@ -562,6 +681,31 @@ func (s *Supervisor) Flush() error {
 			return err
 		}
 		if _, err := s.cfg.Sink.Write(buf.Bytes()); err != nil {
+			s.stats.SinkErrors++
+			return err
+		}
+		s.stats.DumpsWritten++
+		s.spill = s.spill[1:]
+	}
+	s.sinkFailed = false
+	return nil
+}
+
+// flushToStore is Flush for StoreSink mode: deliver every pending and
+// spilled dump to the store synchronously, ignoring backoff. Undelivered
+// dumps stay queued on failure.
+func (s *Supervisor) flushToStore() error {
+	defer s.publishObs()
+	for len(s.pending) > 0 {
+		if err := s.cfg.Store.AppendEntries(dumpEntries(s.pending[0].dump)); err != nil {
+			s.stats.SinkErrors++
+			return err
+		}
+		s.stats.DumpsWritten++
+		s.pending = s.pending[1:]
+	}
+	for len(s.spill) > 0 {
+		if err := s.cfg.Store.AppendEntries(dumpEntries(s.spill[0])); err != nil {
 			s.stats.SinkErrors++
 			return err
 		}

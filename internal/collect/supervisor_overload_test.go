@@ -1,0 +1,235 @@
+package collect
+
+import (
+	"errors"
+	"testing"
+
+	"btrace/internal/overload"
+	"btrace/internal/store"
+	"btrace/internal/tracer"
+)
+
+// TestSupervisorOverloadGateFilters: sustained loss pressure measured by
+// the supervisor itself escalates the gate through its tiers, the gate's
+// verdict decides what the collector ingests, and the accounting
+// identity holds across the whole run.
+func TestSupervisorOverloadGateFilters(t *testing.T) {
+	g := overload.NewGate(overload.Config{
+		MinSampleRate: 1, // isolate the tier machine from sampling
+		EngageAfter:   1,
+		CooldownEvals: 100,
+	})
+	// Each poll returns 1 event and 50 missed: loss rate 50/51 ≈ 0.98,
+	// far above the default engage threshold, so every poll escalates one
+	// tier. Polls 1 and 2 run at TierPayload/TierCategory (the level-0
+	// events are neither low-priority nor carry payload, so they pass);
+	// polls 3..6 run at TierStream and shed.
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:   lossyScript(50, 50, 50, 50, 50, 50),
+		Triggers: []Trigger{&LossDetector{Tolerance: 1}},
+		Overload: g,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	for i := 0; i < 6; i++ {
+		if d := s.Step(); d != nil {
+			delivered += len(d.Events)
+		}
+	}
+	if g.Tier() != overload.TierStream {
+		t.Fatalf("tier after sustained loss: %v", g.Tier())
+	}
+	gs := g.Stats()
+	if gs.Seen != 6 || gs.Admitted != 2 || gs.ShedStream != 4 {
+		t.Fatalf("gate accounting: %+v", gs)
+	}
+	if sum := gs.Admitted + gs.SampledOut + gs.ThrottledCategory + gs.ThrottledStream +
+		gs.ShedCategory + gs.ShedStream; sum != gs.Seen {
+		t.Fatalf("identity broken: %+v", gs)
+	}
+	if delivered != 2 {
+		t.Fatalf("dumps carried %d events, want the 2 admitted", delivered)
+	}
+}
+
+// stagingDeadStore models the asynchronous staging hazard: the async
+// append stages successfully (nil error) but the write path dies before
+// the bytes reach disk. Before the writeHealth check, the supervisor
+// counted such dumps persisted.
+type stagingDeadStore struct {
+	err        error // sticky write-path error, visible via WriteErr
+	dieOnStage bool  // make the write path die during the async stage
+	asyncCalls int
+	syncCalls  int
+}
+
+func (f *stagingDeadStore) AppendEntries([]tracer.Entry) error {
+	f.syncCalls++
+	if f.err != nil {
+		return f.err
+	}
+	return nil
+}
+
+func (f *stagingDeadStore) AppendEntriesAsync([]tracer.Entry) error {
+	f.asyncCalls++
+	if f.err != nil {
+		return f.err
+	}
+	if f.dieOnStage {
+		f.err = errors.New("write path died mid-stage")
+	}
+	return nil // staged — but the bytes will never apply
+}
+
+func (f *stagingDeadStore) WriteErr() error { return f.err }
+
+// TestSupervisorSpillAsyncDeadStoreCountsDropOnce is the accounting
+// regression test: a dump staged into a dead (or dying) write path must
+// be counted SpillDropped exactly once — never SpillPersisted, and never
+// both.
+func TestSupervisorSpillAsyncDeadStoreCountsDropOnce(t *testing.T) {
+	run := func(t *testing.T, fs *stagingDeadStore) SupervisorStats {
+		t.Helper()
+		s, err := NewSupervisor(SupervisorConfig{
+			Source:        lossyScript(50, 50, 50, 50),
+			Triggers:      []Trigger{&LossDetector{Tolerance: 1}},
+			Sink:          &flakySink{failFirst: -1, permanent: true},
+			SpillCapacity: 2,
+			Store:         fs,
+			Seed:          3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200 && s.Stats().Spilled < 4; i++ {
+			s.Step()
+		}
+		return s.Stats()
+	}
+
+	t.Run("dead-before-stage", func(t *testing.T) {
+		fs := &stagingDeadStore{err: errors.New("disk gone")}
+		stats := run(t, fs)
+		if stats.SpillPersisted != 0 || stats.SpillDropped != 2 || stats.SpillDroppedEvents != 2 {
+			t.Fatalf("accounting: %+v", stats)
+		}
+		if fs.asyncCalls != 0 {
+			t.Fatalf("staged %d dumps into a known-dead write path", fs.asyncCalls)
+		}
+	})
+
+	t.Run("dies-during-stage", func(t *testing.T) {
+		fs := &stagingDeadStore{dieOnStage: true}
+		stats := run(t, fs)
+		// The first eviction stages and the path dies under it; the
+		// post-stage health check must count it dropped, and the second
+		// eviction sees the dead path up front.
+		if stats.SpillPersisted != 0 || stats.SpillDropped != 2 || stats.SpillDroppedEvents != 2 {
+			t.Fatalf("accounting: %+v", stats)
+		}
+		if fs.asyncCalls != 1 {
+			t.Fatalf("async stages: %d, want 1", fs.asyncCalls)
+		}
+	})
+
+	t.Run("healthy-path-still-persists", func(t *testing.T) {
+		fs := &stagingDeadStore{}
+		stats := run(t, fs)
+		if stats.SpillPersisted != 2 || stats.SpillDropped != 0 || stats.SpillDroppedEvents != 0 {
+			t.Fatalf("accounting: %+v", stats)
+		}
+	})
+}
+
+func TestSupervisorStoreSinkValidation(t *testing.T) {
+	if _, err := NewSupervisor(SupervisorConfig{
+		Source:    &scriptedSource{},
+		StoreSink: true,
+	}); err == nil {
+		t.Fatal("StoreSink without Store: expected error")
+	}
+	if _, err := NewSupervisor(SupervisorConfig{
+		Source:    &scriptedSource{},
+		StoreSink: true,
+		Store:     &stagingDeadStore{},
+		Sink:      &flakySink{},
+	}); err == nil {
+		t.Fatal("StoreSink with Sink: expected error")
+	}
+}
+
+// TestSupervisorStoreSinkDelivers: in StoreSink mode triggered dumps
+// land in the durable store, and delivered events are readable back.
+func TestSupervisorStoreSinkDelivers(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:    lossyScript(50, 50, 50),
+		Triggers:  []Trigger{&LossDetector{Tolerance: 1}},
+		Store:     st,
+		StoreSink: true,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.Step()
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if stats.Dumps != 3 || stats.DumpsWritten != 3 || stats.Spilled != 0 {
+		t.Fatalf("delivery accounting: %+v", stats)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	cur := st.NewCursor()
+	defer cur.Close()
+	es, err := tracer.Drain(cur, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 3 {
+		t.Fatalf("store holds %d events, want 3", len(es))
+	}
+}
+
+// TestSupervisorStoreSinkDeadStoreSpills: a store whose write path died
+// is the StoreSink analogue of a permanent sink failure — everything
+// pending spills at once instead of burning the retry budget.
+func TestSupervisorStoreSinkDeadStoreSpills(t *testing.T) {
+	fs := &stagingDeadStore{err: errors.New("disk gone")}
+	s, err := NewSupervisor(SupervisorConfig{
+		Source:    lossyScript(50, 50),
+		Triggers:  []Trigger{&LossDetector{Tolerance: 1}},
+		Store:     fs,
+		StoreSink: true,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		s.Step()
+	}
+	stats := s.Stats()
+	if stats.DumpsWritten != 0 || stats.Spilled != 2 {
+		t.Fatalf("dead-store accounting: %+v", stats)
+	}
+	if !s.Health().SinkFailed {
+		t.Fatal("SinkFailed not reported")
+	}
+	if s.Health().PendingDumps != 0 {
+		t.Fatal("pending dumps left queued behind a dead store")
+	}
+}

@@ -1,0 +1,215 @@
+package faults_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"btrace/internal/collect"
+	"btrace/internal/faults"
+	"btrace/internal/overload"
+	"btrace/internal/store"
+	"btrace/internal/tracer"
+)
+
+// fireNonEmpty fires a dump for every non-empty admitted batch, so each
+// event the gate admits is immediately on the delivery path — what makes
+// the end-to-end accounting identity checkable with no events stranded
+// in the rolling window.
+type fireNonEmpty struct{}
+
+func (fireNonEmpty) Observe(es []tracer.Entry) string {
+	if len(es) > 0 {
+		return "batch"
+	}
+	return ""
+}
+func (fireNonEmpty) Name() string { return "burst" }
+
+func p99(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := len(samples) * 99 / 100
+	if idx >= len(samples) {
+		idx = len(samples) - 1
+	}
+	return samples[idx]
+}
+
+// TestChaosOverloadStorm drives the full adaptive-overload loop through
+// two engage→degrade→recover cycles: an oversubscribed producer floods
+// the collector while the durable store's write path is wedged, then
+// both heal. Asserted, per DESIGN.md "Overload control":
+//
+//   - the tier machine escalates to the full-drop tier under each storm,
+//     steps back monotonically during each calm (no flapping), and ends
+//     fully disengaged;
+//   - the event-exact accounting identity holds: every event the source
+//     produced is either durably stored or attributed to exactly one
+//     overload/spill counter — nothing is silently lost;
+//   - the per-step p99 latency under storm stays within 2× of the calm
+//     baseline (with an absolute floor to keep CI noise out).
+func TestChaosOverloadStorm(t *testing.T) {
+	in := faults.New(chaosSeed)
+	st, err := store.Open(t.TempDir(), store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	fst := in.FlakyStore(st, 0) // failures are wedge-driven, not random
+	src := in.BurstSource(faults.BurstConfig{
+		CalmPerPoll:  4,
+		StormPerPoll: 32,
+		CalmPolls:    scale(40, 20),
+		StormPolls:   scale(30, 15),
+		Cycles:       2,
+		StormMissed:  96, // storm loss rate 96/(96+32) = 0.75
+		Categories:   []uint8{1, 2, 3},
+		PayloadBytes: 32,
+	})
+	gate := overload.NewGate(overload.Config{
+		MinSampleRate:     0.25,
+		EngagePressure:    0.6,
+		DisengagePressure: 0.3,
+		EngageAfter:       2,
+		CooldownEvals:     4,
+	})
+	sup, err := collect.NewSupervisor(collect.SupervisorConfig{
+		Source:          src,
+		Triggers:        []collect.Trigger{fireNonEmpty{}},
+		Store:           fst,
+		StoreSink:       true,
+		Overload:        gate,
+		SinkRetryBudget: 1,
+		BackoffMax:      1,
+		// The ring must absorb every storm dump without evicting: any
+		// SpillDropped here would be the pipeline losing data it had
+		// already accepted.
+		SpillCapacity: 256,
+		Seed:          chaosSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type sample struct {
+		storm bool
+		tier  overload.Tier
+	}
+	var (
+		trajectory        []sample
+		calmNs, stormNs   []time.Duration
+		reachedFull       int
+		quietSteps, steps int
+	)
+	for quietSteps < 30 {
+		storming := src.Storming()
+		if src.Quiet() {
+			quietSteps++
+		}
+		// The store's write path fails exactly while the producer storms.
+		if storming {
+			fst.Wedge()
+		} else {
+			fst.Heal()
+		}
+		start := time.Now()
+		sup.Step()
+		elapsed := time.Since(start)
+		if storming {
+			stormNs = append(stormNs, elapsed)
+		} else if quietSteps == 0 {
+			calmNs = append(calmNs, elapsed)
+		}
+		trajectory = append(trajectory, sample{storm: storming, tier: gate.Tier()})
+		if storming && gate.Tier() == overload.TierStream {
+			reachedFull++
+		}
+		steps++
+		if steps > 10_000 {
+			t.Fatal("scenario failed to quiesce")
+		}
+	}
+	if err := sup.Flush(); err != nil {
+		t.Fatalf("flush after heal: %v", err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tier trajectory: full drop reached under storm, fully released at
+	// the end, and within every phase the tier moves one way only — storms
+	// never step down, calms never step up (the hysteresis no-flap
+	// property, observed end to end rather than on the unit controller).
+	if reachedFull == 0 {
+		t.Error("storm never drove the gate to the full-drop tier")
+	}
+	if gate.Tier() != overload.TierNone {
+		t.Errorf("tier after recovery: %v, want none", gate.Tier())
+	}
+	for i := 1; i < len(trajectory); i++ {
+		prev, cur := trajectory[i-1], trajectory[i]
+		if prev.storm != cur.storm {
+			continue // phase boundary
+		}
+		if cur.storm && cur.tier < prev.tier {
+			t.Fatalf("step %d: tier released mid-storm (%v -> %v)", i, prev.tier, cur.tier)
+		}
+		if !cur.storm && cur.tier > prev.tier {
+			t.Fatalf("step %d: tier engaged mid-calm (%v -> %v)", i, prev.tier, cur.tier)
+		}
+	}
+	gs := gate.Stats()
+	if gs.TierEngagements != gs.TierReleases {
+		t.Errorf("engagements %d != releases %d after full recovery", gs.TierEngagements, gs.TierReleases)
+	}
+
+	// Event-exact accounting identity. Everything the source produced was
+	// seen by the gate (the verifier quarantines nothing from a
+	// well-formed source), and every seen event is durably stored or
+	// attributed to exactly one drop counter.
+	ss := sup.Stats()
+	if ss.Quarantined != 0 {
+		t.Fatalf("verifier quarantined %d well-formed events", ss.Quarantined)
+	}
+	produced := src.Produced()
+	if gs.Seen != produced {
+		t.Fatalf("gate saw %d of %d produced events", gs.Seen, produced)
+	}
+	_, stored, _ := fst.Stats()
+	accounted := stored + gs.SampledOut + gs.ThrottledCategory + gs.ThrottledStream +
+		gs.ShedCategory + gs.ShedStream + ss.SpillDroppedEvents
+	if accounted != produced {
+		t.Fatalf("accounting identity broken: produced %d, accounted %d (stored %d, gate %+v, supervisor %+v)",
+			produced, accounted, stored, gs, ss)
+	}
+	if ss.SpillDropped != 0 || ss.SpillDroppedEvents != 0 {
+		t.Errorf("pipeline dropped accepted data: %+v", ss)
+	}
+	h := sup.Health()
+	if h.PendingDumps != 0 || h.SpilledDumps != 0 {
+		t.Errorf("undelivered dumps after flush: %+v", h)
+	}
+	if gs.PayloadShedEvents == 0 {
+		t.Error("payload tier never engaged its shedding")
+	}
+
+	// Latency bound: storm p99 within 2× of the calm baseline. The
+	// absolute floor keeps scheduler noise on busy CI machines from
+	// failing a bound the pipeline itself respects.
+	calmP99, stormP99 := p99(calmNs), p99(stormNs)
+	if stormP99 > 2*calmP99 && stormP99 > 250*time.Microsecond {
+		t.Errorf("storm p99 %v exceeds 2x calm p99 %v", stormP99, calmP99)
+	}
+
+	// The injected schedule is part of the scenario's reproducible plan.
+	if got := in.Schedule("store"); len(got) != 4 ||
+		got[0] != "wedge" || got[1] != "heal" || got[2] != "wedge" || got[3] != "heal" {
+		t.Errorf("store fault schedule: %v", got)
+	}
+	if got := in.Schedule("burst"); len(got) == 0 {
+		t.Error("burst phase transitions not recorded")
+	}
+}

@@ -1,0 +1,471 @@
+// Package overload is the collector's adaptive overload-control
+// subsystem: production tracing must degrade gracefully under load, not
+// wedge the traced system (the XTrace non-invasive production framing)
+// — and every event it gives up must stay attributable (the
+// event-cap/truncation-counter idiom). A Gate sits between the
+// supervisor's verifier and its ingest step and makes one decision per
+// event, in a fixed order:
+//
+//  1. tiered load shedding — under sustained pressure the controller
+//     escalates through three tiers (drop payload bytes → drop
+//     low-priority categories → drop whole streams) and steps back down
+//     only after a hysteresis cool-down, so the system never flaps
+//     across the engage boundary;
+//  2. head sampling — per-category keep rates fall smoothly from 1.0
+//     toward Config.MinSampleRate as smoothed pressure rises, using a
+//     deterministic credit accumulator (exactly ⌈r·n⌉ of n events pass
+//     at rate r, evenly spread);
+//  3. token buckets — hard per-category and per-stream rate limits with
+//     configurable burst, refilled on the events' own virtual
+//     timestamps so replayed and live time behave identically.
+//
+// Every sampling, throttle and shed decision increments a dedicated
+// counter, so the accounting identity
+//
+//	Seen == Admitted + SampledOut + ThrottledCategory + ThrottledStream
+//	        + ShedCategory + ShedStream
+//
+// holds exactly at all times (payload-stripped events count as admitted;
+// only their bytes are recorded as shed).
+//
+// A Gate, like the Supervisor that drives it, is owned by a single
+// goroutine; the obs mirror (obs.go) republishes its counters for
+// concurrent /metrics scrapes.
+package overload
+
+import (
+	"btrace/internal/tracer"
+)
+
+// Tier is the load-shedding escalation level.
+type Tier uint8
+
+// Shedding tiers, in engagement order. Each tier includes the measures
+// of the tiers below it.
+const (
+	// TierNone sheds nothing; sampling and rate limits still apply.
+	TierNone Tier = iota
+	// TierPayload strips payload bytes from admitted events: the event
+	// (header, stamp, identity) survives, its body does not.
+	TierPayload
+	// TierCategory drops events in low-priority categories entirely.
+	TierCategory
+	// TierStream drops whole streams: every event is shed except those
+	// Config.Critical exempts. This is the full-drop tier a readiness
+	// probe should report as not-ready.
+	TierStream
+)
+
+// String returns the tier's short name.
+func (t Tier) String() string {
+	switch t {
+	case TierNone:
+		return "none"
+	case TierPayload:
+		return "payload"
+	case TierCategory:
+		return "category"
+	default:
+		return "stream"
+	}
+}
+
+// StorePressure is the durable store's contribution to the pressure
+// vector: the write path's recent latencies and staging occupancy
+// (store.Store.Pressure exports it).
+type StorePressure struct {
+	// AppendNs is a recent average (EWMA) of append stage+apply latency.
+	AppendNs uint64
+	// FsyncNs is a recent average (EWMA) of fsync latency.
+	FsyncNs uint64
+	// StagedFill is the staging arena's occupancy in [0, 1].
+	StagedFill float64
+	// Failed reports a sticky write-path failure: the store accepts no
+	// more appends until reopened.
+	Failed bool
+}
+
+// PressureSource is the optional surface a DumpStore may implement to
+// feed the controller its backpressure signals (store.Store does).
+type PressureSource interface {
+	Pressure() StorePressure
+}
+
+// Pressure is one evaluation's input vector. The supervisor assembles
+// it from the signals the pipeline already exports: spill ring depth,
+// per-poll loss, and the store's write-path latencies.
+type Pressure struct {
+	// SpillFill is the spill ring's occupancy in [0, 1].
+	SpillFill float64
+	// LossRate is the fraction of events lost to overwrite in the most
+	// recent poll: missed / (missed + polled), in [0, 1].
+	LossRate float64
+	// Store carries the durable store's signals (zero when no store).
+	Store StorePressure
+}
+
+// Score collapses the vector to a scalar in [0, 1]: the worst channel
+// wins, because any single saturated resource is overload regardless of
+// how idle the others are. Latencies normalize against the configured
+// budgets.
+func (p Pressure) score(appendBudgetNs, fsyncBudgetNs uint64) float64 {
+	s := p.SpillFill
+	if p.LossRate > s {
+		s = p.LossRate
+	}
+	if p.Store.StagedFill > s {
+		s = p.Store.StagedFill
+	}
+	if v := float64(p.Store.AppendNs) / float64(appendBudgetNs); v > s {
+		s = v
+	}
+	if v := float64(p.Store.FsyncNs) / float64(fsyncBudgetNs); v > s {
+		s = v
+	}
+	if p.Store.Failed {
+		s = 1
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// Config configures a Gate. Zero values select the documented defaults.
+type Config struct {
+	// MinSampleRate is the floor the controller may drive per-category
+	// keep rates down to under full pressure (default 0.05; 1 disables
+	// dynamic sampling entirely).
+	MinSampleRate float64
+	// SampleStart is the smoothed pressure at which keep rates begin to
+	// fall below 1.0 (default 0.5).
+	SampleStart float64
+
+	// RatePerSec is the per-category token refill rate in events per
+	// second of virtual time (0 = no category rate limit).
+	RatePerSec float64
+	// Burst is the per-category bucket capacity (default 2×RatePerSec,
+	// minimum 1).
+	Burst float64
+	// StreamRatePerSec is the per-stream (per-TID) token refill rate
+	// (0 = no stream rate limit).
+	StreamRatePerSec float64
+	// StreamBurst is the per-stream bucket capacity (default
+	// 2×StreamRatePerSec, minimum 1).
+	StreamBurst float64
+	// MaxStreams bounds the per-stream bucket table; beyond it the
+	// stalest stream's bucket is recycled (default 1024).
+	MaxStreams int
+
+	// EngagePressure is the score at or above which an evaluation counts
+	// toward escalation (default 0.75).
+	EngagePressure float64
+	// DisengagePressure is the score at or below which an evaluation
+	// counts toward release (default 0.35). Scores between the two
+	// thresholds hold the current tier — that band is the hysteresis.
+	DisengagePressure float64
+	// EngageAfter is the number of consecutive hot evaluations required
+	// per tier escalation (default 3).
+	EngageAfter int
+	// CooldownEvals is the number of consecutive cool evaluations
+	// required per tier release (default 8). Releases are deliberately
+	// slower than engagements: shedding too little wedges the system,
+	// shedding too long only costs detail.
+	CooldownEvals int
+	// Smoothing is the EWMA coefficient applied to the pressure score
+	// before it drives sampling rates, in (0, 1] (default 0.5; 1 =
+	// unsmoothed).
+	Smoothing float64
+
+	// AppendBudgetNs and FsyncBudgetNs normalize the store latencies to
+	// pressure: a latency at budget reads as pressure 1.0 (defaults
+	// 1 ms and 20 ms).
+	AppendBudgetNs uint64
+	FsyncBudgetNs  uint64
+
+	// LowPriority classifies events shed at TierCategory. The default
+	// treats detail level ≥ 3 (the paper's most verbose level) as low
+	// priority.
+	LowPriority func(category, level uint8) bool
+	// Critical exempts events from TierStream's full drop (and from
+	// sampling and rate limits — a watchdog heartbeat must never be the
+	// event the tracer dropped). Default: nothing is critical.
+	Critical func(category, level uint8) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSampleRate <= 0 {
+		c.MinSampleRate = 0.05
+	}
+	if c.MinSampleRate > 1 {
+		c.MinSampleRate = 1
+	}
+	if c.SampleStart <= 0 {
+		c.SampleStart = 0.5
+	}
+	if c.Burst <= 0 {
+		c.Burst = 2 * c.RatePerSec
+	}
+	if c.RatePerSec > 0 && c.Burst < 1 {
+		c.Burst = 1
+	}
+	if c.StreamBurst <= 0 {
+		c.StreamBurst = 2 * c.StreamRatePerSec
+	}
+	if c.StreamRatePerSec > 0 && c.StreamBurst < 1 {
+		c.StreamBurst = 1
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 1024
+	}
+	if c.EngagePressure <= 0 {
+		c.EngagePressure = 0.75
+	}
+	if c.DisengagePressure <= 0 {
+		c.DisengagePressure = 0.35
+	}
+	if c.DisengagePressure >= c.EngagePressure {
+		c.DisengagePressure = c.EngagePressure / 2
+	}
+	if c.EngageAfter <= 0 {
+		c.EngageAfter = 3
+	}
+	if c.CooldownEvals <= 0 {
+		c.CooldownEvals = 8
+	}
+	if c.Smoothing <= 0 || c.Smoothing > 1 {
+		c.Smoothing = 0.5
+	}
+	if c.AppendBudgetNs == 0 {
+		c.AppendBudgetNs = 1_000_000
+	}
+	if c.FsyncBudgetNs == 0 {
+		c.FsyncBudgetNs = 20_000_000
+	}
+	if c.LowPriority == nil {
+		c.LowPriority = func(_, level uint8) bool { return level >= 3 }
+	}
+	if c.Critical == nil {
+		c.Critical = func(_, _ uint8) bool { return false }
+	}
+	return c
+}
+
+// Stats counts every decision the gate made. The accounting identity
+//
+//	Seen == Admitted + SampledOut + ThrottledCategory + ThrottledStream
+//	        + ShedCategory + ShedStream
+//
+// holds exactly after every Filter call.
+type Stats struct {
+	Seen     uint64 // events offered to the gate
+	Admitted uint64 // events passed through (possibly payload-stripped)
+
+	SampledOut        uint64 // events dropped by head sampling
+	ThrottledCategory uint64 // events dropped by a category token bucket
+	ThrottledStream   uint64 // events dropped by a stream token bucket
+	ShedCategory      uint64 // events dropped at TierCategory
+	ShedStream        uint64 // events dropped at TierStream
+
+	PayloadShedEvents uint64 // admitted events whose payload was stripped
+	PayloadShedBytes  uint64 // payload bytes stripped at TierPayload
+
+	Evaluations     uint64 // controller evaluations
+	TierEngagements uint64 // tier escalations (t → t+1)
+	TierReleases    uint64 // tier releases (t → t−1)
+}
+
+// dropped returns the total events the gate refused.
+func (s Stats) dropped() uint64 {
+	return s.SampledOut + s.ThrottledCategory + s.ThrottledStream +
+		s.ShedCategory + s.ShedStream
+}
+
+// Gate is the overload-control decision point. It is driven by the
+// single supervisor goroutine; consistency of the concurrent /metrics
+// view comes from the obs mirror, not from locks here.
+type Gate struct {
+	cfg Config
+	ctl controller
+
+	// sampleAcc accumulates per-category sampling credit (credit
+	// sampling: acc += rate; admit and spend 1 when acc ≥ 1).
+	sampleAcc [256]float64
+	// catBuckets holds the per-category token buckets, allocated lazily.
+	catBuckets [256]bucket
+	// streams holds the per-TID buckets, bounded by MaxStreams.
+	streams map[uint32]*bucket
+
+	stats Stats
+	// published is the stats snapshot last folded into obs.
+	published Stats
+	obs       *gateObs
+}
+
+// NewGate creates a Gate.
+func NewGate(cfg Config) *Gate {
+	g := &Gate{
+		cfg:     cfg.withDefaults(),
+		streams: make(map[uint32]*bucket),
+		obs:     newGateObs(),
+	}
+	g.ctl.init(&g.cfg)
+	g.registerObs()
+	return g
+}
+
+// Evaluate feeds one pressure observation to the controller. Call it
+// once per supervisor step, before Filter.
+func (g *Gate) Evaluate(p Pressure) {
+	score := p.score(g.cfg.AppendBudgetNs, g.cfg.FsyncBudgetNs)
+	g.stats.Evaluations++
+	engaged, released := g.ctl.evaluate(score)
+	if engaged {
+		g.stats.TierEngagements++
+	}
+	if released {
+		g.stats.TierReleases++
+	}
+	g.publishObs()
+}
+
+// Tier returns the currently engaged shedding tier.
+func (g *Gate) Tier() Tier { return g.ctl.tier }
+
+// SmoothedPressure returns the EWMA-smoothed pressure score driving the
+// sampling rates.
+func (g *Gate) SmoothedPressure() float64 { return g.ctl.smoothed }
+
+// SampleRates returns the current keep rates for normal- and
+// low-priority events.
+func (g *Gate) SampleRates() (normal, low float64) {
+	return g.sampleRate(false), g.sampleRate(true)
+}
+
+// Stats returns a snapshot of the gate's counters.
+func (g *Gate) Stats() Stats { return g.stats }
+
+// sampleRate maps smoothed pressure to a keep rate in
+// [MinSampleRate, 1]. Low-priority categories decay twice as fast: the
+// first detail to give up is the detail worth the least.
+func (g *Gate) sampleRate(low bool) float64 {
+	p := g.ctl.smoothed
+	start := g.cfg.SampleStart
+	if p <= start {
+		return 1
+	}
+	x := (p - start) / (1 - start)
+	if low {
+		x *= 2
+	}
+	r := 1 - x*(1-g.cfg.MinSampleRate)
+	if r < g.cfg.MinSampleRate {
+		r = g.cfg.MinSampleRate
+	}
+	return r
+}
+
+// Filter applies the gate to one verified batch, in place: the returned
+// slice aliases es. Every event is counted exactly once — admitted or
+// attributed to the specific mechanism that refused it.
+func (g *Gate) Filter(es []tracer.Entry) []tracer.Entry {
+	if len(es) == 0 {
+		return es
+	}
+	tier := g.ctl.tier
+	out := es[:0]
+	for i := range es {
+		e := &es[i]
+		g.stats.Seen++
+		if g.cfg.Critical(e.Category, e.Level) {
+			g.stats.Admitted++
+			out = append(out, *e)
+			continue
+		}
+		if tier >= TierStream {
+			g.stats.ShedStream++
+			continue
+		}
+		if tier >= TierCategory && g.cfg.LowPriority(e.Category, e.Level) {
+			g.stats.ShedCategory++
+			continue
+		}
+		if !g.sampleAdmit(e) {
+			g.stats.SampledOut++
+			continue
+		}
+		if g.cfg.RatePerSec > 0 &&
+			!g.catBuckets[e.Category].take(e.TS, g.cfg.RatePerSec, g.cfg.Burst) {
+			g.stats.ThrottledCategory++
+			continue
+		}
+		if g.cfg.StreamRatePerSec > 0 && !g.streamTake(e.TID, e.TS) {
+			g.stats.ThrottledStream++
+			continue
+		}
+		if tier >= TierPayload && len(e.Payload) > 0 {
+			g.stats.PayloadShedEvents++
+			g.stats.PayloadShedBytes += uint64(len(e.Payload))
+			e.Payload = nil
+		}
+		g.stats.Admitted++
+		out = append(out, *e)
+	}
+	g.publishObs()
+	return out
+}
+
+// sampleAdmit draws the head-sampling decision for e via the
+// per-category credit accumulator: deterministic, and exact over any
+// window (rate r admits ⌈r·n⌉ of n events).
+func (g *Gate) sampleAdmit(e *tracer.Entry) bool {
+	r := g.sampleRate(g.cfg.LowPriority(e.Category, e.Level))
+	if r >= 1 {
+		return true
+	}
+	acc := g.sampleAcc[e.Category] + r
+	if acc >= 1 {
+		g.sampleAcc[e.Category] = acc - 1
+		return true
+	}
+	g.sampleAcc[e.Category] = acc
+	return false
+}
+
+// streamTake draws from the per-stream bucket, creating (or recycling)
+// it as needed within the MaxStreams bound.
+func (g *Gate) streamTake(tid uint32, ts uint64) bool {
+	b, ok := g.streams[tid]
+	if !ok {
+		if len(g.streams) >= g.cfg.MaxStreams {
+			b = g.evictStalestStream()
+		} else {
+			b = &bucket{}
+		}
+		b.reset(ts, g.cfg.StreamBurst)
+		g.streams[tid] = b
+	}
+	return b.take(ts, g.cfg.StreamRatePerSec, g.cfg.StreamBurst)
+}
+
+// evictStalestStream removes and returns the bucket whose last refill
+// is oldest in virtual time — the stream most likely gone.
+func (g *Gate) evictStalestStream() *bucket {
+	var (
+		stalest   uint32
+		oldest    uint64
+		found     bool
+		victimBkt *bucket
+	)
+	for tid, b := range g.streams {
+		if !found || b.lastNs < oldest {
+			found, oldest, stalest, victimBkt = true, b.lastNs, tid, b
+		}
+	}
+	delete(g.streams, stalest)
+	return victimBkt
+}
+
+// ActiveStreams returns the number of per-stream buckets currently
+// tracked.
+func (g *Gate) ActiveStreams() int { return len(g.streams) }

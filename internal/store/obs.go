@@ -131,7 +131,7 @@ func (st *Store) publishObsLocked() {
 func (st *Store) syncActive() error {
 	start := time.Now()
 	err := st.active.Sync()
-	st.obs.fsyncNs.Observe(uint64(time.Since(start)))
+	st.noteFsync(uint64(time.Since(start)))
 	return err
 }
 

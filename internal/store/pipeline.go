@@ -158,7 +158,9 @@ func (st *Store) appendPipelined(es []tracer.Entry, sync, wait bool) error {
 		}
 	}
 	p.mu.Unlock()
-	st.obs.appendNs.Observe(uint64(time.Since(start)))
+	elapsed := uint64(time.Since(start))
+	st.obs.appendNs.Observe(elapsed)
+	st.ewmaAppend.observe(elapsed)
 	st.obs.batchEvents.Observe(uint64(len(es)))
 	if encErr != nil {
 		return encErr
@@ -522,7 +524,7 @@ func (st *Store) finalizeSeal(j sealJob) error {
 		// durable instead of paying the fsync serially.
 		start := time.Now()
 		serr := j.f.Sync()
-		st.obs.fsyncNs.Observe(uint64(time.Since(start)))
+		st.noteFsync(uint64(time.Since(start)))
 		if err == nil {
 			err = serr
 		}
@@ -576,7 +578,7 @@ func (st *Store) drainParked() error {
 		if !skip[i] {
 			start := time.Now()
 			serr := ps.f.Sync()
-			st.obs.fsyncNs.Observe(uint64(time.Since(start)))
+			st.noteFsync(uint64(time.Since(start)))
 			if err == nil {
 				err = serr
 			}

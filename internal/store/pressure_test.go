@@ -1,0 +1,69 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+func TestPressureAndWriteErr(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := st.Pressure(); p.Failed || p.StagedFill != 0 || p.AppendNs != 0 {
+		t.Fatalf("fresh store pressure: %+v", p)
+	}
+	if err := st.WriteErr(); err != nil {
+		t.Fatalf("fresh store WriteErr: %v", err)
+	}
+
+	es := make([]tracer.Entry, 64)
+	for i := range es {
+		es[i] = tracer.Entry{Stamp: uint64(i + 1), TS: uint64(i + 1), TID: 7, Level: 1}
+	}
+	if err := st.AppendEntries(es); err != nil {
+		t.Fatal(err)
+	}
+	if p := st.Pressure(); p.AppendNs == 0 {
+		t.Fatalf("append latency EWMA not updated: %+v", p)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if p := st.Pressure(); p.FsyncNs == 0 {
+		t.Fatalf("fsync latency EWMA not updated: %+v", p)
+	}
+
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteErr(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed store WriteErr: %v", err)
+	}
+	if p := st.Pressure(); !p.Failed {
+		t.Fatalf("closed store not Failed: %+v", p)
+	}
+}
+
+func TestEwma(t *testing.T) {
+	var e ewma
+	if e.load() != 0 {
+		t.Fatal("zero ewma")
+	}
+	e.observe(800)
+	if e.load() != 800 {
+		t.Fatalf("first observation seeds the average: %d", e.load())
+	}
+	e.observe(0)
+	if got := e.load(); got != 800-800/8 {
+		t.Fatalf("decay step: %d", got)
+	}
+	for i := 0; i < 100; i++ {
+		e.observe(1600)
+	}
+	if got := e.load(); got < 1500 || got > 1600 {
+		t.Fatalf("converged value: %d", got)
+	}
+}

@@ -133,6 +133,11 @@ type Store struct {
 	// when retention laps a reader.
 	retiredEvents uint64
 	maxRetiredSeq uint64
+
+	// ewmaAppend / ewmaFsync are recent-latency averages exported to the
+	// overload controller via Pressure (see pressure.go).
+	ewmaAppend ewma
+	ewmaFsync  ewma
 }
 
 // Open opens (creating if necessary) the store in dir and recovers it:
