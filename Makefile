@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress tier1 chaos overload-stress bench benchdiff
+.PHONY: all build fmt vet test race race-stress tier1 chaos overload-stress compaction-chaos bench benchdiff
 
 all: tier1
 
@@ -51,6 +51,15 @@ chaos:
 overload-stress:
 	$(GO) test $(SHORT) -v -run 'TestChaosOverloadStorm' ./internal/faults/
 
+# The tiered-storage chaos suite under the race detector: the object-
+# backend conformance pass, crash snapshots at every tier-transition
+# boundary (each reopened and checked for exactly-once recovery), and
+# the compactor stress test racing appends, queries and retention.
+compaction-chaos:
+	$(GO) test -race -count 1 -v \
+	  -run 'TestCompactionChaosTierBoundaries|TestObjectBackendConformance|TestStoreCompactorStress' \
+	  ./internal/store
+
 # Read/write-path benchmarks with allocation accounting, recorded as
 # machine-readable JSON (BENCH_*.json) to track the perf trajectory
 # across commits. BENCHTIME trades precision for runtime. BENCH_obs.json
@@ -67,7 +76,7 @@ bench:
 	   $(GO) test . -run '^$$' -bench 'BenchmarkWritePathStampBatch' -benchmem -benchtime $(BENCHTIME); } \
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_readpath.json
 	@echo "wrote BENCH_readpath.json"
-	@$(GO) test ./internal/store -run '^$$' -bench 'BenchmarkStore(Append|Query)' -benchmem -benchtime $(BENCHTIME) \
+	@$(GO) test ./internal/store -run '^$$' -bench 'BenchmarkStore(Append|Query)|BenchmarkColdQuery|BenchmarkCompactTier' -benchmem -benchtime $(BENCHTIME) \
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_store.json
 	@echo "wrote BENCH_store.json"
 	@{ $(GO) test ./internal/core -run '^$$' -bench 'BenchmarkObsOverhead/record' -benchmem -benchtime $(OBS_RECORD_BENCHTIME); \
@@ -78,11 +87,15 @@ bench:
 
 # Compare freshly produced BENCH_*.json against the committed baselines
 # (taken from HEAD): >30% ns/op regressions fail, and the read-path / obs
-# fast paths must stay allocation-free. CI runs the same comparison on
-# every push (bench-smoke job).
+# fast paths must stay allocation-free. The -max-ratio rule enforces the
+# tiered-storage contract within the fresh run itself (hardware-
+# independent): the wide query over the majority-cold store must stay
+# within 2x of the identical all-hot query. CI runs the same comparison
+# on every push (bench-smoke job).
 benchdiff:
 	@mkdir -p .benchbase
 	@for f in BENCH_readpath.json BENCH_store.json BENCH_obs.json; do \
 	  git show HEAD:$$f > .benchbase/$$f 2>/dev/null || rm -f .benchbase/$$f; done
 	$(GO) run ./cmd/benchdiff -old .benchbase -new . \
-	  -zero-allocs 'BenchmarkReadPathCursor,BenchmarkObsOverhead/.*'
+	  -zero-allocs 'BenchmarkReadPathCursor,BenchmarkObsOverhead/.*' \
+	  -max-ratio 'BenchmarkColdQuery<=2*BenchmarkStoreQueryParallel'

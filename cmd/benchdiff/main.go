@@ -4,7 +4,8 @@
 // with `make bench`, and runs benchdiff to gate the push:
 //
 //	benchdiff -old .benchbase -new . -max-regress 30 \
-//	  -zero-allocs 'BenchmarkReadPathCursor,BenchmarkObsOverhead/.*'
+//	  -zero-allocs 'BenchmarkReadPathCursor,BenchmarkObsOverhead/.*' \
+//	  -max-ratio 'BenchmarkColdQuery<=2*BenchmarkStoreQueryParallel'
 //
 // A benchmark fails the gate if its ns/op grew by more than -max-regress
 // percent over the baseline, or if its name matches a -zero-allocs
@@ -13,6 +14,14 @@
 // fail: baselines recorded on different hardware drift, so the absolute
 // numbers are advisory — the allocation contract and gross regressions
 // are what the gate enforces.
+//
+// -max-ratio rules gate one benchmark against another within the same
+// fresh run ("A<=k*B": A's ns/op may not exceed k times B's). Both sides
+// come from the new run on the same machine, so unlike the baseline
+// comparison these ratios are hardware-independent contracts — e.g. the
+// cold-tier query staying within 2x of the all-hot query. A rule whose
+// benchmarks are missing from the run fails, so the contract cannot rot
+// away silently.
 package main
 
 import (
@@ -50,6 +59,7 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 30, "maximum allowed ns/op regression in percent")
 		minNs      = flag.Float64("min-ns", 1000, "baselines below this ns/op are reported but exempt from the regression gate (timing noise dominates)")
 		zeroAllocs = flag.String("zero-allocs", "", "comma-separated name regexes that must stay at 0 allocs/op")
+		maxRatio   = flag.String("max-ratio", "", "comma-separated 'A<=k*B' rules: benchmark A's ns/op must stay within k times B's, both from the new run")
 	)
 	flag.Parse()
 	if *oldDir == "" {
@@ -72,13 +82,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
+	ratios, err := parseRatios(*maxRatio)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
 
 	var failures []string
+	fresh := map[string]Benchmark{}
 	for _, name := range names {
 		newFile, err := load(filepath.Join(*newDir, name))
 		if err != nil {
 			failures = append(failures, fmt.Sprintf("%s: %v", name, err))
 			continue
+		}
+		for _, b := range newFile.Benchmarks {
+			fresh[canonical(b.Name)] = b
 		}
 		oldFile, err := load(filepath.Join(*oldDir, name))
 		if err != nil {
@@ -89,6 +108,7 @@ func main() {
 		}
 		failures = append(failures, diff(name, oldFile, newFile, *maxRegress, *minNs, zeroRes)...)
 	}
+	failures = append(failures, checkRatios(ratios, fresh)...)
 
 	if len(failures) > 0 {
 		for _, f := range failures {
@@ -125,6 +145,66 @@ func compilePatterns(s string) ([]*regexp.Regexp, error) {
 		res = append(res, re)
 	}
 	return res, nil
+}
+
+// ratioRule is one parsed -max-ratio entry: num's ns/op must stay
+// within limit times den's.
+type ratioRule struct {
+	num, den string
+	limit    float64
+}
+
+func parseRatios(s string) ([]ratioRule, error) {
+	var rules []ratioRule
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		lhs, rhs, ok := strings.Cut(p, "<=")
+		if !ok {
+			return nil, fmt.Errorf("bad -max-ratio rule %q: want 'A<=k*B'", p)
+		}
+		ks, den, ok := strings.Cut(rhs, "*")
+		if !ok {
+			return nil, fmt.Errorf("bad -max-ratio rule %q: want 'A<=k*B'", p)
+		}
+		var k float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(ks), "%g", &k); err != nil || k <= 0 {
+			return nil, fmt.Errorf("bad -max-ratio limit in %q", p)
+		}
+		rules = append(rules, ratioRule{
+			num: strings.TrimSpace(lhs), den: strings.TrimSpace(den), limit: k,
+		})
+	}
+	return rules, nil
+}
+
+// checkRatios evaluates the -max-ratio rules against the fresh run. A
+// missing benchmark is a failure: a contract that silently stops being
+// measured is worse than one that fails.
+func checkRatios(rules []ratioRule, fresh map[string]Benchmark) []string {
+	var failures []string
+	for _, r := range rules {
+		nb, nok := fresh[r.num]
+		db, dok := fresh[r.den]
+		if !nok || !dok || db.NsPerOp <= 0 {
+			failures = append(failures,
+				fmt.Sprintf("ratio: %s<=%g*%s not measurable (missing benchmark in the new run)",
+					r.num, r.limit, r.den))
+			continue
+		}
+		ratio := nb.NsPerOp / db.NsPerOp
+		verdict := "ok"
+		if ratio > r.limit {
+			verdict = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("ratio: %s is %.2fx of %s (%.0f vs %.0f ns/op), limit %gx",
+					r.num, ratio, r.den, nb.NsPerOp, db.NsPerOp, r.limit))
+		}
+		fmt.Printf("ratio: %s / %s = %.2fx, limit %gx [%s]\n", r.num, r.den, ratio, r.limit, verdict)
+	}
+	return failures
 }
 
 // canonical strips the trailing -GOMAXPROCS suffix go test appends to

@@ -25,16 +25,61 @@ func main() {
 	var (
 		maxGaps = flag.Int("gaps", 10, "maximum number of gaps to list")
 		format  = flag.String("format", "summary", "output: summary|text|chrome|csv")
+		tiers   = flag.Bool("tiers", false, "print the store's blocklist and per-tier totals instead of event analysis (store directories only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: btrace-inspect [flags] <readout-file | store-dir>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *maxGaps, *format); err != nil {
+	var err error
+	if *tiers {
+		err = runTiers(flag.Arg(0))
+	} else {
+		err = run(flag.Arg(0), *maxGaps, *format)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "btrace-inspect:", err)
 		os.Exit(1)
 	}
+}
+
+// runTiers prints the storage-tier view of a store directory: one
+// blocklist row per segment (what the compaction strategy polls) and the
+// per-tier aggregates, including the cold tier's compression ratio.
+func runTiers(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("%s: -tiers needs a store directory", path)
+	}
+	st, err := store.Open(path, store.Config{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	tb := report.NewTable("blocklist", "seq", "file", "tier", "sealed", "bytes", "raw", "blocks", "events", "stamps")
+	for _, s := range st.Segments() {
+		tb.AddRow(s.Seq, s.File, s.Tier, s.Sealed, report.HumanBytes(uint64(s.Bytes)),
+			report.HumanBytes(uint64(s.RawBytes)), s.Blocks, s.Events,
+			fmt.Sprintf("%d..%d", s.BaseStamp, s.MaxStamp))
+	}
+	tb.Render(os.Stdout)
+
+	tb = report.NewTable("tiers", "tier", "segments", "bytes", "raw", "blocks", "events", "ratio")
+	for _, ts := range st.TierStats() {
+		ratio := "-"
+		if ts.Bytes > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(ts.RawBytes)/float64(ts.Bytes))
+		}
+		tb.AddRow(ts.Tier, ts.Segments, report.HumanBytes(uint64(ts.Bytes)),
+			report.HumanBytes(uint64(ts.RawBytes)), ts.Blocks, ts.Events, ratio)
+	}
+	tb.Render(os.Stdout)
+	return nil
 }
 
 // load reads the events to inspect: a directory is opened as a durable

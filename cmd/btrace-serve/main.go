@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"btrace/internal/store"
+	"btrace/internal/store/backend"
 )
 
 // drainDeadline bounds graceful shutdown: in-flight requests get this
@@ -32,6 +33,9 @@ func main() {
 	queryWorkers := flag.Int("query-workers", store.DefaultQueryWorkers, "parallel scan workers for /store/query (0 = sequential cursor)")
 	commitEvery := flag.Duration("commit-every", 0, "store group-commit interval (0 = fsync only on demand)")
 	commitBytes := flag.Int64("commit-bytes", 0, "store group-commit byte threshold (0 = no byte trigger)")
+	compactInterval := flag.Duration("compact-interval", 0, "background compactor tick interval: merge + freeze pass (0 = no background compaction)")
+	coldAfter := flag.Duration("cold-after", 0, "age at which sealed segments are compressed into the cold tier, in virtual-time terms (0 = never freeze)")
+	backendKind := flag.String("backend", "local", "store backend: local (directory) or object (in-process, volatile; for demos and tests)")
 	sampleRate := flag.Float64("sample-rate", 0.05, "ingest head-sampling keep-rate floor under full overload, in (0, 1]")
 	rateLimit := flag.Float64("rate-limit", 0, "per-category ingest rate limit in events/sec of virtual time (0 = unlimited)")
 	rateBurst := flag.Float64("rate-burst", 0, "token-bucket burst for -rate-limit (0 = 2x the rate)")
@@ -53,14 +57,27 @@ func main() {
 	var ts *store.Store
 	if *storeDir != "" {
 		var err error
-		cfg := store.Config{CommitEvery: *commitEvery, CommitBytes: *commitBytes}
+		cfg := store.Config{
+			CommitEvery:     *commitEvery,
+			CommitBytes:     *commitBytes,
+			CompactInterval: *compactInterval,
+			ColdAfterNs:     uint64(coldAfter.Nanoseconds()),
+		}
+		switch *backendKind {
+		case "local":
+		case "object":
+			cfg.Backend = backend.NewObject()
+		default:
+			fmt.Fprintf(os.Stderr, "btrace-serve: -backend must be local or object, got %q\n", *backendKind)
+			os.Exit(2)
+		}
 		if ts, err = store.Open(*storeDir, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "btrace-serve: open store:", err)
 			os.Exit(1)
 		}
 		defer ts.Close()
 		log.Printf("btrace-serve: store %s (%d segments, %d events)",
-			*storeDir, len(ts.Segments()), ts.Events())
+			ts.Dir(), len(ts.Segments()), ts.Events())
 	}
 
 	srv, err := newServer(*scale, ts, *queryWorkers)

@@ -23,9 +23,11 @@ func (s *server) handleStoreSegments(w http.ResponseWriter, r *http.Request) {
 	resp := struct {
 		Dir      string              `json:"dir"`
 		Segments []store.SegmentInfo `json:"segments"`
+		Tiers    []store.TierStat    `json:"tiers"`
 		Bytes    int64               `json:"bytes"`
 		Events   uint64              `json:"events"`
-	}{Dir: s.store.Dir(), Segments: segs, Bytes: s.store.Size(), Events: s.store.Events()}
+	}{Dir: s.store.Dir(), Segments: segs, Tiers: s.store.TierStats(),
+		Bytes: s.store.Size(), Events: s.store.Events()}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -160,6 +160,100 @@ func BenchmarkStoreQueryParallel(b *testing.B) {
 	}
 }
 
+// benchColdStore freezes the wide-query fixture: same 100k records, but
+// every sealed segment except the newest is compressed into the cold
+// tier. The acceptance contract is enforced here: the cold tier must
+// shrink its raw bytes by at least 3x, or the fixture (and the paper
+// claim it backs) is broken.
+func benchColdStore(b *testing.B) *Store {
+	b.Helper()
+	st, err := Open(b.TempDir(), Config{SegmentBytes: 512 << 10, ColdAfterNs: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.AppendEntries(benchEntries(100_000)); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.CompactCold(); err != nil {
+		b.Fatal(err)
+	}
+	ts := st.TierStats()
+	cold, total := ts[TierCold], 0
+	for _, t := range ts {
+		total += t.Segments
+	}
+	if cold.Segments == 0 || cold.Segments*2 < total {
+		b.Fatalf("fixture is not majority-cold: %+v", ts)
+	}
+	stats := st.Stats()
+	if stats.ColdBytesWritten*3 > stats.ColdRawBytes {
+		b.Fatalf("cold tier shrank only %.2fx, want >= 3x (%d of %d raw bytes)",
+			float64(stats.ColdRawBytes)/float64(stats.ColdBytesWritten),
+			stats.ColdBytesWritten, stats.ColdRawBytes)
+	}
+	b.ReportMetric(float64(stats.ColdRawBytes)/float64(stats.ColdBytesWritten), "shrink-x")
+	return st
+}
+
+// BenchmarkColdQuery is BenchmarkStoreQueryParallel over the majority-
+// cold fixture: the same wide category query now pays block pruning and
+// DEFLATE decompression instead of raw span reads. The paper-facing
+// contract (cold within 2x of all-hot, at >= 3x less disk) is gated by
+// cmd/benchdiff against BenchmarkStoreQueryParallel in BENCH_store.json.
+func BenchmarkColdQuery(b *testing.B) {
+	st := benchColdStore(b)
+	defer st.Close()
+	batch := make([]tracer.Entry, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := drainCursor(b, st.QueryParallel(Query{Categories: []uint8{2}}, 4), batch)
+		if n == 0 {
+			b.Fatal("query returned no records")
+		}
+	}
+}
+
+// BenchmarkCompactTier measures one full tier transition: freezing a
+// freshly sealed ~20k-record store (frame verification, DEFLATE
+// compression, block directory construction, atomic commit) per op.
+func BenchmarkCompactTier(b *testing.B) {
+	const events = 20_000
+	es := benchEntries(events)
+	b.SetBytes(int64(events * FrameSize(&es[0])))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := Open(b.TempDir(), Config{SegmentBytes: 256 << 10, ColdAfterNs: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.AppendEntries(es); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Seal(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		n, err := st.CompactCold()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("nothing frozen")
+		}
+		b.StopTimer()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
 // BenchmarkStoreQuery measures an indexed stamp-range query (1k of 100k
 // records) against a sealed multi-segment store, per-op = one full query.
 func BenchmarkStoreQuery(b *testing.B) {

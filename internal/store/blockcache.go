@@ -1,0 +1,116 @@
+// Decompressed-block cache: cold queries pay a DEFLATE inflate per
+// block touched, which would make every repeated analytical query over
+// the cold tier re-do the same decompression. The store keeps one
+// bounded LRU cache of decompressed block payloads, shared by all
+// cursors (sequential and parallel): the first scan of a block inflates
+// and caches it, later scans decode straight from the cached buffer.
+//
+// Ownership: cached buffers are immutable. Cursors alias them (entries
+// handed to callers may point into cache memory) and never write to
+// them; eviction only drops the cache's reference — a buffer still
+// aliased by a live cursor stays valid until the GC collects it.
+package store
+
+import (
+	"container/list"
+	"io"
+	"sync"
+)
+
+// defaultColdCacheBytes is the block-cache budget when
+// Config.ColdCacheBytes is zero.
+const defaultColdCacheBytes = 32 << 20
+
+// blockKey identifies one cold block: the file it lives in plus its
+// payload offset (unique within the file).
+type blockKey struct {
+	name string
+	off  int64
+}
+
+type cacheEnt struct {
+	key  blockKey
+	data []byte
+}
+
+// blockCache is the store-wide decompressed-block LRU. A nil *blockCache
+// is a valid always-miss cache (caching disabled).
+type blockCache struct {
+	mu           sync.Mutex
+	max          int64
+	size         int64
+	lru          *list.List                 // front = most recently used
+	m            map[blockKey]*list.Element // value: *cacheEnt
+	hits, misses uint64
+}
+
+func newBlockCache(max int64) *blockCache {
+	return &blockCache{max: max, lru: list.New(), m: make(map[blockKey]*list.Element)}
+}
+
+// lookup returns the cached decompressed payload, or nil on a miss.
+func (bc *blockCache) lookup(k blockKey) []byte {
+	if bc == nil {
+		return nil
+	}
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if el, ok := bc.m[k]; ok {
+		bc.lru.MoveToFront(el)
+		bc.hits++
+		return el.Value.(*cacheEnt).data
+	}
+	bc.misses++
+	return nil
+}
+
+// insert caches data (taking read-only ownership) and evicts past the
+// budget, oldest first. Two cursors racing on the same miss both
+// inflate; the first insert wins and the loser's buffer is simply not
+// cached.
+func (bc *blockCache) insert(k blockKey, data []byte) {
+	if bc == nil || int64(len(data)) > bc.max {
+		return
+	}
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if _, ok := bc.m[k]; ok {
+		return
+	}
+	bc.m[k] = bc.lru.PushFront(&cacheEnt{key: k, data: data})
+	bc.size += int64(len(data))
+	for bc.size > bc.max {
+		el := bc.lru.Back()
+		ent := el.Value.(*cacheEnt)
+		bc.lru.Remove(el)
+		delete(bc.m, ent.key)
+		bc.size -= int64(len(ent.data))
+	}
+}
+
+func (bc *blockCache) counters() (hits, misses uint64) {
+	if bc == nil {
+		return 0, 0
+	}
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return bc.hits, bc.misses
+}
+
+// inflateCached returns block b of cold file name decompressed, through
+// the cache. The returned buffer is shared and read-only; callers decode
+// from it but never write to it.
+func (st *Store) inflateCached(name string, f io.ReaderAt, b *coldBlock) ([]byte, error) {
+	k := blockKey{name: name, off: b.off}
+	if data := st.bcache.lookup(k); data != nil {
+		return data, nil
+	}
+	// Fresh destination buffer on every miss: it becomes the immutable
+	// cached copy (or dies young if another inflate won the race).
+	_, out, err := inflateBlock(f, b, nil, make([]byte, 0, b.rawLen))
+	if err != nil {
+		return nil, err
+	}
+	st.bcache.insert(k, out)
+	return out, nil
+}

@@ -1,0 +1,383 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"btrace/internal/store/backend"
+	"btrace/internal/tracer"
+)
+
+// TestObjectBackendConformance runs the store's core flows — append,
+// rotation, merge, freeze, reopen, sequential and parallel queries —
+// over the in-process object backend, checking the Backend contract is
+// sufficient for everything the local path does.
+func TestObjectBackendConformance(t *testing.T) {
+	be := backend.NewObject()
+	cfg := tierCfg()
+	cfg.Backend = be
+	st, err := Open("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 900
+	sealEvery(t, st, 1, n, 90)
+	if err := st.CompactTick(); err != nil {
+		t.Fatalf("CompactTick: %v", err)
+	}
+	ts := st.TierStats()
+	if ts[TierCold].Segments == 0 {
+		t.Fatalf("object backend froze nothing: %+v", ts)
+	}
+	es := drainStore(t, st, Query{})
+	if len(es) != n {
+		t.Fatalf("drained %d events, want %d", len(es), n)
+	}
+	pc := st.QueryParallel(Query{MinStamp: 100, MaxStamp: 800}, 3)
+	pes, _ := drainParallel(t, pc, 64)
+	pc.Close()
+	if len(pes) != 701 {
+		t.Fatalf("parallel ranged query: %d events, want 701", len(pes))
+	}
+	// A second Open must fail while the lock is held, like the local
+	// backend's LOCK file.
+	if _, err := Open("", cfg); err == nil {
+		t.Fatal("second Open over a locked object backend succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen over the same namespace: full recovery across tiers.
+	st2, err := Open("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if es = drainStore(t, st2, Query{}); len(es) != n {
+		t.Fatalf("reopened object store drained %d events, want %d", len(es), n)
+	}
+	for i, e := range es {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("event %d: stamp %d", i, e.Stamp)
+		}
+		checkEntry(t, e)
+	}
+}
+
+// snapBackend wraps an object backend and, while armed, clones the whole
+// namespace after every mutating operation. Each clone is the exact
+// state a process crash at that instant would leave behind — including
+// the states between a tier transition's write, sync, rename and delete
+// steps — and is later reopened and checked. Error injection cannot
+// simulate this: on an injected error the code's cleanup paths still
+// run, where a real crash runs nothing.
+type snapBackend struct {
+	inner *backend.Object
+
+	mu     sync.Mutex
+	armed  bool
+	snaps  []*backend.Object
+	labels []string
+}
+
+func (b *snapBackend) arm(on bool) {
+	b.mu.Lock()
+	b.armed = on
+	b.mu.Unlock()
+}
+
+func (b *snapBackend) snap(label string) {
+	b.mu.Lock()
+	if b.armed {
+		b.snaps = append(b.snaps, b.inner.Clone())
+		b.labels = append(b.labels, label)
+	}
+	b.mu.Unlock()
+}
+
+func (b *snapBackend) Lock() (io.Closer, error)                    { return b.inner.Lock() }
+func (b *snapBackend) List(p string) ([]string, error)             { return b.inner.List(p) }
+func (b *snapBackend) OpenRead(n string) (backend.ReadFile, error) { return b.inner.OpenRead(n) }
+func (b *snapBackend) Location() string                            { return "snap:" }
+
+func (b *snapBackend) Create(name string, pre int64) (backend.File, error) {
+	f, err := b.inner.Create(name, pre)
+	b.snap("create " + name)
+	if err != nil {
+		return nil, err
+	}
+	return &snapFile{File: f, b: b, name: name}, nil
+}
+
+func (b *snapBackend) OpenRW(name string) (backend.File, error) {
+	f, err := b.inner.OpenRW(name)
+	if err != nil {
+		return nil, err
+	}
+	return &snapFile{File: f, b: b, name: name}, nil
+}
+
+func (b *snapBackend) Remove(name string) error {
+	err := b.inner.Remove(name)
+	b.snap("remove " + name)
+	return err
+}
+
+func (b *snapBackend) Rename(oldName, newName string) error {
+	err := b.inner.Rename(oldName, newName)
+	b.snap("rename " + newName)
+	return err
+}
+
+type snapFile struct {
+	backend.File
+	b    *snapBackend
+	name string
+}
+
+func (f *snapFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.File.WriteAt(p, off)
+	f.b.snap(fmt.Sprintf("write %s@%d+%d", f.name, off, len(p)))
+	return n, err
+}
+
+func (f *snapFile) Truncate(size int64) error {
+	err := f.File.Truncate(size)
+	f.b.snap("truncate " + f.name)
+	return err
+}
+
+func (f *snapFile) Sync() error {
+	err := f.File.Sync()
+	f.b.snap("sync " + f.name)
+	return err
+}
+
+func (f *snapFile) Seal() error {
+	err := f.File.Seal()
+	f.b.snap("seal " + f.name)
+	return err
+}
+
+// TestCompactionChaosTierBoundaries is the crash-at-every-tier-boundary
+// acceptance test: with a store full of committed events, one compactor
+// pass (merge + freeze) runs over a snapshotting backend that records
+// the namespace after every single mutation. Reopening every snapshot
+// must recover exactly the committed events — each exactly once — no
+// matter where in a tier transition the "crash" landed.
+func TestCompactionChaosTierBoundaries(t *testing.T) {
+	sb := &snapBackend{inner: backend.NewObject()}
+	cfg := tierCfg()
+	cfg.Backend = sb
+	st, err := Open("", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 700
+	sealEvery(t, st, 1, n, 35) // ~20 small sealed segments: merge + freeze fodder
+	sb.arm(true)
+	if err := st.CompactTick(); err != nil {
+		t.Fatalf("CompactTick: %v", err)
+	}
+	sb.arm(false)
+	stats := st.Stats()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsCompacted == 0 || stats.SegmentsFrozen == 0 {
+		t.Fatalf("pass crossed no tier boundary: %+v", stats)
+	}
+	// Guard the test's own coverage: the snapshots must include both
+	// commit points (rename to a row segment, rename to a cold file) and
+	// the post-commit source deletions.
+	var sawMerge, sawFreeze, sawRemove bool
+	for _, l := range sb.labels {
+		switch {
+		case strings.HasPrefix(l, "rename seg-"):
+			sawMerge = true
+		case strings.HasPrefix(l, "rename col-"):
+			sawFreeze = true
+		case strings.HasPrefix(l, "remove seg-"):
+			sawRemove = true
+		}
+	}
+	if !sawMerge || !sawFreeze || !sawRemove {
+		t.Fatalf("snapshots missed a boundary: merge=%v freeze=%v remove=%v (%d snaps)",
+			sawMerge, sawFreeze, sawRemove, len(sb.snaps))
+	}
+
+	seen := make([]int, n+1)
+	for i, clone := range sb.snaps {
+		rcfg := tierCfg()
+		rcfg.Backend = clone
+		st2, err := Open("", rcfg)
+		if err != nil {
+			t.Fatalf("snapshot %d (%s): reopen: %v", i, sb.labels[i], err)
+		}
+		for s := range seen {
+			seen[s] = 0
+		}
+		cur := st2.Query(Query{})
+		buf := make([]tracer.Entry, 64)
+		total := 0
+		for {
+			k, _, nerr := cur.Next(buf)
+			if nerr != nil {
+				t.Fatalf("snapshot %d (%s): query: %v", i, sb.labels[i], nerr)
+			}
+			if k == 0 {
+				break
+			}
+			for _, e := range buf[:k] {
+				if e.Stamp < 1 || e.Stamp > n {
+					t.Fatalf("snapshot %d (%s): alien stamp %d", i, sb.labels[i], e.Stamp)
+				}
+				seen[e.Stamp]++
+				total++
+			}
+		}
+		cur.Close()
+		if err := st2.Close(); err != nil {
+			t.Fatalf("snapshot %d (%s): close: %v", i, sb.labels[i], err)
+		}
+		if total != n {
+			t.Fatalf("snapshot %d (%s): recovered %d events, want %d", i, sb.labels[i], total, n)
+		}
+		for s := 1; s <= n; s++ {
+			if seen[s] != 1 {
+				t.Fatalf("snapshot %d (%s): stamp %d recovered %d times",
+					i, sb.labels[i], s, seen[s])
+			}
+		}
+	}
+	t.Logf("verified %d crash points across merge and freeze boundaries", len(sb.snaps))
+}
+
+// TestStoreCompactorStress races the background compactor (1ms ticks)
+// against live appends, explicit seals, parallel and sequential queries,
+// and byte-budget retention. Run under -race via `make compaction-chaos`.
+// The assertion is structural: no write-path error, no query corruption
+// error, newest data still readable at the end.
+func TestStoreCompactorStress(t *testing.T) {
+	st, err := Open(t.TempDir(), Config{
+		SegmentBytes:    8 << 10,
+		MaxBytes:        256 << 10,
+		CompactInterval: time.Millisecond,
+		ColdAfterNs:     1,
+		ColdBlockBytes:  4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var lastStamp uint64
+	wg.Add(1)
+	go func() { // appender + sealer: a steady diet of small sealed segments
+		defer wg.Done()
+		stamp := uint64(1)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var es []tracer.Entry
+			for k := 0; k < 32; k++ {
+				es = append(es, mkEntry(stamp))
+				stamp++
+			}
+			if err := st.AppendEntries(es); err != nil {
+				return
+			}
+			lastStamp = stamp - 1
+			if i%4 == 3 {
+				if err := st.Seal(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	qerrs := make(chan error, 4)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(par bool) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var cur tracer.Cursor
+				if par {
+					cur = st.QueryParallel(Query{}, 3)
+				} else {
+					cur = st.Query(Query{})
+				}
+				buf := make([]tracer.Entry, 64)
+				for {
+					k, _, err := cur.Next(buf)
+					if err != nil {
+						select {
+						case qerrs <- err:
+						default:
+						}
+						cur.Close()
+						return
+					}
+					if k == 0 {
+						break
+					}
+				}
+				cur.Close()
+			}
+		}(w == 0)
+	}
+	wg.Add(1)
+	go func() { // foreground compaction racing the background ticker
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := st.CompactTick(); err != nil && err != ErrClosed {
+				select {
+				case qerrs <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-qerrs:
+		t.Fatalf("concurrent query/compaction error: %v", err)
+	default:
+	}
+	if err := st.WriteErr(); err != nil {
+		t.Fatalf("write path error: %v", err)
+	}
+	if lastStamp > 0 {
+		es := drainStore(t, st, Query{MinStamp: lastStamp, MaxStamp: lastStamp})
+		if len(es) != 1 {
+			t.Fatalf("newest event %d not readable after stress: got %d copies", lastStamp, len(es))
+		}
+	}
+	stats := st.Stats()
+	if stats.SegmentsFrozen == 0 {
+		t.Fatalf("stress never froze a segment: %+v", stats)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

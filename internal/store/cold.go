@@ -1,0 +1,265 @@
+// Cold tier: a cold file (col-%08d.blk) is a frozen, compressed copy of
+// one or more sealed row segments. The format is frame-preserving: each
+// block's payload decompresses to exactly the CRC-framed records the row
+// segments held, so the cursor's frame walk, checksum verification and
+// decode run unchanged over inflated bytes.
+//
+//	offset 0    file header (88 bytes, same layout as a segment header
+//	            but coldMagic; always written sealed — cold files only
+//	            ever appear whole, committed by rename)
+//	offset 88   block*  where block = 96-byte block header ++ compressed
+//	            payload (DEFLATE)
+//
+// Each block header carries the block's own min/max stamp, min/max TS
+// and core/category bitmaps, so queries prune whole blocks — and skip
+// their decompression — from the directory alone.
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"btrace/internal/store/backend"
+	"btrace/internal/tracer"
+)
+
+const (
+	// coldMagic identifies a cold block file (and its format version).
+	coldMagic = 0x6274636f6c3031 // "btcol01"
+	// blockMagic marks every block header.
+	blockMagic = 0x6274626c6b3031 // "btblk01"
+	// blockHeaderSize is the fixed per-block header length.
+	blockHeaderSize = 96
+	// defaultColdBlockBytes is the raw-bytes-per-block target when
+	// Config.ColdBlockBytes is zero.
+	defaultColdBlockBytes = 256 << 10
+)
+
+// coldBlock is one block's directory entry: where its compressed
+// payload lives and what it can contain.
+type coldBlock struct {
+	off     int64  // file offset of the compressed payload
+	compLen int64  // compressed payload length
+	rawLen  int64  // decompressed payload length (whole frames)
+	crc     uint32 // crc32c of the compressed payload
+	meta    segmentMeta
+}
+
+// encodeBlockHeader renders one block header. Layout:
+//
+//	[0:8)   blockMagic
+//	[8:16)  compLen     [16:24) rawLen
+//	[24:32) count
+//	[32:40) baseStamp   [40:48) maxStamp
+//	[48:56) minTS       [56:64) maxTS
+//	[64:72) coreBits    [72:80) catBits
+//	[80:88) flags (bit 1 = ordered, matching the segment header)
+//	[88:96) crc32c of [0:88) in the low 32 bits, crc32c of the
+//	        compressed payload in the high 32 bits
+func encodeBlockHeader(dst []byte, b *coldBlock) {
+	le64put(dst[0:], blockMagic)
+	le64put(dst[8:], uint64(b.compLen))
+	le64put(dst[16:], uint64(b.rawLen))
+	le64put(dst[24:], b.meta.count)
+	le64put(dst[32:], b.meta.baseStamp)
+	le64put(dst[40:], b.meta.maxStamp)
+	le64put(dst[48:], b.meta.minTS)
+	le64put(dst[56:], b.meta.maxTS)
+	le64put(dst[64:], b.meta.coreBits)
+	le64put(dst[72:], b.meta.catBits)
+	var flags uint64
+	if b.meta.ordered {
+		flags |= 2
+	}
+	le64put(dst[80:], flags)
+	le64put(dst[88:], uint64(b.crc)<<32|uint64(crc32.Checksum(dst[:88], castagnoli)))
+}
+
+// decodeBlockHeader parses and validates one block header.
+func decodeBlockHeader(src []byte) (b coldBlock, err error) {
+	if len(src) < blockHeaderSize {
+		return b, fmt.Errorf("store: short block header (%d bytes)", len(src))
+	}
+	if le64(src[0:]) != blockMagic {
+		return b, fmt.Errorf("store: bad block magic %#x", le64(src[0:]))
+	}
+	w := le64(src[88:])
+	if uint32(w) != crc32.Checksum(src[:88], castagnoli) {
+		return b, fmt.Errorf("store: block header checksum mismatch")
+	}
+	b.compLen = int64(le64(src[8:]))
+	b.rawLen = int64(le64(src[16:]))
+	b.crc = uint32(w >> 32)
+	b.meta.count = le64(src[24:])
+	b.meta.baseStamp = le64(src[32:])
+	b.meta.maxStamp = le64(src[40:])
+	b.meta.minTS = le64(src[48:])
+	b.meta.maxTS = le64(src[56:])
+	b.meta.coreBits = le64(src[64:])
+	b.meta.catBits = le64(src[72:])
+	b.meta.ordered = le64(src[80:])&2 != 0
+	return b, nil
+}
+
+// scanColdFile walks the block directory of a committed cold file,
+// filling s.blocks and rebuilding s.meta/rawSize from the block
+// headers. A cold file is only ever committed whole (tmp → sync →
+// rename), so a block that fails to validate marks the end of the
+// trustworthy prefix: the scan keeps what validated and reports how
+// many trailing bytes it ignored (bitrot containment, not crash
+// recovery).
+func scanColdFile(f backend.ReadFile, size int64, s *segment) (ignored int64, err error) {
+	hdr := make([]byte, blockHeaderSize)
+	s.meta = segmentMeta{}
+	s.blocks = nil
+	s.rawSize = headerSize
+	off := int64(headerSize)
+	for off+blockHeaderSize <= size {
+		if _, rerr := f.ReadAt(hdr, off); rerr != nil {
+			return size - off, nil
+		}
+		b, berr := decodeBlockHeader(hdr)
+		if berr != nil {
+			return size - off, nil
+		}
+		if off+blockHeaderSize+b.compLen > size {
+			return size - off, nil
+		}
+		b.off = off + blockHeaderSize
+		s.blocks = append(s.blocks, b)
+		mergeMeta(&s.meta, &b.meta)
+		s.rawSize += b.rawLen
+		off += blockHeaderSize + b.compLen
+	}
+	return size - off, nil
+}
+
+// flateReaders recycles DEFLATE decompressors across blocks, queries and
+// cursors; Reset avoids the allocation-heavy NewReader per block.
+var flateReaders = sync.Pool{New: func() any { return flate.NewReader(nil) }}
+
+// inflateBlock reads and decompresses one block's payload. comp is the
+// compressed-bytes scratch buffer and dst the output buffer; both are
+// grown as needed and returned for reuse. The compressed payload is
+// checksummed before inflating — pruned blocks never pay either cost.
+func inflateBlock(f io.ReaderAt, b *coldBlock, comp, dst []byte) (newComp, out []byte, err error) {
+	if int64(cap(comp)) < b.compLen {
+		comp = make([]byte, b.compLen)
+	} else {
+		comp = comp[:b.compLen]
+	}
+	if _, err := f.ReadAt(comp, b.off); err != nil {
+		return comp, dst[:0], err
+	}
+	if crc32.Checksum(comp, castagnoli) != b.crc {
+		return comp, dst[:0], fmt.Errorf("%w: cold block checksum mismatch", tracer.ErrCorrupt)
+	}
+	if int64(cap(dst)) < b.rawLen {
+		dst = make([]byte, b.rawLen)
+	} else {
+		dst = dst[:b.rawLen]
+	}
+	fr := flateReaders.Get().(io.ReadCloser)
+	defer flateReaders.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(comp), nil); err != nil {
+		return comp, dst[:0], err
+	}
+	if _, err := io.ReadFull(fr, dst); err != nil {
+		return comp, dst[:0], fmt.Errorf("%w: cold block inflate: %v", tracer.ErrCorrupt, err)
+	}
+	return comp, dst, nil
+}
+
+// coldWriter streams frames into a cold file under construction:
+// frames accumulate into a raw buffer that is compressed and flushed as
+// one block each time it reaches blockBytes.
+type coldWriter struct {
+	f          backend.File
+	off        int64 // next write offset (starts past the file header)
+	blockBytes int
+	raw        []byte
+	comp       bytes.Buffer
+	blockMeta  segmentMeta
+	blocks     []coldBlock
+	fileMeta   segmentMeta
+	rawTotal   int64
+}
+
+func newColdWriter(f backend.File, blockBytes int) *coldWriter {
+	if blockBytes <= 0 {
+		blockBytes = defaultColdBlockBytes
+	}
+	return &coldWriter{f: f, off: headerSize, blockBytes: blockBytes}
+}
+
+// add appends one frame (record ++ tail, already checksummed) observed
+// with its raw header fields.
+func (w *coldWriter) add(frame []byte, stamp, ts uint64, core, cat uint8) error {
+	w.raw = append(w.raw, frame...)
+	w.blockMeta.observeRaw(stamp, ts, core, cat)
+	if len(w.raw) >= w.blockBytes {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush compresses and writes the pending block.
+func (w *coldWriter) flush() error {
+	if len(w.raw) == 0 {
+		return nil
+	}
+	w.comp.Reset()
+	fw, err := flate.NewWriter(&w.comp, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	if _, err := fw.Write(w.raw); err != nil {
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	b := coldBlock{
+		off:     w.off + blockHeaderSize,
+		compLen: int64(w.comp.Len()),
+		rawLen:  int64(len(w.raw)),
+		crc:     crc32.Checksum(w.comp.Bytes(), castagnoli),
+		meta:    w.blockMeta,
+	}
+	hdr := make([]byte, blockHeaderSize)
+	encodeBlockHeader(hdr, &b)
+	if _, err := w.f.WriteAt(hdr, w.off); err != nil {
+		return err
+	}
+	if _, err := w.f.WriteAt(w.comp.Bytes(), b.off); err != nil {
+		return err
+	}
+	w.off = b.off + b.compLen
+	w.blocks = append(w.blocks, b)
+	mergeMeta(&w.fileMeta, &w.blockMeta)
+	w.rawTotal += int64(len(w.raw))
+	w.raw = w.raw[:0]
+	w.blockMeta = segmentMeta{}
+	return nil
+}
+
+// finish flushes the last block, writes the sealed file header, syncs
+// and seals. The caller renames the file in afterwards (the commit).
+func (w *coldWriter) finish(coversThrough uint64) error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	hdr := make([]byte, headerSize)
+	encodeHeaderMagic(hdr, coldMagic, &w.fileMeta, coversThrough, true)
+	if _, err := w.f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.f.Seal()
+}

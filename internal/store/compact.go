@@ -1,29 +1,22 @@
-// Compaction: rotation under a small SegmentBytes (or frequent seals
-// from the collector's spill path) leaves runs of small sealed segments,
-// each costing a file handle and an index entry per query. Compact
-// merges adjacent small sealed segments into one, copying the already
-// checksummed frames verbatim.
+// Compaction (hot → compacted): rotation under a small SegmentBytes (or
+// frequent seals from the collector's spill path) leaves runs of small
+// sealed segments, each costing a file handle and an index entry per
+// query. Compact merges adjacent small sealed segments into one, copying
+// the already checksummed frames verbatim.
 //
 // Crash safety: the merged file is written to a .tmp name, fsynced, then
-// renamed over the first source segment (atomic on POSIX), and only then
-// are the remaining sources deleted. The merged header records the
-// highest source seq it consumed (coversThrough), so a crash between the
-// rename and the deletes leaves sources that Open can identify exactly —
-// by seq, not by heuristic — and delete (see recoverSegment).
+// renamed over the first source segment (the backend guarantees the
+// rename is atomic with respect to a crash), and only then are the
+// remaining sources deleted. The merged header records the highest
+// source seq it consumed (coversThrough), so a crash between the rename
+// and the deletes leaves sources that Open can identify exactly — by
+// seq, not by heuristic — and delete (see recoverSegment).
 package store
 
-import (
-	"fmt"
-	"io"
-	"os"
-)
+import "fmt"
 
-// compactThreshold: only segments smaller than SegmentBytes/2 are
-// considered small enough to merge.
-func (st *Store) compactThreshold() int64 { return st.cfg.SegmentBytes / 2 }
-
-// Compact merges adjacent runs of small sealed segments. It returns the
-// number of source segments consumed.
+// Compact merges adjacent runs of small sealed segments, as selected by
+// the strategy. It returns the number of source segments consumed.
 func (st *Store) Compact() (int, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -31,17 +24,24 @@ func (st *Store) Compact() (int, error) {
 		return 0, ErrClosed
 	}
 	merged := 0
-	for i := 0; i < len(st.segs); {
-		run := st.runAt(i)
-		if run < 2 {
-			i++
-			continue
+	from := 0
+	for {
+		view := st.blocklistLocked()
+		start, n := st.cfg.Strategy.MergeRun(view[from:], st.strategyCfgLocked())
+		if n < 2 {
+			break
 		}
-		if err := st.mergeRunLocked(i, run); err != nil {
+		start += from
+		if err := st.mergeRunLocked(start, n); err != nil {
+			if merged > 0 {
+				st.stats.Compactions++
+				st.stats.SegmentsCompacted += uint64(merged)
+			}
+			st.publishObsLocked()
 			return merged, err
 		}
-		merged += run
-		i++ // the merged segment now sits at i; look past it
+		merged += n
+		from = start + 1 // the merged segment now sits at start; look past it
 	}
 	if merged > 0 {
 		st.stats.Compactions++
@@ -51,77 +51,52 @@ func (st *Store) Compact() (int, error) {
 	return merged, nil
 }
 
-// runAt returns the length of the longest mergeable run starting at i:
-// adjacent sealed segments, each small, whose combined payload stays
-// within SegmentBytes.
-func (st *Store) runAt(i int) int {
-	small := st.compactThreshold()
-	var total int64
-	n := 0
-	for j := i; j < len(st.segs); j++ {
-		s := st.segs[j]
-		if !s.sealed || s.size >= small {
-			break
-		}
-		body := s.size - headerSize
-		if n > 0 && total+body+headerSize > st.cfg.SegmentBytes {
-			break
-		}
-		total += body
-		n++
-	}
-	return n
-}
-
 // mergeRunLocked merges segs[i:i+run] into a single segment that keeps
-// the first source's seq and path.
+// the first source's seq and name.
 func (st *Store) mergeRunLocked(i, run int) error {
 	first := st.segs[i]
 	sources := st.segs[i : i+run]
-	tmpPath := first.path + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	var total int64
+	for _, s := range sources {
+		total += s.size - headerSize
+	}
+	tmpName := first.name + ".tmp"
+	tmp, err := st.be.Create(tmpName, headerSize+total)
 	if err != nil {
 		return err
 	}
 	cleanup := func(e error) error {
 		tmp.Close()
-		os.Remove(tmpPath)
+		st.be.Remove(tmpName)
 		return e
 	}
 
 	m := &segment{seq: first.seq, coversThrough: sources[run-1].coversThrough,
-		path: first.path, sealed: true}
-	if _, err := tmp.Write(make([]byte, headerSize)); err != nil {
+		name: first.name, tier: TierCompacted, sealed: true}
+	if _, err := tmp.WriteAt(make([]byte, headerSize), 0); err != nil {
 		return cleanup(err)
 	}
 	off := int64(headerSize)
 	for _, s := range sources {
-		src, err := os.Open(s.path)
+		src, err := st.be.OpenRead(s.name)
 		if err != nil {
 			return cleanup(err)
 		}
 		// Copy the frames verbatim (they are already checksummed), then
 		// merge the metadata and rebase the sparse index.
-		if _, err := src.Seek(headerSize, io.SeekStart); err != nil {
-			src.Close()
-			return cleanup(err)
-		}
-		n, err := io.Copy(tmp, io.LimitReader(src, s.size-headerSize))
+		err = copyRange(tmp, off, src, headerSize, s.size-headerSize)
 		src.Close()
 		if err != nil {
-			return cleanup(err)
-		}
-		if n != s.size-headerSize {
-			return cleanup(fmt.Errorf("store: compact copied %d of %d bytes from %s",
-				n, s.size-headerSize, s.path))
+			return cleanup(fmt.Errorf("store: compact %s: %w", s.name, err))
 		}
 		for _, ie := range s.sparse {
 			m.sparse = append(m.sparse, indexEntry{stamp: ie.stamp, off: ie.off - headerSize + off})
 		}
 		mergeMeta(&m.meta, &s.meta)
-		off += n
+		off += s.size - headerSize
 	}
 	m.size = off
+	m.rawSize = off
 	hdr := make([]byte, headerSize)
 	encodeHeader(hdr, &m.meta, m.coversThrough, true)
 	if _, err := tmp.WriteAt(hdr, 0); err != nil {
@@ -130,19 +105,52 @@ func (st *Store) mergeRunLocked(i, run int) error {
 	if err := tmp.Sync(); err != nil {
 		return cleanup(err)
 	}
+	if err := tmp.Seal(); err != nil {
+		return cleanup(err)
+	}
 	if err := tmp.Close(); err != nil {
 		return cleanup(err)
 	}
 	// Commit point: the merged segment replaces the first source.
-	if err := os.Rename(tmpPath, first.path); err != nil {
-		os.Remove(tmpPath)
+	if err := st.be.Rename(tmpName, first.name); err != nil {
+		st.be.Remove(tmpName)
 		return err
 	}
 	for _, s := range sources[1:] {
-		os.Remove(s.path)
+		st.be.Remove(s.name)
 	}
 	st.segs = append(st.segs[:i+1], st.segs[i+run:]...)
 	st.segs[i] = m
+	return nil
+}
+
+// copyRange copies n bytes from src at srcOff to dst at dstOff through
+// a bounded buffer (the backend contract has positional I/O only).
+func copyRange(dst interface {
+	WriteAt(p []byte, off int64) (int, error)
+}, dstOff int64, src interface {
+	ReadAt(p []byte, off int64) (int, error)
+}, srcOff, n int64) error {
+	buf := make([]byte, min(n, int64(chunkSize)))
+	for n > 0 {
+		want := int64(len(buf))
+		if want > n {
+			want = n
+		}
+		r, err := src.ReadAt(buf[:want], srcOff)
+		if int64(r) < want {
+			if err == nil {
+				err = fmt.Errorf("short read (%d of %d bytes)", r, want)
+			}
+			return err
+		}
+		if _, err := dst.WriteAt(buf[:want], dstOff); err != nil {
+			return err
+		}
+		srcOff += want
+		dstOff += want
+		n -= want
+	}
 	return nil
 }
 

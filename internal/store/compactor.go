@@ -1,0 +1,443 @@
+// Background compaction pipeline: ages data through the three tiers.
+//
+//	hot   — row segments as rotation sealed them
+//	compacted — adjacent small sealed segments merged into one (Compact,
+//	        compact.go)
+//	cold  — row segments compressed into block files (CompactCold,
+//	        cold.go)
+//
+// A pluggable Strategy picks what moves, polling the store's blocklist
+// (the per-segment view snapshot); the compactor goroutine runs a merge
+// + freeze pass every Config.CompactInterval. Every transition is
+// atomic: the result is written to a .tmp name, fsynced, renamed in
+// (the commit point), and only then are the sources deleted. A crash at
+// any boundary leaves either the sources or the committed result, never
+// both live — recovery deletes the duplicate copy by seq coverage.
+//
+// Freezing does its compression I/O outside st.mu over the sealed,
+// immutable sources, then re-takes the lock and verifies the run is
+// still intact (retention may have raced it) before committing.
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"btrace/internal/tracer"
+)
+
+// SegmentView is one blocklist entry: the public, strategy-facing
+// summary of a segment.
+type SegmentView struct {
+	Seq           uint64
+	CoversThrough uint64
+	Tier          Tier
+	Sealed        bool
+	Ordered       bool
+	Bytes         int64 // committed backend bytes (compressed for cold)
+	RawBytes      int64 // uncompressed equivalent
+	Blocks        int
+	Events        uint64
+	BaseStamp     uint64
+	MaxStamp      uint64
+	MinTS         uint64
+	MaxTS         uint64
+}
+
+// StrategyConfig is the store state a Strategy decides against.
+type StrategyConfig struct {
+	SegmentBytes  int64
+	ColdAfterNs   uint64
+	ColdFileBytes int64
+	// NewestTS is the newest event timestamp across all segments; freeze
+	// ages are measured against it (virtual time, like retention).
+	NewestTS uint64
+}
+
+// Strategy selects tier transitions from the blocklist. Implementations
+// must be pure functions of their arguments (they are called under the
+// store lock).
+type Strategy interface {
+	// MergeRun picks the next run view[start:start+n] of row segments to
+	// merge into one (hot/compacted → compacted). n < 2 means nothing to
+	// merge.
+	MergeRun(view []SegmentView, cfg StrategyConfig) (start, n int)
+	// FreezeRun picks the next run view[start:start+n] of sealed row
+	// segments to compress into one cold file. n < 1 means nothing to
+	// freeze.
+	FreezeRun(view []SegmentView, cfg StrategyConfig) (start, n int)
+}
+
+// DefaultStrategy merges runs of adjacent small sealed row segments
+// (each under SegmentBytes/2, merged body within SegmentBytes) and
+// freezes sealed row segments older than ColdAfterNs, packing adjacent
+// ones into cold files of up to ColdFileBytes raw bytes.
+type DefaultStrategy struct{}
+
+// MergeRun implements Strategy with the historical Compact selection.
+func (DefaultStrategy) MergeRun(view []SegmentView, cfg StrategyConfig) (start, n int) {
+	small := cfg.SegmentBytes / 2
+	for i := 0; i < len(view); i++ {
+		var total int64
+		run := 0
+		for j := i; j < len(view); j++ {
+			s := &view[j]
+			if !s.Sealed || s.Tier == TierCold || s.Bytes >= small {
+				break
+			}
+			body := s.Bytes - headerSize
+			if run > 0 && total+body+headerSize > cfg.SegmentBytes {
+				break
+			}
+			total += body
+			run++
+		}
+		if run >= 2 {
+			return i, run
+		}
+	}
+	return 0, 0
+}
+
+// FreezeRun implements Strategy: the leftmost run of sealed, non-empty
+// row segments whose newest timestamp trails NewestTS by more than
+// ColdAfterNs, extended while the run's raw bytes fit ColdFileBytes.
+// ColdAfterNs == 0 disables freezing.
+func (DefaultStrategy) FreezeRun(view []SegmentView, cfg StrategyConfig) (start, n int) {
+	if cfg.ColdAfterNs == 0 {
+		return 0, 0
+	}
+	eligible := func(s *SegmentView) bool {
+		return s.Sealed && s.Tier != TierCold && s.Events > 0 &&
+			s.MaxTS+cfg.ColdAfterNs <= cfg.NewestTS
+	}
+	for i := 0; i < len(view); i++ {
+		if !eligible(&view[i]) {
+			continue
+		}
+		var raw int64
+		run := 0
+		for j := i; j < len(view); j++ {
+			if !eligible(&view[j]) {
+				break
+			}
+			if run > 0 && raw+view[j].RawBytes > cfg.ColdFileBytes {
+				break
+			}
+			raw += view[j].RawBytes
+			run++
+		}
+		return i, run
+	}
+	return 0, 0
+}
+
+// blocklistLocked renders the per-segment view the strategies poll.
+func (st *Store) blocklistLocked() []SegmentView {
+	view := make([]SegmentView, 0, len(st.segs))
+	for _, s := range st.segs {
+		view = append(view, SegmentView{
+			Seq:           s.seq,
+			CoversThrough: s.coversThrough,
+			Tier:          s.tier,
+			Sealed:        s.sealed,
+			Ordered:       s.meta.ordered,
+			Bytes:         s.size,
+			RawBytes:      s.rawSize,
+			Blocks:        len(s.blocks),
+			Events:        s.meta.count,
+			BaseStamp:     s.meta.baseStamp,
+			MaxStamp:      s.meta.maxStamp,
+			MinTS:         s.meta.minTS,
+			MaxTS:         s.meta.maxTS,
+		})
+	}
+	return view
+}
+
+func (st *Store) strategyCfgLocked() StrategyConfig {
+	cfg := StrategyConfig{
+		SegmentBytes:  st.cfg.SegmentBytes,
+		ColdAfterNs:   st.cfg.ColdAfterNs,
+		ColdFileBytes: st.cfg.ColdFileBytes,
+	}
+	for _, s := range st.segs {
+		if s.meta.count > 0 && s.meta.maxTS > cfg.NewestTS {
+			cfg.NewestTS = s.meta.maxTS
+		}
+	}
+	return cfg
+}
+
+// Blocklist returns the compactor's view of every segment, oldest
+// first — what a Strategy polls, exported for inspection tooling.
+func (st *Store) Blocklist() []SegmentView {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.blocklistLocked()
+}
+
+// TierStat aggregates one tier of the blocklist.
+type TierStat struct {
+	Tier     string `json:"tier"`
+	Segments int    `json:"segments"`
+	Bytes    int64  `json:"bytes"`
+	RawBytes int64  `json:"raw_bytes"`
+	Blocks   int    `json:"blocks"`
+	Events   uint64 `json:"events"`
+}
+
+// TierStats returns per-tier aggregates (hot, compacted, cold — always
+// three entries, in lifecycle order).
+func (st *Store) TierStats() []TierStat {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := []TierStat{{Tier: TierHot.String()}, {Tier: TierCompacted.String()}, {Tier: TierCold.String()}}
+	for _, s := range st.segs {
+		t := &out[s.tier]
+		t.Segments++
+		t.Bytes += s.size
+		t.RawBytes += s.rawSize
+		t.Blocks += len(s.blocks)
+		t.Events += s.meta.count
+	}
+	return out
+}
+
+// CompactTick runs one full compactor pass: merge small sealed
+// segments, then freeze aged ones. The background goroutine calls it
+// every CompactInterval; tests and tooling call it directly.
+func (st *Store) CompactTick() error {
+	if _, err := st.Compact(); err != nil {
+		return err
+	}
+	_, err := st.CompactCold()
+	return err
+}
+
+// CompactCold freezes aged sealed row segments into compressed cold
+// block files, as selected by the strategy. It returns the number of
+// row segments consumed.
+func (st *Store) CompactCold() (int, error) {
+	frozen := 0
+	for {
+		st.mu.Lock()
+		if st.closed {
+			st.mu.Unlock()
+			return frozen, ErrClosed
+		}
+		start, n := st.cfg.Strategy.FreezeRun(st.blocklistLocked(), st.strategyCfgLocked())
+		if n < 1 {
+			st.mu.Unlock()
+			return frozen, nil
+		}
+		run := make([]*segment, n)
+		copy(run, st.segs[start:start+n])
+		st.mu.Unlock()
+		fn, err := st.freezeRun(run)
+		frozen += fn
+		if err != nil {
+			return frozen, err
+		}
+		if fn == 0 {
+			// The run was invalidated between selection and commit
+			// (retention or a concurrent pass); don't spin on it.
+			return frozen, nil
+		}
+	}
+}
+
+// freezeRun compresses the given sealed row segments into one cold
+// file. The compression I/O runs without the store lock (the sources
+// are sealed and immutable; retention may delete them, but our read
+// handles keep working — backend Remove semantics); the commit re-takes
+// the lock, verifies the run is still live and contiguous, and renames
+// the file in. Returns the number of segments consumed (0 if the run
+// was invalidated and nothing was committed).
+func (st *Store) freezeRun(run []*segment) (int, error) {
+	for _, s := range run {
+		if !s.sealed || s.isCold() {
+			return 0, nil
+		}
+	}
+	first, last := run[0], run[len(run)-1]
+	name := coldName(first.seq)
+	tmpName := name + ".tmp"
+	tmp, err := st.be.Create(tmpName, 0)
+	if err != nil {
+		return 0, err
+	}
+	abort := func(e error) (int, error) {
+		tmp.Close()
+		st.be.Remove(tmpName)
+		return 0, e
+	}
+	w := newColdWriter(tmp, st.cfg.ColdBlockBytes)
+	srcSizes := make(map[uint64]int64, len(run))
+	for _, s := range run {
+		if err := st.freezeSource(w, s); err != nil {
+			return abort(err)
+		}
+		srcSizes[s.seq] = s.size
+	}
+	if err := w.finish(last.coversThrough); err != nil {
+		return abort(err)
+	}
+	size, err := tmp.Size()
+	if err != nil {
+		return abort(err)
+	}
+	if err := tmp.Close(); err != nil {
+		st.be.Remove(tmpName)
+		return 0, err
+	}
+
+	st.mu.Lock()
+	if st.closed || !st.runIntactLocked(run) {
+		st.mu.Unlock()
+		st.be.Remove(tmpName)
+		return 0, nil
+	}
+	// Commit point: the cold file replaces the whole run.
+	if err := st.be.Rename(tmpName, name); err != nil {
+		st.mu.Unlock()
+		st.be.Remove(tmpName)
+		return 0, err
+	}
+	cold := &segment{
+		seq:           first.seq,
+		name:          name,
+		coversThrough: last.coversThrough,
+		size:          size,
+		rawSize:       headerSize + w.rawTotal,
+		tier:          TierCold,
+		sealed:        true,
+		meta:          w.fileMeta,
+		blocks:        w.blocks,
+		srcSizes:      srcSizes,
+	}
+	i := st.segIndexLocked(run[0])
+	st.segs[i] = cold
+	st.segs = append(st.segs[:i+1], st.segs[i+len(run):]...)
+	st.stats.ColdCompactions++
+	st.stats.SegmentsFrozen += uint64(len(run))
+	st.stats.ColdBlocksBuilt += uint64(len(w.blocks))
+	st.stats.ColdBytesWritten += uint64(size)
+	st.stats.ColdRawBytes += uint64(w.rawTotal)
+	st.publishObsLocked()
+	names := make([]string, 0, len(run))
+	for _, s := range run {
+		if s.name != name {
+			names = append(names, s.name)
+		}
+	}
+	st.mu.Unlock()
+	// The sources are shadowed by the committed cold file; a crash here
+	// leaves them for recovery's leftover rule (coversThrough).
+	for _, n := range names {
+		st.be.Remove(n)
+	}
+	return len(run), nil
+}
+
+// freezeSource copies one source segment's frames into the cold writer,
+// verifying every frame's checksum on the way: recovery can no longer
+// frame-scan the bytes once they are compressed, so freezing is the
+// last cheap moment to catch rot.
+func (st *Store) freezeSource(w *coldWriter, s *segment) error {
+	src, err := st.be.OpenRead(s.name)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	rd := chunkReader{f: src, off: headerSize, bound: s.size}
+	off := int64(headerSize)
+	for off < s.size {
+		head, err := rd.peek(tracer.Align)
+		if err != nil {
+			return err
+		}
+		if len(head) < tracer.Align {
+			return fmt.Errorf("store: freeze: short read in %s at %d", s.name, off)
+		}
+		_, recSize, perr := tracer.PeekRecord(head)
+		if perr != nil || recSize > maxRecordSize {
+			return fmt.Errorf("store: freeze: bad frame in %s at %d", s.name, off)
+		}
+		frame := recSize + tailSize
+		buf, err := rd.peek(frame)
+		if err != nil || len(buf) < frame {
+			return fmt.Errorf("store: freeze: torn frame in %s at %d", s.name, off)
+		}
+		if cerr := checkFrame(buf[:recSize], buf[recSize:frame]); cerr != nil {
+			return fmt.Errorf("store: freeze: %s at %d: %w", s.name, off, cerr)
+		}
+		if recSize < tracer.EventHeaderSize {
+			return fmt.Errorf("store: freeze: short event in %s at %d", s.name, off)
+		}
+		w3 := le64(buf[24:])
+		if err := w.add(buf[:frame], le64(buf[8:]), le64(buf[16:]), uint8(w3>>56), uint8(w3>>24)); err != nil {
+			return err
+		}
+		rd.advance(frame)
+		off += int64(frame)
+	}
+	return nil
+}
+
+// runIntactLocked reports whether the run still sits, in order and
+// uninterrupted, in the live segment list.
+func (st *Store) runIntactLocked(run []*segment) bool {
+	i := st.segIndexLocked(run[0])
+	if i < 0 || i+len(run) > len(st.segs) {
+		return false
+	}
+	for k, s := range run {
+		if st.segs[i+k] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// segIndexLocked returns the index of exactly this *segment, or -1.
+func (st *Store) segIndexLocked(s *segment) int {
+	i := st.findSeqLocked(s.seq)
+	if i >= 0 && st.segs[i] == s {
+		return i
+	}
+	return -1
+}
+
+// compactorLoop is the background compactor goroutine: one CompactTick
+// per interval, failures counted and surfaced as stats/metrics (a tier
+// transition that fails leaves the sources untouched; the next tick
+// retries).
+func (st *Store) compactorLoop() {
+	defer st.compactWG.Done()
+	t := time.NewTicker(st.cfg.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.compactStop:
+			return
+		case <-t.C:
+			if err := st.CompactTick(); err != nil && err != ErrClosed {
+				st.mu.Lock()
+				st.stats.CompactorErrors++
+				st.publishObsLocked()
+				st.mu.Unlock()
+			}
+		}
+	}
+}
+
+// stopCompactor joins the background compactor (idempotent; no-op when
+// none is running).
+func (st *Store) stopCompactor() {
+	if st.compactStop == nil {
+		return
+	}
+	st.compactOnce.Do(func() { close(st.compactStop) })
+	st.compactWG.Wait()
+}

@@ -7,9 +7,9 @@
 package store
 
 import (
-	"os"
 	"sort"
 
+	"btrace/internal/store/backend"
 	"btrace/internal/tracer"
 )
 
@@ -113,8 +113,15 @@ type Cursor struct {
 	curSealed bool
 	curBound  int64 // committed bytes readable this pass
 	dedupe    bool  // entered a merged segment: drop stamps <= lastStamp
-	f         *os.File
+	f         backend.ReadFile
 	rd        chunkReader
+
+	// Cold-tier read state: the block cursor within c.cur.blocks plus
+	// the inflated bytes of the block being walked. coldBuf may alias
+	// the store's shared block cache and is never written to.
+	coldIdx int
+	coldBuf []byte
+	coldPos int
 
 	lastStamp   uint64
 	seenRetired uint64
@@ -238,8 +245,7 @@ func (c *Cursor) openNext() (missed uint64, ok bool) {
 			c.nextSeq = next
 			continue
 		}
-		path, bound, sealed := seg.path, seg.size, seg.sealed
-		startOff := int64(headerSize)
+		name, bound, sealed := seg.name, seg.size, seg.sealed
 		// Sparse seek: skip straight to the stamp lower bound when the
 		// segment is ordered. With dedupe on, everything at or below
 		// lastStamp is a duplicate, so seek past it too.
@@ -247,7 +253,17 @@ func (c *Cursor) openNext() (missed uint64, ok bool) {
 		if dedupe && c.lastStamp+1 > seekStamp {
 			seekStamp = c.lastStamp + 1
 		}
-		if seg.meta.ordered && seekStamp > 0 && len(seg.sparse) > 0 {
+		startOff := int64(headerSize)
+		coldStart := 0
+		if seg.isCold() {
+			// Cold tier: the block directory replaces the sparse index —
+			// skip whole blocks below the seek stamp when ordered.
+			if seg.meta.ordered && seekStamp > 0 {
+				for coldStart < len(seg.blocks) && seg.blocks[coldStart].meta.maxStamp < seekStamp {
+					coldStart++
+				}
+			}
+		} else if seg.meta.ordered && seekStamp > 0 && len(seg.sparse) > 0 {
 			lo := sort.Search(len(seg.sparse), func(i int) bool {
 				return seg.sparse[i].stamp >= seekStamp
 			})
@@ -257,7 +273,7 @@ func (c *Cursor) openNext() (missed uint64, ok bool) {
 		}
 		c.st.mu.Unlock()
 
-		f, err := os.Open(path)
+		f, err := c.st.be.OpenRead(name)
 		if err != nil {
 			// Deleted between lookup and open (retention race): retry the
 			// loop, which will re-observe the retirement counters.
@@ -269,6 +285,7 @@ func (c *Cursor) openNext() (missed uint64, ok bool) {
 		c.curSealed = sealed
 		c.curBound = bound
 		c.dedupe = dedupe
+		c.coldIdx, c.coldBuf, c.coldPos = coldStart, nil, 0
 		c.rd = chunkReader{f: f, off: startOff, bound: bound}
 		return missed, true
 	}
@@ -293,8 +310,8 @@ func (c *Cursor) refreshBound() {
 	// carry a zeroed tail if it was dropped before the seal finalize
 	// trimmed it — keep the last committed bound rather than trusting
 	// the file size past it.
-	if fi, err := c.f.Stat(); err == nil && fi.Size() < c.curBound {
-		c.curBound = fi.Size()
+	if size, err := c.f.Size(); err == nil && size < c.curBound {
+		c.curBound = size
 	}
 	c.curSealed = true
 	c.rd.bound = c.curBound
@@ -304,6 +321,9 @@ func (c *Cursor) refreshBound() {
 // applying the query filter. done reports the segment is fully consumed
 // and will never grow again.
 func (c *Cursor) readFrames(out []tracer.Entry) (n int, done bool, err error) {
+	if c.cur.isCold() {
+		return c.readColdFrames(out)
+	}
 	if !c.curSealed {
 		c.refreshBound()
 	}
@@ -353,6 +373,94 @@ func (c *Cursor) readFrames(out []tracer.Entry) (n int, done bool, err error) {
 		}
 		// Re-home the payload in the cursor's arena: the read buffer is
 		// recycled by the next peek.
+		if len(e.Payload) > 0 {
+			off := len(c.arena)
+			c.arena = append(c.arena, e.Payload...)
+			e.Payload = c.arena[off:len(c.arena):len(c.arena)]
+		}
+		out[n] = e
+		n++
+		c.delivered++
+		if e.Stamp > c.lastStamp {
+			c.lastStamp = e.Stamp
+		}
+	}
+	return n, false, nil
+}
+
+// readColdFrames is readFrames over a cold segment: blocks are pruned
+// by their directory metadata (min/max stamp, time range, core and
+// category bitmaps) before any decompression, then the inflated bytes
+// are walked with exactly the row-tier frame loop. Cold segments are
+// always sealed, so there is no bound refresh.
+func (c *Cursor) readColdFrames(out []tracer.Entry) (n int, done bool, err error) {
+	blocks := c.cur.blocks
+	for n < len(out) {
+		if c.q.q.Limit > 0 && c.delivered >= c.q.q.Limit {
+			return n, true, nil
+		}
+		if c.coldPos >= len(c.coldBuf) {
+			// Advance to the next block the query cannot rule out.
+			for {
+				if c.coldIdx >= len(blocks) {
+					return n, true, nil
+				}
+				b := &blocks[c.coldIdx]
+				if c.cur.meta.ordered && c.q.q.MaxStamp > 0 && b.meta.baseStamp > c.q.q.MaxStamp {
+					// Ordered early exit: no later block can match.
+					return n, true, nil
+				}
+				if c.dedupe && b.meta.maxStamp <= c.lastStamp {
+					c.coldIdx++ // entirely already-delivered stamps
+					continue
+				}
+				if !c.q.matchSegment(&b.meta) {
+					c.coldIdx++ // pruned without decompression
+					continue
+				}
+				break
+			}
+			b := &blocks[c.coldIdx]
+			c.coldIdx++
+			c.coldBuf, err = c.st.inflateCached(c.cur.name, c.f, b)
+			if err != nil {
+				return n, true, err
+			}
+			c.coldPos = 0
+		}
+		buf := c.coldBuf[c.coldPos:]
+		if len(buf) < tracer.Align {
+			c.coldPos = len(c.coldBuf) // ragged tail cannot happen in a committed block
+			continue
+		}
+		_, recSize, perr := tracer.PeekRecord(buf)
+		if perr != nil || recSize > maxRecordSize {
+			return n, true, perr
+		}
+		if recSize+tailSize > len(buf) {
+			c.coldPos = len(c.coldBuf)
+			continue
+		}
+		if err := checkFrame(buf[:recSize], buf[recSize:recSize+tailSize]); err != nil {
+			return n, true, err
+		}
+		var e tracer.Entry
+		if derr := decodeEventTo(buf[:recSize], &e); derr != nil {
+			return n, true, derr
+		}
+		c.coldPos += recSize + tailSize
+		if c.dedupe && e.Stamp <= c.lastStamp {
+			continue
+		}
+		if c.cur.meta.ordered && c.q.q.MaxStamp > 0 && e.Stamp > c.q.q.MaxStamp {
+			return n, true, nil
+		}
+		if !c.q.match(&e) {
+			continue
+		}
+		// Re-home the payload in the cursor's arena: coldBuf is replaced
+		// at the next block, and may be shared cache memory the entry
+		// must not pin past this batch.
 		if len(e.Payload) > 0 {
 			off := len(c.arena)
 			c.arena = append(c.arena, e.Payload...)

@@ -27,6 +27,20 @@ type storeObs struct {
 	compactions       *obs.Counter
 	segmentsCompacted *obs.Counter
 
+	coldCompactions  *obs.Counter
+	segmentsFrozen   *obs.Counter
+	coldBlocks       *obs.Counter
+	coldBytesWritten *obs.Counter
+	coldRawBytes     *obs.Counter
+	compactorErrors  *obs.Counter
+	orphansRemoved   *obs.Counter
+
+	// bcache is read live at collect time: its counters advance on the
+	// read path, which never runs publishObsLocked. Referencing the
+	// cache (its own allocation, no back-pointer) keeps the Store
+	// finalizable; Fold's final collect captures the closing values.
+	bcache *blockCache
+
 	recoveredTruncations *obs.Counter
 	tornBytesDropped     *obs.Counter
 	leftoverSegments     *obs.Counter
@@ -49,6 +63,9 @@ type storeObs struct {
 	events    obs.Gauge
 	// stagedBytes is the staging arena's fill level at the last stage.
 	stagedBytes obs.Gauge
+	// Per-tier breakdowns of segments/sizeBytes, indexed by Tier.
+	tierSegments [3]obs.Gauge
+	tierBytes    [3]obs.Gauge
 }
 
 func newStoreObs() *storeObs {
@@ -60,6 +77,13 @@ func newStoreObs() *storeObs {
 		eventsRetired:        obs.NewCounter(1),
 		compactions:          obs.NewCounter(1),
 		segmentsCompacted:    obs.NewCounter(1),
+		coldCompactions:      obs.NewCounter(1),
+		segmentsFrozen:       obs.NewCounter(1),
+		coldBlocks:           obs.NewCounter(1),
+		coldBytesWritten:     obs.NewCounter(1),
+		coldRawBytes:         obs.NewCounter(1),
+		compactorErrors:      obs.NewCounter(1),
+		orphansRemoved:       obs.NewCounter(1),
 		recoveredTruncations: obs.NewCounter(1),
 		tornBytesDropped:     obs.NewCounter(1),
 		leftoverSegments:     obs.NewCounter(1),
@@ -81,6 +105,16 @@ func (o *storeObs) collect(e *obs.Emitter) {
 	e.Counter("btrace_store_events_retired_total", "events removed by retention", o.eventsRetired.Load())
 	e.Counter("btrace_store_compactions_total", "compaction passes that merged segments", o.compactions.Load())
 	e.Counter("btrace_store_segments_compacted_total", "source segments consumed by compaction", o.segmentsCompacted.Load())
+	e.Counter("btrace_store_cold_compactions_total", "freeze passes that built cold files", o.coldCompactions.Load())
+	e.Counter("btrace_store_segments_frozen_total", "row segments consumed by freezing", o.segmentsFrozen.Load())
+	e.Counter("btrace_store_cold_blocks_total", "compressed cold blocks built", o.coldBlocks.Load())
+	e.Counter("btrace_store_cold_bytes_written_total", "compressed bytes written to cold files", o.coldBytesWritten.Load())
+	e.Counter("btrace_store_cold_raw_bytes_total", "uncompressed bytes frozen into cold files", o.coldRawBytes.Load())
+	e.Counter("btrace_store_compactor_errors_total", "background compactor tick failures", o.compactorErrors.Load())
+	e.Counter("btrace_store_orphans_removed_total", "unrecognized files removed at open", o.orphansRemoved.Load())
+	hits, misses := o.bcache.counters()
+	e.Counter("btrace_store_block_cache_hits_total", "cold block reads served from the decompressed-block cache", hits)
+	e.Counter("btrace_store_block_cache_misses_total", "cold block reads that had to inflate", misses)
 	e.Counter("btrace_store_recovered_truncations_total", "torn segment tails truncated at open", o.recoveredTruncations.Load())
 	e.Counter("btrace_store_torn_bytes_dropped_total", "bytes cut by recovery truncations", o.tornBytesDropped.Load())
 	e.Counter("btrace_store_leftover_segments_total", "interrupted-compaction leftovers deleted at open", o.leftoverSegments.Load())
@@ -93,6 +127,12 @@ func (o *storeObs) collect(e *obs.Emitter) {
 	e.Gauge("btrace_store_size_bytes", "total on-disk size", float64(o.sizeBytes.Load()))
 	e.Gauge("btrace_store_events", "events currently held", float64(o.events.Load()))
 	e.Gauge("btrace_store_staged_bytes", "staging arena fill at last stage", float64(o.stagedBytes.Load()))
+	e.Gauge("btrace_store_tier_hot_segments", "segments in the hot tier", float64(o.tierSegments[TierHot].Load()))
+	e.Gauge("btrace_store_tier_hot_bytes", "bytes in the hot tier", float64(o.tierBytes[TierHot].Load()))
+	e.Gauge("btrace_store_tier_compacted_segments", "segments in the compacted tier", float64(o.tierSegments[TierCompacted].Load()))
+	e.Gauge("btrace_store_tier_compacted_bytes", "bytes in the compacted tier", float64(o.tierBytes[TierCompacted].Load()))
+	e.Gauge("btrace_store_tier_cold_segments", "cold block files", float64(o.tierSegments[TierCold].Load()))
+	e.Gauge("btrace_store_tier_cold_bytes", "compressed bytes in the cold tier", float64(o.tierBytes[TierCold].Load()))
 	e.Gauge("btrace_store_stores", "open stores", 1)
 }
 
@@ -114,17 +154,31 @@ func (st *Store) publishObsLocked() {
 	o.tornBytesDropped.Add(cur.TornBytesDropped - last.TornBytesDropped)
 	o.leftoverSegments.Add(cur.LeftoverSegments - last.LeftoverSegments)
 	o.headersRebuilt.Add(cur.HeadersRebuilt - last.HeadersRebuilt)
+	o.coldCompactions.Add(cur.ColdCompactions - last.ColdCompactions)
+	o.segmentsFrozen.Add(cur.SegmentsFrozen - last.SegmentsFrozen)
+	o.coldBlocks.Add(cur.ColdBlocksBuilt - last.ColdBlocksBuilt)
+	o.coldBytesWritten.Add(cur.ColdBytesWritten - last.ColdBytesWritten)
+	o.coldRawBytes.Add(cur.ColdRawBytes - last.ColdRawBytes)
+	o.compactorErrors.Add(cur.CompactorErrors - last.CompactorErrors)
+	o.orphansRemoved.Add(cur.OrphansRemoved - last.OrphansRemoved)
 	st.published = cur
 
 	var size int64
 	var events uint64
+	var tierSegs, tierSize [3]int64
 	for _, s := range st.segs {
 		size += s.size
 		events += s.meta.count
+		tierSegs[s.tier]++
+		tierSize[s.tier] += s.size
 	}
 	o.segments.Set(int64(len(st.segs)))
 	o.sizeBytes.Set(size)
 	o.events.Set(int64(events))
+	for t := range tierSegs {
+		o.tierSegments[t].Set(tierSegs[t])
+		o.tierBytes[t].Set(tierSize[t])
+	}
 }
 
 // syncActive fsyncs the active segment, timing the stall.

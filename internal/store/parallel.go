@@ -25,7 +25,6 @@ package store
 import (
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"sync"
 
@@ -50,14 +49,19 @@ const (
 type segSnap struct {
 	seq           uint64
 	coversThrough uint64
-	path          string
-	start         int64 // first byte to scan (resume offset or sparse seek)
-	bound         int64 // committed bytes at snapshot time
-	count         uint64
-	baseStamp     uint64
-	maxStamp      uint64
-	ordered       bool
-	sealed        bool
+	name          string
+	// start/bound are byte offsets for row segments, block indices for
+	// cold ones.
+	start     int64 // first byte/block to scan (resume offset or seek)
+	bound     int64 // committed bytes / block count at snapshot time
+	count     uint64
+	baseStamp uint64
+	maxStamp  uint64
+	ordered   bool
+	sealed    bool
+	cold      bool
+	// blocks shares the cold segment's immutable block directory.
+	blocks []coldBlock
 }
 
 // pchunk is one decoded batch in flight from a stream to the merge.
@@ -100,6 +104,15 @@ func (p *chunkPool) put(ck *pchunk) {
 	p.mu.Unlock()
 }
 
+// pmark is one segment's cross-round resume mark. For row segments off
+// is a byte offset; for cold segments it is a block index — the cold
+// flag records which, so a tier transition between rounds is detected
+// instead of misread.
+type pmark struct {
+	off  int64
+	cold bool
+}
+
 // pstream is one segment's scan: a goroutine filling ch, plus the
 // merge's view of the current chunk. missed/endOff/err are written by
 // the goroutine before ch closes and read by the merge only after the
@@ -136,7 +149,7 @@ type PCursor struct {
 	wg      sync.WaitGroup
 
 	// Cross-round state.
-	progress      map[uint64]int64 // seq -> next unread offset
+	progress      map[uint64]pmark // seq -> next unread offset/block
 	lowSeq        uint64           // lowest not-fully-consumed seq
 	seenRetired   uint64
 	pendingMissed uint64
@@ -157,7 +170,7 @@ func (st *Store) QueryParallel(q Query, workers int) *PCursor {
 		q:        compile(q),
 		workers:  workers,
 		sem:      make(chan struct{}, workers),
-		progress: make(map[uint64]int64),
+		progress: make(map[uint64]pmark),
 	}
 	st.mu.Lock()
 	c.seenRetired = st.retiredEvents
@@ -274,10 +287,22 @@ func (c *PCursor) snapshot() ([]segSnap, uint64) {
 	var snaps []segSnap
 	low := uint64(0)
 	for _, s := range st.segs {
+		if s.isCold() {
+			sn, m, live := c.snapshotCold(s)
+			missed += m
+			if !live {
+				continue
+			}
+			if low == 0 {
+				low = s.seq
+			}
+			snaps = append(snaps, sn)
+			continue
+		}
 		start := int64(headerSize)
 		resumed := false
-		if off, ok := c.progress[s.seq]; ok {
-			start, resumed = off, true
+		if mk, ok := c.progress[s.seq]; ok && !mk.cold {
+			start, resumed = mk.off, true
 		}
 		if s.coversThrough > s.seq {
 			// A compacted segment subsumes seqs we may have partially
@@ -300,7 +325,7 @@ func (c *PCursor) snapshot() ([]segSnap, uint64) {
 					// reports for unordered merges).
 					missed += s.meta.count
 				}
-				c.progress[s.seq] = s.size
+				c.progress[s.seq] = pmark{off: s.size}
 				for k := range c.progress {
 					if k > s.seq && k <= s.coversThrough {
 						delete(c.progress, k)
@@ -315,7 +340,7 @@ func (c *PCursor) snapshot() ([]segSnap, uint64) {
 		if !c.q.matchSegment(&s.meta) && s.sealed {
 			// Prune without opening the file — the header metadata rules
 			// out every record.
-			c.progress[s.seq] = s.size
+			c.progress[s.seq] = pmark{off: s.size}
 			continue
 		}
 		if low == 0 {
@@ -332,7 +357,7 @@ func (c *PCursor) snapshot() ([]segSnap, uint64) {
 		snaps = append(snaps, segSnap{
 			seq:           s.seq,
 			coversThrough: s.coversThrough,
-			path:          s.path,
+			name:          s.name,
 			start:         start,
 			bound:         s.size,
 			count:         s.meta.count,
@@ -349,6 +374,82 @@ func (c *PCursor) snapshot() ([]segSnap, uint64) {
 	return snaps, missed
 }
 
+// snapshotCold resolves one cold segment against the progress map.
+// Returns its snapshot when the round should scan it (live), or folds
+// it into progress/missed accounting when it should not.
+//
+// A freeze between rounds invalidates byte-offset marks recorded
+// against the row sources: block indices and byte offsets do not
+// translate. Three cases, mirroring the merged-segment rules:
+//   - every source was fully consumed → skip the cold segment whole;
+//   - nothing was delivered from any source → rescan from block 0
+//     (no duplication possible);
+//   - partial consumption → the remainder cannot be resumed without
+//     re-delivery; skip it and surface the segment's count through
+//     missed (the same upper bound used for unordered merges).
+func (c *PCursor) snapshotCold(s *segment) (sn segSnap, missed uint64, live bool) {
+	consumed := pmark{off: int64(len(s.blocks)), cold: true}
+	start := int64(0)
+	if mk, ok := c.progress[s.seq]; ok && mk.cold {
+		start = mk.off
+	}
+	stale, delivered := false, false
+	for k, mk := range c.progress {
+		if mk.cold || k < s.seq || k > s.coversThrough {
+			continue
+		}
+		stale = true
+		if mk.off > headerSize {
+			delivered = true
+		}
+	}
+	if stale {
+		fully := len(s.srcSizes) > 0
+		for seq, size := range s.srcSizes {
+			if mk, ok := c.progress[seq]; !ok || mk.cold || mk.off < size {
+				fully = false
+				break
+			}
+		}
+		for k, mk := range c.progress {
+			if !mk.cold && k >= s.seq && k <= s.coversThrough {
+				delete(c.progress, k)
+			}
+		}
+		switch {
+		case fully:
+			c.progress[s.seq] = consumed
+			return sn, 0, false
+		case !delivered:
+			start = 0 // fresh scan: nothing was ever delivered
+		default:
+			c.progress[s.seq] = consumed
+			return sn, s.meta.count, false
+		}
+	}
+	if start >= int64(len(s.blocks)) {
+		return sn, 0, false // fully consumed (cold is always sealed)
+	}
+	if !c.q.matchSegment(&s.meta) {
+		c.progress[s.seq] = consumed
+		return sn, 0, false
+	}
+	return segSnap{
+		seq:           s.seq,
+		coversThrough: s.coversThrough,
+		name:          s.name,
+		start:         start,
+		bound:         int64(len(s.blocks)),
+		count:         s.meta.count,
+		baseStamp:     s.meta.baseStamp,
+		maxStamp:      s.meta.maxStamp,
+		ordered:       s.meta.ordered,
+		sealed:        true,
+		cold:          true,
+		blocks:        s.blocks,
+	}, 0, true
+}
+
 // runStream scans one segment snapshot span by span, sending decoded
 // chunks to the merge. A semaphore permit is held only across the
 // read+decode, never across a channel send, so a blocked merge cannot
@@ -357,7 +458,7 @@ func (c *PCursor) runStream(ps *pstream) {
 	defer c.wg.Done()
 	defer close(ps.ch)
 	sn := &ps.snap
-	f, err := os.Open(sn.path)
+	f, err := c.st.be.OpenRead(sn.name)
 	if err != nil {
 		// Retention won the race to the file: what this stream would
 		// have delivered is bounded by the segment's count.
@@ -366,6 +467,10 @@ func (c *PCursor) runStream(ps *pstream) {
 		return
 	}
 	defer f.Close()
+	if sn.cold {
+		c.scanCold(ps, f)
+		return
+	}
 	if !sn.ordered {
 		c.scanUnordered(ps, f)
 		return
@@ -423,7 +528,7 @@ func (c *PCursor) release() { <-c.sem }
 // scanSpan reads one span of committed bytes at *off and decodes its
 // whole frames into ck, filtering as it goes. stop reports the ordered
 // early exit (a stamp past MaxStamp was seen).
-func (c *PCursor) scanSpan(f *os.File, sn *segSnap, off *int64, ck *pchunk) (stop bool, err error) {
+func (c *PCursor) scanSpan(f io.ReaderAt, sn *segSnap, off *int64, ck *pchunk) (stop bool, err error) {
 	want := sn.bound - *off
 	if want > scanSpanBytes {
 		want = scanSpanBytes
@@ -507,7 +612,7 @@ func (c *PCursor) scanSpan(f *os.File, sn *segSnap, off *int64, ck *pchunk) (sto
 // scanUnordered loads the stream's whole remaining range (bounded by
 // SegmentBytes) as one chunk and sorts it by stamp, so the merge can
 // treat every stream as stamp-ordered.
-func (c *PCursor) scanUnordered(ps *pstream, f *os.File) {
+func (c *PCursor) scanUnordered(ps *pstream, f io.ReaderAt) {
 	sn := &ps.snap
 	if !c.acquire() {
 		return
@@ -572,6 +677,162 @@ func (c *PCursor) scanUnordered(ps *pstream, f *os.File) {
 	} else {
 		c.pool.put(ck)
 	}
+}
+
+// scanCold scans one cold segment block by block: prune on the block
+// header's metadata (skipping the decompression entirely), then inflate
+// and decode under a semaphore permit. endOff counts blocks, not bytes —
+// a cold segment is immutable, so block indices are stable resume marks.
+func (c *PCursor) scanCold(ps *pstream, f io.ReaderAt) {
+	sn := &ps.snap
+	if !sn.ordered {
+		c.scanColdUnordered(ps, f)
+		return
+	}
+	idx := sn.start
+	for idx < sn.bound {
+		b := &sn.blocks[idx]
+		if c.q.q.MaxStamp > 0 && b.meta.baseStamp > c.q.q.MaxStamp {
+			// Ordered early exit: every remaining block starts later
+			// still, and cold segments are immutable.
+			ps.endOff = sn.bound
+			return
+		}
+		if !c.q.matchSegment(&b.meta) {
+			idx++
+			ps.endOff = idx
+			continue
+		}
+		if !c.acquire() {
+			ps.endOff = idx
+			return
+		}
+		ck := c.pool.get()
+		var stop bool
+		buf, err := c.st.inflateCached(sn.name, f, b)
+		if err == nil {
+			stop, err = c.decodeCold(ck, buf, true)
+		}
+		c.release()
+		if err != nil {
+			c.pool.put(ck)
+			ps.err = err
+			ps.endOff = idx
+			return
+		}
+		idx++
+		if len(ck.entries) > 0 {
+			select {
+			case ps.ch <- ck:
+			case <-c.done:
+				c.pool.put(ck)
+				ps.endOff = idx
+				return
+			}
+		} else {
+			c.pool.put(ck)
+		}
+		ps.endOff = idx
+		if stop {
+			// A stamp past MaxStamp inside an ordered, immutable
+			// segment: nothing later can match.
+			ps.endOff = sn.bound
+			return
+		}
+	}
+	ps.endOff = sn.bound
+}
+
+// scanColdUnordered inflates every surviving block into one chunk and
+// sorts the matches by stamp, so the heap merge can treat the stream as
+// stamp-ordered (mirroring scanUnordered for row segments).
+func (c *PCursor) scanColdUnordered(ps *pstream, f io.ReaderAt) {
+	sn := &ps.snap
+	if !c.acquire() {
+		return
+	}
+	ck := c.pool.get()
+	var err error
+	for idx := sn.start; idx < sn.bound; idx++ {
+		b := &sn.blocks[idx]
+		if !c.q.matchSegment(&b.meta) {
+			continue
+		}
+		var buf []byte
+		if buf, err = c.st.inflateCached(sn.name, f, b); err != nil {
+			break
+		}
+		if _, err = c.decodeCold(ck, buf, false); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		sort.Slice(ck.entries, func(i, j int) bool {
+			return ck.entries[i].Stamp < ck.entries[j].Stamp
+		})
+	}
+	c.release()
+	ps.err = err
+	if err != nil {
+		c.pool.put(ck)
+		ps.endOff = sn.start
+		return
+	}
+	ps.endOff = sn.bound
+	if len(ck.entries) > 0 {
+		select {
+		case ps.ch <- ck:
+		case <-c.done:
+			c.pool.put(ck)
+		}
+	} else {
+		c.pool.put(ck)
+	}
+}
+
+// decodeCold walks the inflated frames in buf (the cold format is
+// frame-preserving, so this is the same walk scanSpan does over row
+// bytes), appending matches to ck.entries. buf is typically shared
+// block-cache memory: entries alias it read-only and the GC keeps it
+// alive for as long as any entry does. With ordered set, stop reports a
+// stamp past MaxStamp.
+func (c *PCursor) decodeCold(ck *pchunk, buf []byte, ordered bool) (stop bool, err error) {
+	pos := 0
+	for pos+tracer.Align <= len(buf) {
+		_, recSize, perr := tracer.PeekRecord(buf[pos:])
+		if perr != nil {
+			return false, perr
+		}
+		frame := recSize + tailSize
+		if recSize > maxRecordSize || pos+frame > len(buf) {
+			return false, fmt.Errorf("%w: cold frame overruns block", tracer.ErrCorrupt)
+		}
+		rec, tail := buf[pos:pos+recSize], buf[pos+recSize:pos+frame]
+		if uint32(le64(tail)>>32) != frameMagic {
+			return false, fmt.Errorf("%w: bad frame magic %#x", tracer.ErrCorrupt, uint32(le64(tail)>>32))
+		}
+		if recSize < tracer.EventHeaderSize {
+			return false, fmt.Errorf("%w: short event", tracer.ErrCorrupt)
+		}
+		stamp := le64(rec[8:])
+		pos += frame
+		if ordered && c.q.q.MaxStamp > 0 && stamp > c.q.q.MaxStamp {
+			return true, nil
+		}
+		w3 := le64(rec[24:])
+		if !c.q.matchRaw(stamp, le64(rec[16:]), uint8(w3>>56), uint8(w3>>24)) {
+			continue
+		}
+		if cerr := checkFrame(rec, tail); cerr != nil {
+			return false, cerr
+		}
+		var e tracer.Entry
+		if derr := decodeEventTo(rec, &e); derr != nil {
+			return false, derr
+		}
+		ck.entries = append(ck.entries, e)
+	}
+	return false, nil
 }
 
 // advanceStream makes ps.cur/idx reference the stream's next
@@ -671,7 +932,7 @@ func (c *PCursor) finishRound() error {
 			c.retired = append(c.retired, ps.cur)
 			ps.cur = nil
 		}
-		c.progress[ps.snap.seq] = ps.endOff
+		c.progress[ps.snap.seq] = pmark{off: ps.endOff, cold: ps.snap.cold}
 		if ps.err != nil && err == nil {
 			err = ps.err
 		}
@@ -698,7 +959,7 @@ func (c *PCursor) abortRound() {
 			c.pool.put(ps.cur)
 			ps.cur = nil
 		}
-		c.progress[ps.snap.seq] = ps.endOff
+		c.progress[ps.snap.seq] = pmark{off: ps.endOff, cold: ps.snap.cold}
 	}
 	c.streams = nil
 	c.h = c.h[:0]

@@ -25,10 +25,10 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"sync"
 	"time"
 
+	"btrace/internal/store/backend"
 	"btrace/internal/tracer"
 )
 
@@ -47,7 +47,7 @@ const maxParkedSeals = 64
 // parkedSeal is a sealed segment file awaiting its deferred fsync.
 type parkedSeal struct {
 	seg *segment
-	f   *os.File
+	f   backend.File
 }
 
 // stagedEntry is the per-frame metadata the writer needs to fold a
@@ -173,7 +173,7 @@ func (st *Store) appendPipelined(es []tracer.Entry, sync, wait bool) error {
 // only the header rewrite, fsync, close and retention remain.
 type sealJob struct {
 	seg *segment
-	f   *os.File
+	f   backend.File
 }
 
 // maintenance is the background seal/retention worker's queue.
@@ -445,6 +445,7 @@ func (st *Store) writeChunk(buf []byte, metas []stagedEntry) error {
 		}
 		pos += runBytes
 		seg.size = off
+		seg.rawSize = off
 		if seg.size >= st.cfg.SegmentBytes {
 			if err := st.rotateActiveLocked(); err != nil {
 				return err
@@ -517,6 +518,11 @@ func (st *Store) finalizeSeal(j sealJob) error {
 	}
 	if terr := j.f.Truncate(size); err == nil && terr != nil {
 		err = terr
+	}
+	// The contents are final: latch the backend seal (the object
+	// backend's put-on-seal commit; a write-bug tripwire on local).
+	if serr := j.f.Seal(); err == nil && serr != nil {
+		err = serr
 	}
 	if st.syncPolicyActive() {
 		// A commit policy is running: fsync the sealed file here, off the

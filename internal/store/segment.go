@@ -17,8 +17,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 
+	"btrace/internal/store/backend"
 	"btrace/internal/tracer"
 )
 
@@ -118,31 +118,102 @@ func (m *segmentMeta) observeStaged(se *stagedEntry) {
 	m.count++
 }
 
+// observeRaw is observe for fields lifted straight from a raw record
+// header (the cold freeze path); the update rules must match observe.
+func (m *segmentMeta) observeRaw(stamp, ts uint64, core, cat uint8) {
+	if m.count == 0 {
+		m.baseStamp, m.maxStamp = stamp, stamp
+		m.minTS, m.maxTS = ts, ts
+		m.ordered = true
+	} else {
+		if stamp < m.maxStamp {
+			m.ordered = false
+		}
+		if stamp > m.maxStamp {
+			m.maxStamp = stamp
+		}
+		if stamp < m.baseStamp {
+			m.baseStamp = stamp
+		}
+		if ts < m.minTS {
+			m.minTS = ts
+		}
+		if ts > m.maxTS {
+			m.maxTS = ts
+		}
+	}
+	m.coreBits |= 1 << min(uint(core), 63)
+	m.catBits |= 1 << min(uint(cat), 63)
+	m.count++
+}
+
 // indexEntry maps a stamp to the file offset of its frame.
 type indexEntry struct {
 	stamp uint64
 	off   int64
 }
 
-// segment is one on-disk segment plus its in-memory metadata. Sealed
+// Tier is a segment's place in the hot → compacted → cold lifecycle.
+type Tier uint8
+
+const (
+	// TierHot is a row segment produced by rotation (possibly still
+	// active).
+	TierHot Tier = iota
+	// TierCompacted is a row segment produced by merging sealed hot
+	// segments (coversThrough > seq).
+	TierCompacted
+	// TierCold is a compressed block file produced by freezing row
+	// segments (see cold.go).
+	TierCold
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierHot:
+		return "hot"
+	case TierCompacted:
+		return "compacted"
+	case TierCold:
+		return "cold"
+	}
+	return "unknown"
+}
+
+// segment is one backend file plus its in-memory metadata. Sealed
 // segments keep no open file; readers open their own handles.
 type segment struct {
 	seq  uint64
-	path string
+	name string // backend file name (seg-%08d.seg or col-%08d.blk)
 	// coversThrough is the highest source seq this segment subsumes: its
 	// own seq normally, the last merged source's seq after compaction.
 	// Cursors use it to step over merged ranges without re-delivering.
 	coversThrough uint64
-	size          int64 // committed bytes (header + whole frames)
-	sealed        bool
+	size          int64 // committed backend bytes (compressed size for cold)
+	// rawSize is the uncompressed equivalent (header + frame bytes);
+	// equals size for row tiers.
+	rawSize int64
+	tier    Tier
+	sealed  bool
 	// retired marks a segment deleted by retention or Reset; a parked
 	// seal fsync is skipped for it (the data is gone).
 	retired bool
 	meta    segmentMeta
 	// sparse holds one entry per indexStride frames (first frame
 	// included), used to seek stamp-range queries when meta.ordered.
+	// Row tiers only.
 	sparse []indexEntry
+	// blocks is the cold tier's block directory (immutable once built);
+	// nil for row tiers.
+	blocks []coldBlock
+	// srcSizes maps each frozen source seq to its committed size, letting
+	// a parallel cursor that fully consumed the sources resume past the
+	// cold segment without re-delivery. In-process only (nil after
+	// reopen, when no such cursor can exist).
+	srcSizes map[uint64]int64
 }
+
+func (s *segment) isCold() bool { return s.tier == TierCold }
 
 // le64 helpers (the header is little-endian like the wire format).
 func le64(b []byte) uint64 {
@@ -180,7 +251,13 @@ func le64put(b []byte, v uint64) {
 // Open deletes exactly those if a crash left them behind — never an
 // unrelated segment that merely repeats a stamp range.
 func encodeHeader(dst []byte, m *segmentMeta, coversThrough uint64, sealed bool) {
-	le64put(dst[0:], segMagic)
+	encodeHeaderMagic(dst, segMagic, m, coversThrough, sealed)
+}
+
+// encodeHeaderMagic is encodeHeader for either file kind: segment files
+// (segMagic) and cold block files (coldMagic) share the header layout.
+func encodeHeaderMagic(dst []byte, magic uint64, m *segmentMeta, coversThrough uint64, sealed bool) {
+	le64put(dst[0:], magic)
 	le64put(dst[8:], m.baseStamp)
 	le64put(dst[16:], m.maxStamp)
 	le64put(dst[24:], m.minTS)
@@ -205,10 +282,14 @@ func encodeHeader(dst []byte, m *segmentMeta, coversThrough uint64, sealed bool)
 // not match is reported as corrupt; the caller falls back to a full
 // scan.
 func decodeHeader(src []byte) (m segmentMeta, coversThrough uint64, sealed bool, err error) {
+	return decodeHeaderMagic(src, segMagic)
+}
+
+func decodeHeaderMagic(src []byte, magic uint64) (m segmentMeta, coversThrough uint64, sealed bool, err error) {
 	if len(src) < headerSize {
 		return m, 0, false, fmt.Errorf("store: short header (%d bytes)", len(src))
 	}
-	if le64(src[0:]) != segMagic {
+	if le64(src[0:]) != magic {
 		return m, 0, false, fmt.Errorf("store: bad segment magic %#x", le64(src[0:]))
 	}
 	if uint32(le64(src[80:])) != crc32.Checksum(src[:80], castagnoli) {
@@ -259,12 +340,7 @@ func checkFrame(rec, tail []byte) error {
 // truncation point after a torn append. Scanning never trusts the
 // header's counters: after a crash they may describe a tail that was
 // never written (or one that was torn).
-func scanSegment(f *os.File, s *segment) (valid int64, err error) {
-	st, err := f.Stat()
-	if err != nil {
-		return 0, err
-	}
-	size := st.Size()
+func scanSegment(f backend.File, size int64, s *segment) (valid int64, err error) {
 	s.meta = segmentMeta{}
 	s.sparse = s.sparse[:0]
 
@@ -343,7 +419,7 @@ func decodeEventTo(src []byte, e *tracer.Entry) error {
 // exposing peek/advance over frame boundaries without a syscall per
 // record.
 type chunkReader struct {
-	f   *os.File
+	f   io.ReaderAt
 	off int64 // file offset of buf[0]
 	buf []byte
 	pos int // current position within buf

@@ -1,36 +1,44 @@
 // Package store implements the durable half of the deployment story: an
-// append-only, segmented on-disk trace store fed by tracer.Cursor
-// streams. The block buffer keeps the latest trace continuous in memory;
-// the store is where traces go to survive the process — collector dumps
-// spill into it instead of being dropped, and post-mortem queries ("what
-// happened on core 3 between t1 and t2") are answered from disk without
-// replaying a full export.
+// append-only, segmented trace store fed by tracer.Cursor streams. The
+// block buffer keeps the latest trace continuous in memory; the store is
+// where traces go to survive the process — collector dumps spill into it
+// instead of being dropped, and post-mortem queries ("what happened on
+// core 3 between t1 and t2") are answered from storage without replaying
+// a full export.
 //
-// Layout: a store is a directory of numbered segment files
-// (seg-00000001.seg, ...). Each segment is a fixed header followed by
-// CRC-framed wire records (see segment.go). Exactly one segment — the
-// newest — is active; it rotates when it reaches Config.SegmentBytes.
-// Sealed segments are immutable, which is what makes retention (atomic
-// whole-file deletion, oldest first) and compaction (merge-and-rename)
-// crash-safe.
+// Layout: a store is a backend namespace (a local directory by default,
+// see internal/store/backend) of numbered files. Row segments
+// (seg-00000001.seg, ...) are a fixed header followed by CRC-framed wire
+// records (see segment.go). Exactly one segment — the newest — is
+// active; it rotates when it reaches Config.SegmentBytes. Sealed
+// segments are immutable, which is what makes retention (atomic
+// whole-file deletion, oldest first) and the tiering pipeline
+// crash-safe: data ages hot → compacted (merged sealed segments,
+// compact.go) → cold (compressed block files, col-%08d.blk, cold.go),
+// every transition committing through one write-new/fsync/rename/
+// delete-old sequence (compactor.go).
 //
 // Recovery invariant: reopening a store after a crash loses at most the
 // final torn record of the active segment. Every surviving record is
 // whole and checksummed; the scan truncates the file at the first frame
-// whose magic, checksum or decode fails.
+// whose magic, checksum or decode fails. A crash at any tier boundary
+// leaves either the sources or the merged/frozen result — recovery
+// deletes exactly the duplicate copy, identified by seq coverage, never
+// both.
 package store
 
 import (
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"io"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"btrace/internal/obs"
+	"btrace/internal/store/backend"
+	"btrace/internal/store/backend/local"
 	"btrace/internal/tracer"
 )
 
@@ -69,6 +77,33 @@ type Config struct {
 	// MaxStagedBytes bounds the staging arena; producers block once this
 	// many encoded bytes await the writer goroutine (default 8 MiB).
 	MaxStagedBytes int64
+
+	// Backend overrides the storage backend. nil selects the local
+	// directory backend over Open's dir argument.
+	Backend backend.Backend
+	// CompactInterval starts a background compactor goroutine that runs
+	// a merge + freeze pass (CompactTick) this often (0 = no background
+	// compaction; Compact/CompactCold stay available manually).
+	CompactInterval time.Duration
+	// ColdAfterNs is the freeze age threshold: sealed row segments whose
+	// newest timestamp trails the store's newest timestamp by more than
+	// this are compressed into the cold tier (0 = never freeze).
+	ColdAfterNs uint64
+	// ColdBlockBytes is the raw-bytes-per-block target of cold files
+	// (default 256 KiB). Bigger blocks compress better; smaller blocks
+	// prune at finer grain.
+	ColdBlockBytes int
+	// ColdFileBytes caps one freeze run's raw bytes, bounding cold file
+	// size and keeping frozen data spread over enough files for parallel
+	// queries (default 4 × SegmentBytes).
+	ColdFileBytes int64
+	// ColdCacheBytes bounds the shared decompressed-block cache that
+	// spares repeated cold queries from re-inflating the same blocks
+	// (default 32 MiB; negative disables caching).
+	ColdCacheBytes int64
+	// Strategy overrides tier-transition selection (nil selects
+	// DefaultStrategy).
+	Strategy Strategy
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +112,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStagedBytes <= 0 {
 		c.MaxStagedBytes = 8 << 20
+	}
+	if c.ColdBlockBytes <= 0 {
+		c.ColdBlockBytes = defaultColdBlockBytes
+	}
+	if c.ColdFileBytes <= 0 {
+		c.ColdFileBytes = 4 * c.SegmentBytes
+	}
+	if c.ColdCacheBytes == 0 {
+		c.ColdCacheBytes = defaultColdCacheBytes
+	}
+	if c.Strategy == nil {
+		c.Strategy = DefaultStrategy{}
 	}
 	return c
 }
@@ -93,18 +140,31 @@ type Stats struct {
 	Compactions       uint64 // compaction passes that merged something
 	SegmentsCompacted uint64 // source segments consumed by compaction
 
+	ColdCompactions  uint64 // freeze passes that produced a cold file
+	SegmentsFrozen   uint64 // row segments consumed by freezing
+	ColdBlocksBuilt  uint64 // blocks written into cold files
+	ColdBytesWritten uint64 // compressed bytes written to the cold tier
+	ColdRawBytes     uint64 // raw frame bytes those blocks held
+	CompactorErrors  uint64 // background compactor ticks that failed
+
+	BlockCacheHits   uint64 // cold block reads served from the cache
+	BlockCacheMisses uint64 // cold block reads that had to inflate
+
 	RecoveredTruncations uint64 // segments truncated at open (torn tails)
 	TornBytesDropped     uint64 // bytes cut by those truncations
 	LeftoverSegments     uint64 // interrupted-compaction leftovers deleted at open
 	HeadersRebuilt       uint64 // corrupt headers rebuilt at open from a frame scan
+	OrphansRemoved       uint64 // unrecognized/temporary files removed at open
 }
 
-// Store is a segmented on-disk trace store. All methods are safe for
-// concurrent use. Appends stage into an in-memory arena drained by a
+// Store is a segmented trace store over a backend. All methods are safe
+// for concurrent use. Appends stage into an in-memory arena drained by a
 // dedicated writer goroutine; seal fsyncs and retention run on a
-// maintenance goroutine (see pipeline.go).
+// maintenance goroutine (see pipeline.go); tier transitions run on the
+// optional compactor goroutine (see compactor.go).
 type Store struct {
-	dir string
+	be  backend.Backend
+	loc string
 	cfg Config
 
 	// pipe and maint are the write pipeline's two queues; writerWG and
@@ -114,10 +174,21 @@ type Store struct {
 	writerWG sync.WaitGroup
 	maintWG  sync.WaitGroup
 
+	// compactStop/compactWG manage the background compactor goroutine
+	// (nil channel = not running); compactOnce makes stopping idempotent.
+	compactStop chan struct{}
+	compactWG   sync.WaitGroup
+	compactOnce sync.Once
+
+	// bcache is the shared decompressed-block cache for the cold tier
+	// (nil = caching disabled); it has its own lock and is safe to use
+	// without st.mu.
+	bcache *blockCache
+
 	mu     sync.Mutex
-	lock   *os.File   // held flock on dir/LOCK, released by Close
+	lock   io.Closer  // held backend lock, released by Close
 	segs   []*segment // ascending seq; the last may be active
-	active *os.File   // write handle of the unsealed last segment
+	active backend.File
 	// parked holds sealed files whose fsync is deferred to the next
 	// commit window (drainParked); bounded by maxParkedSeals.
 	parked  []parkedSeal
@@ -140,52 +211,93 @@ type Store struct {
 	ewmaFsync  ewma
 }
 
-// Open opens (creating if necessary) the store in dir and recovers it:
-// stray temp files are removed, every segment is scanned, torn tails are
-// truncated, and leftovers of an interrupted compaction are deleted.
-// Open holds an exclusive inter-process lock on the directory until
-// Close; a second Open (from this or any other process) fails fast
-// rather than letting two recoveries truncate each other's files.
+// Open opens (creating if necessary) the store in dir over the local
+// directory backend — or over cfg.Backend when set, in which case dir is
+// ignored — and recovers it: stray temp files are removed (and counted),
+// every segment is scanned, torn tails are truncated, and leftovers of
+// an interrupted tier transition are deleted. Open holds the backend's
+// exclusive store lock until Close; a second Open (from this or any
+// other process, where that is meaningful) fails fast rather than
+// letting two recoveries truncate each other's files.
 func Open(dir string, cfg Config) (*Store, error) {
-	cfg = cfg.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+	be := cfg.Backend
+	if be == nil {
+		var err error
+		if be, err = local.New(dir); err != nil {
+			return nil, err
+		}
 	}
-	st := &Store{dir: dir, cfg: cfg, nextSeq: 1, obs: newStoreObs()}
+	return OpenBackend(be, cfg)
+}
+
+// OpenBackend is Open over an explicit backend.
+func OpenBackend(be backend.Backend, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	st := &Store{be: be, loc: be.Location(), cfg: cfg, nextSeq: 1, obs: newStoreObs()}
+	if cfg.ColdCacheBytes > 0 {
+		st.bcache = newBlockCache(cfg.ColdCacheBytes)
+	}
+	st.obs.bcache = st.bcache
 	var err error
-	if st.lock, err = lockDir(dir); err != nil {
+	if st.lock, err = be.Lock(); err != nil {
 		return nil, err
 	}
 	// The pipeline goroutines idle until the first append/seal request,
 	// so starting them before recovery is safe — and it lets every error
 	// path below clean up through the one Close implementation.
 	st.startPipeline()
-	entries, err := os.ReadDir(dir)
+	names, err := be.List("")
 	if err != nil {
 		st.Close()
 		return nil, err
 	}
-	var seqs []uint64
-	for _, de := range entries {
-		name := de.Name()
+	type entry struct {
+		seq  uint64
+		cold bool
+		name string
+	}
+	var entries []entry
+	for _, name := range names {
 		if strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name)) // interrupted compaction
+			// Interrupted tier transition: the result was never renamed
+			// in, so the sources are intact. Count it rather than
+			// deleting silently.
+			be.Remove(name)
+			st.stats.OrphansRemoved++
 			continue
 		}
 		var seq uint64
-		if _, err := fmt.Sscanf(name, "seg-%d.seg", &seq); err != nil || seq == 0 {
-			continue
+		switch {
+		case parseName(name, "seg-%d.seg", &seq):
+			entries = append(entries, entry{seq: seq, name: name})
+		case parseName(name, "col-%d.blk", &seq):
+			entries = append(entries, entry{seq: seq, cold: true, name: name})
 		}
-		seqs = append(seqs, seq)
 	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for i, seq := range seqs {
-		last := i == len(seqs)-1
-		if err := st.recoverSegment(seq, last); err != nil {
-			st.Close()
-			return nil, err
+	// Ascending seq; at equal seq the cold file sorts first, so the
+	// leftover rule below sees the committed freeze result before the
+	// stale source it covers.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].seq != entries[j].seq {
+			return entries[i].seq < entries[j].seq
 		}
-		st.nextSeq = seq + 1
+		return entries[i].cold && !entries[j].cold
+	})
+	for i, en := range entries {
+		last := i == len(entries)-1
+		var rerr error
+		if en.cold {
+			rerr = st.recoverCold(en.seq, en.name)
+		} else {
+			rerr = st.recoverSegment(en.seq, en.name, last)
+		}
+		if rerr != nil {
+			st.Close()
+			return nil, rerr
+		}
+		if en.seq >= st.nextSeq {
+			st.nextSeq = en.seq + 1
+		}
 	}
 	// A merged last segment may cover source seqs past its own file name
 	// (its sources were already deleted); never reissue a covered seq, or
@@ -196,31 +308,44 @@ func Open(dir string, cfg Config) (*Store, error) {
 	}
 	st.publishObsLocked() // surface the recovery counters
 	st.registerObs()
+	if cfg.CompactInterval > 0 {
+		st.compactStop = make(chan struct{})
+		st.compactWG.Add(1)
+		go st.compactorLoop()
+	}
 	return st, nil
 }
 
-// recoverSegment opens, scans and (if needed) truncates one segment,
+// parseName matches name against a Sscanf file-name pattern with a
+// nonzero seq.
+func parseName(name, pattern string, seq *uint64) bool {
+	*seq = 0
+	_, err := fmt.Sscanf(name, pattern, seq)
+	return err == nil && *seq != 0
+}
+
+// recoverSegment opens, scans and (if needed) truncates one row segment,
 // appending it to the store unless it is empty or a compaction leftover.
-func (st *Store) recoverSegment(seq uint64, last bool) error {
-	s := &segment{seq: seq, coversThrough: seq, path: st.segPath(seq)}
-	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+func (st *Store) recoverSegment(seq uint64, name string, last bool) error {
+	s := &segment{seq: seq, coversThrough: seq, name: name}
+	f, err := st.be.OpenRW(name)
 	if err != nil {
 		return err
 	}
-	fi, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return err
 	}
-	if fi.Size() < headerSize {
+	if size < headerSize {
 		// Too short to hold even a header: a segment creation that never
 		// completed. No frame can survive; drop it.
-		if fi.Size() > 0 {
+		if size > 0 {
 			st.stats.RecoveredTruncations++
-			st.stats.TornBytesDropped += uint64(fi.Size())
+			st.stats.TornBytesDropped += uint64(size)
 		}
 		f.Close()
-		os.Remove(s.path)
+		st.be.Remove(name)
 		return nil
 	}
 	hdr := make([]byte, headerSize)
@@ -239,28 +364,30 @@ func (st *Store) recoverSegment(seq uint64, last bool) error {
 	// decoded. Frames are independently CRC-framed, so a torn in-place
 	// header rewrite (sealActiveLocked) costs the header alone, never
 	// the records behind it.
-	valid, err := scanSegment(f, s)
+	valid, err := scanSegment(f, size, s)
 	if err != nil {
 		f.Close()
 		return err
 	}
-	if valid < fi.Size() {
+	if valid < size {
 		if err := f.Truncate(valid); err != nil {
 			f.Close()
 			return err
 		}
 		st.stats.RecoveredTruncations++
-		st.stats.TornBytesDropped += uint64(fi.Size() - valid)
+		st.stats.TornBytesDropped += uint64(size - valid)
 		// A truncated segment is no longer what its seal described.
 		s.sealed = false
 	}
 	s.size = valid
+	s.rawSize = valid
 
 	if !headerOK {
 		if s.meta.count == 0 {
 			// No header and no whole frames: not (or no longer) a segment.
 			f.Close()
-			os.Remove(s.path)
+			st.be.Remove(name)
+			st.stats.OrphansRemoved++
 			return nil
 		}
 		// Valid frames behind a corrupt header (e.g. a seal's header
@@ -278,21 +405,24 @@ func (st *Store) recoverSegment(seq uint64, last bool) error {
 	if s.meta.count == 0 && !last {
 		// Empty interior segment: nothing to keep.
 		f.Close()
-		os.Remove(s.path)
+		st.be.Remove(name)
 		return nil
 	}
 
-	// Interrupted-compaction leftover: compaction renames the merged
-	// segment — whose header names the source seqs it consumed via
+	// Interrupted tier-transition leftover: both merge and freeze rename
+	// the result — whose header names the source seqs it consumed via
 	// coversThrough — before deleting those sources. A source file that
 	// survived the crash is exactly a segment whose seq the previous
 	// recovered segment explicitly covers; nothing else is ever deleted,
 	// so independent runs that happen to repeat a stamp range coexist.
 	if prev := st.lastSeg(); prev != nil && prev.coversThrough >= seq {
 		f.Close()
-		os.Remove(s.path)
+		st.be.Remove(name)
 		st.stats.LeftoverSegments++
 		return nil
+	}
+	if s.coversThrough > s.seq {
+		s.tier = TierCompacted
 	}
 
 	if !s.sealed && last {
@@ -305,9 +435,66 @@ func (st *Store) recoverSegment(seq uint64, last bool) error {
 	return nil
 }
 
-func (st *Store) segPath(seq uint64) string {
-	return filepath.Join(st.dir, fmt.Sprintf("seg-%08d.seg", seq))
+// recoverCold opens one cold block file and rebuilds its block
+// directory. Cold files are only ever committed whole (tmp → sync →
+// rename), so there is no torn-tail recovery: a file whose header does
+// not validate is not a committed cold file and is removed as an
+// orphan; a block that fails to validate ends the trustworthy prefix.
+func (st *Store) recoverCold(seq uint64, name string) error {
+	f, err := st.be.OpenRead(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s := &segment{seq: seq, coversThrough: seq, name: name, tier: TierCold, sealed: true}
+	size, err := f.Size()
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, headerSize)
+	if size < headerSize {
+		st.be.Remove(name)
+		st.stats.OrphansRemoved++
+		return nil
+	}
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return err
+	}
+	_, covers, _, herr := decodeHeaderMagic(hdr, coldMagic)
+	if herr != nil {
+		st.be.Remove(name)
+		st.stats.OrphansRemoved++
+		return nil
+	}
+	if covers > seq {
+		s.coversThrough = covers
+	}
+	ignored, err := scanColdFile(f, size, s)
+	if err != nil {
+		return err
+	}
+	if ignored > 0 {
+		st.stats.RecoveredTruncations++
+		st.stats.TornBytesDropped += uint64(ignored)
+	}
+	s.size = size - ignored
+	if s.meta.count == 0 {
+		st.be.Remove(name)
+		st.stats.OrphansRemoved++
+		return nil
+	}
+	if prev := st.lastSeg(); prev != nil && prev.coversThrough >= seq {
+		st.be.Remove(name)
+		st.stats.LeftoverSegments++
+		return nil
+	}
+	st.segs = append(st.segs, s)
+	return nil
 }
+
+func segName(seq uint64) string { return fmt.Sprintf("seg-%08d.seg", seq) }
+
+func coldName(seq uint64) string { return fmt.Sprintf("col-%08d.blk", seq) }
 
 func (st *Store) lastSeg() *segment {
 	if len(st.segs) == 0 {
@@ -351,17 +538,16 @@ func (st *Store) AppendEntriesAsync(es []tracer.Entry) error {
 // newSegmentLocked creates and activates a fresh segment file.
 func (st *Store) newSegmentLocked() (*segment, error) {
 	seq := st.nextSeq
-	s := &segment{seq: seq, coversThrough: seq, path: st.segPath(seq), size: headerSize}
-	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	s := &segment{seq: seq, coversThrough: seq, name: segName(seq), size: headerSize, rawSize: headerSize}
+	f, err := st.be.Create(s.name, st.cfg.SegmentBytes)
 	if err != nil {
 		return nil, err
 	}
-	preallocate(f, st.cfg.SegmentBytes)
 	hdr := make([]byte, headerSize)
 	encodeHeader(hdr, &s.meta, s.coversThrough, false)
 	if _, err := f.WriteAt(hdr, 0); err != nil {
 		f.Close()
-		os.Remove(s.path)
+		st.be.Remove(s.name)
 		return nil, err
 	}
 	st.nextSeq++
@@ -371,8 +557,8 @@ func (st *Store) newSegmentLocked() (*segment, error) {
 }
 
 // enforceRetentionLocked deletes the oldest sealed segments until the
-// byte and age bounds hold. Deletion is atomic per segment (one
-// os.Remove); the active segment is never touched.
+// byte and age bounds hold. Deletion is atomic per segment (one backend
+// Remove); the active segment is never touched.
 func (st *Store) enforceRetentionLocked() {
 	if st.cfg.MaxBytes > 0 {
 		total := int64(0)
@@ -401,7 +587,7 @@ func (st *Store) enforceRetentionLocked() {
 func (st *Store) retireOldestLocked() {
 	s := st.segs[0]
 	s.retired = true // a parked seal fsync would be wasted on it
-	os.Remove(s.path)
+	st.be.Remove(s.name)
 	st.segs = st.segs[1:]
 	st.stats.SegmentsDeleted++
 	st.stats.EventsRetired += s.meta.count
@@ -476,6 +662,7 @@ func (st *Store) Seal() error {
 // store. Cursors opened before Close keep working over the sealed files
 // until their own Close.
 func (st *Store) Close() error {
+	st.stopCompactor() // no tier transition may straddle shutdown
 	p := &st.pipe
 	p.mu.Lock()
 	if p.closed {
@@ -499,7 +686,7 @@ func (st *Store) Close() error {
 	st.mu.Lock()
 	st.closed = true
 	if st.lock != nil {
-		st.lock.Close() // releases the directory flock
+		st.lock.Close() // releases the backend store lock
 		st.lock = nil
 	}
 	// Publish the final deltas, then retire this store's counters into
@@ -562,7 +749,7 @@ func (st *Store) Reset() error {
 	}
 	var firstErr error
 	for _, s := range st.segs {
-		if err := os.Remove(s.path); err != nil && firstErr == nil {
+		if err := st.be.Remove(s.name); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -577,10 +764,14 @@ func (st *Store) Reset() error {
 	return firstErr
 }
 
-// Dir returns the store's directory.
-func (st *Store) Dir() string { return st.dir }
+// Dir returns the store's backend location (the directory path for the
+// local backend).
+func (st *Store) Dir() string { return st.loc }
 
-// Size returns the store's total on-disk size in bytes.
+// Backend returns the store's backend.
+func (st *Store) Backend() backend.Backend { return st.be }
+
+// Size returns the store's total on-backend size in bytes.
 func (st *Store) Size() int64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -606,14 +797,19 @@ func (st *Store) Events() uint64 {
 func (st *Store) Stats() Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.stats
+	s := st.stats
+	s.BlockCacheHits, s.BlockCacheMisses = st.bcache.counters()
+	return s
 }
 
 // SegmentInfo is the queryable public summary of one segment.
 type SegmentInfo struct {
 	Seq       uint64 `json:"seq"`
 	File      string `json:"file"`
+	Tier      string `json:"tier"`
 	Bytes     int64  `json:"bytes"`
+	RawBytes  int64  `json:"raw_bytes"`
+	Blocks    int    `json:"blocks,omitempty"`
 	Events    uint64 `json:"events"`
 	BaseStamp uint64 `json:"base_stamp"`
 	MaxStamp  uint64 `json:"max_stamp"`
@@ -633,8 +829,11 @@ func (st *Store) Segments() []SegmentInfo {
 	for _, s := range st.segs {
 		out = append(out, SegmentInfo{
 			Seq:       s.seq,
-			File:      filepath.Base(s.path),
+			File:      s.name,
+			Tier:      s.tier.String(),
 			Bytes:     s.size,
+			RawBytes:  s.rawSize,
+			Blocks:    len(s.blocks),
 			Events:    s.meta.count,
 			BaseStamp: s.meta.baseStamp,
 			MaxStamp:  s.meta.maxStamp,
