@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress tier1 chaos overload-stress compaction-chaos bench benchdiff
+.PHONY: all build fmt vet test race race-stress tier1 chaos overload-stress compaction-chaos cluster-chaos bench benchdiff
 
 all: tier1
 
@@ -60,6 +60,17 @@ compaction-chaos:
 	  -run 'TestCompactionChaosTierBoundaries|TestObjectBackendConformance|TestStoreCompactorStress' \
 	  ./internal/store
 
+# The distributed ingest tier's kill-a-shard scenario under the race
+# detector: a 4-shard RF=2 cluster with flaky replica stores loses one
+# shard mid-storm and another wedges transiently; every quorum-acked
+# event must remain readable through the merged query view, the tenant
+# accounting identity must hold exactly, and the ring property tests
+# bound key movement on join/leave. Honors -short
+# (make cluster-chaos SHORT=-short).
+cluster-chaos:
+	$(GO) test -race $(SHORT) -v -run 'TestChaosClusterShardKill' ./internal/faults/
+	$(GO) test -race -run 'TestRing' ./internal/ring/
+
 # Read/write-path benchmarks with allocation accounting, recorded as
 # machine-readable JSON (BENCH_*.json) to track the perf trajectory
 # across commits. BENCHTIME trades precision for runtime. BENCH_obs.json
@@ -76,7 +87,8 @@ bench:
 	   $(GO) test . -run '^$$' -bench 'BenchmarkWritePathStampBatch' -benchmem -benchtime $(BENCHTIME); } \
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_readpath.json
 	@echo "wrote BENCH_readpath.json"
-	@$(GO) test ./internal/store -run '^$$' -bench 'BenchmarkStore(Append|Query)|BenchmarkColdQuery|BenchmarkCompactTier' -benchmem -benchtime $(BENCHTIME) \
+	@{ $(GO) test ./internal/store -run '^$$' -bench 'BenchmarkStore(Append|Query)|BenchmarkColdQuery|BenchmarkCompactTier' -benchmem -benchtime $(BENCHTIME); \
+	   $(GO) test ./internal/distributor -run '^$$' -bench 'BenchmarkDistributorIngest' -benchmem -benchtime $(BENCHTIME); } \
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_store.json
 	@echo "wrote BENCH_store.json"
 	@{ $(GO) test ./internal/core -run '^$$' -bench 'BenchmarkObsOverhead/record' -benchmem -benchtime $(OBS_RECORD_BENCHTIME); \

@@ -263,9 +263,11 @@ func diff(file string, oldF, newF *File, maxRegress, minNs float64, zeroRes []*r
 		}
 		fmt.Printf("%s: %s %+.1f%% ns/op (%.0f -> %.0f) [%s]\n",
 			file, name, change, ob.NsPerOp, nb.NsPerOp, verdict)
-		// Custom-metric gate: units reported via b.ReportMetric (the
-		// overload benchmark's p99-ns record latency) are latency-like —
-		// growth past the envelope fails, same noise floor as ns/op.
+		// Custom-metric gate: units reported via b.ReportMetric. Units
+		// containing "/s" (the distributor's events/s) are rates — a drop
+		// past the envelope fails, growth is an improvement. Everything
+		// else (the overload benchmark's p99-ns record latency) is
+		// latency-like — growth fails. Same noise floor as ns/op.
 		for _, unit := range sortedKeys(nb.Metrics) {
 			nv := nb.Metrics[unit]
 			ov, has := ob.Metrics[unit]
@@ -273,11 +275,18 @@ func diff(file string, oldF, newF *File, maxRegress, minNs float64, zeroRes []*r
 				continue
 			}
 			mchange := (nv - ov) / ov * 100
+			// A rate's own magnitude says nothing about timing noise, so
+			// its noise floor is the benchmark's ns/op (like the MB/s
+			// gate); a ns-valued metric is its own floor.
+			bad, floor := mchange, ov
+			if strings.Contains(unit, "/s") {
+				bad, floor = -mchange, ob.NsPerOp
+			}
 			mv := "ok"
 			switch {
-			case ov < minNs:
+			case floor < minNs:
 				mv = "untimed (below -min-ns)"
-			case mchange > maxRegress:
+			case bad > maxRegress:
 				mv = "REGRESSION"
 				failures = append(failures,
 					fmt.Sprintf("%s: %s %s regressed %.1f%% (%.1f -> %.1f), limit %.0f%%",

@@ -150,6 +150,34 @@ func TestDiffCustomMetricWithinEnvelopeAndNoiseFloor(t *testing.T) {
 	}
 }
 
+// TestDiffRateMetricDirection: metrics whose unit contains "/s" (the
+// distributor's events/s) are rates — a drop past the envelope fails,
+// growth never does.
+func TestDiffRateMetricDirection(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{
+		benchMetric("BenchmarkDistributorIngest/rf2", 50000, "events/s", 100000),
+		benchMetric("BenchmarkDistributorIngest/direct", 50000, "events/s", 100000),
+	}}
+	newF := &File{Benchmarks: []Benchmark{
+		benchMetric("BenchmarkDistributorIngest/rf2", 50000, "events/s", 60000),
+		benchMetric("BenchmarkDistributorIngest/direct", 50000, "events/s", 200000),
+	}}
+	f := diff("f.json", oldF, newF, 30, 1000, nil)
+	if len(f) != 1 || !strings.Contains(f[0], "rf2 events/s regressed -40.0%") {
+		t.Fatalf("want one rate-drop failure, got %v", f)
+	}
+}
+
+// TestDiffRateMetricNoiseFloorUsesNsPerOp: a rate from a sub-floor
+// benchmark is exempt regardless of the rate's magnitude.
+func TestDiffRateMetricNoiseFloorUsesNsPerOp(t *testing.T) {
+	oldF := &File{Benchmarks: []Benchmark{benchMetric("BenchmarkNoisy", 50, "events/s", 2e6)}}
+	newF := &File{Benchmarks: []Benchmark{benchMetric("BenchmarkNoisy", 50, "events/s", 1e5)}}
+	if f := diff("f.json", oldF, newF, 30, 1000, nil); len(f) != 0 {
+		t.Fatalf("sub-floor rate drop must not fail, got %v", f)
+	}
+}
+
 func TestDiffCustomMetricMissingBaselineIgnored(t *testing.T) {
 	oldF := &File{Benchmarks: []Benchmark{bench("BenchmarkA", 2000, 0)}}
 	newF := &File{Benchmarks: []Benchmark{benchMetric("BenchmarkA", 2000, "p99-ns", 9999)}}

@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"btrace/internal/export"
 	"btrace/internal/report"
@@ -46,7 +48,9 @@ func main() {
 
 // runTiers prints the storage-tier view of a store directory: one
 // blocklist row per segment (what the compaction strategy polls) and the
-// per-tier aggregates, including the cold tier's compression ratio.
+// per-tier aggregates, including the cold tier's compression ratio. A
+// cluster root (a directory of shard-* store directories, as laid out by
+// btrace-serve -shards) gets the same view per shard plus fleet totals.
 func runTiers(path string) error {
 	fi, err := os.Stat(path)
 	if err != nil {
@@ -55,13 +59,95 @@ func runTiers(path string) error {
 	if !fi.IsDir() {
 		return fmt.Errorf("%s: -tiers needs a store directory", path)
 	}
+	if shards, err := clusterShards(path); err != nil {
+		return err
+	} else if len(shards) > 0 {
+		return runClusterTiers(path, shards)
+	}
 	st, err := store.Open(path, store.Config{})
 	if err != nil {
 		return err
 	}
 	defer st.Close()
+	renderStoreTiers(st, "")
+	return nil
+}
 
-	tb := report.NewTable("blocklist", "seq", "file", "tier", "sealed", "bytes", "raw", "blocks", "events", "stamps")
+// clusterShards detects a cluster root: the shard-* subdirectories a
+// btrace-serve -shards deployment creates. A directory with none is a
+// plain single store.
+func clusterShards(path string) ([]string, error) {
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	var shards []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			shards = append(shards, e.Name())
+		}
+	}
+	sort.Strings(shards)
+	return shards, nil
+}
+
+// runClusterTiers renders the per-shard tier views and the fleet
+// aggregate: which shard holds what, and how the tiers add up cluster-
+// wide.
+func runClusterTiers(root string, shards []string) error {
+	type agg struct {
+		segments, blocks int
+		bytes, raw       int64
+		events           uint64
+	}
+	perTier := map[string]*agg{}
+	var tierOrder []string
+	for _, name := range shards {
+		st, err := store.Open(filepath.Join(root, name), store.Config{})
+		if err != nil {
+			return fmt.Errorf("shard %s: %w", name, err)
+		}
+		renderStoreTiers(st, name)
+		for _, ts := range st.TierStats() {
+			a := perTier[ts.Tier]
+			if a == nil {
+				a = &agg{}
+				perTier[ts.Tier] = a
+				tierOrder = append(tierOrder, ts.Tier)
+			}
+			a.segments += ts.Segments
+			a.blocks += ts.Blocks
+			a.bytes += ts.Bytes
+			a.raw += ts.RawBytes
+			a.events += ts.Events
+		}
+		st.Close()
+	}
+	tb := report.NewTable(fmt.Sprintf("cluster tiers (%d shards)", len(shards)),
+		"tier", "segments", "bytes", "raw", "blocks", "events", "ratio")
+	for _, tier := range tierOrder {
+		a := perTier[tier]
+		ratio := "-"
+		if a.bytes > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(a.raw)/float64(a.bytes))
+		}
+		tb.AddRow(tier, a.segments, report.HumanBytes(uint64(a.bytes)),
+			report.HumanBytes(uint64(a.raw)), a.blocks, a.events, ratio)
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// renderStoreTiers prints one store's blocklist and tier tables; shard
+// labels the tables when the store is one member of a cluster.
+func renderStoreTiers(st *store.Store, shard string) {
+	label := func(name string) string {
+		if shard == "" {
+			return name
+		}
+		return name + " " + shard
+	}
+	tb := report.NewTable(label("blocklist"), "seq", "file", "tier", "sealed", "bytes", "raw", "blocks", "events", "stamps")
 	for _, s := range st.Segments() {
 		tb.AddRow(s.Seq, s.File, s.Tier, s.Sealed, report.HumanBytes(uint64(s.Bytes)),
 			report.HumanBytes(uint64(s.RawBytes)), s.Blocks, s.Events,
@@ -69,7 +155,7 @@ func runTiers(path string) error {
 	}
 	tb.Render(os.Stdout)
 
-	tb = report.NewTable("tiers", "tier", "segments", "bytes", "raw", "blocks", "events", "ratio")
+	tb = report.NewTable(label("tiers"), "tier", "segments", "bytes", "raw", "blocks", "events", "ratio")
 	for _, ts := range st.TierStats() {
 		ratio := "-"
 		if ts.Bytes > 0 {
@@ -79,7 +165,6 @@ func runTiers(path string) error {
 			report.HumanBytes(uint64(ts.RawBytes)), ts.Blocks, ts.Events, ratio)
 	}
 	tb.Render(os.Stdout)
-	return nil
 }
 
 // load reads the events to inspect: a directory is opened as a durable

@@ -74,6 +74,76 @@ func TestInspectStoreDir(t *testing.T) {
 	}
 }
 
+// TestInspectTiers: -tiers renders the blocklist and tier tables for a
+// single store directory, and rejects plain files.
+func TestInspectTiers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 8; i++ {
+		e := tracer.Entry{Stamp: i, TS: i * 1e6, Category: 11}
+		if err := st.Append(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runTiers(dir); err != nil {
+		t.Fatalf("single store -tiers: %v", err)
+	}
+	dump := writeDump(t, []tracer.Entry{{Stamp: 1, Category: 11}})
+	if err := runTiers(dump); err == nil {
+		t.Error("-tiers on a file: expected error")
+	}
+}
+
+// TestInspectTiersClusterRoot: a directory of shard-* stores (the layout
+// btrace-serve -shards writes) is rendered per shard plus fleet totals.
+func TestInspectTiersClusterRoot(t *testing.T) {
+	root := t.TempDir()
+	for i, n := range []uint64{5, 3} {
+		dir := filepath.Join(root, []string{"shard-00", "shard-01"}[i])
+		st, err := store.Open(dir, store.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := uint64(1); s <= n; s++ {
+			e := tracer.Entry{Stamp: s, TS: s * 1e6, Category: 11}
+			if err := st.Append(&e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shards, err := clusterShards(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 || shards[0] != "shard-00" || shards[1] != "shard-01" {
+		t.Fatalf("clusterShards = %v, want [shard-00 shard-01]", shards)
+	}
+	if err := runTiers(root); err != nil {
+		t.Fatalf("cluster root -tiers: %v", err)
+	}
+	// A broken shard store surfaces as an error naming the shard.
+	if err := os.WriteFile(filepath.Join(root, "shard-02"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// shard-02 is a file, not a directory: it is not picked up as a shard.
+	shards, err = clusterShards(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("file entry counted as shard: %v", shards)
+	}
+}
+
 func TestInspectErrors(t *testing.T) {
 	if err := run("/no/such/file", 10, "summary"); err == nil {
 		t.Error("missing file: expected error")

@@ -47,6 +47,31 @@ type ingestConfig struct {
 	Shed bool
 }
 
+// tenantHeader names the request header carrying the tenant on POST
+// /ingest; absent or empty falls back to the default tenant.
+const tenantHeader = "X-Btrace-Tenant"
+
+// gateConfig maps the overload-control flags onto the gate
+// configuration; shared by the single-store pipeline and the cluster
+// distributor so both paths shed identically.
+func (cfg ingestConfig) gateConfig() (overload.Config, error) {
+	if cfg.SampleRate <= 0 || cfg.SampleRate > 1 {
+		return overload.Config{}, fmt.Errorf("sample rate %v out of (0, 1]", cfg.SampleRate)
+	}
+	gcfg := overload.Config{
+		MinSampleRate: cfg.SampleRate,
+		RatePerSec:    cfg.RateLimit,
+		Burst:         cfg.RateBurst,
+	}
+	if !cfg.Shed {
+		// A score can never exceed 1, so an engage threshold above it
+		// pins the controller at TierNone while sampling and rate limits
+		// keep working.
+		gcfg.EngagePressure = 2
+	}
+	return gcfg, nil
+}
+
 // ingestTrigger fires a dump for every non-empty admitted batch: the
 // ingest path has no windowing semantics of its own, so each accepted
 // batch goes straight to the durable store.
@@ -60,14 +85,29 @@ func (ingestTrigger) Observe(es []tracer.Entry) string {
 }
 func (ingestTrigger) Name() string { return "ingest" }
 
+// tenantBatch is one accepted /ingest batch with its resolved tenant:
+// the queue carries the tenant alongside the events so the gate's
+// per-tenant attribution happens in the supervisor goroutine, where the
+// gate is legal to touch.
+type tenantBatch struct {
+	tenant string
+	es     []tracer.Entry
+}
+
 // queuePoller adapts the ingest queue to collect.FalliblePoller: each
-// poll drains at most one batch, without blocking, and never fails.
-type queuePoller struct{ q chan []tracer.Entry }
+// poll drains at most one batch, without blocking, and never fails. It
+// labels the gate with the batch's tenant before handing the events
+// over — Poll runs inside Supervisor.Step, the gate's single goroutine.
+type queuePoller struct {
+	q    chan tenantBatch
+	gate *overload.Gate
+}
 
 func (p queuePoller) Poll() ([]tracer.Entry, uint64, error) {
 	select {
-	case es := <-p.q:
-		return es, 0, nil
+	case b := <-p.q:
+		p.gate.SetTenant(b.tenant)
+		return b.es, 0, nil
 	default:
 		return nil, 0, nil
 	}
@@ -79,7 +119,7 @@ func (p queuePoller) Poll() ([]tracer.Entry, uint64, error) {
 // queue, the atomic counters and the mutex-protected snapshots — the
 // Supervisor itself stays single-goroutine, as its contract requires.
 type ingestPipeline struct {
-	queue chan []tracer.Entry
+	queue chan tenantBatch
 	gate  *overload.Gate
 	sup   *collect.Supervisor
 	st    *store.Store
@@ -100,29 +140,19 @@ type ingestPipeline struct {
 // newIngestPipeline wires the gate and supervisor over st and starts the
 // drain goroutine.
 func newIngestPipeline(st *store.Store, cfg ingestConfig) (*ingestPipeline, error) {
-	if cfg.SampleRate <= 0 || cfg.SampleRate > 1 {
-		return nil, fmt.Errorf("sample rate %v out of (0, 1]", cfg.SampleRate)
-	}
-	gcfg := overload.Config{
-		MinSampleRate: cfg.SampleRate,
-		RatePerSec:    cfg.RateLimit,
-		Burst:         cfg.RateBurst,
-	}
-	if !cfg.Shed {
-		// A score can never exceed 1, so an engage threshold above it
-		// pins the controller at TierNone while sampling and rate limits
-		// keep working.
-		gcfg.EngagePressure = 2
+	gcfg, err := cfg.gateConfig()
+	if err != nil {
+		return nil, err
 	}
 	p := &ingestPipeline{
-		queue: make(chan []tracer.Entry, ingestQueueDepth),
+		queue: make(chan tenantBatch, ingestQueueDepth),
 		gate:  overload.NewGate(gcfg),
 		st:    st,
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
 	sup, err := collect.NewSupervisor(collect.SupervisorConfig{
-		Source:    queuePoller{p.queue},
+		Source:    queuePoller{p.queue, p.gate},
 		Triggers:  []collect.Trigger{ingestTrigger{}},
 		Store:     st,
 		StoreSink: true,
@@ -182,9 +212,9 @@ func (p *ingestPipeline) Close() {
 }
 
 // enqueue offers one decoded batch to the pipeline without blocking.
-func (p *ingestPipeline) enqueue(es []tracer.Entry) bool {
+func (p *ingestPipeline) enqueue(tenant string, es []tracer.Entry) bool {
 	select {
-	case p.queue <- es:
+	case p.queue <- tenantBatch{tenant: tenant, es: es}:
 		p.accepted.Add(uint64(len(es)))
 		return true
 	default:
@@ -220,11 +250,15 @@ func (p *ingestPipeline) notReadyReasons() []string {
 
 // handleIngest accepts wire-encoded trace records (tracer.EncodeEvent
 // framing, concatenated) and feeds the events through the overload gate
-// into the durable store. Responses: 202 with the accepted count, 429
-// when the queue is full (client should back off and retry), 400 for
-// malformed payloads.
+// into the durable store — or, in cluster mode, through the distributor
+// to a replica quorum. The tenant comes from the X-Btrace-Tenant header
+// (default tenant when absent) and drives quota overrides and the
+// per-tenant drop attribution on /metrics. Responses: 202 with the
+// accepted count, 429 when the queue is full (client should back off
+// and retry), 503 when quorum is unavailable, 400 for malformed
+// payloads.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if s.ingest == nil {
+	if s.ingest == nil && s.cluster == nil {
 		http.Error(w, "ingest requires a durable store (start with -store)",
 			http.StatusServiceUnavailable)
 		return
@@ -259,7 +293,30 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no event records in payload", http.StatusBadRequest)
 		return
 	}
-	if !s.ingest.enqueue(es) {
+	tenant := r.Header.Get(tenantHeader)
+	if s.cluster != nil {
+		// Cluster mode: synchronous quorum-ack. A 202 means every event
+		// was either durably replicated or attributably dropped by quota
+		// or gate policy; only a failed quorum asks the client to retry.
+		res := s.cluster.d.Ingest(tenant, es)
+		if res.Refused == res.Seen {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "replica quorum unavailable", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{
+			"tenant":       res.Tenant,
+			"accepted":     res.Seen,
+			"acked":        res.Acked,
+			"throttled":    res.Throttled,
+			"gate_dropped": res.GateDropped,
+			"refused":      res.Refused,
+		})
+		return
+	}
+	if !s.ingest.enqueue(tenant, es) {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 		return
@@ -283,6 +340,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // ready once it is serving.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cluster != nil {
+		if reasons := s.cluster.d.NotReadyReasons(); len(reasons) > 0 {
+			http.Error(w, strings.Join(reasons, "\n"), http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+		return
+	}
 	if s.ingest == nil {
 		io.WriteString(w, "ok (dashboard only, no ingest pipeline)\n")
 		return

@@ -151,7 +151,7 @@ func TestIngestQueueFullBackpressure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.attachIngest(&ingestPipeline{queue: make(chan []tracer.Entry, 1)})
+	srv.attachIngest(&ingestPipeline{queue: make(chan tenantBatch, 1)})
 	body := encodeEvents(t, []tracer.Entry{{Stamp: 1, TS: 10, TID: 7, Category: 1, Level: 1}})
 	if rec := httpPost(t, srv, "/ingest", body); rec.Code != 202 {
 		t.Fatalf("first post: status %d", rec.Code)

@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"btrace/internal/distributor"
 	"btrace/internal/store"
 	"btrace/internal/store/backend"
 )
@@ -40,6 +41,9 @@ func main() {
 	rateLimit := flag.Float64("rate-limit", 0, "per-category ingest rate limit in events/sec of virtual time (0 = unlimited)")
 	rateBurst := flag.Float64("rate-burst", 0, "token-bucket burst for -rate-limit (0 = 2x the rate)")
 	shed := flag.Bool("shed", true, "enable tiered load shedding on the ingest path")
+	shards := flag.Int("shards", 0, "run a replicated in-process cluster of this many store shards under the -store root (0 = single store)")
+	replication := flag.Int("replication", 2, "replicas per stream key in cluster mode (quorum-acked)")
+	tenantOverrides := flag.String("tenant-overrides", "", "per-tenant ingest quotas, e.g. alpha=1000,beta=500:2000 (events/sec of virtual time[:burst])")
 	flag.Parse()
 
 	// The operator flag gets the same hard validation as the request
@@ -54,24 +58,71 @@ func main() {
 		os.Exit(2)
 	}
 
-	var ts *store.Store
-	if *storeDir != "" {
-		var err error
-		cfg := store.Config{
-			CommitEvery:     *commitEvery,
-			CommitBytes:     *commitBytes,
-			CompactInterval: *compactInterval,
-			ColdAfterNs:     uint64(coldAfter.Nanoseconds()),
-		}
-		switch *backendKind {
-		case "local":
-		case "object":
-			cfg.Backend = backend.NewObject()
-		default:
-			fmt.Fprintf(os.Stderr, "btrace-serve: -backend must be local or object, got %q\n", *backendKind)
+	icfg := ingestConfig{
+		SampleRate: *sampleRate,
+		RateLimit:  *rateLimit,
+		RateBurst:  *rateBurst,
+		Shed:       *shed,
+	}
+	scfg := store.Config{
+		CommitEvery:     *commitEvery,
+		CommitBytes:     *commitBytes,
+		CompactInterval: *compactInterval,
+		ColdAfterNs:     uint64(coldAfter.Nanoseconds()),
+	}
+	objectBackend := false
+	switch *backendKind {
+	case "local":
+	case "object":
+		objectBackend = true
+	default:
+		fmt.Fprintf(os.Stderr, "btrace-serve: -backend must be local or object, got %q\n", *backendKind)
+		os.Exit(2)
+	}
+	overrides, err := distributor.ParseOverrides(*tenantOverrides)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btrace-serve:", err)
+		os.Exit(2)
+	}
+
+	var (
+		ts      *store.Store
+		cluster *clusterPipeline
+	)
+	switch {
+	case *shards > 0:
+		// Cluster mode: N replicated shards under the -store root, fronted
+		// by the consistent-hash distributor.
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "btrace-serve: -shards requires -store (the cluster root directory)")
 			os.Exit(2)
 		}
-		if ts, err = store.Open(*storeDir, cfg); err != nil {
+		gcfg, err := icfg.gateConfig()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btrace-serve:", err)
+			os.Exit(2)
+		}
+		cluster, err = newClusterPipeline(clusterConfig{
+			Dir:           *storeDir,
+			Shards:        *shards,
+			Replication:   *replication,
+			Overrides:     overrides,
+			Store:         scfg,
+			ObjectBackend: objectBackend,
+			Gate:          gcfg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btrace-serve: cluster:", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		log.Printf("btrace-serve: %s under %s", cluster.d, *storeDir)
+	case *storeDir != "":
+		var err error
+		if objectBackend {
+			scfg.Backend = backend.NewObject()
+		}
+		if ts, err = store.Open(*storeDir, scfg); err != nil {
 			fmt.Fprintln(os.Stderr, "btrace-serve: open store:", err)
 			os.Exit(1)
 		}
@@ -85,16 +136,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "btrace-serve:", err)
 		os.Exit(1)
 	}
-	// With a store attached the server also accepts traffic on POST
-	// /ingest, behind the adaptive overload gate. The pipeline is stopped
-	// (with a final flush) before the deferred store Close runs.
+	if cluster != nil {
+		srv.attachCluster(cluster)
+	}
+	// With a single store attached the server also accepts traffic on
+	// POST /ingest, behind the adaptive overload gate. The pipeline is
+	// stopped (with a final flush) before the deferred store Close runs.
 	if ts != nil {
-		ing, err := newIngestPipeline(ts, ingestConfig{
-			SampleRate: *sampleRate,
-			RateLimit:  *rateLimit,
-			RateBurst:  *rateBurst,
-			Shed:       *shed,
-		})
+		ing, err := newIngestPipeline(ts, icfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "btrace-serve: ingest:", err)
 			os.Exit(1)

@@ -68,6 +68,11 @@ type server struct {
 	// ingest is the POST /ingest delivery pipeline; nil when the server
 	// runs without a store (attachIngest wires it after construction).
 	ingest *ingestPipeline
+	// cluster is the distributed ingest tier (-shards); nil in
+	// single-store and dashboard-only deployments. When set it takes over
+	// /ingest, /store/query, /store/segments and /readyz, and serves
+	// /ring.
+	cluster *clusterPipeline
 }
 
 func newServer(defaultScale float64, st *store.Store, queryWorkers int) (*server, error) {
@@ -89,6 +94,7 @@ func newServer(defaultScale float64, st *store.Store, queryWorkers int) (*server
 	s.mux.HandleFunc("/store/segments", s.handleStoreSegments)
 	s.mux.HandleFunc("/store/query", s.handleStoreQuery)
 	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/ring", s.handleRing)
 	// Probe surface: /healthz is pure liveness, /readyz folds in the
 	// store write path and the overload controller (see ingest.go).
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -112,6 +118,10 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // newServer so dashboard-only deployments (and most tests) need not
 // build one.
 func (s *server) attachIngest(p *ingestPipeline) { s.ingest = p }
+
+// attachCluster hands the server its distributed ingest tier; mutually
+// exclusive with attachIngest (main wires one or the other).
+func (s *server) attachCluster(p *clusterPipeline) { s.cluster = p }
 
 // acquireRun takes a slot in the computation semaphore, answering 503
 // (with Retry-After) and returning false when the server is saturated.

@@ -8,13 +8,62 @@ import (
 	"strings"
 
 	"btrace/internal/export"
+	"btrace/internal/overload"
 	"btrace/internal/store"
 	"btrace/internal/tracer"
 )
 
+// shardSegments is one shard's slice of the cluster /store/segments
+// view.
+type shardSegments struct {
+	Name     string              `json:"name"`
+	Dir      string              `json:"dir"`
+	Healthy  bool                `json:"healthy"`
+	Segments []store.SegmentInfo `json:"segments"`
+	Tiers    []store.TierStat    `json:"tiers"`
+	Bytes    int64               `json:"bytes"`
+	Events   uint64              `json:"events"`
+}
+
+// handleClusterSegments is /store/segments in cluster mode: the same
+// operator view, broken down per shard, with fleet totals and the
+// per-tenant attribution the gate knows about.
+func (s *server) handleClusterSegments(w http.ResponseWriter, r *http.Request) {
+	resp := struct {
+		Shards  []shardSegments                 `json:"shards"`
+		Bytes   int64                           `json:"bytes"`
+		Events  uint64                          `json:"events"`
+		Tenants map[string]overload.TenantStats `json:"tenants"`
+	}{Tenants: s.cluster.d.TenantStats()}
+	for _, sh := range s.cluster.d.Shards() {
+		resp.Shards = append(resp.Shards, shardSegments{
+			Name:     sh.Name(),
+			Dir:      sh.Dir(),
+			Healthy:  sh.Healthy(),
+			Segments: sh.Segments(),
+			Tiers:    sh.TierStats(),
+			Bytes:    sh.Size(),
+			Events:   sh.Events(),
+		})
+		resp.Bytes += sh.Size()
+		resp.Events += sh.Events()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 // handleStoreSegments reports the store's per-segment metadata as JSON:
-// the operator's view of what survived on disk, segment by segment.
+// the operator's view of what survived on disk, segment by segment. In
+// cluster mode the view is per shard.
 func (s *server) handleStoreSegments(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil {
+		s.handleClusterSegments(w, r)
+		return
+	}
 	if s.store == nil {
 		http.Error(w, "no trace store configured (start btrace-serve with -store)", http.StatusNotFound)
 		return
@@ -105,7 +154,7 @@ func parseStoreQuery(r *http.Request) (store.Query, error) {
 // the requested format (text, csv or chrome), through the same cursor
 // contract every in-memory exporter uses.
 func (s *server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
-	if s.store == nil {
+	if s.store == nil && s.cluster == nil {
 		http.Error(w, "no trace store configured (start btrace-serve with -store)", http.StatusNotFound)
 		return
 	}
@@ -115,9 +164,18 @@ func (s *server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var cur tracer.Cursor
-	if s.queryWorkers > 0 {
+	switch {
+	case s.cluster != nil:
+		// Cluster mode: fan out to every healthy shard and k-way-merge
+		// the replicas back to one stamp-ordered copy each.
+		cur, err = s.cluster.d.Query(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	case s.queryWorkers > 0:
 		cur = s.store.QueryParallel(q, s.queryWorkers)
-	} else {
+	default:
 		cur = s.store.Query(q)
 	}
 	defer cur.Close()

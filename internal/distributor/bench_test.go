@@ -1,0 +1,97 @@
+package distributor
+
+import (
+	"fmt"
+	"testing"
+
+	"btrace/internal/overload"
+	"btrace/internal/store"
+	"btrace/internal/store/backend"
+	"btrace/internal/tracer"
+)
+
+const benchBatch = 256
+
+func benchEvents(start uint64) []tracer.Entry {
+	es := make([]tracer.Entry, benchBatch)
+	for i := range es {
+		stamp := start + uint64(i)
+		es[i] = tracer.Entry{
+			Stamp:    stamp,
+			TS:       stamp * 1000,
+			TID:      uint32(10 + i%16),
+			Category: uint8(stamp % 5),
+			Level:    1,
+			Payload:  []byte("bench payload 0123456789abcdef"),
+		}
+	}
+	return es
+}
+
+func benchBytes() int64 {
+	var n int64
+	for _, e := range benchEvents(1) {
+		n += int64(tracer.Align + len(e.Payload))
+	}
+	return n
+}
+
+// BenchmarkDistributorIngest measures ingest throughput through the
+// RF=2 fan-out over 4 shards against direct single-shard ingest: the
+// price of quorum replication per acked event.
+func BenchmarkDistributorIngest(b *testing.B) {
+	b.Run("rf2-4shards", func(b *testing.B) {
+		locals := make([]Shard, 4)
+		for i := range locals {
+			st, err := store.OpenBackend(backend.NewObject(), store.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh, err := NewLocalShard(LocalConfig{Name: fmt.Sprintf("shard-%02d", i), Store: st})
+			if err != nil {
+				b.Fatal(err)
+			}
+			locals[i] = sh
+		}
+		d, err := New(locals, Config{Replication: 2, Gate: overload.Config{MinSampleRate: 1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+
+		b.SetBytes(benchBytes())
+		b.ResetTimer()
+		var acked int
+		for i := 0; i < b.N; i++ {
+			res := d.Ingest("bench", benchEvents(uint64(i)*benchBatch+1))
+			acked += res.Acked
+		}
+		b.StopTimer()
+		if acked != b.N*benchBatch {
+			b.Fatalf("acked %d of %d events", acked, b.N*benchBatch)
+		}
+		b.ReportMetric(float64(acked)/b.Elapsed().Seconds(), "events/s")
+	})
+
+	b.Run("direct-1shard", func(b *testing.B) {
+		st, err := store.OpenBackend(backend.NewObject(), store.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sh, err := NewLocalShard(LocalConfig{Name: "solo", Store: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sh.Close()
+
+		b.SetBytes(benchBytes())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sh.Ingest(benchEvents(uint64(i)*benchBatch + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*benchBatch)/b.Elapsed().Seconds(), "events/s")
+	})
+}

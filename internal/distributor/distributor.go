@@ -1,0 +1,782 @@
+// Package distributor is the multi-tenant front end of the distributed
+// ingest tier: it resolves each wire batch to a tenant and a set of
+// stream keys, applies per-tenant quotas and the shared overload gate
+// once — before replication, so every replica sees the identical
+// post-gate stream — and fans the admitted events out to RF shard
+// replicas chosen by the consistent-hash ring, with bounded per-shard
+// queues, retry and hedging on replica failure, and quorum-ack
+// semantics: a batch is acknowledged only when a majority of its
+// replica set durably applied it, which is what makes killing any
+// single shard lose nothing that was acknowledged.
+//
+// Placement is deliberately tenant-agnostic: the stream key is the TID
+// alone, because durable events do not carry a tenant and drain must be
+// able to re-derive every key from the store. Tenancy drives quotas and
+// accounting (see internal/overload's tenant attribution), never
+// placement.
+package distributor
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"btrace/internal/overload"
+	"btrace/internal/ring"
+	"btrace/internal/store"
+	"btrace/internal/tracer"
+)
+
+// Config shapes a Distributor.
+type Config struct {
+	// Replication is the replica count per stream key (default 2,
+	// clamped to the shard count by the ring).
+	Replication int
+	// VNodes is the ring's virtual nodes per shard (default
+	// ring.DefaultVNodes).
+	VNodes int
+	// Retries is the delivery attempts per replica before the replica
+	// counts as failed (default 2).
+	Retries int
+	// HedgeLimit is how many extra ring candidates beyond the owner set
+	// a failed quorum may hedge to (default 1).
+	HedgeLimit int
+	// DefaultTenant names batches that arrive without a tenant (default
+	// overload.DefaultTenant).
+	DefaultTenant string
+	// Overrides are the per-tenant quota overrides (-tenant-overrides).
+	Overrides map[string]TenantLimit
+	// Gate configures the shared overload gate applied after the tenant
+	// quota and before replication.
+	Gate overload.Config
+	// RecordStamps makes Ingest return the acked/refused stamp sets —
+	// the chaos tests' accounting hook; off in production paths.
+	RecordStamps bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+	if c.HedgeLimit < 0 {
+		c.HedgeLimit = 0
+	} else if c.HedgeLimit == 0 {
+		c.HedgeLimit = 1
+	}
+	if c.DefaultTenant == "" {
+		c.DefaultTenant = overload.DefaultTenant
+	}
+	return c
+}
+
+// Result is one Ingest call's event-exact accounting:
+// Seen == Throttled + GateDropped + Acked + Refused.
+type Result struct {
+	Tenant string
+	// Seen is the batch size offered.
+	Seen int
+	// Throttled events were dropped by the tenant's quota override.
+	Throttled int
+	// GateDropped events were dropped by the shared overload gate
+	// (sampled out, rate-limited, or shed).
+	GateDropped int
+	// Acked events reached quorum on their replica set: durably applied
+	// on a majority, guaranteed to survive any single shard failure.
+	Acked int
+	// Refused events failed quorum even after hedging; the client
+	// should retry the batch.
+	Refused int
+	// AckedStamps and RefusedStamps carry the per-event outcome when
+	// Config.RecordStamps is set.
+	AckedStamps   []uint64
+	RefusedStamps []uint64
+}
+
+// Stats are the distributor's cumulative counters, safe to read
+// concurrently.
+type Stats struct {
+	Batches       uint64
+	EventsSeen    uint64
+	Throttled     uint64
+	GateDropped   uint64
+	Acked         uint64
+	Refused       uint64
+	ReplicaErrors uint64 // failed deliveries (after per-replica retries)
+	Retries       uint64 // per-replica delivery re-attempts
+	Hedges        uint64 // deliveries diverted to a non-owner candidate
+	DrainMoved    uint64 // events re-placed by DrainShard
+}
+
+// Distributor routes tenant traffic across the shard ring.
+type Distributor struct {
+	cfg Config
+
+	// admit serializes the tenant limiter and the overload gate — both
+	// single-goroutine by contract. Held only for in-memory filtering,
+	// never across shard I/O.
+	admit   sync.Mutex
+	gate    *overload.Gate
+	limiter *tenantLimiter
+
+	// topo guards the ring pointer and the shard table. Lookups take the
+	// read side; topology changes the write side.
+	topo   sync.RWMutex
+	ring   *ring.Ring
+	shards map[string]Shard
+
+	obs *distObs
+}
+
+// New builds a distributor over the given shards.
+func New(shards []Shard, cfg Config) (*Distributor, error) {
+	cfg = cfg.withDefaults()
+	names := make([]string, 0, len(shards))
+	table := make(map[string]Shard, len(shards))
+	for _, sh := range shards {
+		if _, dup := table[sh.Name()]; dup {
+			return nil, fmt.Errorf("distributor: duplicate shard %q", sh.Name())
+		}
+		table[sh.Name()] = sh
+		names = append(names, sh.Name())
+	}
+	r, err := ring.New(names, ring.Config{Replicas: cfg.Replication, VNodes: cfg.VNodes})
+	if err != nil {
+		return nil, fmt.Errorf("distributor: %w", err)
+	}
+	d := &Distributor{
+		cfg:     cfg,
+		gate:    overload.NewGate(cfg.Gate),
+		limiter: newTenantLimiter(cfg.Overrides),
+		ring:    r,
+		shards:  table,
+		obs:     newDistObs(),
+	}
+	d.obs.shards.Set(int64(len(table)))
+	d.obs.replication.Set(int64(cfg.Replication))
+	d.registerObs()
+	return d, nil
+}
+
+// streamKey derives the placement key for an entry: the TID alone (see
+// the package comment for why the tenant is excluded).
+func streamKey(tid uint32) string { return strconv.FormatUint(uint64(tid), 10) }
+
+// group is the fan-out unit: the events of one ingest batch that share
+// an owner set, delivered together.
+type group struct {
+	candidates []string // LookupN(key, RF+HedgeLimit): owners first, hedges after
+	rf         int
+	es         []tracer.Entry
+}
+
+// Ingest admits and fans out one tenant batch, blocking until every
+// group resolved (quorum reached, or retries and hedges exhausted).
+// Safe for concurrent use. The batch is filtered in place and its
+// entries are shared read-only with the shard pipelines — callers must
+// not reuse es after the call.
+func (d *Distributor) Ingest(tenant string, es []tracer.Entry) Result {
+	if tenant == "" {
+		tenant = d.cfg.DefaultTenant
+	}
+	res := Result{Tenant: tenant, Seen: len(es)}
+
+	d.admit.Lock()
+	kept, throttled := d.limiter.filter(tenant, es)
+	d.gate.SetTenant(tenant)
+	admitted := d.gate.Filter(kept)
+	d.admit.Unlock()
+	res.Throttled = throttled
+	res.GateDropped = len(kept) - len(admitted)
+
+	r := d.ringSnapshot()
+	rf := r.RF()
+	width := rf + d.cfg.HedgeLimit
+
+	// Group the batch by owner set, caching the ring walk per TID.
+	byTID := make(map[uint32]*group)
+	var groups []*group
+	for i := range admitted {
+		tid := admitted[i].TID
+		g := byTID[tid]
+		if g == nil {
+			cand := r.LookupN(streamKey(tid), width)
+			// Distinct TIDs can share an owner set; merge them so the
+			// fan-out is per owner set, not per TID.
+			g = d.findGroup(groups, cand, rf)
+			if g == nil {
+				g = &group{candidates: cand, rf: rf}
+				groups = append(groups, g)
+			}
+			byTID[tid] = g
+		}
+		g.es = append(g.es, admitted[i])
+	}
+
+	var wg sync.WaitGroup
+	acked := make([]bool, len(groups))
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g *group) {
+			defer wg.Done()
+			acked[i] = d.deliverGroup(g)
+		}(i, g)
+	}
+	wg.Wait()
+
+	for i, g := range groups {
+		if acked[i] {
+			res.Acked += len(g.es)
+			if d.cfg.RecordStamps {
+				for j := range g.es {
+					res.AckedStamps = append(res.AckedStamps, g.es[j].Stamp)
+				}
+			}
+		} else {
+			res.Refused += len(g.es)
+			if d.cfg.RecordStamps {
+				for j := range g.es {
+					res.RefusedStamps = append(res.RefusedStamps, g.es[j].Stamp)
+				}
+			}
+		}
+	}
+
+	o := d.obs
+	o.batches.Add(1)
+	o.seen.Add(uint64(res.Seen))
+	o.throttled.Add(uint64(res.Throttled))
+	o.gateDropped.Add(uint64(res.GateDropped))
+	o.acked.Add(uint64(res.Acked))
+	o.refused.Add(uint64(res.Refused))
+	return res
+}
+
+// findGroup returns the existing group with the same candidate walk, if
+// any. Linear: the number of distinct owner sets is bounded by the
+// shard count, not the batch size.
+func (d *Distributor) findGroup(groups []*group, cand []string, rf int) *group {
+	for _, g := range groups {
+		if g.rf != rf || len(g.candidates) != len(cand) {
+			continue
+		}
+		same := true
+		for i := range cand {
+			if g.candidates[i] != cand[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return g
+		}
+	}
+	return nil
+}
+
+// quorum is the majority of an rf-sized replica set. At rf=2 that is 2
+// — write-all — which is exactly what makes RF=2 survive any single
+// shard kill with zero acked loss.
+func quorum(rf int) int { return rf/2 + 1 }
+
+// deliverGroup writes one group to its replica set: the rf owners in
+// parallel, then — if the ack count is short of quorum — the hedge
+// candidates in walk order until quorum is reached or candidates run
+// out.
+func (d *Distributor) deliverGroup(g *group) bool {
+	rf := g.rf
+	if rf > len(g.candidates) {
+		rf = len(g.candidates)
+	}
+	need := quorum(rf)
+	acks := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, owner := range g.candidates[:rf] {
+		wg.Add(1)
+		go func(owner string) {
+			defer wg.Done()
+			if d.deliverTo(owner, g.es) == nil {
+				mu.Lock()
+				acks++
+				mu.Unlock()
+			}
+		}(owner)
+	}
+	wg.Wait()
+	for _, cand := range g.candidates[rf:] {
+		if acks >= need {
+			break
+		}
+		if d.deliverTo(cand, g.es) == nil {
+			acks++
+			d.obs.hedges.Add(1)
+		}
+	}
+	return acks >= need
+}
+
+// deliverTo writes a batch to one named shard, retrying within the
+// per-replica budget. A missing shard (removed mid-flight) counts as a
+// failed replica, not an error to surface.
+func (d *Distributor) deliverTo(name string, es []tracer.Entry) error {
+	d.topo.RLock()
+	sh := d.shards[name]
+	d.topo.RUnlock()
+	if sh == nil {
+		d.obs.replicaErrors.Add(1)
+		return fmt.Errorf("%w: %s (not in ring)", ErrShardDown, name)
+	}
+	var err error
+	for attempt := 0; attempt < d.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			d.obs.retries.Add(1)
+		}
+		if err = sh.Ingest(es); err == nil {
+			return nil
+		}
+	}
+	d.obs.replicaErrors.Add(1)
+	return err
+}
+
+// ringSnapshot returns the current ring; in-flight operations keep the
+// topology they started with.
+func (d *Distributor) ringSnapshot() *ring.Ring {
+	d.topo.RLock()
+	defer d.topo.RUnlock()
+	return d.ring
+}
+
+// Query fans q out across every healthy shard and k-way-merges the
+// results into one stamp-ordered, replica-deduplicated cursor. q.Limit
+// applies to the merged stream (each shard holds a subset, so a
+// per-shard cursor's first Limit entries always cover the merged
+// stream's first Limit stamps).
+func (d *Distributor) Query(q store.Query) (tracer.Cursor, error) {
+	d.topo.RLock()
+	shards := make([]Shard, 0, len(d.shards))
+	for _, sh := range d.shards {
+		shards = append(shards, sh)
+	}
+	d.topo.RUnlock()
+	var curs []tracer.Cursor
+	for _, sh := range shards {
+		cur, err := sh.Query(q)
+		if err != nil {
+			continue // dead replica: its data lives on its peers
+		}
+		curs = append(curs, cur)
+	}
+	if len(curs) == 0 {
+		return nil, fmt.Errorf("distributor: no healthy shards")
+	}
+	return NewMergeCursor(curs, q.Limit), nil
+}
+
+// Shards returns the current shard set, sorted by name.
+func (d *Distributor) Shards() []Shard {
+	d.topo.RLock()
+	out := make([]Shard, 0, len(d.shards))
+	for _, sh := range d.shards {
+		out = append(out, sh)
+	}
+	d.topo.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Shard returns the named shard, or nil.
+func (d *Distributor) Shard(name string) Shard {
+	d.topo.RLock()
+	defer d.topo.RUnlock()
+	return d.shards[name]
+}
+
+// AddShard joins a shard to the ring and rebalances: new writes to the
+// moved hash ranges route to it immediately, and the historical events
+// of those ranges are copied over from their old owners before AddShard
+// returns. The copy is what keeps the topology invariant — every owner
+// in ring.Lookup(key) possesses key's acked events — true across joins;
+// DrainShard relies on it when it skips owners that "already" hold a
+// key, so a join without rebalance would silently leave the moved
+// ranges one replica short and a later drain+crash could lose them.
+func (d *Distributor) AddShard(sh Shard) (DrainReport, error) {
+	var rep DrainReport
+	name := sh.Name()
+	d.topo.Lock()
+	if _, dup := d.shards[name]; dup {
+		d.topo.Unlock()
+		return rep, fmt.Errorf("distributor: shard %q already present", name)
+	}
+	oldRing := d.ring
+	newRing, err := oldRing.Add(name)
+	if err != nil {
+		d.topo.Unlock()
+		return rep, err
+	}
+	d.ring = newRing
+	d.shards[name] = sh
+	d.obs.shards.Set(int64(len(d.shards)))
+	peers := make([]Shard, 0, len(d.shards)-1)
+	for pname, p := range d.shards {
+		if pname != name {
+			peers = append(peers, p)
+		}
+	}
+	d.topo.Unlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Name() < peers[j].Name() })
+
+	pending := make([]tracer.Entry, 0, drainBatch)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if err := d.deliverTo(name, pending); err != nil {
+			rep.Failed += len(pending)
+		} else {
+			rep.Moved += len(pending)
+			d.obs.drainMoved.Add(uint64(len(pending)))
+		}
+		pending = pending[:0]
+	}
+	batch := make([]tracer.Entry, drainBatch)
+	picked := make([]tracer.Entry, 0, drainBatch)
+	for _, peer := range peers {
+		cur, err := peer.Query(store.Query{})
+		if err != nil {
+			// An unreadable peer cannot ship its ranges; the newcomer
+			// still serves new writes, and the peer's replicas keep the
+			// historical data readable.
+			continue
+		}
+		for {
+			n, _, err := cur.Next(batch)
+			if err != nil || n == 0 {
+				break
+			}
+			rep.Scanned += n
+			picked = picked[:0]
+			for i := range batch[:n] {
+				key := streamKey(batch[i].TID)
+				if !contains(newRing.Lookup(key), name) {
+					continue
+				}
+				// One canonical source per key — its first old owner —
+				// so the newcomer gets one copy, not rf. A possessor
+				// outside the old owner set ships too: possession beats
+				// placement, and duplicates collapse in the merged
+				// query view.
+				if old := oldRing.Lookup(key); contains(old, peer.Name()) && old[0] != peer.Name() {
+					continue
+				}
+				picked = append(picked, batch[i])
+			}
+			// The cursor arena is reused across Next calls; retained
+			// entries are deep-copied before the next refill.
+			pending = tracer.CloneEntries(pending, picked)
+			if len(pending) >= drainBatch {
+				flush()
+			}
+		}
+		cur.Close()
+	}
+	flush()
+	if rep.Moved > 0 {
+		rep.Targets = []string{name}
+	}
+	return rep, nil
+}
+
+// RemoveShard drops a shard from the ring and table without draining it
+// — the crash path. The shard itself is returned for the caller to
+// close or discard; quorum replication means its acked data remains
+// readable from its peers.
+func (d *Distributor) RemoveShard(name string) (Shard, error) {
+	d.topo.Lock()
+	defer d.topo.Unlock()
+	sh := d.shards[name]
+	if sh == nil {
+		return nil, fmt.Errorf("distributor: shard %q not in ring", name)
+	}
+	r, err := d.ring.Remove(name)
+	if err != nil {
+		return nil, err
+	}
+	d.ring = r
+	delete(d.shards, name)
+	d.obs.shards.Set(int64(len(d.shards)))
+	return sh, nil
+}
+
+// DrainReport accounts one DrainShard run.
+type DrainReport struct {
+	// Scanned is the events read off the drained shard.
+	Scanned int
+	// Moved is the events redelivered to new owners (an event moving to
+	// two new owners counts twice).
+	Moved int
+	// Failed is redeliveries that did not apply even after retries; the
+	// events remain readable from the drained key's surviving replicas.
+	Failed int
+	// Targets lists the shards that received moved ranges.
+	Targets []string
+}
+
+// drainBatch is the redelivery granularity of DrainShard.
+const drainBatch = 1024
+
+// DrainShard gracefully removes a shard: the ring is re-derived without
+// it (so new writes route to the new owners at once), then every event
+// it holds is re-placed — delivered only to the owners that are new for
+// its key, i.e. exactly the moved hash ranges, never the replicas that
+// already hold it — and finally the shard leaves the table. The shard
+// is returned for the caller to close.
+func (d *Distributor) DrainShard(name string) (Shard, DrainReport, error) {
+	var rep DrainReport
+	d.topo.Lock()
+	sh := d.shards[name]
+	if sh == nil {
+		d.topo.Unlock()
+		return nil, rep, fmt.Errorf("distributor: shard %q not in ring", name)
+	}
+	oldRing := d.ring
+	newRing, err := oldRing.Remove(name)
+	if err != nil {
+		d.topo.Unlock()
+		return nil, rep, err
+	}
+	// Swap the ring first: from here on, writes route around the
+	// draining shard while its data stays queryable until the scan is
+	// done.
+	d.ring = newRing
+	d.topo.Unlock()
+
+	cur, err := sh.Query(store.Query{})
+	if err != nil {
+		// Shard unreadable (e.g. killed): fall back to crash-removal.
+		d.finishRemove(name)
+		return sh, rep, fmt.Errorf("distributor: drain %s: %w", name, err)
+	}
+	pending := make(map[string][]tracer.Entry)
+	flush := func(target string) {
+		es := pending[target]
+		if len(es) == 0 {
+			return
+		}
+		pending[target] = nil
+		if err := d.deliverTo(target, es); err != nil {
+			rep.Failed += len(es)
+			return
+		}
+		rep.Moved += len(es)
+		d.obs.drainMoved.Add(uint64(len(es)))
+	}
+	batch := make([]tracer.Entry, drainBatch)
+	moved := make(map[string]bool)
+	for {
+		n, _, err := cur.Next(batch)
+		if err != nil || n == 0 {
+			break
+		}
+		rep.Scanned += n
+		// The cursor arena is reused across Next calls and the pending
+		// buffers outlive it, so retained entries are deep-copied.
+		es := tracer.CloneEntries(nil, batch[:n])
+		for i := range es {
+			key := streamKey(es[i].TID)
+			old := oldRing.Lookup(key)
+			for _, owner := range newRing.Lookup(key) {
+				if contains(old, owner) {
+					continue // already a replica of this key
+				}
+				pending[owner] = append(pending[owner], es[i])
+				moved[owner] = true
+				if len(pending[owner]) >= drainBatch {
+					flush(owner)
+				}
+			}
+		}
+	}
+	cur.Close()
+	for target := range pending {
+		flush(target)
+	}
+	for target := range moved {
+		rep.Targets = append(rep.Targets, target)
+	}
+	sort.Strings(rep.Targets)
+	d.finishRemove(name)
+	return sh, rep, nil
+}
+
+func (d *Distributor) finishRemove(name string) {
+	d.topo.Lock()
+	delete(d.shards, name)
+	d.obs.shards.Set(int64(len(d.shards)))
+	d.topo.Unlock()
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardInfo is one shard's row in the /ring view.
+type ShardInfo struct {
+	Name      string                 `json:"name"`
+	Dir       string                 `json:"dir"`
+	Healthy   bool                   `json:"healthy"`
+	Events    uint64                 `json:"events"`
+	Bytes     int64                  `json:"bytes"`
+	Ownership float64                `json:"ownership"`
+	Pressure  overload.StorePressure `json:"pressure"`
+}
+
+// Info is the /ring topology view.
+type Info struct {
+	Replication int         `json:"replication"`
+	VNodes      int         `json:"vnodes"`
+	Shards      []ShardInfo `json:"shards"`
+}
+
+// Info snapshots the topology: the ring's arc ownership joined with
+// each shard's health and store footprint.
+func (d *Distributor) Info() Info {
+	d.topo.RLock()
+	r := d.ring
+	shards := make([]Shard, 0, len(d.shards))
+	for _, sh := range d.shards {
+		shards = append(shards, sh)
+	}
+	d.topo.RUnlock()
+	own := r.Ownership()
+	info := Info{Replication: r.RF(), VNodes: r.VNodes()}
+	for _, sh := range shards {
+		info.Shards = append(info.Shards, ShardInfo{
+			Name:      sh.Name(),
+			Dir:       sh.Dir(),
+			Healthy:   sh.Healthy(),
+			Events:    sh.Events(),
+			Bytes:     sh.Size(),
+			Ownership: own[sh.Name()],
+			Pressure:  sh.Pressure(),
+		})
+	}
+	sort.Slice(info.Shards, func(i, j int) bool { return info.Shards[i].Name < info.Shards[j].Name })
+	return info
+}
+
+// Stats snapshots the distributor counters.
+func (d *Distributor) Stats() Stats {
+	o := d.obs
+	return Stats{
+		Batches:       o.batches.Load(),
+		EventsSeen:    o.seen.Load(),
+		Throttled:     o.throttled.Load(),
+		GateDropped:   o.gateDropped.Load(),
+		Acked:         o.acked.Load(),
+		Refused:       o.refused.Load(),
+		ReplicaErrors: o.replicaErrors.Load(),
+		Retries:       o.retries.Load(),
+		Hedges:        o.hedges.Load(),
+		DrainMoved:    o.drainMoved.Load(),
+	}
+}
+
+// GateStats snapshots the shared gate's counters.
+func (d *Distributor) GateStats() overload.Stats {
+	d.admit.Lock()
+	defer d.admit.Unlock()
+	return d.gate.Stats()
+}
+
+// TenantStats snapshots the gate's per-tenant attribution table.
+func (d *Distributor) TenantStats() map[string]overload.TenantStats {
+	d.admit.Lock()
+	defer d.admit.Unlock()
+	return d.gate.TenantStats()
+}
+
+// GateTier returns the gate's engaged shedding tier.
+func (d *Distributor) GateTier() overload.Tier {
+	d.admit.Lock()
+	defer d.admit.Unlock()
+	return d.gate.Tier()
+}
+
+// EvaluateGate feeds the gate one pressure observation assembled from
+// the worst store signals across the shard fleet — overload anywhere in
+// the replica set is overload, since quorum writes wait for it.
+func (d *Distributor) EvaluateGate() {
+	var p overload.Pressure
+	for _, sh := range d.Shards() {
+		sp := sh.Pressure()
+		if sp.StagedFill > p.Store.StagedFill {
+			p.Store.StagedFill = sp.StagedFill
+		}
+		if sp.AppendNs > p.Store.AppendNs {
+			p.Store.AppendNs = sp.AppendNs
+		}
+		if sp.FsyncNs > p.Store.FsyncNs {
+			p.Store.FsyncNs = sp.FsyncNs
+		}
+	}
+	d.admit.Lock()
+	d.gate.Evaluate(p)
+	d.admit.Unlock()
+}
+
+// NotReadyReasons reports why the cluster should refuse traffic — empty
+// when it is ready. Mirrors the single-store path's conditions, per
+// shard, plus the quorum floor: with fewer healthy shards than a
+// replica set needs for majority, no write can be acked.
+func (d *Distributor) NotReadyReasons() []string {
+	var reasons []string
+	healthy := 0
+	for _, sh := range d.Shards() {
+		if sh.Healthy() {
+			healthy++
+		} else {
+			reasons = append(reasons, fmt.Sprintf("shard %s down or write path failed", sh.Name()))
+		}
+	}
+	rf := d.ringSnapshot().RF()
+	if healthy < quorum(rf) {
+		reasons = append(reasons, fmt.Sprintf("only %d healthy shards, quorum needs %d", healthy, quorum(rf)))
+	}
+	if d.GateTier() >= overload.TierStream {
+		reasons = append(reasons, "overload shedding at full-drop tier")
+	}
+	return reasons
+}
+
+// Close closes every shard (drain + flush + store close), first error
+// wins.
+func (d *Distributor) Close() error {
+	var first error
+	for _, sh := range d.Shards() {
+		if err := sh.Close(); err != nil && first == nil {
+			first = fmt.Errorf("close shard %s: %w", sh.Name(), err)
+		}
+	}
+	return first
+}
+
+// String summarizes the topology for logs.
+func (d *Distributor) String() string {
+	info := d.Info()
+	names := make([]string, len(info.Shards))
+	for i, s := range info.Shards {
+		names[i] = s.Name
+	}
+	return fmt.Sprintf("distributor{rf=%d shards=[%s]}", info.Replication, strings.Join(names, " "))
+}

@@ -1,0 +1,172 @@
+package distributor
+
+import (
+	"sort"
+
+	"btrace/internal/tracer"
+)
+
+// mergeBatch is the per-source read granularity of the merge cursor.
+const mergeBatch = 512
+
+// mergeSource wraps one shard cursor. Replicated delivery applies owner
+// groups to a shard in arrival order, so the shard's durable stream is
+// an interleaving of stamp-sorted runs rather than one globally sorted
+// sequence (store cursors replay append order). The source therefore
+// materializes and sorts its matching stream once, on first use; the
+// k-way merge then runs over genuinely ordered inputs.
+type mergeSource struct {
+	cur    tracer.Cursor
+	es     []tracer.Entry
+	i      int
+	loaded bool
+	err    error
+}
+
+// load drains the cursor, clones the entries out of its arena, and
+// sorts by stamp. With a limit, only the smallest limit entries are
+// retained: the merged first-L entries are always covered by the union
+// of per-source first-L prefixes.
+func (s *mergeSource) load(missed *uint64, limit int) {
+	s.loaded = true
+	batch := make([]tracer.Entry, mergeBatch)
+	for {
+		n, m, err := s.cur.Next(batch)
+		*missed += m
+		if n > 0 {
+			s.es = tracer.CloneEntries(s.es, batch[:n])
+		}
+		if err != nil {
+			// Keep the readable prefix; the error surfaces once the
+			// merged stream drains.
+			s.err = err
+			break
+		}
+		if n == 0 {
+			break
+		}
+	}
+	sort.SliceStable(s.es, func(i, j int) bool { return s.es[i].Stamp < s.es[j].Stamp })
+	if limit > 0 && len(s.es) > limit {
+		s.es = s.es[:limit]
+	}
+}
+
+// head returns the source's current entry, or nil when drained.
+func (s *mergeSource) head(missed *uint64, limit int) *tracer.Entry {
+	if !s.loaded {
+		s.load(missed, limit)
+	}
+	if s.i >= len(s.es) {
+		return nil
+	}
+	return &s.es[s.i]
+}
+
+// MergeCursor k-way-merges shard cursors into one stamp-ordered stream,
+// deduplicating equal stamps: with replication every event exists on RF
+// shards, so duplicates are the normal case, and the globally-unique-
+// stamp invariant (enforced at collection by the Verifier) makes the
+// stamp the identity to collapse on. Sorting per source also makes
+// same-shard duplicates (a spilled dump retried cross-replica, then
+// flushed on graceful close) adjacent, so they collapse too.
+//
+// Each source holds its shard's matching stream in memory; callers
+// bound that with Query.Limit (the serve endpoints cap query sizes).
+// Entries returned by Next stay valid until Close — stricter than the
+// tracer.Cursor contract requires.
+type MergeCursor struct {
+	srcs    []*mergeSource
+	limit   int // 0 = unlimited
+	emitted int
+
+	last    uint64 // last emitted stamp (dedup key)
+	started bool
+
+	missed uint64
+	closed bool
+}
+
+// NewMergeCursor merges the given cursors. limit bounds the total
+// entries emitted (0 = unlimited). The merge takes ownership of the
+// cursors and closes them with Close.
+func NewMergeCursor(curs []tracer.Cursor, limit int) *MergeCursor {
+	m := &MergeCursor{limit: limit}
+	for _, c := range curs {
+		m.srcs = append(m.srcs, &mergeSource{cur: c})
+	}
+	return m
+}
+
+// Next fills batch with the next merged entries.
+func (m *MergeCursor) Next(batch []tracer.Entry) (int, uint64, error) {
+	if m.closed || len(batch) == 0 {
+		return 0, m.takeMissed(), nil
+	}
+	out := 0
+	for out < len(batch) {
+		if m.limit > 0 && m.emitted >= m.limit {
+			break
+		}
+		src := m.minSource()
+		if src == nil {
+			break
+		}
+		e := src.es[src.i]
+		src.i++
+		if m.started && e.Stamp == m.last {
+			continue // replica duplicate
+		}
+		m.started, m.last = true, e.Stamp
+		batch[out] = e
+		out++
+		m.emitted++
+	}
+	if out == 0 {
+		for _, s := range m.srcs {
+			if s.err != nil {
+				return 0, m.takeMissed(), s.err
+			}
+		}
+	}
+	return out, m.takeMissed(), nil
+}
+
+// minSource returns the source whose head has the smallest stamp. A
+// linear scan: the fan-in is the shard count, small by construction.
+func (m *MergeCursor) minSource() *mergeSource {
+	var best *mergeSource
+	var bestStamp uint64
+	for _, s := range m.srcs {
+		h := s.head(&m.missed, m.limit)
+		if h == nil {
+			continue
+		}
+		if best == nil || h.Stamp < bestStamp {
+			best, bestStamp = s, h.Stamp
+		}
+	}
+	return best
+}
+
+func (m *MergeCursor) takeMissed() uint64 {
+	v := m.missed
+	m.missed = 0
+	return v
+}
+
+// Close closes every source cursor and releases the buffered streams.
+func (m *MergeCursor) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var first error
+	for _, s := range m.srcs {
+		if err := s.cur.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.es = nil
+	}
+	return first
+}

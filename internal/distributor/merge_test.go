@@ -1,0 +1,182 @@
+package distributor
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+// sliceCursor replays a fixed entry slice in mergeBatch-sized chunks.
+type sliceCursor struct {
+	es     []tracer.Entry
+	i      int
+	missed uint64
+	err    error
+	closed bool
+}
+
+func (c *sliceCursor) Next(batch []tracer.Entry) (int, uint64, error) {
+	if c.closed {
+		return 0, 0, tracer.ErrClosed
+	}
+	m := c.missed
+	c.missed = 0
+	n := copy(batch, c.es[c.i:])
+	c.i += n
+	if n == 0 && c.err != nil {
+		return 0, m, c.err
+	}
+	return n, m, nil
+}
+
+func (c *sliceCursor) Close() error {
+	c.closed = true
+	return nil
+}
+
+func mkEntries(stamps ...uint64) []tracer.Entry {
+	es := make([]tracer.Entry, len(stamps))
+	for i, s := range stamps {
+		es[i] = tracer.Entry{Stamp: s, TS: s, Level: 1, Payload: []byte(fmt.Sprintf("p%d", s))}
+	}
+	return es
+}
+
+func drainMerge(t *testing.T, m *MergeCursor) []tracer.Entry {
+	t.Helper()
+	var out []tracer.Entry
+	batch := make([]tracer.Entry, 7) // deliberately small: force refills
+	for {
+		n, _, err := m.Next(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			return out
+		}
+		out = tracer.CloneEntries(out, batch[:n])
+	}
+}
+
+func TestMergeDeduplicatesReplicas(t *testing.T) {
+	// Two replicas of the same stream, each fully ordered.
+	a := &sliceCursor{es: mkEntries(1, 2, 3, 4, 5)}
+	b := &sliceCursor{es: mkEntries(1, 2, 3, 4, 5)}
+	m := NewMergeCursor([]tracer.Cursor{a, b}, 0)
+	defer m.Close()
+	got := drainMerge(t, m)
+	if len(got) != 5 {
+		t.Fatalf("merged %d entries, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("stamp[%d] = %d, want %d", i, e.Stamp, i+1)
+		}
+		if string(e.Payload) != fmt.Sprintf("p%d", i+1) {
+			t.Fatalf("payload[%d] = %q", i, e.Payload)
+		}
+	}
+}
+
+func TestMergeSortsUnorderedSources(t *testing.T) {
+	// Cross-replica delivery interleaves owner groups, so a shard's
+	// append-order stream is NOT stamp-sorted. The merge must still
+	// produce one sorted, deduplicated stream.
+	a := &sliceCursor{es: mkEntries(2, 6, 10, 1, 5, 9)} // two interleaved runs
+	b := &sliceCursor{es: mkEntries(3, 7, 1, 5, 9, 2, 6, 10)}
+	c := &sliceCursor{es: mkEntries(4, 8, 3, 7)}
+	m := NewMergeCursor([]tracer.Cursor{a, b, c}, 0)
+	defer m.Close()
+	got := drainMerge(t, m)
+	if len(got) != 10 {
+		t.Fatalf("merged %d entries, want 10", len(got))
+	}
+	for i, e := range got {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("stamp[%d] = %d, want %d", i, e.Stamp, i+1)
+		}
+	}
+}
+
+func TestMergeCollapsesSameSourceDuplicates(t *testing.T) {
+	// A spilled dump retried cross-replica then flushed on close leaves
+	// the same stamp twice in one shard.
+	a := &sliceCursor{es: mkEntries(1, 2, 2, 3, 1)}
+	m := NewMergeCursor([]tracer.Cursor{a}, 0)
+	defer m.Close()
+	got := drainMerge(t, m)
+	if len(got) != 3 {
+		t.Fatalf("merged %d entries, want 3", len(got))
+	}
+}
+
+func TestMergeHonorsLimit(t *testing.T) {
+	a := &sliceCursor{es: mkEntries(1, 3, 5, 7, 9)}
+	b := &sliceCursor{es: mkEntries(2, 4, 6, 8, 10)}
+	m := NewMergeCursor([]tracer.Cursor{a, b}, 4)
+	defer m.Close()
+	got := drainMerge(t, m)
+	if len(got) != 4 {
+		t.Fatalf("merged %d entries, want 4 (limit)", len(got))
+	}
+	for i, e := range got {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("stamp[%d] = %d, want %d", i, e.Stamp, i+1)
+		}
+	}
+}
+
+func TestMergePropagatesMissed(t *testing.T) {
+	a := &sliceCursor{es: mkEntries(1, 2), missed: 7}
+	b := &sliceCursor{es: mkEntries(3)}
+	m := NewMergeCursor([]tracer.Cursor{a, b}, 0)
+	defer m.Close()
+	batch := make([]tracer.Entry, 16)
+	n, missed, err := m.Next(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || missed != 7 {
+		t.Fatalf("n=%d missed=%d, want 3 and 7", n, missed)
+	}
+}
+
+func TestMergeSurfacesSourceError(t *testing.T) {
+	boom := errors.New("boom")
+	a := &sliceCursor{es: mkEntries(1), err: boom}
+	m := NewMergeCursor([]tracer.Cursor{a}, 0)
+	defer m.Close()
+	batch := make([]tracer.Entry, 4)
+	// The readable prefix is delivered; the error surfaces at the end.
+	var last error
+	for i := 0; i < 4; i++ {
+		n, _, err := m.Next(batch)
+		if err != nil {
+			last = err
+			break
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if !errors.Is(last, boom) {
+		t.Fatalf("merge swallowed source error, got %v", last)
+	}
+}
+
+func TestMergeCloseClosesSources(t *testing.T) {
+	a := &sliceCursor{es: mkEntries(1)}
+	b := &sliceCursor{es: mkEntries(2)}
+	m := NewMergeCursor([]tracer.Cursor{a, b}, 0)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.closed || !b.closed {
+		t.Fatal("Close did not close the source cursors")
+	}
+	if n, _, _ := m.Next(make([]tracer.Entry, 4)); n != 0 {
+		t.Fatal("closed merge still emits entries")
+	}
+}

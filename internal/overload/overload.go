@@ -300,6 +300,13 @@ type Gate struct {
 	// published is the stats snapshot last folded into obs.
 	published Stats
 	obs       *gateObs
+
+	// tenant names the owner of the batches currently being filtered
+	// (see SetTenant); tenants is the bounded attribution table and
+	// publishedTenants the snapshot last folded into obs.
+	tenant           string
+	tenants          map[string]*TenantStats
+	publishedTenants map[string]TenantStats
 }
 
 // NewGate creates a Gate.
@@ -372,6 +379,7 @@ func (g *Gate) Filter(es []tracer.Entry) []tracer.Entry {
 	if len(es) == 0 {
 		return es
 	}
+	before := g.stats
 	tier := g.ctl.tier
 	out := es[:0]
 	for i := range es {
@@ -411,6 +419,7 @@ func (g *Gate) Filter(es []tracer.Entry) []tracer.Entry {
 		g.stats.Admitted++
 		out = append(out, *e)
 	}
+	g.attributeTenant(before)
 	g.publishObs()
 	return out
 }

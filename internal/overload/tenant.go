@@ -1,0 +1,79 @@
+package overload
+
+// Tenant attribution. The gate serves one multi-tenant ingest path but
+// runs single-goroutine; the caller names the tenant a batch belongs to
+// with SetTenant before Filter, and the gate attributes that Filter's
+// stat deltas (seen / admitted / dropped) to the tenant. Placement is
+// tenant-agnostic — the ring hashes stream keys only — so this table is
+// the one place a noisy tenant becomes visible: quotas, shed decisions
+// and the btrace_overload_tenant_* series all read from it.
+
+// DefaultTenant is the tenant batches are attributed to when the caller
+// never named one (or named the empty string).
+const DefaultTenant = "default"
+
+// TenantOverflow is the bucket tenants beyond MaxTenants collapse into:
+// the table stays bounded no matter how many tenant names a client
+// invents, at the cost of attribution detail for the overflow.
+const TenantOverflow = "~other"
+
+// MaxTenants bounds the per-tenant attribution table (the overflow
+// bucket is not counted against it).
+const MaxTenants = 64
+
+// TenantStats is one tenant's slice of the gate's accounting. Dropped
+// folds every refusal mechanism together — sampling, throttling and
+// shedding — because per-tenant blame wants one number; the per-cause
+// split remains global in Stats.
+type TenantStats struct {
+	Seen     uint64
+	Admitted uint64
+	Dropped  uint64
+}
+
+// SetTenant names the tenant the next Filter calls are accounted to.
+// Like every Gate method it must be called from the gate's single
+// driving goroutine — typically right before handing the tenant's batch
+// to Filter.
+func (g *Gate) SetTenant(name string) {
+	if name == "" {
+		name = DefaultTenant
+	}
+	g.tenant = name
+}
+
+// TenantStats returns a snapshot of the per-tenant attribution table.
+func (g *Gate) TenantStats() map[string]TenantStats {
+	out := make(map[string]TenantStats, len(g.tenants))
+	for name, ts := range g.tenants {
+		out[name] = *ts
+	}
+	return out
+}
+
+// attributeTenant books the stat delta of one Filter call to the
+// current tenant, spilling into the overflow bucket when the table is
+// full.
+func (g *Gate) attributeTenant(before Stats) {
+	name := g.tenant
+	if name == "" {
+		name = DefaultTenant
+	}
+	if g.tenants == nil {
+		g.tenants = make(map[string]*TenantStats)
+	}
+	ts := g.tenants[name]
+	if ts == nil {
+		if len(g.tenants) >= MaxTenants {
+			name = TenantOverflow
+			ts = g.tenants[name]
+		}
+		if ts == nil {
+			ts = &TenantStats{}
+			g.tenants[name] = ts
+		}
+	}
+	ts.Seen += g.stats.Seen - before.Seen
+	ts.Admitted += g.stats.Admitted - before.Admitted
+	ts.Dropped += g.stats.dropped() - before.dropped()
+}

@@ -160,7 +160,17 @@ func (st *Store) appendPipelined(es []tracer.Entry, sync, wait bool) error {
 	p.mu.Unlock()
 	elapsed := uint64(time.Since(start))
 	st.obs.appendNs.Observe(elapsed)
-	st.ewmaAppend.observe(elapsed)
+	// The pressure EWMA normalizes per event: the overload gate's
+	// AppendBudgetNs is a per-event budget, and a call's latency grows
+	// with its batch size — one large AppendEntries is throughput, not
+	// overload.
+	if n := uint64(len(es)); n > 0 {
+		per := elapsed / n
+		if per == 0 {
+			per = 1
+		}
+		st.ewmaAppend.observe(per)
+	}
 	st.obs.batchEvents.Observe(uint64(len(es)))
 	if encErr != nil {
 		return encErr

@@ -7,6 +7,7 @@ package store
 
 import (
 	"sync/atomic"
+	"time"
 
 	"btrace/internal/overload"
 )
@@ -14,10 +15,22 @@ import (
 // ewma is a lock-free 1/8-weight exponentially weighted moving average.
 // Updates race benignly (load/store, no CAS loop): the value is a
 // pressure signal, not an accounting total.
-type ewma struct{ v atomic.Uint64 }
+type ewma struct {
+	v atomic.Uint64
+	// at is the wall clock of the last observation; reads decay the
+	// average against it, so a latency spike fades once the traffic
+	// that caused it stops instead of pinning the overload gate at its
+	// last sample forever.
+	at atomic.Int64
+}
+
+// ewmaIdleHalfLife halves an idle EWMA's exported value per interval
+// elapsed since its last sample.
+const ewmaIdleHalfLife = 500 * time.Millisecond
 
 func (e *ewma) observe(d uint64) {
 	old := e.v.Load()
+	e.at.Store(time.Now().UnixNano())
 	if old == 0 {
 		e.v.Store(d)
 		return
@@ -25,7 +38,20 @@ func (e *ewma) observe(d uint64) {
 	e.v.Store(old - old/8 + d/8)
 }
 
-func (e *ewma) load() uint64 { return e.v.Load() }
+func (e *ewma) load() uint64 {
+	v := e.v.Load()
+	if v == 0 {
+		return 0
+	}
+	idle := time.Now().UnixNano() - e.at.Load()
+	if halvings := idle / int64(ewmaIdleHalfLife); halvings > 0 {
+		if halvings >= 64 {
+			return 0
+		}
+		v >>= uint(halvings)
+	}
+	return v
+}
 
 // noteFsync records one fsync stall in both the histogram (for
 // /metrics) and the EWMA (for Pressure).
