@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race race-stress tier1 chaos overload-stress compaction-chaos cluster-chaos bench benchdiff
+.PHONY: all build fmt vet test race race-stress tier1 chaos overload-stress compaction-chaos cluster-chaos vulture-soak bench benchdiff
 
 all: tier1
 
@@ -71,6 +71,14 @@ cluster-chaos:
 	$(GO) test -race $(SHORT) -v -run 'TestChaosClusterShardKill' ./internal/faults/
 	$(GO) test -race -run 'TestRing' ./internal/ring/
 
+# Continuous-verification soak: boot a real 4-shard RF=2 btrace-serve,
+# run btrace-vulture against it (known stamped writes read back through
+# /live, sequential and parallel /store/query, and the cold tier), and
+# drain a shard mid-soak. Fails on any acked-stamp loss, duplication or
+# mis-ordering. Honors -short (make vulture-soak SHORT=-short, ~30s).
+vulture-soak:
+	./scripts/vulture-soak.sh $(SHORT)
+
 # Read/write-path benchmarks with allocation accounting, recorded as
 # machine-readable JSON (BENCH_*.json) to track the perf trajectory
 # across commits. BENCHTIME trades precision for runtime. BENCH_obs.json
@@ -84,7 +92,8 @@ BENCHTIME ?= 2000x
 OBS_RECORD_BENCHTIME ?= 200000x
 bench:
 	@{ $(GO) test ./internal/core -run '^$$' -bench 'BenchmarkReadPath' -benchmem -benchtime $(BENCHTIME); \
-	   $(GO) test . -run '^$$' -bench 'BenchmarkWritePathStampBatch' -benchmem -benchtime $(BENCHTIME); } \
+	   $(GO) test . -run '^$$' -bench 'BenchmarkWritePathStampBatch' -benchmem -benchtime $(BENCHTIME); \
+	   $(GO) test ./internal/live -run '^$$' -bench 'BenchmarkLiveFanout' -benchmem -benchtime $(BENCHTIME); } \
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_readpath.json
 	@echo "wrote BENCH_readpath.json"
 	@{ $(GO) test ./internal/store -run '^$$' -bench 'BenchmarkStore(Append|Query)|BenchmarkColdQuery|BenchmarkCompactTier' -benchmem -benchtime $(BENCHTIME); \
@@ -109,5 +118,5 @@ benchdiff:
 	@for f in BENCH_readpath.json BENCH_store.json BENCH_obs.json; do \
 	  git show HEAD:$$f > .benchbase/$$f 2>/dev/null || rm -f .benchbase/$$f; done
 	$(GO) run ./cmd/benchdiff -old .benchbase -new . \
-	  -zero-allocs 'BenchmarkReadPathCursor,BenchmarkObsOverhead/.*' \
+	  -zero-allocs 'BenchmarkReadPathCursor,BenchmarkObsOverhead/.*,BenchmarkLiveFanout/idle' \
 	  -max-ratio 'BenchmarkColdQuery<=2*BenchmarkStoreQueryParallel'

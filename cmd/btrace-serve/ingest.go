@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"btrace/internal/collect"
+	"btrace/internal/live"
 	"btrace/internal/overload"
 	"btrace/internal/store"
 	"btrace/internal/tracer"
@@ -45,6 +46,11 @@ type ingestConfig struct {
 	// false the gate still samples and rate-limits, but never escalates
 	// past TierNone.
 	Shed bool
+	// Hub, when set, receives every admitted batch via the gate's
+	// Admitted hook — the /live fan-out. Both the single-store pipeline
+	// and the cluster distributor build their gate through gateConfig,
+	// so one field covers both ingest paths.
+	Hub *live.Hub
 }
 
 // tenantHeader names the request header carrying the tenant on POST
@@ -68,6 +74,9 @@ func (cfg ingestConfig) gateConfig() (overload.Config, error) {
 		// pins the controller at TierNone while sampling and rate limits
 		// keep working.
 		gcfg.EngagePressure = 2
+	}
+	if cfg.Hub != nil {
+		gcfg.Admitted = cfg.Hub.Publish
 	}
 	return gcfg, nil
 }
@@ -157,6 +166,12 @@ func newIngestPipeline(st *store.Store, cfg ingestConfig) (*ingestPipeline, erro
 		Store:     st,
 		StoreSink: true,
 		Overload:  p.gate,
+		// The queue multiplexes independent clients: their batches
+		// interleave arbitrarily, so only per-thread stamp order is an
+		// invariant. Without this, interleaved batches are quarantined
+		// around the gate — persisted, but invisible to live tail,
+		// sampling and rate limits.
+		SourceUnordered: true,
 	})
 	if err != nil {
 		return nil, err

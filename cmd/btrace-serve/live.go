@@ -1,0 +1,112 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"btrace/internal/live"
+	"btrace/internal/tracer"
+)
+
+// liveHeartbeat is how often an idle /live stream emits a keepalive
+// comment so proxies and clients can tell a quiet trace from a dead
+// connection.
+const liveHeartbeat = 15 * time.Second
+
+// liveBatch sizes the per-drain read from the subscriber's ring.
+const liveBatch = 256
+
+// handleLive serves GET /live: a Server-Sent-Events stream of admitted
+// ingest events, filtered by the /store/query parameter shapes
+// (min_ts, max_ts, cores, categories, tids) and scoped to the
+// X-Btrace-Tenant header when one is sent (absent = all tenants, the
+// single-operator dashboard view). Slow subscribers see their loss as
+// missed events; a subscriber that falls EvictAfterMissed behind gets
+// a terminal evicted event. 503 when the subscriber cap is reached.
+func (s *server) handleLive(w http.ResponseWriter, r *http.Request) {
+	if s.live == nil {
+		http.Error(w, "live tail requires an ingest path (start btrace-serve with -store)",
+			http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	filter, err := live.ParseQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	filter.Tenant = r.Header.Get(tenantHeader)
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by this connection", http.StatusInternalServerError)
+		return
+	}
+	sub, err := s.live.Subscribe(filter)
+	if err != nil {
+		if errors.Is(err, live.ErrSubscribers) {
+			w.Header().Set("Retry-After", "5")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	// The server's blanket WriteTimeout would cut a healthy tail after
+	// two minutes; a live stream manages its own liveness via
+	// heartbeats instead.
+	rc := http.NewResponseController(w)
+	rc.SetWriteDeadline(time.Time{})
+
+	heartbeat := time.NewTicker(liveHeartbeat)
+	defer heartbeat.Stop()
+	batch := make([]tracer.Entry, liveBatch)
+	for {
+		n, missed, err := sub.Next(batch)
+		// Loss first: the missed events precede the buffered ones.
+		if missed > 0 {
+			if werr := live.EncodeMissed(w, missed); werr != nil {
+				return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if werr := live.EncodeFrame(w, &batch[i]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if errors.Is(err, live.ErrEvicted) {
+				live.EncodeEvicted(w, sub.Stats().Missed)
+				flusher.Flush()
+			}
+			return
+		}
+		if n > 0 || missed > 0 {
+			flusher.Flush()
+			continue
+		}
+		// Idle: park until the hub signals, the client leaves, or the
+		// heartbeat fires.
+		flusher.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Notify():
+		case <-heartbeat.C:
+			if _, werr := w.Write([]byte(": keepalive\n\n")); werr != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"btrace/internal/live"
+	"btrace/internal/tracer"
+)
+
+// liveServer builds a single-store ingest server with a live hub wired
+// through the gate's Admitted hook, served over a real listener (SSE
+// needs a streaming connection, which ResponseRecorder cannot provide).
+func liveServer(t *testing.T, hubCfg live.Config) (*httptest.Server, *live.Hub) {
+	t.Helper()
+	hub := live.NewHub(hubCfg)
+	srv, _ := newIngestServer(t, ingestConfig{SampleRate: 1, Hub: hub})
+	srv.attachLive(hub)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, hub
+}
+
+// sseFrame is one decoded trace event plus the stream position it
+// arrived at, collected by readLiveStamps.
+func readLiveStamps(t *testing.T, resp *http.Response, want int) []tracer.Entry {
+	t.Helper()
+	sr := live.NewStreamReader(resp.Body)
+	var got []tracer.Entry
+	for len(got) < want {
+		event, data, err := sr.Next()
+		if err != nil {
+			t.Fatalf("stream ended after %d/%d events: %v", len(got), want, err)
+		}
+		switch event {
+		case live.EventTrace:
+			e, err := live.DecodeFrame(data)
+			if err != nil {
+				t.Fatalf("bad frame %q: %v", data, err)
+			}
+			got = append(got, e)
+		case live.EventMissed:
+			t.Fatalf("unexpected missed event on a fast subscriber: %q", data)
+		}
+	}
+	return got
+}
+
+// TestLiveTailEndToEnd: events POSTed to /ingest arrive on a matching
+// /live subscription in stamp order, filtered server-side, with
+// payloads intact — the full admitted-batch fan-out path through the
+// gate hook, the hub, and the SSE encoder.
+func TestLiveTailEndToEnd(t *testing.T) {
+	ts, _ := liveServer(t, live.Config{})
+
+	resp, err := http.Get(ts.URL + "/live?tids=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/live status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	// Half the events match the tids filter, half must be screened out.
+	var es []tracer.Entry
+	for i := 1; i <= 20; i++ {
+		tid := uint32(7)
+		if i%2 == 0 {
+			tid = 9
+		}
+		es = append(es, tracer.Entry{
+			Stamp: uint64(i), TS: uint64(1000 + i), TID: tid,
+			Category: 1, Level: 2, Payload: []byte{byte(i), 0xEE},
+		})
+	}
+	post, err := http.Post(ts.URL+"/ingest", "application/octet-stream",
+		bytes.NewReader(encodeEvents(t, es)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusAccepted {
+		t.Fatalf("/ingest status %d", post.StatusCode)
+	}
+
+	got := readLiveStamps(t, resp, 10)
+	for i, e := range got {
+		wantStamp := uint64(2*i + 1)
+		if e.Stamp != wantStamp || e.TID != 7 {
+			t.Fatalf("frame %d: stamp %d tid %d, want stamp %d tid 7", i, e.Stamp, e.TID, wantStamp)
+		}
+		if len(e.Payload) != 2 || e.Payload[0] != byte(wantStamp) || e.Payload[1] != 0xEE {
+			t.Fatalf("frame %d payload %v", i, e.Payload)
+		}
+	}
+}
+
+// TestLiveTenantScoping: a subscription carrying X-Btrace-Tenant sees
+// only that tenant's admitted events; one without the header sees all.
+func TestLiveTenantScoping(t *testing.T) {
+	ts, hub := liveServer(t, live.Config{})
+
+	req, _ := http.NewRequest("GET", ts.URL+"/live", nil)
+	req.Header.Set(tenantHeader, "beta")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Wait for the subscription to land before publishing: Subscribe
+	// happens inside the handler, racing the POSTs below.
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for i, tenant := range []string{"alpha", "beta"} {
+		es := []tracer.Entry{{Stamp: uint64(100 + i), TS: 5, TID: 1, Level: 1}}
+		req, _ := http.NewRequest("POST", ts.URL+"/ingest",
+			bytes.NewReader(encodeEvents(t, es)))
+		req.Header.Set(tenantHeader, tenant)
+		pr, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.Body.Close()
+		if pr.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest as %s: status %d", tenant, pr.StatusCode)
+		}
+	}
+
+	got := readLiveStamps(t, resp, 1)
+	if got[0].Stamp != 101 {
+		t.Fatalf("beta subscriber saw stamp %d, want only beta's 101", got[0].Stamp)
+	}
+}
+
+// TestLiveInterleavedClients: batches from independent clients arrive
+// on the ingest queue in arbitrary global stamp order (client B's
+// higher-stamped batch before client A's). The pipeline's verifier runs
+// in unordered mode, so both batches must reach a live subscriber — a
+// regression here means interleaved traffic is quarantined around the
+// gate: persisted but invisible to live tail, sampling and rate limits.
+func TestLiveInterleavedClients(t *testing.T) {
+	ts, hub := liveServer(t, live.Config{})
+
+	resp, err := http.Get(ts.URL + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for hub.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	batches := [][]tracer.Entry{
+		{{Stamp: 100, TS: 10, TID: 9, Category: 1, Level: 1},
+			{Stamp: 101, TS: 11, TID: 9, Category: 1, Level: 1}},
+		{{Stamp: 1, TS: 1, TID: 7, Category: 1, Level: 1},
+			{Stamp: 2, TS: 2, TID: 7, Category: 1, Level: 1}},
+	}
+	for _, es := range batches {
+		post, err := http.Post(ts.URL+"/ingest", "application/octet-stream",
+			bytes.NewReader(encodeEvents(t, es)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		post.Body.Close()
+		if post.StatusCode != http.StatusAccepted {
+			t.Fatalf("/ingest status %d", post.StatusCode)
+		}
+	}
+
+	got := readLiveStamps(t, resp, 4)
+	want := []uint64{100, 101, 1, 2}
+	for i, e := range got {
+		if e.Stamp != want[i] {
+			t.Fatalf("frame %d: stamp %d, want %d (got %+v)", i, e.Stamp, want[i], got)
+		}
+	}
+}
+
+// TestLiveRequestValidation covers the non-streaming error paths, which
+// return immediately and so work against a plain recorder.
+func TestLiveRequestValidation(t *testing.T) {
+	hub := live.NewHub(live.Config{MaxSubscribers: 1})
+	srv, _ := newIngestServer(t, ingestConfig{SampleRate: 1, Hub: hub})
+	srv.attachLive(hub)
+
+	if rec := httpGet(t, srv, "/live?min_ts=5&max_ts=1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("inverted window: status %d, want 400", rec.Code)
+	}
+	if rec := httpGet(t, srv, "/live?tids=notanumber"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad tids: status %d, want 400", rec.Code)
+	}
+	if rec := httpPost(t, srv, "/live", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /live: status %d, want 405", rec.Code)
+	}
+
+	// Saturate the hub's one subscriber slot directly; the endpoint must
+	// answer 503 with Retry-After rather than hanging.
+	sub, err := hub.Subscribe(live.Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	rec := httpGet(t, srv, "/live")
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Errorf("over cap: status %d Retry-After %q, want 503 with Retry-After",
+			rec.Code, rec.Header().Get("Retry-After"))
+	}
+
+	// Without a hub (dashboard-only) the endpoint explains what to start.
+	bare, err := newServer(0.005, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := httpGet(t, bare, "/live"); rec.Code != http.StatusNotFound ||
+		!strings.Contains(rec.Body.String(), "-store") {
+		t.Errorf("/live without hub: status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStoreQueryWorkersParam: ?workers= switches /store/query between
+// the sequential and parallel scan surfaces, and both return the same
+// stream; out-of-range values are rejected.
+func TestStoreQueryWorkersParam(t *testing.T) {
+	ts, _ := storeServer(t, 50)
+	var bodies []string
+	for _, q := range []string{"workers=0", "workers=4", ""} {
+		url := ts.URL + "/store/query?format=csv"
+		if q != "" {
+			url += "&" + q
+		}
+		code, body := get(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d:\n%s", q, code, body)
+		}
+		if n := strings.Count(body, "\n"); n != 51 { // header + 50 rows
+			t.Fatalf("%s: %d lines, want 51", q, n)
+		}
+		bodies = append(bodies, body)
+	}
+	if bodies[0] != bodies[1] || bodies[1] != bodies[2] {
+		t.Fatal("sequential, parallel and default surfaces disagree")
+	}
+	if code, _ := get(t, ts.URL+"/store/query?workers=99"); code != http.StatusBadRequest {
+		t.Fatalf("workers=99: status %d, want 400", code)
+	}
+	if code, _ := get(t, ts.URL+"/store/query?workers=-1"); code != http.StatusBadRequest {
+		t.Fatalf("workers=-1: status %d, want 400", code)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"btrace/internal/distributor"
+	"btrace/internal/live"
 	"btrace/internal/store"
 	"btrace/internal/store/backend"
 )
@@ -32,6 +33,7 @@ func main() {
 	scale := flag.Float64("scale", 0.02, "default volume fraction for experiments, in (0, 1]")
 	storeDir := flag.String("store", "", "durable trace store directory to serve via /store/query and /store/segments")
 	queryWorkers := flag.Int("query-workers", store.DefaultQueryWorkers, "parallel scan workers for /store/query (0 = sequential cursor)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "store segment roll size in bytes (0 = default 1MiB)")
 	commitEvery := flag.Duration("commit-every", 0, "store group-commit interval (0 = fsync only on demand)")
 	commitBytes := flag.Int64("commit-bytes", 0, "store group-commit byte threshold (0 = no byte trigger)")
 	compactInterval := flag.Duration("compact-interval", 0, "background compactor tick interval: merge + freeze pass (0 = no background compaction)")
@@ -44,6 +46,9 @@ func main() {
 	shards := flag.Int("shards", 0, "run a replicated in-process cluster of this many store shards under the -store root (0 = single store)")
 	replication := flag.Int("replication", 2, "replicas per stream key in cluster mode (quorum-acked)")
 	tenantOverrides := flag.String("tenant-overrides", "", "per-tenant ingest quotas, e.g. alpha=1000,beta=500:2000 (events/sec of virtual time[:burst])")
+	liveBuffer := flag.Int("live-buffer", 0, "per-subscriber /live ring capacity in events (0 = default 4096)")
+	liveSubscribers := flag.Int("live-subscribers", 0, "max concurrent /live subscribers (0 = default 64)")
+	liveMaxMissed := flag.Uint64("live-max-missed", 0, "missed-event count at which a slow /live subscriber is evicted (0 = default 65536)")
 	flag.Parse()
 
 	// The operator flag gets the same hard validation as the request
@@ -58,13 +63,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The live hub exists whenever an ingest path does: it is the
+	// post-gate fan-out both pipelines publish admitted batches to.
+	var hub *live.Hub
+	if *storeDir != "" {
+		hub = live.NewHub(live.Config{
+			BufferEvents:     *liveBuffer,
+			MaxSubscribers:   *liveSubscribers,
+			EvictAfterMissed: *liveMaxMissed,
+		})
+	}
 	icfg := ingestConfig{
 		SampleRate: *sampleRate,
 		RateLimit:  *rateLimit,
 		RateBurst:  *rateBurst,
 		Shed:       *shed,
+		Hub:        hub,
 	}
 	scfg := store.Config{
+		SegmentBytes:    *segmentBytes,
 		CommitEvery:     *commitEvery,
 		CommitBytes:     *commitBytes,
 		CompactInterval: *compactInterval,
@@ -138,6 +155,9 @@ func main() {
 	}
 	if cluster != nil {
 		srv.attachCluster(cluster)
+	}
+	if hub != nil {
+		srv.attachLive(hub)
 	}
 	// With a single store attached the server also accepts traffic on
 	// POST /ingest, behind the adaptive overload gate. The pipeline is

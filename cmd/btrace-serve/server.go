@@ -14,6 +14,7 @@ import (
 	"btrace/internal/analysis"
 	"btrace/internal/experiments"
 	"btrace/internal/export"
+	"btrace/internal/live"
 	"btrace/internal/obs"
 	"btrace/internal/replay"
 	"btrace/internal/store"
@@ -73,6 +74,9 @@ type server struct {
 	// /ingest, /store/query, /store/segments and /readyz, and serves
 	// /ring.
 	cluster *clusterPipeline
+	// live fans admitted ingest batches out to /live subscribers; nil in
+	// dashboard-only deployments (attachLive wires it).
+	live *live.Hub
 }
 
 func newServer(defaultScale float64, st *store.Store, queryWorkers int) (*server, error) {
@@ -95,6 +99,7 @@ func newServer(defaultScale float64, st *store.Store, queryWorkers int) (*server
 	s.mux.HandleFunc("/store/query", s.handleStoreQuery)
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/ring", s.handleRing)
+	s.mux.HandleFunc("/live", s.handleLive)
 	// Probe surface: /healthz is pure liveness, /readyz folds in the
 	// store write path and the overload controller (see ingest.go).
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -122,6 +127,10 @@ func (s *server) attachIngest(p *ingestPipeline) { s.ingest = p }
 // attachCluster hands the server its distributed ingest tier; mutually
 // exclusive with attachIngest (main wires one or the other).
 func (s *server) attachCluster(p *clusterPipeline) { s.cluster = p }
+
+// attachLive hands the server the hub its /live endpoint subscribes
+// against; main wires the same hub into the ingest gate's Admitted hook.
+func (s *server) attachLive(h *live.Hub) { s.live = h }
 
 // acquireRun takes a slot in the computation semaphore, answering 503
 // (with Retry-After) and returning false when the server is saturated.

@@ -150,9 +150,32 @@ func parseStoreQuery(r *http.Request) (store.Query, error) {
 	return q, nil
 }
 
+// maxQueryWorkers caps the per-request ?workers= override: each worker
+// pins a scan goroutine, and an unauthenticated query must not be able
+// to demand an unbounded pool.
+const maxQueryWorkers = 32
+
+// requestWorkers resolves the scan-pool size for one /store/query:
+// ?workers=0 forces the sequential cursor, ?workers=N a pool of N
+// (capped), and an absent parameter falls back to the operator default.
+func requestWorkers(r *http.Request, def int) (int, error) {
+	v := r.URL.Query().Get("workers")
+	if v == "" {
+		return def, nil
+	}
+	u, err := strconv.ParseUint(v, 10, 16)
+	if err != nil || u > maxQueryWorkers {
+		return 0, fmt.Errorf("bad workers %q (allowed: [0, %d])", v, maxQueryWorkers)
+	}
+	return int(u), nil
+}
+
 // handleStoreQuery streams the matching slice of the durable trace in
 // the requested format (text, csv or chrome), through the same cursor
-// contract every in-memory exporter uses.
+// contract every in-memory exporter uses. ?workers= picks the scan
+// surface per request: 0 the sequential cursor, N a parallel pool —
+// both must yield the identical stamp-ordered stream (btrace-vulture
+// continuously cross-checks that equivalence).
 func (s *server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil && s.cluster == nil {
 		http.Error(w, "no trace store configured (start btrace-serve with -store)", http.StatusNotFound)
@@ -163,18 +186,27 @@ func (s *server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	workers, err := requestWorkers(r, s.queryWorkers)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	var cur tracer.Cursor
 	switch {
 	case s.cluster != nil:
 		// Cluster mode: fan out to every healthy shard and k-way-merge
 		// the replicas back to one stamp-ordered copy each.
-		cur, err = s.cluster.d.Query(q)
+		if workers > 0 {
+			cur, err = s.cluster.d.QueryParallel(q, workers)
+		} else {
+			cur, err = s.cluster.d.Query(q)
+		}
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
-	case s.queryWorkers > 0:
-		cur = s.store.QueryParallel(q, s.queryWorkers)
+	case workers > 0:
+		cur = s.store.QueryParallel(q, workers)
 	default:
 		cur = s.store.Query(q)
 	}

@@ -165,6 +165,15 @@ type SupervisorConfig struct {
 	// signals the pipeline already tracks — spill ring fill, per-poll
 	// loss rate, and the store's write-path latencies — once per poll.
 	Overload *overload.Gate
+
+	// SourceUnordered marks the source as a multiplex of independent
+	// producers (the HTTP /ingest queue: concurrent clients' batches
+	// interleave arbitrarily). The verifier then checks only per-thread
+	// stamp order and structural soundness — the global total-order
+	// invariant belongs to single tracer readout streams and would
+	// quarantine legitimate interleaved traffic here, diverting it
+	// around the overload gate and the live fan-out.
+	SourceUnordered bool
 }
 
 // SupervisorStats counts everything the pipeline absorbed.
@@ -312,6 +321,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 		obs: newSupObs(),
 	}
 	s.registerObs()
+	s.ver.unordered = cfg.SourceUnordered
 	if cfg.Cursor != nil {
 		s.batch = make([]tracer.Entry, cfg.BatchSize)
 	}

@@ -25,10 +25,19 @@ import (
 // verifier's cursors do not advance past them, so one corrupt entry
 // cannot poison the stream that follows it.
 //
+// In unordered mode the first invariant is waived: a multiplexed source
+// (independent clients POSTing to /ingest) has no cross-thread order to
+// verify, only the per-thread and structural invariants.
+//
 // A Verifier is driven by a single collector goroutine.
 type Verifier struct {
 	lastStamp uint64
 	perThread map[uint32]uint64
+	// unordered drops the cross-thread total-order checks: the stream is
+	// a multiplex of independent producers (SupervisorConfig
+	// .SourceUnordered), where batches interleave arbitrarily and only
+	// per-thread order is an invariant.
+	unordered bool
 
 	checked     uint64
 	quarantined uint64
@@ -68,11 +77,13 @@ func (v *Verifier) check(e *tracer.Entry) string {
 	if len(e.Payload) > tracer.MaxPayload {
 		return fmt.Sprintf("stamp %d: payload %d exceeds wire maximum %d", e.Stamp, len(e.Payload), tracer.MaxPayload)
 	}
-	if e.Stamp == v.lastStamp {
-		return fmt.Sprintf("stamp %d: duplicate of previous entry", e.Stamp)
-	}
-	if e.Stamp < v.lastStamp {
-		return fmt.Sprintf("stamp %d: out of order after %d", e.Stamp, v.lastStamp)
+	if !v.unordered {
+		if e.Stamp == v.lastStamp {
+			return fmt.Sprintf("stamp %d: duplicate of previous entry", e.Stamp)
+		}
+		if e.Stamp < v.lastStamp {
+			return fmt.Sprintf("stamp %d: out of order after %d", e.Stamp, v.lastStamp)
+		}
 	}
 	if last, ok := v.perThread[e.TID]; ok && e.Stamp <= last {
 		return fmt.Sprintf("stamp %d: thread %d not strictly increasing after %d", e.Stamp, e.TID, last)

@@ -1,0 +1,50 @@
+package collect
+
+import (
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+// TestVerifierUnorderedSource: in unordered mode (a multiplexed source
+// like the /ingest queue) cross-thread stamp inversions are legal and
+// must pass, while per-thread regressions and structural violations are
+// still quarantined.
+func TestVerifierUnorderedSource(t *testing.T) {
+	e := func(stamp uint64, tid uint32) tracer.Entry {
+		return tracer.Entry{Stamp: stamp, TS: stamp, TID: tid, Category: 1}
+	}
+
+	ordered := NewVerifier()
+	clean, quarantined, _ := ordered.Check([]tracer.Entry{e(65, 2), e(66, 2), e(1, 1), e(2, 1)})
+	if len(clean) != 2 || len(quarantined) != 2 {
+		t.Fatalf("ordered verifier on interleaved batches: clean %d quarantined %d, want 2/2",
+			len(clean), len(quarantined))
+	}
+
+	un := NewVerifier()
+	un.unordered = true
+	clean, quarantined, _ = un.Check([]tracer.Entry{e(65, 2), e(66, 2), e(1, 1), e(2, 1)})
+	if len(clean) != 4 || len(quarantined) != 0 {
+		t.Fatalf("unordered verifier on interleaved batches: clean %d quarantined %d, want 4/0",
+			len(clean), len(quarantined))
+	}
+
+	// Per-thread order and structural soundness still hold: a stamp
+	// reuse within thread 2, a zero stamp, and an oversized payload are
+	// quarantined even in unordered mode.
+	bad := []tracer.Entry{
+		e(66, 2),
+		{TS: 1, TID: 1, Category: 1},
+		{Stamp: 99, TS: 1, TID: 3, Category: 1, Payload: make([]byte, tracer.MaxPayload+1)},
+		e(3, 1),
+	}
+	clean, quarantined, violations := un.Check(bad)
+	if len(clean) != 1 || clean[0].Stamp != 3 {
+		t.Fatalf("unordered verifier kept %d clean (want just stamp 3): %+v", len(clean), clean)
+	}
+	if len(quarantined) != 3 || len(violations) != 3 {
+		t.Fatalf("unordered verifier quarantined %d with %d violations, want 3/3",
+			len(quarantined), len(violations))
+	}
+}

@@ -352,12 +352,35 @@ func (d *Distributor) ringSnapshot() *ring.Ring {
 	return d.ring
 }
 
+// ParallelQuerier is the optional shard surface for worker-pool scans:
+// shards backed by a local store expose Store.QueryParallel through
+// it, and QueryParallel uses it when the caller asks for workers.
+type ParallelQuerier interface {
+	QueryParallel(q store.Query, workers int) (tracer.Cursor, error)
+}
+
 // Query fans q out across every healthy shard and k-way-merges the
 // results into one stamp-ordered, replica-deduplicated cursor. q.Limit
 // applies to the merged stream (each shard holds a subset, so a
 // per-shard cursor's first Limit entries always cover the merged
 // stream's first Limit stamps).
 func (d *Distributor) Query(q store.Query) (tracer.Cursor, error) {
+	return d.query(q, 0)
+}
+
+// QueryParallel is Query with per-shard worker-pool scans: each shard
+// that implements ParallelQuerier scans its segments with up to
+// workers goroutines; the rest fall back to their sequential cursor.
+// The merged result is identical to Query's — same stamps, same order
+// — which is exactly what makes the two surfaces cross-verifiable.
+func (d *Distributor) QueryParallel(q store.Query, workers int) (tracer.Cursor, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	return d.query(q, workers)
+}
+
+func (d *Distributor) query(q store.Query, workers int) (tracer.Cursor, error) {
 	d.topo.RLock()
 	shards := make([]Shard, 0, len(d.shards))
 	for _, sh := range d.shards {
@@ -366,7 +389,13 @@ func (d *Distributor) Query(q store.Query) (tracer.Cursor, error) {
 	d.topo.RUnlock()
 	var curs []tracer.Cursor
 	for _, sh := range shards {
-		cur, err := sh.Query(q)
+		var cur tracer.Cursor
+		var err error
+		if pq, ok := sh.(ParallelQuerier); ok && workers > 0 {
+			cur, err = pq.QueryParallel(q, workers)
+		} else {
+			cur, err = sh.Query(q)
+		}
 		if err != nil {
 			continue // dead replica: its data lives on its peers
 		}

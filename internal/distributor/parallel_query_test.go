@@ -1,0 +1,56 @@
+package distributor
+
+import (
+	"testing"
+
+	"btrace/internal/store"
+)
+
+// The two cluster read surfaces must be byte-identical: QueryParallel
+// fans each shard's scan across a worker pool, but the merged,
+// deduplicated stream it yields has to match the sequential cursor's
+// exactly — that equivalence is what btrace-vulture cross-checks
+// continuously.
+func TestDistributorQueryParallelMatchesSequential(t *testing.T) {
+	d, locals := newTestCluster(t, 4, Config{Replication: 2, Gate: gateOff()})
+	res := d.Ingest("", events(500, 1, 30, 31, 32, 33, 34))
+	if res.Acked != 500 {
+		t.Fatalf("acked %d of 500", res.Acked)
+	}
+
+	q := store.Query{MinStamp: 50, MaxStamp: 450}
+	seqCur, err := d.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := drainAll(t, seqCur)
+	parCur, err := d.QueryParallel(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := drainAll(t, parCur)
+
+	if len(seq) != 401 || len(par) != len(seq) {
+		t.Fatalf("sequential %d vs parallel %d events, want 401 each", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Stamp != par[i].Stamp {
+			t.Fatalf("surface divergence at %d: sequential stamp %d, parallel %d",
+				i, seq[i].Stamp, par[i].Stamp)
+		}
+		if string(seq[i].Payload) != string(par[i].Payload) {
+			t.Fatalf("stamp %d payload differs between surfaces", seq[i].Stamp)
+		}
+	}
+
+	// A killed shard degrades both surfaces identically: RF=2 keeps
+	// every stamp readable.
+	locals[2].Kill()
+	parCur, err = d.QueryParallel(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainAll(t, parCur); len(got) != 401 {
+		t.Fatalf("parallel query after kill returned %d events, want 401", len(got))
+	}
+}

@@ -308,6 +308,15 @@ func (s *LocalShard) Query(q store.Query) (tracer.Cursor, error) {
 	return s.st.Query(q), nil
 }
 
+// QueryParallel opens a worker-pool cursor over the shard's durable
+// store (distributor.ParallelQuerier); same refusal rule as Query.
+func (s *LocalShard) QueryParallel(q store.Query, workers int) (tracer.Cursor, error) {
+	if !s.Healthy() {
+		return nil, fmt.Errorf("%w: %s", ErrShardDown, s.cfg.Name)
+	}
+	return s.st.QueryParallel(q, workers), nil
+}
+
 // Healthy reports whether the shard accepts work: alive and with a
 // working store write path.
 func (s *LocalShard) Healthy() bool {

@@ -1,0 +1,68 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+// BenchmarkLiveFanout measures the hub's publish path: the idle case
+// (hub attached to the gate but no subscribers — this must stay at
+// 0 allocs/op, it is the standing cost every admitted batch pays) and
+// fan-out to 1/16/256 subscribers, reported as events/s. Subscribers
+// do not drain: the steady state under benchmark load is the
+// overwrite path, which is also the most work the publish side ever
+// does per event.
+func BenchmarkLiveFanout(b *testing.B) {
+	const batchSize = 256
+	batch := make([]tracer.Entry, batchSize)
+	payload := make([]byte, 64)
+	for i := range batch {
+		batch[i] = tracer.Entry{
+			Stamp: uint64(i + 1), TS: uint64(i) * 100, Core: uint8(i % 8),
+			TID: uint32(100 + i%16), Category: uint8(1 + i%4), Level: 1,
+			Payload: payload,
+		}
+	}
+
+	b.Run("idle", func(b *testing.B) {
+		h := NewHub(Config{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Publish("default", batch)
+		}
+		b.StopTimer()
+		reportRate(b, batchSize)
+	})
+
+	for _, subs := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			h := NewHub(Config{MaxSubscribers: subs, EvictAfterMissed: ^uint64(0)})
+			for i := 0; i < subs; i++ {
+				sub, err := h.Subscribe(Filter{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sub.Close()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Publish("default", batch)
+			}
+			b.StopTimer()
+			reportRate(b, batchSize)
+		})
+	}
+}
+
+// reportRate converts the run into an events/s metric (benchdiff gates
+// "/s" metrics as rates: drops fail, growth passes).
+func reportRate(b *testing.B, perOp int) {
+	if b.Elapsed() <= 0 {
+		return
+	}
+	b.ReportMetric(float64(b.N*perOp)/b.Elapsed().Seconds(), "events/s")
+}

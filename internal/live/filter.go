@@ -1,0 +1,154 @@
+package live
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"btrace/internal/tracer"
+)
+
+// Filter selects the slice of the admitted stream a subscriber wants.
+// The parameter set mirrors /store/query (category/core/time plus TID),
+// with tenant scoping layered on for cluster mode. Zero values match
+// everything.
+type Filter struct {
+	// Tenant scopes the subscription to one tenant's events; ""
+	// matches all tenants (the single-operator dashboard case).
+	Tenant string
+	// MinTS/MaxTS bound the event virtual timestamp (inclusive;
+	// MaxTS 0 = unbounded).
+	MinTS, MaxTS uint64
+	// Cores, Categories and TIDs are membership filters; empty = all.
+	Cores, Categories []uint8
+	TIDs              []uint32
+}
+
+// Match reports whether an admitted event published under tenant
+// passes the filter. The slices are small operator-supplied lists, so
+// membership is a linear scan — no allocation, no map.
+func (f *Filter) Match(tenant string, e *tracer.Entry) bool {
+	if f.Tenant != "" && tenant != f.Tenant {
+		return false
+	}
+	if e.TS < f.MinTS {
+		return false
+	}
+	if f.MaxTS != 0 && e.TS > f.MaxTS {
+		return false
+	}
+	if len(f.Cores) > 0 && !containsU8(f.Cores, e.Core) {
+		return false
+	}
+	if len(f.Categories) > 0 && !containsU8(f.Categories, e.Category) {
+		return false
+	}
+	if len(f.TIDs) > 0 {
+		ok := false
+		for _, t := range f.TIDs {
+			if t == e.TID {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func containsU8(xs []uint8, x uint8) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// maxFilterList bounds the comma lists a request may send: a filter is
+// a selection, not a payload.
+const maxFilterList = 256
+
+// ParseQuery builds a Filter from /live request parameters: min_ts,
+// max_ts, cores, categories (comma-separated uint8 lists) and tids
+// (comma-separated uint32 list) — the same shapes /store/query takes.
+// Tenant scoping comes from the request header, not the query string,
+// so it is not parsed here.
+func ParseQuery(v url.Values) (Filter, error) {
+	var f Filter
+	var err error
+	if f.MinTS, err = parseU64(v, "min_ts"); err != nil {
+		return f, err
+	}
+	if f.MaxTS, err = parseU64(v, "max_ts"); err != nil {
+		return f, err
+	}
+	if f.MaxTS != 0 && f.MaxTS < f.MinTS {
+		return f, fmt.Errorf("max_ts %d below min_ts %d", f.MaxTS, f.MinTS)
+	}
+	if f.Cores, err = parseU8List(v, "cores"); err != nil {
+		return f, err
+	}
+	if f.Categories, err = parseU8List(v, "categories"); err != nil {
+		return f, err
+	}
+	if f.TIDs, err = parseU32List(v, "tids"); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+func parseU64(v url.Values, name string) (uint64, error) {
+	s := v.Get(name)
+	if s == "" {
+		return 0, nil
+	}
+	u, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, s)
+	}
+	return u, nil
+}
+
+func parseU8List(v url.Values, name string) ([]uint8, error) {
+	s := v.Get(name)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > maxFilterList {
+		return nil, fmt.Errorf("%s: more than %d elements", name, maxFilterList)
+	}
+	out := make([]uint8, 0, len(parts))
+	for _, part := range parts {
+		u, err := strconv.ParseUint(strings.TrimSpace(part), 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s element %q", name, part)
+		}
+		out = append(out, uint8(u))
+	}
+	return out, nil
+}
+
+func parseU32List(v url.Values, name string) ([]uint32, error) {
+	s := v.Get(name)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > maxFilterList {
+		return nil, fmt.Errorf("%s: more than %d elements", name, maxFilterList)
+	}
+	out := make([]uint32, 0, len(parts))
+	for _, part := range parts {
+		u, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s element %q", name, part)
+		}
+		out = append(out, uint32(u))
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package live
+
+import (
+	"bytes"
+	"net/url"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+// FuzzParseQuery throws arbitrary query strings at the /live parameter
+// parser: it must never panic, and every accepted filter must satisfy
+// its own invariants (bounded lists, ordered time window).
+func FuzzParseQuery(f *testing.F) {
+	f.Add("min_ts=10&max_ts=20&cores=0,1&categories=2,3&tids=7,8,9")
+	f.Add("cores=256")
+	f.Add("min_ts=5&max_ts=4")
+	f.Add("tids=" + string(make([]byte, 300)))
+	f.Add("categories=1,,2&min_ts=banana")
+	f.Add("%gh&%ij")
+	f.Fuzz(func(t *testing.T, raw string) {
+		v, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		filter, err := ParseQuery(v)
+		if err != nil {
+			return
+		}
+		if filter.MaxTS != 0 && filter.MaxTS < filter.MinTS {
+			t.Fatalf("accepted inverted time window: %+v", filter)
+		}
+		if len(filter.Cores) > maxFilterList || len(filter.Categories) > maxFilterList ||
+			len(filter.TIDs) > maxFilterList {
+			t.Fatalf("accepted oversized filter list: %+v", filter)
+		}
+		// An accepted filter must be safe to evaluate.
+		filter.Match("tenant", &tracer.Entry{TS: filter.MinTS, TID: 1, Category: 1})
+	})
+}
+
+// FuzzFrameRoundTrip checks the SSE codec both ways: any entry must
+// survive encode → stream-read → decode byte-exact, and the stream
+// reader must never panic on the bytes the encoder produced.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint8(3), uint32(4), uint8(5), uint8(1), []byte("payload"))
+	f.Add(uint64(0), uint64(0), uint8(0), uint32(0), uint8(0), uint8(0), []byte(nil))
+	f.Add(^uint64(0), ^uint64(0), ^uint8(0), ^uint32(0), ^uint8(0), ^uint8(0), []byte{0, 255, 10, 13})
+	f.Fuzz(func(t *testing.T, stamp, ts uint64, core uint8, tid uint32, cat, level uint8, payload []byte) {
+		if len(payload) > tracer.MaxPayload {
+			payload = payload[:tracer.MaxPayload]
+		}
+		in := tracer.Entry{
+			Stamp: stamp, TS: ts, Core: core, TID: tid,
+			Category: cat, Level: level, Payload: payload,
+		}
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, &in); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		ev, data, err := NewStreamReader(&buf).Next()
+		if err != nil || ev != EventTrace {
+			t.Fatalf("stream read: event %q err %v", ev, err)
+		}
+		out, err := DecodeFrame(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if out.Stamp != in.Stamp || out.TS != in.TS || out.Core != in.Core ||
+			out.TID != in.TID || out.Category != in.Category || out.Level != in.Level ||
+			!bytes.Equal(out.Payload, in.Payload) {
+			t.Fatalf("round trip mismatch: in %+v out %+v", in, out)
+		}
+	})
+}
+
+// FuzzStreamReader feeds arbitrary bytes to the SSE client: no panics,
+// and any trace frame it yields must decode or error — never crash.
+func FuzzStreamReader(f *testing.F) {
+	f.Add([]byte("event: trace\ndata: {\"stamp\":1}\n\n"))
+	f.Add([]byte("event: missed\ndata: 9\n\n: comment\n\nevent: evicted\ndata: 3\n\n"))
+	f.Add([]byte("data: no event\n\nevent: trace\n\n"))
+	f.Add([]byte(": \r\n\r\nevent:\t x\ndata:\n\n"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		sr := NewStreamReader(bytes.NewReader(raw))
+		for i := 0; i < 64; i++ {
+			ev, data, err := sr.Next()
+			if err != nil {
+				return
+			}
+			switch ev {
+			case EventTrace:
+				DecodeFrame(data)
+			case EventMissed, EventEvicted:
+				ParseCount(data)
+			}
+		}
+	})
+}

@@ -1,0 +1,362 @@
+// Package live is the live-tail subsystem: a Hub fans admitted ingest
+// events out to per-subscriber cursors with bounded ring buffers, so
+// streaming consumers (the SSE GET /live endpoint on btrace-serve)
+// observe the trace as it happens instead of querying sealed segments
+// after the fact — the online-consumer scenario WOOTdroid argues
+// whole-system tracing must serve (see PAPERS.md).
+//
+// The hub hangs off the overload gate's post-admission seam
+// (overload.Config.Admitted): both the single-store ingest pipeline and
+// the cluster distributor filter every batch through a Gate, so one
+// hook covers both pipelines, and live subscribers see exactly the
+// events the gate admitted — never events that were shed, sampled out
+// or throttled.
+//
+// Delivery is lossy by design, and the loss is accounted, never
+// silent: each subscriber owns a bounded ring; when the ring is full
+// the oldest undelivered event is overwritten and the subscriber's
+// missed count increments, reusing the tracer.Cursor missed semantics.
+// The accounting identity
+//
+//	delivered + missed == matched
+//
+// (matched = admitted events matching the subscriber's filter) holds
+// exactly once the subscriber's buffer is drained. A subscriber that
+// stops reading long enough to accumulate Config.EvictAfterMissed
+// missed events is evicted: its buffered events convert to missed, and
+// its next read returns ErrEvicted. Ingest never blocks on a slow
+// subscriber — the cost of falling behind lands on the subscriber that
+// fell behind.
+package live
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"btrace/internal/tracer"
+)
+
+// Errors returned by the hub.
+var (
+	// ErrEvicted reports a subscriber the hub dropped for falling more
+	// than Config.EvictAfterMissed events behind.
+	ErrEvicted = errors.New("live: subscriber evicted (too far behind)")
+	// ErrSubscribers reports a Subscribe refused because the hub is at
+	// Config.MaxSubscribers.
+	ErrSubscribers = errors.New("live: subscriber limit reached")
+)
+
+// Config shapes a Hub. Zero values select the documented defaults.
+type Config struct {
+	// BufferEvents is each subscriber's ring capacity in events
+	// (default 4096).
+	BufferEvents int
+	// MaxSubscribers bounds concurrent subscriptions; Subscribe beyond
+	// it returns ErrSubscribers (default 64).
+	MaxSubscribers int
+	// EvictAfterMissed is the cumulative missed-event count at which a
+	// subscriber is evicted instead of accumulating further loss
+	// (default 65536). Eviction converts the subscriber's buffered
+	// events to missed, so the accounting identity survives it.
+	EvictAfterMissed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferEvents <= 0 {
+		c.BufferEvents = 4096
+	}
+	if c.MaxSubscribers <= 0 {
+		c.MaxSubscribers = 64
+	}
+	if c.EvictAfterMissed == 0 {
+		c.EvictAfterMissed = 65536
+	}
+	return c
+}
+
+// Hub is the fan-out point. Publish may be called concurrently (the
+// cluster distributor admits batches from many request goroutines);
+// subscribers attach and detach freely.
+type Hub struct {
+	cfg Config
+	obs *hubObs
+
+	// n mirrors len(subs) for the idle fast path: with no subscribers
+	// Publish must cost two atomics and no locks, so an idle hub keeps
+	// the admit path's 0 allocs/op contract.
+	n atomic.Int64
+
+	mu   sync.Mutex
+	subs map[*Sub]struct{}
+}
+
+// NewHub creates a Hub and registers its obs series.
+func NewHub(cfg Config) *Hub {
+	h := &Hub{
+		cfg:  cfg.withDefaults(),
+		subs: make(map[*Sub]struct{}),
+		obs:  newHubObs(),
+	}
+	h.registerObs()
+	return h
+}
+
+// Publish offers one admitted batch to every subscriber. The entries
+// are borrowed (overload.Config.Admitted contract): anything retained
+// is deep-copied into the subscriber's ring here. Never blocks on a
+// subscriber; a full ring overwrites oldest and counts missed. Safe
+// for concurrent use, and safe on a nil Hub (no-op).
+func (h *Hub) Publish(tenant string, es []tracer.Entry) {
+	if h == nil || len(es) == 0 {
+		return
+	}
+	h.obs.published.Add(uint64(len(es)))
+	if h.n.Load() == 0 {
+		return
+	}
+	h.mu.Lock()
+	for sub := range h.subs {
+		matched, missed := sub.offer(tenant, es)
+		if matched > 0 {
+			h.obs.matched.Add(uint64(matched))
+		}
+		if missed > 0 {
+			h.obs.missed.Add(missed)
+		}
+		if sub.evictable() {
+			sub.evict()
+			delete(h.subs, sub)
+			h.n.Add(-1)
+			h.obs.evictedSubs.Add(1)
+			h.obs.subscribers.Set(int64(len(h.subs)))
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe attaches a new subscriber with the given filter. The
+// returned Sub implements tracer.Cursor; the caller must Close it.
+func (h *Hub) Subscribe(f Filter) (*Sub, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.subs) >= h.cfg.MaxSubscribers {
+		h.obs.rejected.Add(1)
+		return nil, ErrSubscribers
+	}
+	sub := &Sub{
+		hub:    h,
+		filter: f,
+		ring:   make([]tracer.Entry, h.cfg.BufferEvents),
+		notify: make(chan struct{}, 1),
+	}
+	h.subs[sub] = struct{}{}
+	h.n.Add(1)
+	h.obs.subscribed.Add(1)
+	h.obs.subscribers.Set(int64(len(h.subs)))
+	return sub, nil
+}
+
+// Subscribers returns the number of attached subscribers.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// detach removes sub on Close; idempotent with eviction (which removed
+// it already).
+func (h *Hub) detach(sub *Sub) {
+	h.mu.Lock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		h.n.Add(-1)
+		h.obs.subscribers.Set(int64(len(h.subs)))
+	}
+	h.mu.Unlock()
+}
+
+// SubStats is one subscriber's accounting snapshot. Once Buffered is
+// zero (drained), Delivered + Missed == Matched exactly.
+type SubStats struct {
+	// Matched counts admitted events that matched the filter.
+	Matched uint64
+	// Delivered counts events handed out through Next.
+	Delivered uint64
+	// Missed counts matched events lost to ring overwrite or eviction
+	// (reported incrementally through Next's missed return).
+	Missed uint64
+	// Buffered is the current ring occupancy.
+	Buffered int
+	// Evicted reports whether the hub dropped this subscriber.
+	Evicted bool
+}
+
+// Sub is one subscription: a tracer.Cursor over the live stream. Next
+// and Close follow the Cursor contract (single consumer goroutine);
+// the hub's Publish side is synchronized internally.
+type Sub struct {
+	hub    *Hub
+	filter Filter
+
+	mu   sync.Mutex
+	ring []tracer.Entry // fixed capacity, overwrite-oldest
+	head int            // index of oldest buffered entry
+	cnt  int            // buffered entries
+
+	matched   uint64
+	delivered uint64
+	missed    uint64 // total missed (overwrites + eviction)
+	pending   uint64 // missed not yet reported through Next
+	evicted   bool
+	closed    bool
+
+	notify chan struct{}
+}
+
+// offer pushes the filter-matching subset of es into the ring,
+// overwriting oldest on overflow. Returns how many matched and how
+// many were newly missed. Called with the hub lock held (publish
+// order), takes the sub lock for the ring.
+func (s *Sub) offer(tenant string, es []tracer.Entry) (matched int, missed uint64) {
+	s.mu.Lock()
+	if s.closed || s.evicted {
+		s.mu.Unlock()
+		return 0, 0
+	}
+	before := s.pending
+	for i := range es {
+		e := &es[i]
+		if !s.filter.Match(tenant, e) {
+			continue
+		}
+		matched++
+		if s.cnt == len(s.ring) {
+			// Full: the oldest undelivered event is the one to give up —
+			// the subscriber is behind, and newest-first is what a live
+			// tail wants to stay current.
+			s.head = (s.head + 1) % len(s.ring)
+			s.cnt--
+			s.pending++
+			s.missed++
+		}
+		slot := &s.ring[(s.head+s.cnt)%len(s.ring)]
+		*slot = *e
+		if len(e.Payload) > 0 {
+			// Deep-copy the payload: the published slice may alias a
+			// decode arena that is reused after Publish returns.
+			slot.Payload = append([]byte(nil), e.Payload...)
+		} else {
+			slot.Payload = nil
+		}
+		s.cnt++
+	}
+	s.matched += uint64(matched)
+	missed = s.pending - before
+	wake := matched > 0
+	s.mu.Unlock()
+	if wake {
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
+	return matched, missed
+}
+
+// evictable reports whether the subscriber crossed the eviction
+// threshold. Called with the hub lock held.
+func (s *Sub) evictable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed && !s.evicted && s.missed >= s.hub.cfg.EvictAfterMissed
+}
+
+// evict converts the buffered events to missed and marks the sub; its
+// next Next drains the missed count and returns ErrEvicted. Called
+// with the hub lock held.
+func (s *Sub) evict() {
+	s.mu.Lock()
+	s.pending += uint64(s.cnt)
+	s.missed += uint64(s.cnt)
+	s.hub.obs.missed.Add(uint64(s.cnt))
+	s.cnt, s.head = 0, 0
+	s.evicted = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next implements tracer.Cursor: it fills batch with buffered events
+// (oldest first), reports the missed count accumulated since the last
+// call, and returns ErrEvicted once the hub has dropped the
+// subscriber (after handing over the final missed tally). The entries
+// handed out are owned copies, but per the Cursor contract callers
+// must treat them as valid only until the next call.
+func (s *Sub) Next(batch []tracer.Entry) (int, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, 0, tracer.ErrClosed
+	}
+	missed := s.pending
+	s.pending = 0
+	if len(batch) == 0 {
+		// Zero-length reads must not lose the missed tally.
+		s.pending = missed
+		return 0, 0, nil
+	}
+	n := 0
+	for n < len(batch) && s.cnt > 0 {
+		batch[n] = s.ring[s.head]
+		s.ring[s.head] = tracer.Entry{} // release the payload reference
+		s.head = (s.head + 1) % len(s.ring)
+		s.cnt--
+		n++
+	}
+	s.delivered += uint64(n)
+	if n > 0 {
+		s.hub.obs.delivered.Add(uint64(n))
+	}
+	if s.evicted && s.cnt == 0 {
+		return n, missed, ErrEvicted
+	}
+	return n, missed, nil
+}
+
+// Close implements tracer.Cursor, detaching the subscriber from the
+// hub. Safe to call more than once.
+func (s *Sub) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.cnt, s.head = 0, 0
+	s.mu.Unlock()
+	s.hub.detach(s)
+	return nil
+}
+
+// Notify returns a channel that receives a token when new events (or
+// an eviction) may be waiting: the SSE handler parks on it between
+// drains instead of polling.
+func (s *Sub) Notify() <-chan struct{} { return s.notify }
+
+// Stats returns the subscriber's accounting snapshot.
+func (s *Sub) Stats() SubStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SubStats{
+		Matched:   s.matched,
+		Delivered: s.delivered,
+		Missed:    s.missed,
+		Buffered:  s.cnt,
+		Evicted:   s.evicted,
+	}
+}
+
+var _ tracer.Cursor = (*Sub)(nil)

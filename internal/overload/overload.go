@@ -183,6 +183,15 @@ type Config struct {
 	AppendBudgetNs uint64
 	FsyncBudgetNs  uint64
 
+	// Admitted, when set, receives every non-empty admitted batch at the
+	// end of Filter, labeled with the tenant the batch was attributed to
+	// — the post-gate fan-out seam live-tail subscriptions hang off.
+	// The slice is borrowed (it aliases Filter's input, whose payloads
+	// may live in a reusable arena): the hook must copy anything it
+	// retains, and it runs on the gate's driving goroutine, so it must
+	// not block.
+	Admitted func(tenant string, es []tracer.Entry)
+
 	// LowPriority classifies events shed at TierCategory. The default
 	// treats detail level ≥ 3 (the paper's most verbose level) as low
 	// priority.
@@ -421,6 +430,13 @@ func (g *Gate) Filter(es []tracer.Entry) []tracer.Entry {
 	}
 	g.attributeTenant(before)
 	g.publishObs()
+	if g.cfg.Admitted != nil && len(out) > 0 {
+		tenant := g.tenant
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		g.cfg.Admitted(tenant, out)
+	}
 	return out
 }
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# vulture-soak: boot a 4-shard RF=2 btrace-serve cluster, run
+# btrace-vulture against it, and drain a shard out of the ring halfway
+# through the soak. Exits non-zero if any acked stamp was lost,
+# duplicated or delivered out of order on any read surface — the CI
+# soak gate (`make vulture-soak`; `make vulture-soak SHORT=-short` for
+# the quick variant).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DUR="${DUR:-60}"        # writing phase, seconds
+COLD_AFTER="${COLD_AFTER:-5s}"
+COLD_AGE="${COLD_AGE:-8s}"
+PORT="${PORT:-8339}"
+if [ "${1:-}" = "-short" ]; then
+  DUR=20
+fi
+
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== building btrace-serve and btrace-vulture"
+go build -o "$TMP/btrace-serve" ./cmd/btrace-serve
+go build -o "$TMP/btrace-vulture" ./cmd/btrace-vulture
+
+# Small segments + aggressive compaction + short cold-after so the soak
+# exercises segment rolls, merges and the frozen columnar tier within
+# its runtime. Sampling and shedding are off: every accepted event is a
+# durability promise, which is exactly what the vulture holds the
+# server to (-strict-live needs that too).
+echo "== booting 4-shard RF=2 cluster on :$PORT"
+"$TMP/btrace-serve" -addr "localhost:$PORT" -store "$TMP/cluster" \
+  -shards 4 -replication 2 \
+  -segment-bytes 65536 -commit-every 50ms \
+  -compact-interval 250ms -cold-after "$COLD_AFTER" \
+  -sample-rate 1 -shed=false \
+  >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+ready=0
+for _ in $(seq 1 80); do
+  if curl -fsS "http://localhost:$PORT/readyz" >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  sleep 0.25
+done
+if [ "$ready" != 1 ]; then
+  echo "btrace-serve never became ready; log:" >&2
+  cat "$TMP/serve.log" >&2
+  exit 2
+fi
+
+echo "== soaking for ${DUR}s (shard drain at T+$((DUR / 2))s)"
+"$TMP/btrace-vulture" -url "http://localhost:$PORT" \
+  -duration "${DUR}s" -strict-live -cold-age "$COLD_AGE" \
+  -report vulture-report.txt &
+VULTURE_PID=$!
+
+# Mid-soak topology change: drain one shard out of the ring while
+# writes and reads are in flight. Every stamp acked before, during and
+# after the drain must stay readable from the survivors.
+sleep "$((DUR / 2))"
+echo "== draining shard-02 mid-soak"
+curl -fsS -X POST "http://localhost:$PORT/ring?action=drain&shard=shard-02" || {
+  echo "shard drain failed" >&2
+  kill "$VULTURE_PID" 2>/dev/null || true
+  exit 2
+}
+echo
+
+rc=0
+wait "$VULTURE_PID" || rc=$?
+echo "== vulture exit code: $rc (report in vulture-report.txt)"
+if [ "$rc" != 0 ]; then
+  echo "== server log tail:" >&2
+  tail -50 "$TMP/serve.log" >&2
+fi
+exit "$rc"
