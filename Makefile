@@ -96,7 +96,7 @@ bench:
 	   $(GO) test ./internal/live -run '^$$' -bench 'BenchmarkLiveFanout' -benchmem -benchtime $(BENCHTIME); } \
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_readpath.json
 	@echo "wrote BENCH_readpath.json"
-	@{ $(GO) test ./internal/store -run '^$$' -bench 'BenchmarkStore(Append|Query)|BenchmarkColdQuery|BenchmarkCompactTier' -benchmem -benchtime $(BENCHTIME); \
+	@{ $(GO) test ./internal/store -run '^$$' -bench 'BenchmarkStore(Append|Query)|BenchmarkColdQuery|BenchmarkCompactTier|BenchmarkQuery(FullScan|SelectiveBTQL|Aggregate)' -benchmem -benchtime $(BENCHTIME); \
 	   $(GO) test ./internal/distributor -run '^$$' -bench 'BenchmarkDistributorIngest' -benchmem -benchtime $(BENCHTIME); } \
 	 | tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_store.json
 	@echo "wrote BENCH_store.json"
@@ -108,15 +108,16 @@ bench:
 
 # Compare freshly produced BENCH_*.json against the committed baselines
 # (taken from HEAD): >30% ns/op regressions fail, and the read-path / obs
-# fast paths must stay allocation-free. The -max-ratio rule enforces the
-# tiered-storage contract within the fresh run itself (hardware-
-# independent): the wide query over the majority-cold store must stay
-# within 2x of the identical all-hot query. CI runs the same comparison
-# on every push (bench-smoke job).
+# fast paths must stay allocation-free. The -max-ratio rules enforce the
+# storage contracts within the fresh run itself (hardware-independent):
+# the wide query over the majority-cold store must stay within 2x of the
+# identical all-hot query, and a selective BTQL query with predicate
+# pushdown must beat the full-scan-and-filter baseline by at least 5x.
+# CI runs the same comparison on every push (bench-smoke job).
 benchdiff:
 	@mkdir -p .benchbase
 	@for f in BENCH_readpath.json BENCH_store.json BENCH_obs.json; do \
 	  git show HEAD:$$f > .benchbase/$$f 2>/dev/null || rm -f .benchbase/$$f; done
 	$(GO) run ./cmd/benchdiff -old .benchbase -new . \
 	  -zero-allocs 'BenchmarkReadPathCursor,BenchmarkObsOverhead/.*,BenchmarkLiveFanout/idle' \
-	  -max-ratio 'BenchmarkColdQuery<=2*BenchmarkStoreQueryParallel'
+	  -max-ratio 'BenchmarkColdQuery<=2*BenchmarkStoreQueryParallel,BenchmarkQuerySelectiveBTQL<=0.2*BenchmarkQueryFullScan'

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"btrace/internal/btql"
 	"btrace/internal/export"
 	"btrace/internal/report"
 	"btrace/internal/store"
@@ -28,6 +30,8 @@ func main() {
 		maxGaps = flag.Int("gaps", 10, "maximum number of gaps to list")
 		format  = flag.String("format", "summary", "output: summary|text|chrome|csv")
 		tiers   = flag.Bool("tiers", false, "print the store's blocklist and per-tier totals instead of event analysis (store directories only)")
+		blocks  = flag.Bool("blocks", false, "print per-block columnar metadata: column ranges, dictionary size, bloom fill, section sizes (store directories only)")
+		query   = flag.String("query", "", "BTQL query to run against the store; a pipeline aggregate prints its result, a plain filter streams matches in -format (store directories only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -35,9 +39,14 @@ func main() {
 		os.Exit(2)
 	}
 	var err error
-	if *tiers {
+	switch {
+	case *tiers:
 		err = runTiers(flag.Arg(0))
-	} else {
+	case *blocks:
+		err = runBlocks(flag.Arg(0))
+	case *query != "":
+		err = runQuery(flag.Arg(0), *query, *format)
+	default:
 		err = run(flag.Arg(0), *maxGaps, *format)
 	}
 	if err != nil {
@@ -71,6 +80,110 @@ func runTiers(path string) error {
 	defer st.Close()
 	renderStoreTiers(st, "")
 	return nil
+}
+
+// openStoreDir opens path as a store directory, rejecting plain files.
+func openStoreDir(path, forFlag string) (*store.Store, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("%s: %s needs a store directory", path, forFlag)
+	}
+	return store.Open(path, store.Config{})
+}
+
+// runBlocks prints the cold tier's per-block directory metadata: the
+// numbers query pruning runs on. Reading them against a workload's
+// predicates shows whether blocks actually prune (tight stamp/TID
+// ranges, low bloom fill) or degenerate to full scans.
+func runBlocks(path string) error {
+	st, err := openStoreDir(path, "-blocks")
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	infos := st.ColdBlocks()
+	if len(infos) == 0 {
+		fmt.Println("no cold blocks (nothing frozen yet)")
+		return nil
+	}
+	tb := report.NewTable("cold blocks",
+		"file", "blk", "ver", "events", "stamps", "tids", "dict", "bloom", "meta", "payload", "comp", "raw", "ratio")
+	for _, b := range infos {
+		tids, dict, bloom, meta, pay := "-", "-", "-", "-", "-"
+		if b.Version == 2 {
+			tids = fmt.Sprintf("%d..%d", b.MinTID, b.MaxTID)
+			dict = fmt.Sprintf("%d", b.DictSize)
+			bloom = fmt.Sprintf("%.0f%%", 100*b.BloomFill)
+			meta = report.HumanBytes(uint64(b.MetaBytes))
+			pay = report.HumanBytes(uint64(b.PayBytes))
+		}
+		tb.AddRow(b.File, b.Index, b.Version, b.Events,
+			fmt.Sprintf("%d..%d", b.BaseStamp, b.MaxStamp),
+			tids, dict, bloom, meta, pay,
+			report.HumanBytes(uint64(b.CompBytes)), report.HumanBytes(uint64(b.RawBytes)),
+			fmt.Sprintf("%.2fx", float64(b.RawBytes)/float64(b.CompBytes)))
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// runQuery executes a BTQL query against a store directory. A pipeline
+// aggregate executes columnar (cold v2 blocks never materialize events,
+// and payload sections stay compressed unless the predicate inspects
+// payloads) and prints its JSON result; a plain filter streams the
+// matching events in the chosen format.
+func runQuery(path, src, format string) error {
+	bq, err := btql.Parse(src)
+	if err != nil {
+		return err
+	}
+	st, err := openStoreDir(path, "-query")
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	var q store.Query
+	if bq.Filter != nil {
+		q.Pred = bq.Predicate()
+	}
+	if bq.Agg != nil {
+		results, missed, err := st.Aggregate(q, []btql.AggSpec{*bq.Agg})
+		if err != nil {
+			return err
+		}
+		if missed > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d event(s) deleted by retention during the pass\n", missed)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results[0])
+	}
+	cur := st.Query(q)
+	defer cur.Close()
+	es, err := tracer.Drain(cur, 1024)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "", "summary":
+		var span float64
+		if len(es) > 0 {
+			span = float64(es[len(es)-1].TS-es[0].TS) / 1e9
+		}
+		fmt.Printf("%d events match %q (%.3fs span)\n", len(es), src, span)
+		return nil
+	case "text":
+		return export.Text(os.Stdout, es)
+	case "csv":
+		return export.CSV(os.Stdout, es)
+	case "chrome":
+		return export.ChromeTrace(os.Stdout, es)
+	default:
+		return fmt.Errorf("unknown format %q (summary|text|chrome|csv)", format)
+	}
 }
 
 // clusterShards detects a cluster root: the shard-* subdirectories a

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -141,6 +142,94 @@ func TestInspectTiersClusterRoot(t *testing.T) {
 	}
 	if len(shards) != 2 {
 		t.Fatalf("file entry counted as shard: %v", shards)
+	}
+}
+
+// coldStoreDir builds a store directory with a frozen (columnar) cold
+// tier: one aged segment compacted cold, one fresh row segment on top.
+func coldStoreDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Config{ColdAfterNs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 200; i++ {
+		e := tracer.Entry{
+			Stamp: i, TS: i * 1e6, Core: uint8(i % 4), TID: 100 + uint32(i%3),
+			Category: uint8(1 + i%3), Level: 1,
+			Payload: []byte(fmt.Sprintf("payload-%d", i)),
+		}
+		if err := st.Append(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// A much newer event ages the sealed segment past ColdAfterNs.
+	e := tracer.Entry{Stamp: 1000, TS: 10e9, Category: 1, Level: 1}
+	if err := st.Append(&e); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.CompactCold(); err != nil || n == 0 {
+		t.Fatalf("CompactCold froze %d segments: %v", n, err)
+	}
+	infos := st.ColdBlocks()
+	if len(infos) == 0 || infos[0].Version != 2 {
+		t.Fatalf("expected v2 cold blocks, got %+v", infos)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestInspectBlocks: -blocks renders the cold tier's per-block columnar
+// metadata and rejects plain readout files.
+func TestInspectBlocks(t *testing.T) {
+	dir := coldStoreDir(t)
+	if err := runBlocks(dir); err != nil {
+		t.Fatalf("-blocks: %v", err)
+	}
+	// A store with nothing frozen is fine, just empty.
+	if err := runBlocks(t.TempDir()); err != nil {
+		t.Fatalf("-blocks on empty store: %v", err)
+	}
+	dump := writeDump(t, []tracer.Entry{{Stamp: 1, Category: 11}})
+	if err := runBlocks(dump); err == nil {
+		t.Error("-blocks on a file: expected error")
+	}
+}
+
+// TestInspectQuery: -query runs BTQL filters and aggregates against a
+// store directory with a cold columnar tier.
+func TestInspectQuery(t *testing.T) {
+	dir := coldStoreDir(t)
+	for _, src := range []string{
+		`category == 2`,
+		`tid == 101 && stamp <= 50`,
+		`payload contains "payload-7"`,
+		`stamp >= 10 | count()`,
+		`time >= 0 | topk(2, core)`,
+	} {
+		if err := runQuery(dir, src, "summary"); err != nil {
+			t.Fatalf("-query %q: %v", src, err)
+		}
+	}
+	for _, format := range []string{"text", "csv", "chrome"} {
+		if err := runQuery(dir, `core == 1`, format); err != nil {
+			t.Fatalf("-query format %s: %v", format, err)
+		}
+	}
+	if err := runQuery(dir, `core ==`, "summary"); err == nil {
+		t.Error("malformed query: expected error")
+	}
+	if err := runQuery(dir, `core == 1`, "xml"); err == nil {
+		t.Error("unknown format: expected error")
 	}
 }
 

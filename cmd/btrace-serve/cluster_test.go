@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 
+	"btrace/internal/btql"
 	"btrace/internal/distributor"
 	"btrace/internal/overload"
 	"btrace/internal/tracer"
@@ -218,5 +220,45 @@ func TestClusterModeOffSurface(t *testing.T) {
 	rec := httpGet(t, srv, "/ring")
 	if rec.Code != 404 || !strings.Contains(rec.Body.String(), "-shards") {
 		t.Fatalf("/ring without cluster: status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestClusterBTQLAggregate: a ?q= aggregate in cluster mode runs over the
+// merged replica-deduplicated stream — RF copies must not inflate counts.
+func TestClusterBTQLAggregate(t *testing.T) {
+	srv := newClusterServer(t, 4, 2, "")
+	body := encodeEvents(t, clusterEvents(60, 1))
+	req := httptest.NewRequest("POST", "/ingest", strings.NewReader(string(body)))
+	req.Header.Set(tenantHeader, "acme")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != 202 {
+		t.Fatalf("/ingest status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	qrec := httpGet(t, srv, "/store/query?q="+url.QueryEscape(`category == 1 | count()`))
+	if qrec.Code != 200 {
+		t.Fatalf("/store/query aggregate status %d: %s", qrec.Code, qrec.Body.String())
+	}
+	var resp struct {
+		Result btql.Result `json:"result"`
+	}
+	if err := json.Unmarshal(qrec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("invalid aggregate JSON: %v\n%s", err, qrec.Body.String())
+	}
+	if resp.Result.Kind != "count" || resp.Result.Events != 60 {
+		t.Fatalf("cluster aggregate counted %d events, want 60 (RF must dedup): %+v",
+			resp.Result.Events, resp.Result)
+	}
+
+	qrec = httpGet(t, srv, "/store/query?q="+url.QueryEscape(`tid == 52 | count()`))
+	if qrec.Code != 200 {
+		t.Fatalf("filtered aggregate status %d", qrec.Code)
+	}
+	if err := json.Unmarshal(qrec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Events != 8 {
+		t.Fatalf("tid == 52 counted %d events, want 8", resp.Result.Events)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"btrace/internal/btql"
 	"btrace/internal/export"
 	"btrace/internal/overload"
 	"btrace/internal/store"
@@ -87,9 +88,22 @@ func (s *server) handleStoreSegments(w http.ResponseWriter, r *http.Request) {
 
 // parseStoreQuery builds a store.Query from request parameters:
 // min_stamp, max_stamp, min_ts, max_ts, cores, categories (comma
-// lists), limit.
-func parseStoreQuery(r *http.Request) (store.Query, error) {
+// lists), limit — plus ?q=, a BTQL expression whose filter stage is
+// compiled into the query's predicate (ANDed with the field filters)
+// and whose optional aggregate stage is returned alongside.
+func parseStoreQuery(r *http.Request) (store.Query, *btql.AggSpec, error) {
 	var q store.Query
+	var agg *btql.AggSpec
+	if src := r.URL.Query().Get("q"); src != "" {
+		bq, err := btql.Parse(src)
+		if err != nil {
+			return q, nil, err
+		}
+		if bq.Filter != nil {
+			q.Pred = bq.Predicate()
+		}
+		agg = bq.Agg
+	}
 	get := func(name string) (uint64, bool, error) {
 		v := r.URL.Query().Get(name)
 		if v == "" {
@@ -103,16 +117,16 @@ func parseStoreQuery(r *http.Request) (store.Query, error) {
 	}
 	var err error
 	if q.MinStamp, _, err = get("min_stamp"); err != nil {
-		return q, err
+		return q, nil, err
 	}
 	if q.MaxStamp, _, err = get("max_stamp"); err != nil {
-		return q, err
+		return q, nil, err
 	}
 	if q.MinTS, _, err = get("min_ts"); err != nil {
-		return q, err
+		return q, nil, err
 	}
 	if q.MaxTS, _, err = get("max_ts"); err != nil {
-		return q, err
+		return q, nil, err
 	}
 	parseList := func(name string) ([]uint8, error) {
 		v := r.URL.Query().Get(name)
@@ -130,24 +144,28 @@ func parseStoreQuery(r *http.Request) (store.Query, error) {
 		return out, nil
 	}
 	if q.Cores, err = parseList("cores"); err != nil {
-		return q, err
+		return q, nil, err
 	}
 	if q.Categories, err = parseList("categories"); err != nil {
-		return q, err
+		return q, nil, err
 	}
 	limit, ok, err := get("limit")
 	if err != nil {
-		return q, err
+		return q, nil, err
 	}
 	switch {
+	case agg != nil:
+		// An aggregate is defined over every match; the stream the limit
+		// guards is never materialized.
+		q.Limit = 0
 	case !ok:
 		q.Limit = defaultQueryEvents
 	case limit == 0 || limit > maxQueryEvents:
-		return q, fmt.Errorf("limit must be in [1, %d]", maxQueryEvents)
+		return q, nil, fmt.Errorf("limit must be in [1, %d]", maxQueryEvents)
 	default:
 		q.Limit = int(limit)
 	}
-	return q, nil
+	return q, agg, nil
 }
 
 // maxQueryWorkers caps the per-request ?workers= override: each worker
@@ -181,7 +199,7 @@ func (s *server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no trace store configured (start btrace-serve with -store)", http.StatusNotFound)
 		return
 	}
-	q, err := parseStoreQuery(r)
+	q, agg, err := parseStoreQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -189,6 +207,10 @@ func (s *server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 	workers, err := requestWorkers(r, s.queryWorkers)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if agg != nil {
+		s.serveStoreAggregate(w, r, q, agg)
 		return
 	}
 	var cur tracer.Cursor
@@ -230,5 +252,39 @@ func (s *server) handleStoreQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Headers are gone; the best we can do is cut the stream short.
 		return
+	}
+}
+
+// serveStoreAggregate answers a BTQL query whose pipeline ends in an
+// aggregate stage: the result is one JSON document, not an event
+// stream. Single-node execution is columnar (cold v2 blocks feed the
+// aggregators without materializing events); cluster execution streams
+// the merged replica-deduplicated cursor through the same aggregators.
+func (s *server) serveStoreAggregate(w http.ResponseWriter, r *http.Request, q store.Query, agg *btql.AggSpec) {
+	specs := []btql.AggSpec{*agg}
+	var (
+		results []btql.Result
+		missed  uint64
+		err     error
+	)
+	if s.cluster != nil {
+		results, missed, err = s.cluster.d.Aggregate(q, specs)
+	} else {
+		results, missed, err = s.store.Aggregate(q, specs)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	resp := struct {
+		Query  string      `json:"query"`
+		Missed uint64      `json:"missed,omitempty"`
+		Result btql.Result `json:"result"`
+	}{Query: r.URL.Query().Get("q"), Missed: missed, Result: results[0]}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }

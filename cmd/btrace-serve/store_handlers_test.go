@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 
+	"btrace/internal/btql"
 	"btrace/internal/store"
 	"btrace/internal/tracer"
 )
@@ -114,6 +116,67 @@ func TestStoreQueryEndpoint(t *testing.T) {
 	} {
 		if code, _ := get(t, ts.URL+"/store/query"+q); code != http.StatusBadRequest {
 			t.Errorf("query %s: status %d, want 400", q, code)
+		}
+	}
+}
+
+// TestStoreQueryBTQL: ?q= compiles a BTQL filter into the query and, with
+// a pipeline aggregate, turns the response into one JSON document instead
+// of an event stream.
+func TestStoreQueryBTQL(t *testing.T) {
+	ts, _ := storeServer(t, 20)
+	esc := url.QueryEscape
+
+	// Filter stage only: same text stream as the field parameters.
+	code, body := get(t, ts.URL+"/store/query?q="+esc(`core == 1`))
+	if code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", code, body)
+	}
+	if n := strings.Count(strings.TrimSpace(body), "\n") + 1; n != 5 {
+		t.Fatalf("core == 1 matched %d lines, want 5:\n%s", n, body)
+	}
+
+	// BTQL ANDs with the field parameters.
+	code, body = get(t, ts.URL+"/store/query?max_stamp=10&q="+esc(`core == 1`))
+	if code != http.StatusOK {
+		t.Fatalf("status %d:\n%s", code, body)
+	}
+	if n := strings.Count(strings.TrimSpace(body), "\n") + 1; n != 3 {
+		t.Fatalf("core == 1 under max_stamp=10 matched %d lines, want 3", n)
+	}
+
+	// Aggregate stage: one JSON result, limit ignored.
+	code, body = get(t, ts.URL+"/store/query?limit=2&q="+esc(`core == 1 | count()`))
+	if code != http.StatusOK {
+		t.Fatalf("aggregate status %d:\n%s", code, body)
+	}
+	var resp struct {
+		Query  string      `json:"query"`
+		Result btql.Result `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("invalid aggregate JSON: %v\n%s", err, body)
+	}
+	if resp.Result.Kind != "count" || resp.Result.Events != 5 {
+		t.Fatalf("count aggregate: %+v", resp.Result)
+	}
+
+	code, body = get(t, ts.URL+"/store/query?q="+esc(`stamp <= 10 | topk(2, core)`))
+	if code != http.StatusOK {
+		t.Fatalf("topk status %d:\n%s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("invalid topk JSON: %v\n%s", err, body)
+	}
+	if resp.Result.Kind != "topk" || len(resp.Result.Top) != 2 ||
+		resp.Result.Top[0].Value != 0 || resp.Result.Top[0].Count != 3 {
+		t.Fatalf("topk aggregate: %+v", resp.Result)
+	}
+
+	// A malformed query is a client error.
+	for _, bad := range []string{`core ==`, `tid ~ 5`, `| rate()`} {
+		if code, _ := get(t, ts.URL+"/store/query?q="+esc(bad)); code != http.StatusBadRequest {
+			t.Errorf("q=%s: status %d, want 400", bad, code)
 		}
 	}
 }

@@ -1,0 +1,351 @@
+package btql
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"btrace/internal/tracer"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"category == 2", "(category == 2)"},
+		{"{ category == 2 }", "(category == 2)"},
+		{"core != 0 && tid >= 100", "((core != 0) && (tid >= 100))"},
+		{"stamp < 10 || stamp > 20", "((stamp < 10) || (stamp > 20))"},
+		{"!(level == 3)", "!(level == 3)"},
+		{`payload contains "oom"`, `(payload contains "oom")`},
+		{`payload prefix "GC"`, `(payload prefix "GC")`},
+		{"time >= 5ms && time < 1s", "((time >= 5000000) && (time < 1000000000))"},
+		{"a_core_like_field == 1", ""}, // unknown field
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if c.want == "" {
+			if err == nil {
+				t.Errorf("Parse(%q): expected error", c.src)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := q.Filter.String(); got != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// && binds tighter than ||.
+	q := mustParse(t, "core == 1 || core == 2 && category == 3")
+	want := "((core == 1) || ((core == 2) && (category == 3)))"
+	if got := q.Filter.String(); got != want {
+		t.Fatalf("precedence: got %s want %s", got, want)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q := mustParse(t, "category == 1 | count()")
+	if q.Agg == nil || q.Agg.Kind != AggCount {
+		t.Fatalf("count: %+v", q.Agg)
+	}
+	q = mustParse(t, "| rate(10ms)")
+	if q.Filter != nil || q.Agg.Kind != AggRate || q.Agg.WindowNs != 10_000_000 {
+		t.Fatalf("rate: %+v", q.Agg)
+	}
+	q = mustParse(t, "tid > 0 | topk(5, tid)")
+	if q.Agg.Kind != AggTopK || q.Agg.K != 5 || q.Agg.Field != FTID {
+		t.Fatalf("topk: %+v", q.Agg)
+	}
+	for _, bad := range []string{
+		"| topk(0, tid)", "| topk(5, payload)", "| topk(5, stamp)",
+		"| rate(0)", "| median()", "| count() extra", "count()",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"category = 2", "category &", "(core == 1", "{core == 1",
+		`payload contains oom`, `payload == "x"`, "core == ", "core == 99999999999999999999999",
+		"!!", "core == 5msx", `payload contains "unterminated`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+}
+
+func TestMatchEntry(t *testing.T) {
+	e := tracer.Entry{Stamp: 100, TS: 5000, Core: 2, TID: 4096, Category: 3, Level: 1,
+		Payload: []byte("GC pause 12ms")}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"", true},
+		{"stamp == 100", true},
+		{"stamp != 100", false},
+		{"time >= 5us", true},
+		{"core == 2 && tid == 4096", true},
+		{"core == 2 && tid == 4097", false},
+		{"core == 1 || category == 3", true},
+		{"!(category == 3)", false},
+		{`payload prefix "GC"`, true},
+		{`payload prefix "pause"`, false},
+		{`payload contains "pause"`, true},
+		{`payload contains "oom"`, false},
+		{"level <= 1 && payload contains \"12ms\"", true},
+	}
+	for _, c := range cases {
+		p := mustParse(t, c.src).Predicate()
+		if got := p.Match(&e); got != c.want {
+			t.Errorf("Match(%q) = %v, want %v", c.src, got, c.want)
+		}
+		// MatchHeader must never contradict an exact match (it may only be
+		// more permissive on payload predicates).
+		if !p.MatchHeader(e.Stamp, e.TS, e.Core, e.TID, e.Category, e.Level) && c.want {
+			t.Errorf("MatchHeader(%q) pruned a matching event", c.src)
+		}
+	}
+}
+
+func TestBoundsAndMasks(t *testing.T) {
+	p := mustParse(t, "stamp >= 100 && stamp < 200 && category == 2").Predicate()
+	if lo, hi := p.StampBounds(); lo != 100 || hi != 199 {
+		t.Fatalf("stamp bounds [%d,%d]", lo, hi)
+	}
+	if m := p.CatMask(); m != 1<<2 {
+		t.Fatalf("cat mask %#x", m)
+	}
+	if m := p.CoreMask(); m != ^uint64(0) {
+		t.Fatalf("core mask should be unconstrained, got %#x", m)
+	}
+	// Or widens; a branch without the field unconstrains the hull.
+	p = mustParse(t, "stamp >= 100 || category == 2").Predicate()
+	if lo, hi := p.StampBounds(); lo != 0 || hi != ^uint64(0) {
+		t.Fatalf("or bounds [%d,%d]", lo, hi)
+	}
+	p = mustParse(t, "core == 1 || core == 3").Predicate()
+	if m := p.CoreMask(); m != (1<<1)|(1<<3) {
+		t.Fatalf("core mask %#x", m)
+	}
+	// Values >= 63 collapse onto bit 63.
+	p = mustParse(t, "core == 200").Predicate()
+	if m := p.CoreMask(); m != 1<<63 {
+		t.Fatalf("clamped core mask %#x", m)
+	}
+	if !p.NeedsPayload() {
+		p2 := mustParse(t, `payload contains "x"`).Predicate()
+		if !p2.NeedsPayload() {
+			t.Fatal("payload predicate must need payload")
+		}
+	}
+}
+
+func TestMatchMeta(t *testing.T) {
+	m := Meta{
+		MinStamp: 100, MaxStamp: 200,
+		MinTS: 1000, MaxTS: 2000,
+		CoreBits: 1<<0 | 1<<1,
+		CatBits:  1 << 2,
+		HasTID:   true, MinTID: 50, MaxTID: 90,
+		TIDMay: func(tid uint32) bool { return tid == 60 },
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"stamp >= 150", true},
+		{"stamp > 200", false},
+		{"stamp < 100", false},
+		{"time == 1500", true},
+		{"time > 2000", false},
+		{"core == 1", true},
+		{"core == 5", false},
+		{"core < 2", true},
+		{"category == 2", true},
+		{"category == 3", false},
+		{"tid == 60", true},
+		{"tid == 70", false}, // in range but bloom says no
+		{"tid == 10", false}, // out of range
+		{"tid >= 50", true},
+		{"level == 7", true},                   // no level summary: maybe
+		{`payload contains "x"`, true},         // maybe
+		{"!(stamp >= 100)", false},             // whole block satisfies stamp>=100
+		{"!(stamp >= 150)", true},              // some events may be below 150
+		{"stamp > 200 || category == 2", true}, // one branch maybe
+		{"stamp > 200 && level == 7", false},   // one branch provably empty
+	}
+	for _, c := range cases {
+		p := mustParse(t, c.src).Predicate()
+		if got := p.MatchMeta(&m); got != c.want {
+			t.Errorf("MatchMeta(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	// Bit 63 covers all values >= 63.
+	m2 := Meta{MinStamp: 1, MaxStamp: 2, MinTS: 1, MaxTS: 2, CoreBits: 1 << 63, CatBits: 1}
+	if !Compile(mustParse(t, "core == 100").Filter).MatchMeta(&m2) {
+		t.Fatal("clamped core bit must stay a maybe for values >= 63")
+	}
+	if Compile(mustParse(t, "core == 10").Filter).MatchMeta(&m2) {
+		t.Fatal("core 10 cannot hide under bit 63")
+	}
+}
+
+// TestMetaNeverPrunesMatches is the soundness property the pushdown relies
+// on: if any event in a summarized population matches, MatchMeta must not
+// return false for that population's summary.
+func TestMetaNeverPrunesMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	queries := []string{
+		"stamp >= 500 && stamp < 600",
+		"category == 2 && time > 100000",
+		"core == 1 || core == 7",
+		"tid == 12345",
+		"!(category == 0) && level >= 2",
+		"stamp < 100 || (tid > 1000 && core != 0)",
+		`payload contains "z" && category == 1`,
+	}
+	for _, src := range queries {
+		p := mustParse(t, src).Predicate()
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(32)
+			ents := make([]tracer.Entry, n)
+			m := Meta{MinStamp: ^uint64(0), MinTS: ^uint64(0), HasTID: true, MinTID: ^uint32(0)}
+			tids := map[uint32]bool{}
+			for i := range ents {
+				e := &ents[i]
+				e.Stamp = uint64(rng.Intn(1000))
+				e.TS = uint64(rng.Intn(200000))
+				e.Core = uint8(rng.Intn(80))
+				e.TID = uint32(rng.Intn(20000))
+				e.Category = uint8(rng.Intn(4))
+				e.Level = uint8(rng.Intn(4))
+				e.Payload = []byte("az")[:rng.Intn(3)]
+				m.MinStamp = min64(m.MinStamp, e.Stamp)
+				m.MaxStamp = max64(m.MaxStamp, e.Stamp)
+				m.MinTS = min64(m.MinTS, e.TS)
+				m.MaxTS = max64(m.MaxTS, e.TS)
+				cb := e.Core
+				if cb > 63 {
+					cb = 63
+				}
+				m.CoreBits |= 1 << cb
+				m.CatBits |= 1 << e.Category
+				if e.TID < m.MinTID {
+					m.MinTID = e.TID
+				}
+				if e.TID > m.MaxTID {
+					m.MaxTID = e.TID
+				}
+				tids[e.TID] = true
+			}
+			m.TIDMay = func(tid uint32) bool { return tids[tid] }
+			anyMatch := false
+			for i := range ents {
+				if p.Match(&ents[i]) {
+					anyMatch = true
+					e := &ents[i]
+					if !p.MatchHeader(e.Stamp, e.TS, e.Core, e.TID, e.Category, e.Level) {
+						t.Fatalf("%q: MatchHeader pruned matching entry %+v", src, e)
+					}
+				}
+			}
+			if anyMatch && !p.MatchMeta(&m) {
+				t.Fatalf("%q: MatchMeta pruned a population with matches", src)
+			}
+		}
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	spec := &AggSpec{Kind: AggCount}
+	a := spec.New()
+	for i := 0; i < 10; i++ {
+		a.Observe(uint64(i), uint64(i*100), 0, 1, 2, 0)
+	}
+	r := a.Result()
+	if r.Kind != "count" || r.Events != 10 || r.MinTS != 0 || r.MaxTS != 900 {
+		t.Fatalf("count result %+v", r)
+	}
+
+	spec = &AggSpec{Kind: AggRate, WindowNs: 100}
+	a = spec.New()
+	b := spec.New()
+	for i := 0; i < 10; i++ {
+		a.Observe(uint64(i), uint64(i*30), 0, 1, 2, 0)
+	}
+	for i := 10; i < 20; i++ {
+		b.Observe(uint64(i), uint64(i*30), 0, 1, 2, 0)
+	}
+	a.Merge(b)
+	r = a.Result()
+	if r.Events != 20 || len(r.Buckets) == 0 {
+		t.Fatalf("rate result %+v", r)
+	}
+	var total uint64
+	for i, bk := range r.Buckets {
+		total += bk.Count
+		if i > 0 && bk.StartNs <= r.Buckets[i-1].StartNs {
+			t.Fatalf("buckets unsorted: %+v", r.Buckets)
+		}
+		if bk.StartNs%100 != 0 {
+			t.Fatalf("bucket start %d not window-aligned", bk.StartNs)
+		}
+	}
+	if total != 20 {
+		t.Fatalf("bucket counts sum to %d, want 20", total)
+	}
+
+	spec = &AggSpec{Kind: AggTopK, K: 2, Field: FCategory}
+	a = spec.New()
+	for i := 0; i < 30; i++ {
+		a.Observe(uint64(i), 0, 0, 1, uint8(i%3), 0) // cats 0,1,2 equally
+	}
+	a.Observe(30, 0, 0, 1, 1, 0) // tip category 1 ahead
+	r = a.Result()
+	if len(r.Top) != 2 || r.Top[0].Value != 1 || r.Top[0].Count != 11 {
+		t.Fatalf("topk result %+v", r)
+	}
+	if r.Field != "category" {
+		t.Fatalf("topk field %q", r.Field)
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"category == 2 && time >= 5ms",
+		`(core == 1 || !(tid > 10)) && payload contains "x"`,
+		"stamp >= 1 | count()",
+		"| rate(10ms)",
+		"level < 3 | topk(4, core)",
+	} {
+		q := mustParse(t, src)
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", q.String(), src, err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round trip changed AST: %q vs %q", q, q2)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package btql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds. The lexer is a hand-rolled single
+// pass so Parse stays allocation-light and trivially fuzzable.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber // uint64 value, duration suffixes already applied
+	tString
+	tAndAnd
+	tOrOr
+	tBang
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tPipe
+	tComma
+	tEq // ==
+	tNe // !=
+	tLt
+	tLe
+	tGt
+	tGe
+)
+
+type token struct {
+	kind tokKind
+	pos  int    // byte offset in the source, for error messages
+	text string // tIdent/tString
+	num  uint64 // tNumber
+}
+
+// ParseError reports a syntax or semantic error with its byte offset.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("btql: %s (at offset %d)", e.Msg, e.Pos) }
+
+func errAt(pos int, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+// durUnits maps duration suffixes to nanoseconds. Numbers may carry a
+// suffix anywhere a literal is accepted (`time > 5ms`); bare numbers are
+// taken verbatim.
+var durUnits = []struct {
+	suffix string
+	mult   uint64
+}{
+	{"ns", 1},
+	{"us", 1_000},
+	{"ms", 1_000_000},
+	{"s", 1_000_000_000},
+	{"m", 60_000_000_000},
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tLParen, pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tRParen, pos: start}, nil
+	case c == '{':
+		l.pos++
+		return token{kind: tLBrace, pos: start}, nil
+	case c == '}':
+		l.pos++
+		return token{kind: tRBrace, pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tComma, pos: start}, nil
+	case c == '&':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '&' {
+			l.pos += 2
+			return token{kind: tAndAnd, pos: start}, nil
+		}
+		return token{}, errAt(start, "expected '&&'")
+	case c == '|':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '|' {
+			l.pos += 2
+			return token{kind: tOrOr, pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tPipe, pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tNe, pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tBang, pos: start}, nil
+	case c == '=':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tEq, pos: start}, nil
+		}
+		return token{}, errAt(start, "expected '=='")
+	case c == '<':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tLe, pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tLt, pos: start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tGe, pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tGt, pos: start}, nil
+	case c == '"':
+		return l.lexString()
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tIdent, pos: start, text: l.src[start:l.pos]}, nil
+	default:
+		return token{}, errAt(start, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	var v uint64
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		d := uint64(l.src[l.pos] - '0')
+		if v > (^uint64(0)-d)/10 {
+			return token{}, errAt(start, "number overflows uint64")
+		}
+		v = v*10 + d
+		l.pos++
+	}
+	// Optional duration suffix: longest match first so "ms" beats "m".
+	rest := l.src[l.pos:]
+	for _, u := range durUnits {
+		if strings.HasPrefix(rest, u.suffix) {
+			// The suffix must end the literal ("5msx" is an error, not 5ms).
+			if len(rest) > len(u.suffix) && isIdentCont(rest[len(u.suffix)]) {
+				continue
+			}
+			if u.mult != 1 && v > ^uint64(0)/u.mult {
+				return token{}, errAt(start, "duration overflows uint64")
+			}
+			l.pos += len(u.suffix)
+			return token{kind: tNumber, pos: start, num: v * u.mult}, nil
+		}
+	}
+	if l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+		return token{}, errAt(start, "malformed number")
+	}
+	return token{kind: tNumber, pos: start, num: v}, nil
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{kind: tString, pos: start, text: b.String()}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, errAt(start, "unterminated string")
+			}
+			l.pos++
+			switch l.src[l.pos] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '0':
+				b.WriteByte(0)
+			case 'x':
+				if l.pos+2 >= len(l.src) {
+					return token{}, errAt(l.pos, "truncated \\x escape")
+				}
+				hi, ok1 := hexVal(l.src[l.pos+1])
+				lo, ok2 := hexVal(l.src[l.pos+2])
+				if !ok1 || !ok2 {
+					return token{}, errAt(l.pos, "malformed \\x escape")
+				}
+				b.WriteByte(hi<<4 | lo)
+				l.pos += 2
+			default:
+				return token{}, errAt(l.pos, "unknown escape '\\%c'", l.src[l.pos])
+			}
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, errAt(start, "unterminated string")
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

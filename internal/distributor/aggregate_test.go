@@ -1,0 +1,58 @@
+package distributor
+
+import (
+	"testing"
+
+	"btrace/internal/btql"
+	"btrace/internal/store"
+)
+
+// Replication is the trap for cluster aggregation: every event lives on
+// RF shards, so any per-shard aggregate fold would count it RF times.
+// The executor runs behind the merge cursor's dedup, so the totals must
+// come out replica-free.
+func TestDistributorAggregateDeduplicatesReplicas(t *testing.T) {
+	d, locals := newTestCluster(t, 4, Config{Replication: 2, Gate: gateOff()})
+	res := d.Ingest("", events(500, 1, 30, 31, 32, 33))
+	if res.Acked != 500 {
+		t.Fatalf("acked %d of 500", res.Acked)
+	}
+
+	specs := []btql.AggSpec{
+		{Kind: btql.AggCount},
+		{Kind: btql.AggTopK, K: 2, Field: btql.FTID},
+	}
+	got, _, err := d.Aggregate(store.Query{}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Events != 500 {
+		t.Fatalf("cluster count = %d, want 500 (RF=2 must not double-count)", got[0].Events)
+	}
+	if len(got[1].Top) != 2 || got[1].Top[0].Count != 125 {
+		t.Fatalf("topk over 4 uniform TIDs: %+v, want counts of 125", got[1].Top)
+	}
+
+	// Filtered aggregate, and Limit must not truncate it.
+	q, err := btql.Parse(`category == 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, _, err := d.Aggregate(store.Query{Pred: q.Predicate(), Limit: 3}, specs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered[0].Events != 100 {
+		t.Fatalf("filtered cluster count = %d, want 100", filtered[0].Events)
+	}
+
+	// A killed shard degrades nothing at RF=2.
+	locals[1].Kill()
+	got, _, err = d.Aggregate(store.Query{}, specs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Events != 500 {
+		t.Fatalf("count after shard kill = %d, want 500", got[0].Events)
+	}
+}

@@ -23,10 +23,13 @@ type mergeSource struct {
 	err    error
 }
 
-// load drains the cursor, clones the entries out of its arena, and
-// sorts by stamp. With a limit, only the smallest limit entries are
-// retained: the merged first-L entries are always covered by the union
-// of per-source first-L prefixes.
+// load drains the cursor, clones the entries out of its arena, sorts
+// by stamp and collapses same-shard duplicates. With a limit, only the
+// smallest limit entries are retained after the collapse: every slot of
+// a truncated prefix must hold a distinct stamp, or the merged stream
+// could come up short of limit even though more distinct stamps exist
+// past the cut. Deduped, the union of per-source first-L prefixes
+// always covers the merged first-L entries.
 func (s *mergeSource) load(missed *uint64, limit int) {
 	s.loaded = true
 	batch := make([]tracer.Entry, mergeBatch)
@@ -47,6 +50,14 @@ func (s *mergeSource) load(missed *uint64, limit int) {
 		}
 	}
 	sort.SliceStable(s.es, func(i, j int) bool { return s.es[i].Stamp < s.es[j].Stamp })
+	uniq := s.es[:0]
+	for i := range s.es {
+		if i > 0 && s.es[i].Stamp == s.es[i-1].Stamp {
+			continue
+		}
+		uniq = append(uniq, s.es[i])
+	}
+	s.es = uniq
 	if limit > 0 && len(s.es) > limit {
 		s.es = s.es[:limit]
 	}

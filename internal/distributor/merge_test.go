@@ -128,6 +128,26 @@ func TestMergeHonorsLimit(t *testing.T) {
 	}
 }
 
+func TestMergeLimitCountsDistinctStamps(t *testing.T) {
+	// Regression: the per-source prefix used to be cut at limit before
+	// duplicate collapse, so duplicates burned prefix slots and the
+	// merged stream came up short of limit even though enough distinct
+	// stamps existed past the cut.
+	a := &sliceCursor{es: mkEntries(1, 1, 1, 2, 3)}
+	b := &sliceCursor{es: mkEntries(1, 1, 1, 2, 3)}
+	m := NewMergeCursor([]tracer.Cursor{a, b}, 3)
+	defer m.Close()
+	got := drainMerge(t, m)
+	if len(got) != 3 {
+		t.Fatalf("merged %d entries, want 3 (limit over distinct stamps)", len(got))
+	}
+	for i, e := range got {
+		if e.Stamp != uint64(i+1) {
+			t.Fatalf("stamp[%d] = %d, want %d", i, e.Stamp, i+1)
+		}
+	}
+}
+
 func TestMergePropagatesMissed(t *testing.T) {
 	a := &sliceCursor{es: mkEntries(1, 2), missed: 7}
 	b := &sliceCursor{es: mkEntries(3)}

@@ -1,0 +1,124 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"btrace/internal/btql"
+)
+
+// aggRef computes the expected results by materializing the matching
+// events through the ordinary cursor and replaying them into fresh
+// aggregators: the streaming executor must agree with the
+// row-at-a-time reference on every tier mix.
+func aggRef(t *testing.T, st *Store, q Query, specs []btql.AggSpec) []btql.Result {
+	t.Helper()
+	es := drainStore(t, st, q)
+	out := make([]btql.Result, len(specs))
+	for i := range specs {
+		a := specs[i].New()
+		for j := range es {
+			a.ObserveEntry(&es[j])
+		}
+		out[i] = a.Result()
+	}
+	return out
+}
+
+func predOf(t *testing.T, src string) *btql.Predicate {
+	t.Helper()
+	q, err := btql.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q.Predicate()
+}
+
+func TestAggregateAcrossTiers(t *testing.T) {
+	st, err := Open(t.TempDir(), tierCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sealEvery(t, st, 1, 1200, 100)
+	if err := st.CompactTick(); err != nil {
+		t.Fatalf("CompactTick: %v", err)
+	}
+	appendRange(t, st, 1201, 1300) // hot tail, unsealed
+
+	specs := []btql.AggSpec{
+		{Kind: btql.AggCount},
+		{Kind: btql.AggRate, WindowNs: 100_000},
+		{Kind: btql.AggTopK, K: 3, Field: btql.FTID},
+	}
+	for _, tc := range []struct {
+		name string
+		q    Query
+	}{
+		{"all", Query{}},
+		{"field-filters", Query{Cores: []uint8{1, 2}, MinStamp: 150}},
+		{"header-pred", Query{Pred: predOf(t, `category == 2 && core != 3`)}},
+		{"stamp-pred", Query{Pred: predOf(t, `stamp >= 200 && stamp <= 400`)}},
+		{"payload-pred", Query{Pred: predOf(t, `payload contains "payload-77"`)}},
+	} {
+		got, missed, err := st.Aggregate(tc.q, specs)
+		if err != nil {
+			t.Fatalf("%s: Aggregate: %v", tc.name, err)
+		}
+		if missed != 0 {
+			t.Fatalf("%s: missed %d events with no retention running", tc.name, missed)
+		}
+		want := aggRef(t, st, tc.q, specs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: aggregate mismatch:\n got %+v\nwant %+v", tc.name, got, want)
+		}
+		if got[0].Events == 0 {
+			t.Fatalf("%s: aggregate saw no events", tc.name)
+		}
+	}
+}
+
+// TestAggregateColumnarSkips pins the executor's I/O discipline: a
+// header-only aggregate never inflates v2 payload sections, and a
+// predicate no block can satisfy prunes on metadata alone.
+func TestAggregateColumnarSkips(t *testing.T) {
+	st, err := Open(t.TempDir(), tierCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sealEvery(t, st, 1, 1200, 100)
+	if err := st.CompactTick(); err != nil {
+		t.Fatalf("CompactTick: %v", err)
+	}
+	count := []btql.AggSpec{{Kind: btql.AggCount}}
+
+	base := st.Stats()
+	res, _, err := st.Aggregate(Query{Pred: predOf(t, `category == 2`)}, count)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if res[0].Events == 0 {
+		t.Fatal("header-only aggregate matched nothing")
+	}
+	after := st.Stats()
+	if after.PayloadSkips <= base.PayloadSkips {
+		t.Fatalf("header-only aggregate inflated payload sections: skips %d -> %d",
+			base.PayloadSkips, after.PayloadSkips)
+	}
+
+	// mkEntry TIDs are stamp%7: TID 1000 exists nowhere, so the block
+	// header's TID range (and bloom) must veto every cold block.
+	res, _, err = st.Aggregate(Query{Pred: predOf(t, `tid == 1000`)}, count)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if res[0].Events != 0 {
+		t.Fatalf("tid == 1000 matched %d events", res[0].Events)
+	}
+	final := st.Stats()
+	if final.BlocksPruned <= after.BlocksPruned {
+		t.Fatalf("absent-TID aggregate pruned no blocks: %d -> %d",
+			after.BlocksPruned, final.BlocksPruned)
+	}
+}

@@ -1,11 +1,14 @@
 // Decompressed-block cache: cold queries pay a DEFLATE inflate per
 // block touched, which would make every repeated analytical query over
 // the cold tier re-do the same decompression. The store keeps one
-// bounded LRU cache of decompressed block payloads, shared by all
-// cursors (sequential and parallel): the first scan of a block inflates
-// and caches it, later scans decode straight from the cached buffer.
+// bounded LRU cache of decompressed block sections, shared by all
+// cursors (sequential and parallel): v1 row blocks and v2 payload
+// sections cache as raw bytes, v2 meta sections as fully decoded column
+// blocks (so warm scans skip the varint decode too). The first scan of
+// a block inflates and caches it, later scans read the cached form.
 //
-// Ownership: cached buffers are immutable. Cursors alias them (entries
+// Ownership: cached buffers and column blocks are immutable. Cursors
+// alias them (entries
 // handed to callers may point into cache memory) and never write to
 // them; eviction only drops the cache's reference — a buffer still
 // aliased by a live cursor stays valid until the GC collects it.
@@ -28,9 +31,16 @@ type blockKey struct {
 	off  int64
 }
 
+// cacheEnt is one cached section: either raw decompressed bytes (v1
+// blocks, v2 payload sections) or a decoded v2 column block. size is
+// the entry's budget charge — len(data) for bytes, the decoded column
+// footprint for cols (larger than the varint-packed meta section it
+// came from, which is the point: lookups skip the varint decode).
 type cacheEnt struct {
 	key  blockKey
 	data []byte
+	cols *colBlock
+	size int64
 }
 
 // blockCache is the store-wide decompressed-block LRU. A nil *blockCache
@@ -48,8 +58,8 @@ func newBlockCache(max int64) *blockCache {
 	return &blockCache{max: max, lru: list.New(), m: make(map[blockKey]*list.Element)}
 }
 
-// lookup returns the cached decompressed payload, or nil on a miss.
-func (bc *blockCache) lookup(k blockKey) []byte {
+// get returns the cached entry, or nil on a miss.
+func (bc *blockCache) get(k blockKey) *cacheEnt {
 	if bc == nil {
 		return nil
 	}
@@ -58,34 +68,54 @@ func (bc *blockCache) lookup(k blockKey) []byte {
 	if el, ok := bc.m[k]; ok {
 		bc.lru.MoveToFront(el)
 		bc.hits++
-		return el.Value.(*cacheEnt).data
+		return el.Value.(*cacheEnt)
 	}
 	bc.misses++
 	return nil
 }
 
-// insert caches data (taking read-only ownership) and evicts past the
-// budget, oldest first. Two cursors racing on the same miss both
-// inflate; the first insert wins and the loser's buffer is simply not
-// cached.
-func (bc *blockCache) insert(k blockKey, data []byte) {
-	if bc == nil || int64(len(data)) > bc.max {
+// lookup returns the cached decompressed payload, or nil on a miss.
+func (bc *blockCache) lookup(k blockKey) []byte {
+	if ent := bc.get(k); ent != nil {
+		return ent.data
+	}
+	return nil
+}
+
+// lookupCols returns the cached decoded column block, or nil on a miss.
+func (bc *blockCache) lookupCols(k blockKey) *colBlock {
+	if ent := bc.get(k); ent != nil {
+		return ent.cols
+	}
+	return nil
+}
+
+// put caches ent and evicts past the budget, oldest first. Two cursors
+// racing on the same miss both inflate; the first insert wins and the
+// loser's buffer is simply not cached.
+func (bc *blockCache) put(ent *cacheEnt) {
+	if bc == nil || ent.size > bc.max {
 		return
 	}
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
-	if _, ok := bc.m[k]; ok {
+	if _, ok := bc.m[ent.key]; ok {
 		return
 	}
-	bc.m[k] = bc.lru.PushFront(&cacheEnt{key: k, data: data})
-	bc.size += int64(len(data))
+	bc.m[ent.key] = bc.lru.PushFront(ent)
+	bc.size += ent.size
 	for bc.size > bc.max {
 		el := bc.lru.Back()
-		ent := el.Value.(*cacheEnt)
+		old := el.Value.(*cacheEnt)
 		bc.lru.Remove(el)
-		delete(bc.m, ent.key)
-		bc.size -= int64(len(ent.data))
+		delete(bc.m, old.key)
+		bc.size -= old.size
 	}
+}
+
+// insert caches data (taking read-only ownership).
+func (bc *blockCache) insert(k blockKey, data []byte) {
+	bc.put(&cacheEnt{key: k, data: data, size: int64(len(data))})
 }
 
 func (bc *blockCache) counters() (hits, misses uint64) {
@@ -108,6 +138,48 @@ func (st *Store) inflateCached(name string, f io.ReaderAt, b *coldBlock) ([]byte
 	// Fresh destination buffer on every miss: it becomes the immutable
 	// cached copy (or dies young if another inflate won the race).
 	_, out, err := inflateBlock(f, b, nil, make([]byte, 0, b.rawLen))
+	if err != nil {
+		return nil, err
+	}
+	st.bcache.insert(k, out)
+	return out, nil
+}
+
+// columnsCached returns a v2 block's meta section decoded into columns,
+// through the cache. The cache holds the *decoded* colBlock, not the
+// inflated meta bytes: repeated queries over a warm cold tier skip both
+// the DEFLATE inflate and the per-row varint/delta/dictionary decode
+// (the latter dominated repeated cold scans when the bytes were cached
+// instead). Sections get distinct keys within the block: the meta
+// section is keyed at the block offset, the payload section at the
+// payload's own file offset — so a metadata-only query never forces the
+// payload into the cache. The returned colBlock is shared and
+// immutable; callers read its columns but never write to them.
+func (st *Store) columnsCached(name string, f io.ReaderAt, b *coldBlock) (*colBlock, error) {
+	k := blockKey{name: name, off: b.off}
+	if cb := st.bcache.lookupCols(k); cb != nil {
+		return cb, nil
+	}
+	_, meta, err := inflateMetaV2(f, b, nil, make([]byte, 0, b.v2.metaRawLen))
+	if err != nil {
+		return nil, err
+	}
+	cb := new(colBlock)
+	if err := decodeColumns(meta, b, cb); err != nil {
+		return nil, err
+	}
+	st.bcache.put(&cacheEnt{key: k, cols: cb, size: cb.memSize()})
+	return cb, nil
+}
+
+// inflatePayCached returns a v2 block's decompressed payload section
+// through the cache.
+func (st *Store) inflatePayCached(name string, f io.ReaderAt, b *coldBlock) ([]byte, error) {
+	k := blockKey{name: name, off: b.off + b.v2.metaLen}
+	if data := st.bcache.lookup(k); data != nil {
+		return data, nil
+	}
+	_, out, err := inflatePayV2(f, b, nil, make([]byte, 0, b.v2.payRawLen))
 	if err != nil {
 		return nil, err
 	}

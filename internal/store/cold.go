@@ -42,11 +42,12 @@ const (
 // coldBlock is one block's directory entry: where its compressed
 // payload lives and what it can contain.
 type coldBlock struct {
-	off     int64  // file offset of the compressed payload
-	compLen int64  // compressed payload length
-	rawLen  int64  // decompressed payload length (whole frames)
-	crc     uint32 // crc32c of the compressed payload
+	off     int64  // file offset of the compressed bytes (v2: meta section)
+	compLen int64  // total compressed length (v2: meta + payload sections)
+	rawLen  int64  // decompressed frame bytes (v2: frame-equivalent accounting)
+	crc     uint32 // v1 only: crc32c of the compressed payload
 	meta    segmentMeta
+	v2      *blockV2 // nil for v1 blocks
 }
 
 // encodeBlockHeader renders one block header. Layout:
@@ -113,27 +114,44 @@ func decodeBlockHeader(src []byte) (b coldBlock, err error) {
 // many trailing bytes it ignored (bitrot containment, not crash
 // recovery).
 func scanColdFile(f backend.ReadFile, size int64, s *segment) (ignored int64, err error) {
-	hdr := make([]byte, blockHeaderSize)
+	hdr := make([]byte, blockHeaderV2Size)
 	s.meta = segmentMeta{}
 	s.blocks = nil
 	s.rawSize = headerSize
 	off := int64(headerSize)
 	for off+blockHeaderSize <= size {
-		if _, rerr := f.ReadAt(hdr, off); rerr != nil {
+		// A v1 block near EOF may leave fewer than blockHeaderV2Size
+		// bytes; read what is there and let the magic pick the decoder.
+		want := hdr
+		if size-off < blockHeaderV2Size {
+			want = hdr[:size-off]
+		}
+		if _, rerr := f.ReadAt(want, off); rerr != nil {
 			return size - off, nil
 		}
-		b, berr := decodeBlockHeader(hdr)
-		if berr != nil {
+		var b coldBlock
+		var hdrLen int64
+		if le64(want[0:]) == blockMagic2 {
+			b2, berr := decodeBlockHeaderV2(want)
+			if berr != nil {
+				return size - off, nil
+			}
+			b, hdrLen = b2, blockHeaderV2Size
+		} else {
+			b1, berr := decodeBlockHeader(want)
+			if berr != nil {
+				return size - off, nil
+			}
+			b, hdrLen = b1, blockHeaderSize
+		}
+		if off+hdrLen+b.compLen > size {
 			return size - off, nil
 		}
-		if off+blockHeaderSize+b.compLen > size {
-			return size - off, nil
-		}
-		b.off = off + blockHeaderSize
+		b.off = off + hdrLen
 		s.blocks = append(s.blocks, b)
 		mergeMeta(&s.meta, &b.meta)
 		s.rawSize += b.rawLen
-		off += blockHeaderSize + b.compLen
+		off += hdrLen + b.compLen
 	}
 	return size - off, nil
 }
@@ -142,26 +160,28 @@ func scanColdFile(f backend.ReadFile, size int64, s *segment) (ignored int64, er
 // cursors; Reset avoids the allocation-heavy NewReader per block.
 var flateReaders = sync.Pool{New: func() any { return flate.NewReader(nil) }}
 
-// inflateBlock reads and decompresses one block's payload. comp is the
-// compressed-bytes scratch buffer and dst the output buffer; both are
-// grown as needed and returned for reuse. The compressed payload is
-// checksummed before inflating — pruned blocks never pay either cost.
-func inflateBlock(f io.ReaderAt, b *coldBlock, comp, dst []byte) (newComp, out []byte, err error) {
-	if int64(cap(comp)) < b.compLen {
-		comp = make([]byte, b.compLen)
+// inflateSection reads, checksums and decompresses one contiguous
+// DEFLATE section (a v1 block payload, or a v2 meta or payload
+// section). comp is the compressed-bytes scratch buffer and dst the
+// output buffer; both are grown as needed and returned for reuse. The
+// compressed bytes are checksummed before inflating — pruned blocks and
+// skipped sections never pay either cost.
+func inflateSection(f io.ReaderAt, off, compLen, rawLen int64, crc uint32, comp, dst []byte) (newComp, out []byte, err error) {
+	if int64(cap(comp)) < compLen {
+		comp = make([]byte, compLen)
 	} else {
-		comp = comp[:b.compLen]
+		comp = comp[:compLen]
 	}
-	if _, err := f.ReadAt(comp, b.off); err != nil {
+	if _, err := f.ReadAt(comp, off); err != nil {
 		return comp, dst[:0], err
 	}
-	if crc32.Checksum(comp, castagnoli) != b.crc {
-		return comp, dst[:0], fmt.Errorf("%w: cold block checksum mismatch", tracer.ErrCorrupt)
+	if crc32.Checksum(comp, castagnoli) != crc {
+		return comp, dst[:0], fmt.Errorf("%w: cold section checksum mismatch", tracer.ErrCorrupt)
 	}
-	if int64(cap(dst)) < b.rawLen {
-		dst = make([]byte, b.rawLen)
+	if int64(cap(dst)) < rawLen {
+		dst = make([]byte, rawLen)
 	} else {
-		dst = dst[:b.rawLen]
+		dst = dst[:rawLen]
 	}
 	fr := flateReaders.Get().(io.ReadCloser)
 	defer flateReaders.Put(fr)
@@ -169,9 +189,27 @@ func inflateBlock(f io.ReaderAt, b *coldBlock, comp, dst []byte) (newComp, out [
 		return comp, dst[:0], err
 	}
 	if _, err := io.ReadFull(fr, dst); err != nil {
-		return comp, dst[:0], fmt.Errorf("%w: cold block inflate: %v", tracer.ErrCorrupt, err)
+		return comp, dst[:0], fmt.Errorf("%w: cold section inflate: %v", tracer.ErrCorrupt, err)
 	}
 	return comp, dst, nil
+}
+
+// inflateBlock decompresses a v1 block's frame payload.
+func inflateBlock(f io.ReaderAt, b *coldBlock, comp, dst []byte) (newComp, out []byte, err error) {
+	return inflateSection(f, b.off, b.compLen, b.rawLen, b.crc, comp, dst)
+}
+
+// inflateMetaV2 decompresses a v2 block's meta section.
+func inflateMetaV2(f io.ReaderAt, b *coldBlock, comp, dst []byte) (newComp, out []byte, err error) {
+	v := b.v2
+	return inflateSection(f, b.off, v.metaLen, v.metaRawLen, v.metaCRC, comp, dst)
+}
+
+// inflatePayV2 decompresses a v2 block's payload section, which sits
+// directly after the meta section.
+func inflatePayV2(f io.ReaderAt, b *coldBlock, comp, dst []byte) (newComp, out []byte, err error) {
+	v := b.v2
+	return inflateSection(f, b.off+v.metaLen, v.payLen, v.payRawLen, v.payCRC, comp, dst)
 }
 
 // coldWriter streams frames into a cold file under construction:
@@ -196,11 +234,11 @@ func newColdWriter(f backend.File, blockBytes int) *coldWriter {
 	return &coldWriter{f: f, off: headerSize, blockBytes: blockBytes}
 }
 
-// add appends one frame (record ++ tail, already checksummed) observed
-// with its raw header fields.
-func (w *coldWriter) add(frame []byte, stamp, ts uint64, core, cat uint8) error {
+// add appends one frame (record ++ tail, already checksummed) with its
+// decoded event.
+func (w *coldWriter) add(frame []byte, e *tracer.Entry) error {
 	w.raw = append(w.raw, frame...)
-	w.blockMeta.observeRaw(stamp, ts, core, cat)
+	w.blockMeta.observeRaw(e.Stamp, e.TS, e.Core, e.Category)
 	if len(w.raw) >= w.blockBytes {
 		return w.flush()
 	}
@@ -262,4 +300,16 @@ func (w *coldWriter) finish(coversThrough uint64) error {
 		return err
 	}
 	return w.f.Seal()
+}
+
+func (w *coldWriter) result() (segmentMeta, []coldBlock, int64) {
+	return w.fileMeta, w.blocks, w.rawTotal
+}
+
+// coldSink abstracts the two cold writers so the freeze path picks the
+// block format without caring which one it feeds.
+type coldSink interface {
+	add(frame []byte, e *tracer.Entry) error
+	finish(coversThrough uint64) error
+	result() (fileMeta segmentMeta, blocks []coldBlock, rawTotal int64)
 }

@@ -1,0 +1,542 @@
+// Columnar cold blocks (format v2). A v2 block re-encodes its events by
+// column instead of preserving row frames:
+//
+//	offset 0    200-byte block header: per-column min/max (stamp, time,
+//	            core/category bitmaps, TID range), a 512-bit TID bloom
+//	            filter, section lengths and checksums
+//	offset 200  meta section  (DEFLATE): every non-payload column —
+//	            zigzag-varint delta stamps and timestamps, raw core and
+//	            level bytes, dictionary-coded categories, varint TIDs,
+//	            varint payload lengths
+//	            payload section (DEFLATE, separate stream): the payloads
+//	            concatenated in row order
+//
+// The split is the point: predicates over header fields decide from the
+// block header alone (no I/O past the directory scan), then from the
+// decoded meta columns — and only the rows that survive pay for payload
+// bytes. A query that matches nothing in a block never inflates either
+// section; a metadata-only query (or aggregate) never inflates the
+// payload section at all. v1 blocks remain fully readable; the freeze
+// path emits v2.
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+
+	"btrace/internal/store/backend"
+	"btrace/internal/tracer"
+)
+
+const (
+	// blockMagic2 marks a v2 (columnar) block header.
+	blockMagic2 = 0x6274626c6b3032 // "btblk02"
+	// blockHeaderV2Size is the fixed v2 block header length.
+	blockHeaderV2Size = 200
+	// bloomBytes is the TID bloom filter size (512 bits, k=4 — ~1% false
+	// positives at the ~50 distinct TIDs a 256 KiB block typically holds).
+	bloomBytes = 64
+	bloomBits  = bloomBytes * 8
+	bloomK     = 4
+)
+
+// blockV2 is the columnar extension of a coldBlock directory entry.
+type blockV2 struct {
+	metaLen    int64 // compressed meta-section length
+	metaRawLen int64
+	payLen     int64 // compressed payload-section length (0 = no payloads)
+	payRawLen  int64
+	metaCRC    uint32 // crc32c of the compressed meta section
+	payCRC     uint32
+	minTID     uint32
+	maxTID     uint32
+	dictSize   int
+	bloom      [bloomBytes]byte
+}
+
+// bloomHash derives the two double-hashing streams for a TID
+// (splitmix64 finalizer; h2 forced odd so the k probes stay distinct).
+func bloomHash(tid uint32) (h1, h2 uint64) {
+	x := uint64(tid) + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x, (x >> 33) | 1
+}
+
+func bloomAdd(b *[bloomBytes]byte, tid uint32) {
+	h1, h2 := bloomHash(tid)
+	for i := uint64(0); i < bloomK; i++ {
+		bit := (h1 + i*h2) % bloomBits
+		b[bit>>3] |= 1 << (bit & 7)
+	}
+}
+
+// mayContainTID is the bloom probe: false is a proof of absence.
+func (v *blockV2) mayContainTID(tid uint32) bool {
+	h1, h2 := bloomHash(tid)
+	for i := uint64(0); i < bloomK; i++ {
+		bit := (h1 + i*h2) % bloomBits
+		if v.bloom[bit>>3]&(1<<(bit&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bloomFill returns the filter's set-bit ratio (inspect tooling).
+func (v *blockV2) bloomFill() float64 {
+	set := 0
+	for _, b := range v.bloom {
+		set += bits.OnesCount8(b)
+	}
+	return float64(set) / bloomBits
+}
+
+// encodeBlockHeaderV2 renders a v2 block header. Layout:
+//
+//	[0:8)     blockMagic2
+//	[8:16)    count
+//	[16:24)   frame-equivalent raw bytes (accounting parity with v1 rawLen)
+//	[24:32)   metaLen      [32:40)  metaRawLen
+//	[40:48)   payLen       [48:56)  payRawLen
+//	[56:64)   baseStamp    [64:72)  maxStamp
+//	[72:80)   minTS        [80:88)  maxTS
+//	[88:96)   coreBits     [96:104) catBits
+//	[104:112) minTID | maxTID<<32
+//	[112:120) flags (bit 1 = ordered, like v1; bits 16..31 = dictSize)
+//	[120:184) TID bloom (64 bytes)
+//	[184:192) metaCRC | payCRC<<32 (checksums of the compressed sections)
+//	[192:200) crc32c of [0:192) in the low 32 bits
+func encodeBlockHeaderV2(dst []byte, b *coldBlock) {
+	v := b.v2
+	le64put(dst[0:], blockMagic2)
+	le64put(dst[8:], b.meta.count)
+	le64put(dst[16:], uint64(b.rawLen))
+	le64put(dst[24:], uint64(v.metaLen))
+	le64put(dst[32:], uint64(v.metaRawLen))
+	le64put(dst[40:], uint64(v.payLen))
+	le64put(dst[48:], uint64(v.payRawLen))
+	le64put(dst[56:], b.meta.baseStamp)
+	le64put(dst[64:], b.meta.maxStamp)
+	le64put(dst[72:], b.meta.minTS)
+	le64put(dst[80:], b.meta.maxTS)
+	le64put(dst[88:], b.meta.coreBits)
+	le64put(dst[96:], b.meta.catBits)
+	le64put(dst[104:], uint64(v.minTID)|uint64(v.maxTID)<<32)
+	var flags uint64
+	if b.meta.ordered {
+		flags |= 2
+	}
+	flags |= uint64(uint16(v.dictSize)) << 16
+	le64put(dst[112:], flags)
+	copy(dst[120:184], v.bloom[:])
+	le64put(dst[184:], uint64(v.metaCRC)|uint64(v.payCRC)<<32)
+	le64put(dst[192:], uint64(crc32.Checksum(dst[:192], castagnoli)))
+}
+
+// decodeBlockHeaderV2 parses and validates a v2 block header. Note the
+// header checksum covers the header only: section corruption is caught
+// by the per-section CRCs at inflate time, never earlier — that is what
+// lets a pruned block skip its bytes entirely.
+func decodeBlockHeaderV2(src []byte) (b coldBlock, err error) {
+	if len(src) < blockHeaderV2Size {
+		return b, fmt.Errorf("store: short v2 block header (%d bytes)", len(src))
+	}
+	if le64(src[0:]) != blockMagic2 {
+		return b, fmt.Errorf("store: bad v2 block magic %#x", le64(src[0:]))
+	}
+	if uint32(le64(src[192:])) != crc32.Checksum(src[:192], castagnoli) {
+		return b, fmt.Errorf("store: v2 block header checksum mismatch")
+	}
+	v := &blockV2{}
+	b.meta.count = le64(src[8:])
+	b.rawLen = int64(le64(src[16:]))
+	v.metaLen = int64(le64(src[24:]))
+	v.metaRawLen = int64(le64(src[32:]))
+	v.payLen = int64(le64(src[40:]))
+	v.payRawLen = int64(le64(src[48:]))
+	b.meta.baseStamp = le64(src[56:])
+	b.meta.maxStamp = le64(src[64:])
+	b.meta.minTS = le64(src[72:])
+	b.meta.maxTS = le64(src[80:])
+	b.meta.coreBits = le64(src[88:])
+	b.meta.catBits = le64(src[96:])
+	tidw := le64(src[104:])
+	v.minTID, v.maxTID = uint32(tidw), uint32(tidw>>32)
+	flags := le64(src[112:])
+	b.meta.ordered = flags&2 != 0
+	v.dictSize = int(uint16(flags >> 16))
+	copy(v.bloom[:], src[120:184])
+	w := le64(src[184:])
+	v.metaCRC, v.payCRC = uint32(w), uint32(w>>32)
+	b.compLen = v.metaLen + v.payLen
+	// Structural sanity: a zero-count or section-free block is never
+	// written, and every row costs at least a frame header of raw bytes
+	// and one meta byte — reject before any allocation is sized off the
+	// claimed lengths.
+	if b.meta.count == 0 || v.metaLen <= 0 || v.metaRawLen <= 0 ||
+		v.payLen < 0 || v.payRawLen < 0 ||
+		(v.payLen == 0) != (v.payRawLen == 0) ||
+		b.rawLen < int64(b.meta.count)*int64(tracer.EventHeaderSize+tailSize) ||
+		v.metaRawLen > b.rawLen ||
+		v.payRawLen > b.rawLen ||
+		v.dictSize > 256 {
+		return b, fmt.Errorf("store: implausible v2 block geometry")
+	}
+	b.v2 = v
+	return b, nil
+}
+
+// colBlock is a decoded v2 meta section: one slice per column, row i of
+// every slice describing event i. payOff is the payload-column prefix
+// sum (payOff[i]..payOff[i+1] bounds row i's payload).
+type colBlock struct {
+	stamps []uint64
+	ts     []uint64
+	cores  []uint8
+	cats   []uint8
+	tids   []uint32
+	levels []uint8
+	plens  []uint32
+	payOff []uint32
+}
+
+// memSize is the decoded footprint, charged against the block-cache
+// budget when the colBlock is cached in place of its meta bytes.
+func (cb *colBlock) memSize() int64 {
+	return int64(8*len(cb.stamps) + 8*len(cb.ts) + len(cb.cores) +
+		len(cb.cats) + 4*len(cb.tids) + len(cb.levels) +
+		4*len(cb.plens) + 4*len(cb.payOff))
+}
+
+// decodeColumns parses the inflated meta section into cb, reusing its
+// slices. Every column is validated against the header's row count and
+// the payload prefix sum against payRawLen, so a decoded colBlock is
+// structurally trustworthy.
+func decodeColumns(meta []byte, b *coldBlock, cb *colBlock) error {
+	v := b.v2
+	count := int(b.meta.count)
+	cb.stamps = grow64(cb.stamps, count)
+	cb.ts = grow64(cb.ts, count)
+	cb.cores = grow8(cb.cores, count)
+	cb.cats = grow8(cb.cats, count)
+	cb.tids = grow32(cb.tids, count)
+	cb.levels = grow8(cb.levels, count)
+	cb.plens = grow32(cb.plens, count)
+	cb.payOff = grow32(cb.payOff, count+1)
+	pos := 0
+	fail := func(col string) error {
+		return fmt.Errorf("%w: v2 meta column %s truncated", tracer.ErrCorrupt, col)
+	}
+	// Stamps and timestamps: zigzag deltas anchored at the header's
+	// base/min, so the first value costs as little as any other.
+	prev := int64(b.meta.baseStamp)
+	for i := 0; i < count; i++ {
+		d, n := binary.Varint(meta[pos:])
+		if n <= 0 {
+			return fail("stamp")
+		}
+		pos += n
+		prev += d
+		cb.stamps[i] = uint64(prev)
+	}
+	prev = int64(b.meta.minTS)
+	for i := 0; i < count; i++ {
+		d, n := binary.Varint(meta[pos:])
+		if n <= 0 {
+			return fail("time")
+		}
+		pos += n
+		prev += d
+		cb.ts[i] = uint64(prev)
+	}
+	if pos+count > len(meta) {
+		return fail("core")
+	}
+	copy(cb.cores, meta[pos:pos+count])
+	pos += count
+	// Categories: the dictionary values, then one index byte per row.
+	if pos+v.dictSize > len(meta) {
+		return fail("category dictionary")
+	}
+	dict := meta[pos : pos+v.dictSize]
+	pos += v.dictSize
+	if pos+count > len(meta) {
+		return fail("category")
+	}
+	for i := 0; i < count; i++ {
+		idx := int(meta[pos+i])
+		if idx >= len(dict) {
+			return fmt.Errorf("%w: v2 category index %d outside dictionary of %d", tracer.ErrCorrupt, idx, len(dict))
+		}
+		cb.cats[i] = dict[idx]
+	}
+	pos += count
+	for i := 0; i < count; i++ {
+		u, n := binary.Uvarint(meta[pos:])
+		if n <= 0 || u > uint64(^uint32(0)) {
+			return fail("tid")
+		}
+		pos += n
+		cb.tids[i] = uint32(u)
+	}
+	if pos+count > len(meta) {
+		return fail("level")
+	}
+	copy(cb.levels, meta[pos:pos+count])
+	pos += count
+	var payTotal uint64
+	for i := 0; i < count; i++ {
+		u, n := binary.Uvarint(meta[pos:])
+		if n <= 0 || u > tracer.MaxPayload {
+			return fail("payload length")
+		}
+		pos += n
+		cb.plens[i] = uint32(u)
+		cb.payOff[i] = uint32(payTotal)
+		payTotal += u
+	}
+	cb.payOff[count] = uint32(payTotal)
+	if pos != len(meta) {
+		return fmt.Errorf("%w: v2 meta section has %d trailing bytes", tracer.ErrCorrupt, len(meta)-pos)
+	}
+	if payTotal != uint64(v.payRawLen) {
+		return fmt.Errorf("%w: v2 payload lengths sum to %d, header says %d", tracer.ErrCorrupt, payTotal, v.payRawLen)
+	}
+	return nil
+}
+
+func grow64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func grow32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func grow8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+// coldWriterV2 streams decoded events into a v2 cold file under
+// construction: rows accumulate as columns and are compressed and
+// flushed as one block each time their frame-equivalent raw size
+// reaches blockBytes (the same sizing rule as the v1 writer, so
+// ColdBlockBytes means the same thing in both formats).
+type coldWriterV2 struct {
+	f          backend.File
+	off        int64
+	blockBytes int
+
+	cols     colBlock // pending rows, columns only (payOff unused)
+	pay      []byte
+	frameRaw int64 // frame-equivalent raw bytes pending
+
+	blockMeta      segmentMeta
+	minTID, maxTID uint32
+	bloom          [bloomBytes]byte
+
+	scratch  []byte // meta-section encode buffer
+	comp     bytes.Buffer
+	blocks   []coldBlock
+	fileMeta segmentMeta
+	rawTotal int64
+}
+
+func newColdWriterV2(f backend.File, blockBytes int) *coldWriterV2 {
+	if blockBytes <= 0 {
+		blockBytes = defaultColdBlockBytes
+	}
+	return &coldWriterV2{f: f, off: headerSize, blockBytes: blockBytes}
+}
+
+// add appends one event. frame is its row-tier framing, used only for
+// raw-size accounting; e's fields feed the columns (the payload bytes
+// are copied, so e may alias a transient read buffer).
+func (w *coldWriterV2) add(frame []byte, e *tracer.Entry) error {
+	if w.blockMeta.count == 0 {
+		w.minTID, w.maxTID = e.TID, e.TID
+	} else {
+		if e.TID < w.minTID {
+			w.minTID = e.TID
+		}
+		if e.TID > w.maxTID {
+			w.maxTID = e.TID
+		}
+	}
+	w.blockMeta.observe(e)
+	bloomAdd(&w.bloom, e.TID)
+	w.cols.stamps = append(w.cols.stamps, e.Stamp)
+	w.cols.ts = append(w.cols.ts, e.TS)
+	w.cols.cores = append(w.cols.cores, e.Core)
+	w.cols.cats = append(w.cols.cats, e.Category)
+	w.cols.tids = append(w.cols.tids, e.TID)
+	w.cols.levels = append(w.cols.levels, e.Level)
+	w.cols.plens = append(w.cols.plens, uint32(len(e.Payload)))
+	w.pay = append(w.pay, e.Payload...)
+	w.frameRaw += int64(len(frame))
+	if w.frameRaw >= int64(w.blockBytes) {
+		return w.flush()
+	}
+	return nil
+}
+
+// encodeMeta renders the pending columns into the meta-section layout
+// decodeColumns parses.
+func (w *coldWriterV2) encodeMeta() (dictSize int) {
+	buf := w.scratch[:0]
+	var tmp [binary.MaxVarintLen64]byte
+	prev := int64(w.blockMeta.baseStamp)
+	for _, s := range w.cols.stamps {
+		buf = append(buf, tmp[:binary.PutVarint(tmp[:], int64(s)-prev)]...)
+		prev = int64(s)
+	}
+	prev = int64(w.blockMeta.minTS)
+	for _, t := range w.cols.ts {
+		buf = append(buf, tmp[:binary.PutVarint(tmp[:], int64(t)-prev)]...)
+		prev = int64(t)
+	}
+	buf = append(buf, w.cols.cores...)
+	// Category dictionary, values in first-appearance order.
+	var dictIdx [256]int16
+	for i := range dictIdx {
+		dictIdx[i] = -1
+	}
+	var dict []uint8
+	for _, cat := range w.cols.cats {
+		if dictIdx[cat] < 0 {
+			dictIdx[cat] = int16(len(dict))
+			dict = append(dict, cat)
+		}
+	}
+	buf = append(buf, dict...)
+	for _, cat := range w.cols.cats {
+		buf = append(buf, uint8(dictIdx[cat]))
+	}
+	for _, tid := range w.cols.tids {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(tid))]...)
+	}
+	buf = append(buf, w.cols.levels...)
+	for _, pl := range w.cols.plens {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(pl))]...)
+	}
+	w.scratch = buf
+	return len(dict)
+}
+
+// deflate compresses src into w.comp (reset first).
+func (w *coldWriterV2) deflate(src []byte) error {
+	w.comp.Reset()
+	fw, err := flate.NewWriter(&w.comp, flate.BestSpeed)
+	if err != nil {
+		return err
+	}
+	if _, err := fw.Write(src); err != nil {
+		return err
+	}
+	return fw.Close()
+}
+
+// flush compresses and writes the pending block: meta section, payload
+// section, then the header in front of them.
+func (w *coldWriterV2) flush() error {
+	if w.blockMeta.count == 0 {
+		return nil
+	}
+	dictSize := w.encodeMeta()
+	metaOff := w.off + blockHeaderV2Size
+	if err := w.deflate(w.scratch); err != nil {
+		return err
+	}
+	v := &blockV2{
+		metaLen:    int64(w.comp.Len()),
+		metaRawLen: int64(len(w.scratch)),
+		payRawLen:  int64(len(w.pay)),
+		metaCRC:    crc32.Checksum(w.comp.Bytes(), castagnoli),
+		minTID:     w.minTID,
+		maxTID:     w.maxTID,
+		dictSize:   dictSize,
+		bloom:      w.bloom,
+	}
+	if _, err := w.f.WriteAt(w.comp.Bytes(), metaOff); err != nil {
+		return err
+	}
+	if len(w.pay) > 0 {
+		if err := w.deflate(w.pay); err != nil {
+			return err
+		}
+		v.payLen = int64(w.comp.Len())
+		v.payCRC = crc32.Checksum(w.comp.Bytes(), castagnoli)
+		if _, err := w.f.WriteAt(w.comp.Bytes(), metaOff+v.metaLen); err != nil {
+			return err
+		}
+	}
+	b := coldBlock{
+		off:     metaOff,
+		compLen: v.metaLen + v.payLen,
+		rawLen:  w.frameRaw,
+		meta:    w.blockMeta,
+		v2:      v,
+	}
+	hdr := make([]byte, blockHeaderV2Size)
+	encodeBlockHeaderV2(hdr, &b)
+	if _, err := w.f.WriteAt(hdr, w.off); err != nil {
+		return err
+	}
+	w.off = metaOff + b.compLen
+	w.blocks = append(w.blocks, b)
+	mergeMeta(&w.fileMeta, &w.blockMeta)
+	w.rawTotal += w.frameRaw
+	// Reset the pending state for the next block.
+	w.cols.stamps = w.cols.stamps[:0]
+	w.cols.ts = w.cols.ts[:0]
+	w.cols.cores = w.cols.cores[:0]
+	w.cols.cats = w.cols.cats[:0]
+	w.cols.tids = w.cols.tids[:0]
+	w.cols.levels = w.cols.levels[:0]
+	w.cols.plens = w.cols.plens[:0]
+	w.pay = w.pay[:0]
+	w.frameRaw = 0
+	w.blockMeta = segmentMeta{}
+	w.minTID, w.maxTID = 0, 0
+	w.bloom = [bloomBytes]byte{}
+	return nil
+}
+
+// finish flushes the last block, writes the sealed file header (shared
+// with v1 cold files — the per-block magic is what versions a block),
+// syncs and seals. The caller renames the file in afterwards.
+func (w *coldWriterV2) finish(coversThrough uint64) error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	hdr := make([]byte, headerSize)
+	encodeHeaderMagic(hdr, coldMagic, &w.fileMeta, coversThrough, true)
+	if _, err := w.f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.f.Seal()
+}
+
+func (w *coldWriterV2) result() (segmentMeta, []coldBlock, int64) {
+	return w.fileMeta, w.blocks, w.rawTotal
+}

@@ -20,7 +20,9 @@
 package store
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"time"
 
 	"btrace/internal/tracer"
@@ -217,8 +219,12 @@ func (st *Store) CompactTick() error {
 
 // CompactCold freezes aged sealed row segments into compressed cold
 // block files, as selected by the strategy. It returns the number of
-// row segments consumed.
+// row segments consumed. Passes are serialized: run selection and the
+// commit happen under st.mu but the compression I/O between them does
+// not, so concurrent passes could otherwise freeze the same run twice.
 func (st *Store) CompactCold() (int, error) {
+	st.freezeMu.Lock()
+	defer st.freezeMu.Unlock()
 	frozen := 0
 	for {
 		st.mu.Lock()
@@ -272,10 +278,23 @@ func (st *Store) freezeRun(run []*segment) (int, error) {
 		st.be.Remove(tmpName)
 		return 0, e
 	}
-	w := newColdWriter(tmp, st.cfg.ColdBlockBytes)
+	var w coldSink
+	if st.cfg.coldV1 {
+		w = newColdWriter(tmp, st.cfg.ColdBlockBytes)
+	} else {
+		w = newColdWriterV2(tmp, st.cfg.ColdBlockBytes)
+	}
 	srcSizes := make(map[uint64]int64, len(run))
 	for _, s := range run {
 		if err := st.freezeSource(w, s); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				// Retention deleted the source before we opened it: the
+				// run is gone, not broken. The commit-time intactness
+				// check would reach the same verdict; fold it in early.
+				tmp.Close()
+				st.be.Remove(tmpName)
+				return 0, nil
+			}
 			return abort(err)
 		}
 		srcSizes[s.seq] = s.size
@@ -283,6 +302,7 @@ func (st *Store) freezeRun(run []*segment) (int, error) {
 	if err := w.finish(last.coversThrough); err != nil {
 		return abort(err)
 	}
+	fileMeta, blocks, rawTotal := w.result()
 	size, err := tmp.Size()
 	if err != nil {
 		return abort(err)
@@ -309,11 +329,11 @@ func (st *Store) freezeRun(run []*segment) (int, error) {
 		name:          name,
 		coversThrough: last.coversThrough,
 		size:          size,
-		rawSize:       headerSize + w.rawTotal,
+		rawSize:       headerSize + rawTotal,
 		tier:          TierCold,
 		sealed:        true,
-		meta:          w.fileMeta,
-		blocks:        w.blocks,
+		meta:          fileMeta,
+		blocks:        blocks,
 		srcSizes:      srcSizes,
 	}
 	i := st.segIndexLocked(run[0])
@@ -321,9 +341,9 @@ func (st *Store) freezeRun(run []*segment) (int, error) {
 	st.segs = append(st.segs[:i+1], st.segs[i+len(run):]...)
 	st.stats.ColdCompactions++
 	st.stats.SegmentsFrozen += uint64(len(run))
-	st.stats.ColdBlocksBuilt += uint64(len(w.blocks))
+	st.stats.ColdBlocksBuilt += uint64(len(blocks))
 	st.stats.ColdBytesWritten += uint64(size)
-	st.stats.ColdRawBytes += uint64(w.rawTotal)
+	st.stats.ColdRawBytes += uint64(rawTotal)
 	st.publishObsLocked()
 	names := make([]string, 0, len(run))
 	for _, s := range run {
@@ -340,11 +360,13 @@ func (st *Store) freezeRun(run []*segment) (int, error) {
 	return len(run), nil
 }
 
-// freezeSource copies one source segment's frames into the cold writer,
+// freezeSource copies one source segment's frames into the cold sink,
 // verifying every frame's checksum on the way: recovery can no longer
 // frame-scan the bytes once they are compressed, so freezing is the
-// last cheap moment to catch rot.
-func (st *Store) freezeSource(w *coldWriter, s *segment) error {
+// last cheap moment to catch rot. Events are fully decoded before
+// handoff — the columnar writer needs every field, and decode failures
+// are freeze failures for the same reason checksum failures are.
+func (st *Store) freezeSource(w coldSink, s *segment) error {
 	src, err := st.be.OpenRead(s.name)
 	if err != nil {
 		return err
@@ -375,8 +397,11 @@ func (st *Store) freezeSource(w *coldWriter, s *segment) error {
 		if recSize < tracer.EventHeaderSize {
 			return fmt.Errorf("store: freeze: short event in %s at %d", s.name, off)
 		}
-		w3 := le64(buf[24:])
-		if err := w.add(buf[:frame], le64(buf[8:]), le64(buf[16:]), uint8(w3>>56), uint8(w3>>24)); err != nil {
+		var e tracer.Entry
+		if derr := decodeEventTo(buf[:recSize], &e); derr != nil {
+			return fmt.Errorf("store: freeze: %s at %d: %w", s.name, off, derr)
+		}
+		if err := w.add(buf[:frame], &e); err != nil {
 			return err
 		}
 		rd.advance(frame)

@@ -9,6 +9,7 @@ package store
 import (
 	"sort"
 
+	"btrace/internal/btql"
 	"btrace/internal/store/backend"
 	"btrace/internal/tracer"
 )
@@ -26,10 +27,17 @@ type Query struct {
 	Categories []uint8
 	// Limit caps the number of delivered events (0 = unlimited).
 	Limit int
+	// Pred is an optional compiled BTQL predicate, ANDed with the field
+	// filters above. Its stamp/time bounds and core/category masks are
+	// folded into the pruning ladder at compile time; its exact form is
+	// evaluated per record (including payload matches).
+	Pred *btql.Predicate
 }
 
 // compiled is the evaluated form of a Query: bitmap masks for segment
-// pruning plus exact membership sets for record filtering.
+// pruning plus exact membership sets for record filtering. The BTQL
+// predicate's derived bounds and masks are folded in, so every pruning
+// site (files, blocks, raw headers) benefits without knowing about it.
 type compiled struct {
 	q        Query
 	coreMask uint64 // union of bit min(core,63); ^0 when unrestricted
@@ -38,10 +46,11 @@ type compiled struct {
 	catSet   [256]bool
 	anyCore  bool
 	anyCat   bool
+	pred     *btql.Predicate
 }
 
 func compile(q Query) *compiled {
-	c := &compiled{q: q, anyCore: len(q.Cores) == 0, anyCat: len(q.Categories) == 0}
+	c := &compiled{q: q, anyCore: len(q.Cores) == 0, anyCat: len(q.Categories) == 0, pred: q.Pred}
 	c.coreMask, c.catMask = ^uint64(0), ^uint64(0)
 	if !c.anyCore {
 		c.coreMask = 0
@@ -57,6 +66,24 @@ func compile(q Query) *compiled {
 			c.catSet[cat] = true
 		}
 	}
+	if p := c.pred; p != nil {
+		// Tighten the range bounds with the predicate's hull. The Query
+		// encodes "unbounded above" as 0 where the predicate uses ^0.
+		if lo, hi := p.StampBounds(); true {
+			c.q.MinStamp = max(c.q.MinStamp, lo)
+			if hi != ^uint64(0) && (c.q.MaxStamp == 0 || hi < c.q.MaxStamp) {
+				c.q.MaxStamp = hi
+			}
+		}
+		if lo, hi := p.TimeBounds(); true {
+			c.q.MinTS = max(c.q.MinTS, lo)
+			if hi != ^uint64(0) && (c.q.MaxTS == 0 || hi < c.q.MaxTS) {
+				c.q.MaxTS = hi
+			}
+		}
+		c.coreMask &= p.CoreMask()
+		c.catMask &= p.CatMask()
+	}
 	return c
 }
 
@@ -71,10 +98,54 @@ func (c *compiled) matchSegment(m *segmentMeta) bool {
 	if c.q.MinTS > m.maxTS || (c.q.MaxTS > 0 && c.q.MaxTS < m.minTS) {
 		return false
 	}
-	return c.coreMask&m.coreBits != 0 && c.catMask&m.catBits != 0
+	if c.coreMask&m.coreBits == 0 || c.catMask&m.catBits == 0 {
+		return false
+	}
+	if c.pred != nil {
+		return c.pred.MatchMeta(&btql.Meta{
+			MinStamp: m.baseStamp, MaxStamp: m.maxStamp,
+			MinTS: m.minTS, MaxTS: m.maxTS,
+			CoreBits: m.coreBits, CatBits: m.catBits,
+		})
+	}
+	return true
 }
 
-// match reports whether one record satisfies the query.
+// matchColdBlock is matchSegment for one cold block, with the extra
+// metadata a columnar block header carries: the TID range and bloom
+// filter veto TID equality predicates without touching the block bytes.
+func (c *compiled) matchColdBlock(b *coldBlock) bool {
+	m := &b.meta
+	if m.count == 0 {
+		return false
+	}
+	if c.q.MinStamp > m.maxStamp || (c.q.MaxStamp > 0 && c.q.MaxStamp < m.baseStamp) {
+		return false
+	}
+	if c.q.MinTS > m.maxTS || (c.q.MaxTS > 0 && c.q.MaxTS < m.minTS) {
+		return false
+	}
+	if c.coreMask&m.coreBits == 0 || c.catMask&m.catBits == 0 {
+		return false
+	}
+	if c.pred != nil {
+		bm := btql.Meta{
+			MinStamp: m.baseStamp, MaxStamp: m.maxStamp,
+			MinTS: m.minTS, MaxTS: m.maxTS,
+			CoreBits: m.coreBits, CatBits: m.catBits,
+		}
+		if v := b.v2; v != nil {
+			bm.HasTID = true
+			bm.MinTID, bm.MaxTID = v.minTID, v.maxTID
+			bm.TIDMay = v.mayContainTID
+		}
+		return c.pred.MatchMeta(&bm)
+	}
+	return true
+}
+
+// match reports whether one fully decoded record satisfies the query,
+// BTQL predicate included.
 func (c *compiled) match(e *tracer.Entry) bool {
 	if e.Stamp < c.q.MinStamp || (c.q.MaxStamp > 0 && e.Stamp > c.q.MaxStamp) {
 		return false
@@ -82,20 +153,29 @@ func (c *compiled) match(e *tracer.Entry) bool {
 	if e.TS < c.q.MinTS || (c.q.MaxTS > 0 && e.TS > c.q.MaxTS) {
 		return false
 	}
-	return (c.anyCore || c.coreSet[e.Core]) && (c.anyCat || c.catSet[e.Category])
+	if !(c.anyCore || c.coreSet[e.Core]) || !(c.anyCat || c.catSet[e.Category]) {
+		return false
+	}
+	return c.pred == nil || c.pred.Match(e)
 }
 
 // matchRaw is match evaluated on fields lifted straight from a raw
 // record header, so a scan loop can reject a frame before paying its
-// checksum and decode.
-func (c *compiled) matchRaw(stamp, ts uint64, core, cat uint8) bool {
+// checksum and decode. It is exact for payload-free predicates and
+// conservative (may return true) when the predicate needs the payload —
+// callers that append on true must re-check with match/Predicate.Match
+// after decoding when NeedsPayload reports true.
+func (c *compiled) matchRaw(stamp, ts uint64, core uint8, tid uint32, cat, level uint8) bool {
 	if stamp < c.q.MinStamp || (c.q.MaxStamp > 0 && stamp > c.q.MaxStamp) {
 		return false
 	}
 	if ts < c.q.MinTS || (c.q.MaxTS > 0 && ts > c.q.MaxTS) {
 		return false
 	}
-	return (c.anyCore || c.coreSet[core]) && (c.anyCat || c.catSet[cat])
+	if !(c.anyCore || c.coreSet[core]) || !(c.anyCat || c.catSet[cat]) {
+		return false
+	}
+	return c.pred == nil || c.pred.MatchHeader(stamp, ts, core, tid, cat, level)
 }
 
 // Cursor streams store records, oldest segment first, in append order.
@@ -122,6 +202,12 @@ type Cursor struct {
 	coldIdx int
 	coldBuf []byte
 	coldPos int
+
+	// Columnar (v2) block state: candidate entries decoded from the
+	// current block's cached columns (payloads aliasing the cached
+	// payload section), drained by v2pos.
+	v2ents []tracer.Entry
+	v2pos  int
 
 	lastStamp   uint64
 	seenRetired uint64
@@ -262,6 +348,12 @@ func (c *Cursor) openNext() (missed uint64, ok bool) {
 				for coldStart < len(seg.blocks) && seg.blocks[coldStart].meta.maxStamp < seekStamp {
 					coldStart++
 				}
+				if coldStart > 0 {
+					// The seek is pruning too: these blocks were ruled out
+					// on directory metadata alone, same as a matchColdBlock
+					// veto.
+					c.st.obs.blocksPruned.Add(uint64(coldStart))
+				}
 			}
 		} else if seg.meta.ordered && seekStamp > 0 && len(seg.sparse) > 0 {
 			lo := sort.Search(len(seg.sparse), func(i int) bool {
@@ -286,6 +378,7 @@ func (c *Cursor) openNext() (missed uint64, ok bool) {
 		c.curBound = bound
 		c.dedupe = dedupe
 		c.coldIdx, c.coldBuf, c.coldPos = coldStart, nil, 0
+		c.v2ents, c.v2pos = c.v2ents[:0], 0
 		c.rd = chunkReader{f: f, off: startOff, bound: bound}
 		return missed, true
 	}
@@ -390,14 +483,44 @@ func (c *Cursor) readFrames(out []tracer.Entry) (n int, done bool, err error) {
 
 // readColdFrames is readFrames over a cold segment: blocks are pruned
 // by their directory metadata (min/max stamp, time range, core and
-// category bitmaps) before any decompression, then the inflated bytes
-// are walked with exactly the row-tier frame loop. Cold segments are
-// always sealed, so there is no bound refresh.
+// category bitmaps, and for v2 the TID range/bloom) before any
+// decompression. A v1 block inflates to frames walked with exactly the
+// row-tier loop; a v2 block decodes its meta columns and materializes
+// only candidate rows, inflating the payload column only if a candidate
+// carries payload bytes. Cold segments are always sealed, so there is
+// no bound refresh.
 func (c *Cursor) readColdFrames(out []tracer.Entry) (n int, done bool, err error) {
 	blocks := c.cur.blocks
 	for n < len(out) {
 		if c.q.q.Limit > 0 && c.delivered >= c.q.q.Limit {
 			return n, true, nil
+		}
+		if c.v2pos < len(c.v2ents) {
+			e := c.v2ents[c.v2pos]
+			c.v2pos++
+			if c.dedupe && e.Stamp <= c.lastStamp {
+				continue
+			}
+			if c.cur.meta.ordered && c.q.q.MaxStamp > 0 && e.Stamp > c.q.q.MaxStamp {
+				return n, true, nil
+			}
+			// Candidates passed the header-field filter at load; only a
+			// payload predicate still needs the exact check.
+			if c.q.pred != nil && c.q.pred.NeedsPayload() && !c.q.pred.Match(&e) {
+				continue
+			}
+			if len(e.Payload) > 0 {
+				off := len(c.arena)
+				c.arena = append(c.arena, e.Payload...)
+				e.Payload = c.arena[off:len(c.arena):len(c.arena)]
+			}
+			out[n] = e
+			n++
+			c.delivered++
+			if e.Stamp > c.lastStamp {
+				c.lastStamp = e.Stamp
+			}
+			continue
 		}
 		if c.coldPos >= len(c.coldBuf) {
 			// Advance to the next block the query cannot rule out.
@@ -414,14 +537,21 @@ func (c *Cursor) readColdFrames(out []tracer.Entry) (n int, done bool, err error
 					c.coldIdx++ // entirely already-delivered stamps
 					continue
 				}
-				if !c.q.matchSegment(&b.meta) {
+				if !c.q.matchColdBlock(b) {
 					c.coldIdx++ // pruned without decompression
+					c.st.obs.blocksPruned.Add(1)
 					continue
 				}
 				break
 			}
 			b := &blocks[c.coldIdx]
 			c.coldIdx++
+			if b.v2 != nil {
+				if err := c.loadV2Block(b); err != nil {
+					return n, true, err
+				}
+				continue
+			}
 			c.coldBuf, err = c.st.inflateCached(c.cur.name, c.f, b)
 			if err != nil {
 				return n, true, err
@@ -474,6 +604,53 @@ func (c *Cursor) readColdFrames(out []tracer.Entry) (n int, done bool, err error
 		}
 	}
 	return n, false, nil
+}
+
+// loadV2Block decodes a columnar block's meta section and fills v2ents
+// with the candidate rows (header-field filter applied column-wise).
+// The payload column is inflated only when a surviving candidate
+// actually carries payload bytes — the predicate-pushdown payoff: a
+// block whose candidate set is empty, or payload-free, never touches
+// its compressed payload section.
+func (c *Cursor) loadV2Block(b *coldBlock) error {
+	cb, err := c.st.columnsCached(c.cur.name, c.f, b)
+	if err != nil {
+		return err
+	}
+	count := int(b.meta.count)
+	needPay := false
+	for i := 0; i < count; i++ {
+		if c.q.matchRaw(cb.stamps[i], cb.ts[i], cb.cores[i], cb.tids[i], cb.cats[i], cb.levels[i]) && cb.plens[i] > 0 {
+			needPay = true
+			break
+		}
+	}
+	var pay []byte
+	if needPay {
+		pay, err = c.st.inflatePayCached(c.cur.name, c.f, b)
+		if err != nil {
+			return err
+		}
+	} else if b.v2.payLen > 0 {
+		c.st.obs.payloadSkips.Add(1)
+	}
+	c.v2ents = c.v2ents[:0]
+	for i := 0; i < count; i++ {
+		if !c.q.matchRaw(cb.stamps[i], cb.ts[i], cb.cores[i], cb.tids[i], cb.cats[i], cb.levels[i]) {
+			continue
+		}
+		e := tracer.Entry{
+			Stamp: cb.stamps[i], TS: cb.ts[i],
+			Core: cb.cores[i], TID: cb.tids[i],
+			Category: cb.cats[i], Level: cb.levels[i],
+		}
+		if cb.plens[i] > 0 {
+			e.Payload = pay[cb.payOff[i]:cb.payOff[i+1]:cb.payOff[i+1]]
+		}
+		c.v2ents = append(c.v2ents, e)
+	}
+	c.v2pos = 0
+	return nil
 }
 
 // Close implements tracer.Cursor.

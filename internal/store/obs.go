@@ -41,6 +41,13 @@ type storeObs struct {
 	// finalizable; Fold's final collect captures the closing values.
 	bcache *blockCache
 
+	// blocksPruned/payloadSkips advance on the read path too (cursors
+	// and query workers increment them directly, like bcache's hits):
+	// cold blocks rejected on header metadata alone, and v2 blocks whose
+	// rows were scanned without ever inflating the payload column.
+	blocksPruned *obs.Counter
+	payloadSkips *obs.Counter
+
 	recoveredTruncations *obs.Counter
 	tornBytesDropped     *obs.Counter
 	leftoverSegments     *obs.Counter
@@ -89,6 +96,8 @@ func newStoreObs() *storeObs {
 		leftoverSegments:     obs.NewCounter(1),
 		headersRebuilt:       obs.NewCounter(1),
 		groupCommits:         obs.NewCounter(1),
+		blocksPruned:         obs.NewCounter(1),
+		payloadSkips:         obs.NewCounter(1),
 		appendNs:             obs.NewHistogram(obs.LatencyBounds),
 		fsyncNs:              obs.NewHistogram(obs.LatencyBounds),
 		batchEvents:          obs.NewHistogram(obs.SizeBounds),
@@ -115,6 +124,8 @@ func (o *storeObs) collect(e *obs.Emitter) {
 	hits, misses := o.bcache.counters()
 	e.Counter("btrace_store_block_cache_hits_total", "cold block reads served from the decompressed-block cache", hits)
 	e.Counter("btrace_store_block_cache_misses_total", "cold block reads that had to inflate", misses)
+	e.Counter("btrace_store_blocks_pruned_total", "cold blocks skipped on header metadata alone", o.blocksPruned.Load())
+	e.Counter("btrace_store_payload_skips_total", "columnar blocks scanned without inflating the payload column", o.payloadSkips.Load())
 	e.Counter("btrace_store_recovered_truncations_total", "torn segment tails truncated at open", o.recoveredTruncations.Load())
 	e.Counter("btrace_store_torn_bytes_dropped_total", "bytes cut by recovery truncations", o.tornBytesDropped.Load())
 	e.Counter("btrace_store_leftover_segments_total", "interrupted-compaction leftovers deleted at open", o.leftoverSegments.Load())

@@ -584,7 +584,7 @@ func (c *PCursor) scanSpan(f io.ReaderAt, sn *segSnap, off *int64, ck *pchunk) (
 			return true, nil
 		}
 		w3 := le64(rec[24:])
-		if !c.q.matchRaw(stamp, le64(rec[16:]), uint8(w3>>56), uint8(w3>>24)) {
+		if !c.q.matchRaw(stamp, le64(rec[16:]), uint8(w3>>56), uint32(w3>>32)&0xFFFFFF, uint8(w3>>24), uint8(w3>>16)) {
 			continue
 		}
 		if cerr := checkFrame(rec, tail); cerr != nil {
@@ -593,6 +593,11 @@ func (c *PCursor) scanSpan(f io.ReaderAt, sn *segSnap, off *int64, ck *pchunk) (
 		var e tracer.Entry
 		if derr := decodeEventTo(rec, &e); derr != nil {
 			return false, derr
+		}
+		// matchRaw is conservative for payload predicates; finish the
+		// job now that the payload is decoded.
+		if c.q.pred != nil && c.q.pred.NeedsPayload() && !c.q.pred.Match(&e) {
+			continue
 		}
 		ck.entries = append(ck.entries, e)
 		if len(ck.entries) >= chunkMaxEntries {
@@ -698,9 +703,10 @@ func (c *PCursor) scanCold(ps *pstream, f io.ReaderAt) {
 			ps.endOff = sn.bound
 			return
 		}
-		if !c.q.matchSegment(&b.meta) {
+		if !c.q.matchColdBlock(b) {
 			idx++
 			ps.endOff = idx
+			c.st.obs.blocksPruned.Add(1)
 			continue
 		}
 		if !c.acquire() {
@@ -709,9 +715,14 @@ func (c *PCursor) scanCold(ps *pstream, f io.ReaderAt) {
 		}
 		ck := c.pool.get()
 		var stop bool
-		buf, err := c.st.inflateCached(sn.name, f, b)
-		if err == nil {
-			stop, err = c.decodeCold(ck, buf, true)
+		var err error
+		if b.v2 != nil {
+			stop, err = c.decodeColdV2(ck, sn.name, f, b, true)
+		} else {
+			var buf []byte
+			if buf, err = c.st.inflateCached(sn.name, f, b); err == nil {
+				stop, err = c.decodeCold(ck, buf, true)
+			}
 		}
 		c.release()
 		if err != nil {
@@ -755,7 +766,14 @@ func (c *PCursor) scanColdUnordered(ps *pstream, f io.ReaderAt) {
 	var err error
 	for idx := sn.start; idx < sn.bound; idx++ {
 		b := &sn.blocks[idx]
-		if !c.q.matchSegment(&b.meta) {
+		if !c.q.matchColdBlock(b) {
+			c.st.obs.blocksPruned.Add(1)
+			continue
+		}
+		if b.v2 != nil {
+			if _, err = c.decodeColdV2(ck, sn.name, f, b, false); err != nil {
+				break
+			}
 			continue
 		}
 		var buf []byte
@@ -820,7 +838,7 @@ func (c *PCursor) decodeCold(ck *pchunk, buf []byte, ordered bool) (stop bool, e
 			return true, nil
 		}
 		w3 := le64(rec[24:])
-		if !c.q.matchRaw(stamp, le64(rec[16:]), uint8(w3>>56), uint8(w3>>24)) {
+		if !c.q.matchRaw(stamp, le64(rec[16:]), uint8(w3>>56), uint32(w3>>32)&0xFFFFFF, uint8(w3>>24), uint8(w3>>16)) {
 			continue
 		}
 		if cerr := checkFrame(rec, tail); cerr != nil {
@@ -830,9 +848,64 @@ func (c *PCursor) decodeCold(ck *pchunk, buf []byte, ordered bool) (stop bool, e
 		if derr := decodeEventTo(rec, &e); derr != nil {
 			return false, derr
 		}
+		if c.q.pred != nil && c.q.pred.NeedsPayload() && !c.q.pred.Match(&e) {
+			continue
+		}
 		ck.entries = append(ck.entries, e)
 	}
 	return false, nil
+}
+
+// decodeColdV2 is decodeCold for a columnar block: the decoded columns
+// come through the cache and are filtered without touching the payload
+// section; the payload column is inflated only when a surviving row
+// actually carries payload bytes. Entries' payloads alias the cached
+// payload buffer, which the GC keeps alive for as long as any entry
+// does. With ordered set, stop reports a stamp past MaxStamp.
+func (c *PCursor) decodeColdV2(ck *pchunk, name string, f io.ReaderAt, b *coldBlock, ordered bool) (stop bool, err error) {
+	cb, err := c.st.columnsCached(name, f, b)
+	if err != nil {
+		return false, err
+	}
+	count := int(b.meta.count)
+	needPay := false
+	for i := 0; i < count; i++ {
+		if ordered && c.q.q.MaxStamp > 0 && cb.stamps[i] > c.q.q.MaxStamp {
+			stop = true
+			count = i
+			break
+		}
+		if !needPay && cb.plens[i] > 0 &&
+			c.q.matchRaw(cb.stamps[i], cb.ts[i], cb.cores[i], cb.tids[i], cb.cats[i], cb.levels[i]) {
+			needPay = true
+		}
+	}
+	var pay []byte
+	if needPay {
+		if pay, err = c.st.inflatePayCached(name, f, b); err != nil {
+			return false, err
+		}
+	} else if b.v2.payLen > 0 {
+		c.st.obs.payloadSkips.Add(1)
+	}
+	for i := 0; i < count; i++ {
+		if !c.q.matchRaw(cb.stamps[i], cb.ts[i], cb.cores[i], cb.tids[i], cb.cats[i], cb.levels[i]) {
+			continue
+		}
+		e := tracer.Entry{
+			Stamp: cb.stamps[i], TS: cb.ts[i],
+			Core: cb.cores[i], TID: cb.tids[i],
+			Category: cb.cats[i], Level: cb.levels[i],
+		}
+		if cb.plens[i] > 0 {
+			e.Payload = pay[cb.payOff[i]:cb.payOff[i+1]:cb.payOff[i+1]]
+		}
+		if c.q.pred != nil && c.q.pred.NeedsPayload() && !c.q.pred.Match(&e) {
+			continue
+		}
+		ck.entries = append(ck.entries, e)
+	}
+	return stop, nil
 }
 
 // advanceStream makes ps.cur/idx reference the stream's next

@@ -104,6 +104,10 @@ type Config struct {
 	// Strategy overrides tier-transition selection (nil selects
 	// DefaultStrategy).
 	Strategy Strategy
+	// coldV1 makes the freeze path emit legacy frame-preserving v1
+	// blocks instead of columnar v2. Test-only: v1 must stay readable
+	// and query-equivalent, and this is how tests produce it.
+	coldV1 bool
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +154,9 @@ type Stats struct {
 	BlockCacheHits   uint64 // cold block reads served from the cache
 	BlockCacheMisses uint64 // cold block reads that had to inflate
 
+	BlocksPruned uint64 // cold blocks skipped on header metadata alone
+	PayloadSkips uint64 // v2 blocks scanned without inflating the payload column
+
 	RecoveredTruncations uint64 // segments truncated at open (torn tails)
 	TornBytesDropped     uint64 // bytes cut by those truncations
 	LeftoverSegments     uint64 // interrupted-compaction leftovers deleted at open
@@ -185,10 +192,15 @@ type Store struct {
 	// without st.mu.
 	bcache *blockCache
 
-	mu     sync.Mutex
-	lock   io.Closer  // held backend lock, released by Close
-	segs   []*segment // ascending seq; the last may be active
-	active backend.File
+	mu sync.Mutex
+	// freezeMu serializes whole freeze passes (CompactCold releases
+	// st.mu during compression I/O, so without it two concurrent passes
+	// — the background ticker plus a foreground call — could select the
+	// same run and clobber each other's tmp file).
+	freezeMu sync.Mutex
+	lock     io.Closer  // held backend lock, released by Close
+	segs     []*segment // ascending seq; the last may be active
+	active   backend.File
 	// parked holds sealed files whose fsync is deferred to the next
 	// commit window (drainParked); bounded by maxParkedSeals.
 	parked  []parkedSeal
@@ -799,6 +811,8 @@ func (st *Store) Stats() Stats {
 	defer st.mu.Unlock()
 	s := st.stats
 	s.BlockCacheHits, s.BlockCacheMisses = st.bcache.counters()
+	s.BlocksPruned = st.obs.blocksPruned.Load()
+	s.PayloadSkips = st.obs.payloadSkips.Load()
 	return s
 }
 

@@ -1,9 +1,9 @@
 // Package vulture continuously verifies a running btrace-serve: it
 // writes known stamped traces through POST /ingest and reads every
 // acked stamp back through each query surface — the /live tail, the
-// sequential and parallel /store/query cursors, and (once segments have
-// aged into it) the cold columnar tier — alerting on loss, duplication
-// or mis-ordering. The name follows the SRE tradition of "vulture"
+// sequential and parallel /store/query cursors, the BTQL filter and
+// count() pipelines, and (once segments have aged into it) the cold
+// columnar tier — alerting on loss, duplication or mis-ordering. The name follows the SRE tradition of "vulture"
 // processes that circle a storage system probing for silently dropped
 // writes: an ack is a durability promise, and this package exists to
 // catch the promise being broken, continuously, in CI soak jobs and
@@ -144,6 +144,34 @@ func (r *Report) VerifyRange(surface string, lo, hi uint64, stamps []uint64) boo
 		r.violate(surface, KindMisorder, "range [%d, %d]: %d ordering inversions", lo, hi, misorder)
 	}
 	return loss == 0 && dups == 0 && misorder == 0
+}
+
+// VerifyCount holds a server-side aggregate count over the inclusive
+// acked range [lo, hi] to the ack contract: got must equal the range
+// size exactly. A shortfall is loss, an excess is duplication (a
+// replica counted twice). Returns true when the count was exact.
+func (r *Report) VerifyCount(surface string, lo, hi, got uint64) bool {
+	if hi < lo {
+		return true
+	}
+	n := hi - lo + 1
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.surface(surface)
+	st.Checks++
+	switch {
+	case got < n:
+		st.Events += got
+		st.Loss += n - got
+		r.violate(surface, KindLoss, "range [%d, %d]: count() saw %d of %d acked events", lo, hi, got, n)
+	case got > n:
+		st.Events += n
+		st.Duplicates += got - n
+		r.violate(surface, KindDuplicate, "range [%d, %d]: count() saw %d for %d acked events", lo, hi, got, n)
+	default:
+		st.Events += n
+	}
+	return got == n
 }
 
 // ObserveLive folds one live frame into the report: stamps on a live

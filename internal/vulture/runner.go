@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -45,6 +46,13 @@ type RunnerConfig struct {
 	// aimed past the server's -cold-after so the read exercises the
 	// frozen columnar tier (0 = skip the cold surface).
 	ColdAge time.Duration
+	// BTQL additionally reads each range back through the query
+	// language: the ?q= filter stage as a CSV stream (surface "btql",
+	// the predicate-pushdown scan path) and a count() pipeline whose
+	// aggregate executes server-side over the columns (surface
+	// "btql-count"; the cold re-verification adds "cold-count"). Both
+	// must agree exactly with the ack contract.
+	BTQL bool
 	// Live subscribes to /live filtered by the writers' TIDs and verifies
 	// per-stream ordering and the delivered+missed accounting.
 	Live bool
@@ -103,6 +111,7 @@ func (c RunnerConfig) withDefaults() RunnerConfig {
 // batchRef is one fully-acked contiguous stamp range awaiting read-back.
 type batchRef struct {
 	lo, hi uint64
+	tid    uint32 // the writer's TID — BTQL probes filter on it
 	acked  time.Time
 }
 
@@ -245,6 +254,7 @@ func (v *runner) write(ctx context.Context, tid uint32, pending chan<- batchRef,
 			buf.Write(rec[:n])
 		}
 		if ref, ok := v.post(ctx, buf.Bytes(), lo, hi, admitted); ok {
+			ref.tid = tid
 			select {
 			case pending <- ref:
 			case <-ctx.Done():
@@ -346,8 +356,12 @@ func (v *runner) verifyWarm(ctx context.Context, pending <-chan batchRef, cold c
 				return
 			}
 		}
-		v.checkRange(ctx, "sequential", ref, 0)
-		v.checkRange(ctx, "parallel", ref, v.cfg.QueryWorkers)
+		v.checkRange(ctx, "sequential", ref, 0, false)
+		v.checkRange(ctx, "parallel", ref, v.cfg.QueryWorkers, false)
+		if v.cfg.BTQL {
+			v.checkRange(ctx, "btql", ref, 0, true)
+			v.checkCount(ctx, "btql-count", ref)
+		}
 		if v.cfg.ColdAge > 0 {
 			select {
 			case cold <- ref:
@@ -370,7 +384,13 @@ func (v *runner) verifyCold(ctx context.Context, cold <-chan batchRef) {
 				return
 			}
 		}
-		v.checkRange(ctx, "cold", ref, 0)
+		v.checkRange(ctx, "cold", ref, 0, false)
+		if v.cfg.BTQL {
+			// By now the range is frozen: this count() runs the columnar
+			// aggregate executor over cold blocks, pruning on the block
+			// metadata the same filter wrote.
+			v.checkCount(ctx, "cold-count", ref)
+		}
 	}
 }
 
@@ -379,8 +399,8 @@ func (v *runner) verifyCold(ctx context.Context, cold <-chan batchRef) {
 // before it is recorded: the single-store path's 202 is an eventual
 // promise, and the vulture alerts on broken promises, not on reads that
 // raced durability.
-func (v *runner) checkRange(ctx context.Context, surface string, ref batchRef, workers int) {
-	stamps, err := v.fetchStamps(ctx, ref, workers)
+func (v *runner) checkRange(ctx context.Context, surface string, ref batchRef, workers int, btql bool) {
+	stamps, err := v.fetchStamps(ctx, ref, workers, btql)
 	if err == nil && rangeClean(ref, stamps) {
 		v.rep.VerifyRange(surface, ref.lo, ref.hi, stamps)
 		return
@@ -389,7 +409,7 @@ func (v *runner) checkRange(ctx context.Context, surface string, ref batchRef, w
 	case <-time.After(v.cfg.Settle):
 	case <-ctx.Done():
 	}
-	retry, rerr := v.fetchStamps(ctx, ref, workers)
+	retry, rerr := v.fetchStamps(ctx, ref, workers, btql)
 	if rerr != nil {
 		if err == nil {
 			retry = stamps // first read at least answered; judge that one
@@ -420,21 +440,30 @@ func rangeClean(ref batchRef, stamps []uint64) bool {
 }
 
 // fetchStamps reads one stamp range through /store/query in CSV form
-// and returns the stamp column, retrying transient failures.
-func (v *runner) fetchStamps(ctx context.Context, ref batchRef, workers int) ([]uint64, error) {
+// and returns the stamp column, retrying transient failures. With btql
+// the same range is expressed as a ?q= filter instead of the field
+// parameters, so the read exercises the compiled-predicate scan path.
+func (v *runner) fetchStamps(ctx context.Context, ref batchRef, workers int, btql bool) ([]uint64, error) {
 	n := ref.hi - ref.lo + 1
 	limit := 2 * n // room to observe duplicates
 	if limit > 1<<20 {
 		limit = 1 << 20
 	}
-	url := fmt.Sprintf("%s/store/query?min_stamp=%d&max_stamp=%d&workers=%d&limit=%d&format=csv",
-		v.cfg.BaseURL, ref.lo, ref.hi, workers, limit)
+	var u string
+	if btql {
+		src := fmt.Sprintf("stamp >= %d && stamp <= %d && tid == %d", ref.lo, ref.hi, ref.tid)
+		u = fmt.Sprintf("%s/store/query?workers=%d&limit=%d&format=csv&q=%s",
+			v.cfg.BaseURL, workers, limit, url.QueryEscape(src))
+	} else {
+		u = fmt.Sprintf("%s/store/query?min_stamp=%d&max_stamp=%d&workers=%d&limit=%d&format=csv",
+			v.cfg.BaseURL, ref.lo, ref.hi, workers, limit)
+	}
 	var lastErr error
 	for attempt := 0; attempt < readRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		stamps, err := v.fetchCSV(ctx, url)
+		stamps, err := v.fetchCSV(ctx, u)
 		if err == nil {
 			return stamps, nil
 		}
@@ -442,6 +471,82 @@ func (v *runner) fetchStamps(ctx context.Context, ref batchRef, workers int) ([]
 		time.Sleep(200 * time.Millisecond)
 	}
 	return nil, lastErr
+}
+
+// checkCount holds a server-side `... | count()` over [ref.lo, ref.hi]
+// to the ack contract: exactly one count per acked stamp, replica-free.
+// Gets the same settle-and-retry grace as the range reads.
+func (v *runner) checkCount(ctx context.Context, surface string, ref batchRef) {
+	n := ref.hi - ref.lo + 1
+	got, err := v.fetchCount(ctx, ref)
+	if err == nil && got == n {
+		v.rep.VerifyCount(surface, ref.lo, ref.hi, got)
+		return
+	}
+	select {
+	case <-time.After(v.cfg.Settle):
+	case <-ctx.Done():
+	}
+	retry, rerr := v.fetchCount(ctx, ref)
+	if rerr != nil {
+		if err != nil {
+			v.cfg.Logf("vulture: %s count [%d, %d] failed twice: %v", surface, ref.lo, ref.hi, rerr)
+			v.rep.VerifyCount(surface, ref.lo, ref.hi, 0) // unanswerable = loss
+			return
+		}
+		retry = got // first read at least answered; judge that one
+	}
+	v.rep.VerifyCount(surface, ref.lo, ref.hi, retry)
+}
+
+// fetchCount runs one BTQL count() aggregate over the range, retrying
+// transient failures.
+func (v *runner) fetchCount(ctx context.Context, ref batchRef) (uint64, error) {
+	src := fmt.Sprintf("stamp >= %d && stamp <= %d && tid == %d | count()", ref.lo, ref.hi, ref.tid)
+	u := v.cfg.BaseURL + "/store/query?q=" + url.QueryEscape(src)
+	var lastErr error
+	for attempt := 0; attempt < readRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		got, err := v.fetchCountOnce(ctx, u)
+		if err == nil {
+			return got, nil
+		}
+		lastErr = err
+		time.Sleep(200 * time.Millisecond)
+	}
+	return 0, lastErr
+}
+
+func (v *runner) fetchCountOnce(ctx context.Context, u string) (uint64, error) {
+	rctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := v.cfg.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("count status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var out struct {
+		Result struct {
+			Events uint64 `json:"events"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return 0, fmt.Errorf("bad count body %q: %v", bytes.TrimSpace(body), err)
+	}
+	return out.Result.Events, nil
 }
 
 func (v *runner) fetchCSV(ctx context.Context, url string) ([]uint64, error) {

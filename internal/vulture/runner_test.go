@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"btrace/internal/btql"
 	"btrace/internal/live"
 	"btrace/internal/tracer"
 )
@@ -70,7 +71,18 @@ func (st *stubStore) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 func (st *stubStore) handleQuery(w http.ResponseWriter, r *http.Request) {
 	lo, _ := strconv.ParseUint(r.URL.Query().Get("min_stamp"), 10, 64)
-	hi, _ := strconv.ParseUint(r.URL.Query().Get("max_stamp"), 10, 64)
+	hi := ^uint64(0)
+	if v := r.URL.Query().Get("max_stamp"); v != "" {
+		hi, _ = strconv.ParseUint(v, 10, 64)
+	}
+	var bq *btql.Query
+	if src := r.URL.Query().Get("q"); src != "" {
+		var err error
+		if bq, err = btql.Parse(src); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
 	st.mu.Lock()
 	var stamps []uint64
 	for s := range st.events {
@@ -82,6 +94,28 @@ func (st *stubStore) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(stamps, func(i, j int) bool { return stamps[i] < stamps[j] })
 	if st.mutate != nil {
 		stamps = st.mutate(stamps)
+	}
+	if bq != nil && bq.Filter != nil {
+		// The real thing pushes the predicate into the scan; the stub
+		// evaluates it post-hoc, after mutate, so an injected corruption
+		// is visible on the BTQL surfaces too.
+		pred := bq.Predicate()
+		out := stamps[:0]
+		st.mu.Lock()
+		for _, s := range stamps {
+			e := st.events[s]
+			if pred.Match(&e) {
+				out = append(out, s)
+			}
+		}
+		st.mu.Unlock()
+		stamps = out
+	}
+	if bq != nil && bq.Agg != nil {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"query":%q,"result":{"kind":"count","events":%d}}`,
+			r.URL.Query().Get("q"), len(stamps))
+		return
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	cw := csv.NewWriter(w)
@@ -139,6 +173,7 @@ func quickCfg(url string) RunnerConfig {
 		Interval: 10 * time.Millisecond,
 		Settle:   10 * time.Millisecond,
 		Duration: 150 * time.Millisecond,
+		BTQL:     true,
 	}
 }
 
@@ -160,7 +195,7 @@ func TestRunnerCleanServer(t *testing.T) {
 		t.Fatalf("nothing written: %+v", rep)
 	}
 	surfaces := rep.Surfaces()
-	for _, name := range []string{"sequential", "parallel", "live"} {
+	for _, name := range []string{"sequential", "parallel", "btql", "btql-count", "live"} {
 		if surfaces[name].Events == 0 {
 			t.Fatalf("surface %s never verified anything: %+v", name, surfaces)
 		}
